@@ -1,0 +1,175 @@
+// Experiment S2b (EXPERIMENTS.md): the paper's headline ETL quality factor
+// — "the benefits of integrated DW design solutions (e.g., reduced overall
+// execution time for integrated ETL processes)" (paper §3, scenario 2).
+//
+// For a stream of N requirements with low/high source overlap, we compare
+// executing each requirement's ETL flow separately against executing the
+// unified flow produced by the ETL Process Integrator, on the embedded
+// engine over TPC-H data. Reported: measured wall time, rows processed
+// (the engine-level work metric), the cost model's estimates, and speedup.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/timer.h"
+#include "datagen/tpch.h"
+#include "etl/equivalence.h"
+#include "etl/exec/executor.h"
+#include "integrator/etl_integrator.h"
+#include "interpreter/interpreter.h"
+#include "ontology/tpch_ontology.h"
+#include "requirements/workload.h"
+
+namespace {
+
+using quarry::etl::Executor;
+using quarry::etl::Flow;
+using quarry::integrator::EtlIntegrator;
+using quarry::interpreter::Interpreter;
+
+struct Env {
+  quarry::storage::Database source;
+  quarry::ontology::Ontology onto = quarry::ontology::BuildTpchOntology();
+  quarry::ontology::SourceMapping mapping =
+      quarry::ontology::BuildTpchMappings();
+  quarry::etl::TableColumns columns;
+  std::map<std::string, int64_t> rows;
+
+  explicit Env(double sf) {
+    auto s = quarry::datagen::PopulateTpch(&source, {sf, 1234});
+    if (!s.ok()) std::abort();
+    for (const std::string& name : source.TableNames()) {
+      std::vector<std::string> cols;
+      for (const auto& c : (*source.GetTable(name))->schema().columns()) {
+        cols.push_back(c.name);
+      }
+      columns[name] = cols;
+      rows[name] = static_cast<int64_t>((*source.GetTable(name))->num_rows());
+    }
+  }
+};
+
+Env& SharedEnv() {
+  static Env* env = new Env(0.01);
+  return *env;
+}
+
+std::vector<Flow> InterpretWorkload(const Env& env, int n, double overlap) {
+  Interpreter interpreter(&env.onto, &env.mapping);
+  quarry::req::WorkloadConfig config;
+  config.num_requirements = n;
+  config.overlap = overlap;
+  config.seed = 99;
+  std::vector<Flow> flows;
+  for (const auto& ir : quarry::req::GenerateTpchWorkload(config)) {
+    auto design = interpreter.Interpret(ir);
+    if (!design.ok()) std::abort();
+    flows.push_back(std::move(design->flow));
+  }
+  return flows;
+}
+
+void PrintSeries() {
+  Env& env = SharedEnv();
+  std::printf(
+      "S2b: overall ETL execution time, integrated vs separate "
+      "(TPC-H sf=0.01)\n");
+  std::printf("%7s %4s | %12s %12s %8s | %12s %12s | %10s %10s\n", "overlap",
+              "N", "sep_ms", "unif_ms", "speedup", "sep_rows", "unif_rows",
+              "est_sep", "est_unif");
+  for (double overlap : {0.2, 0.8}) {
+    for (int n : {2, 4, 6, 8}) {
+      std::vector<Flow> flows = InterpretWorkload(env, n, overlap);
+      EtlIntegrator integrator(env.columns, env.rows);
+      Flow unified("unified");
+      double est_sep = 0, est_unif = 0;
+      for (const Flow& flow : flows) {
+        auto report = integrator.Integrate(&unified, flow);
+        if (!report.ok()) std::abort();
+        est_sep = report->cost_separate;
+        est_unif = report->cost_unified;
+      }
+      // Median of three runs each: wall time on a shared 1-core box is
+      // noisy and a single outlier would misstate the comparison.
+      auto median3 = [](double a, double b, double c) {
+        return std::max(std::min(a, b), std::min(std::max(a, b), c));
+      };
+      double sep_samples[3];
+      int64_t sep_rows = 0;
+      for (double& sample : sep_samples) {
+        quarry::Timer t_sep;
+        quarry::storage::Database dw("sep");
+        sep_rows = 0;
+        for (const Flow& flow : flows) {
+          auto report = Executor(&env.source, &dw).Run(flow);
+          if (!report.ok()) std::abort();
+          sep_rows += report->rows_processed;
+        }
+        sample = t_sep.ElapsedMillis();
+      }
+      double sep_ms = median3(sep_samples[0], sep_samples[1],
+                              sep_samples[2]);
+      double unif_samples[3];
+      int64_t unif_rows = 0;
+      for (double& sample : unif_samples) {
+        quarry::Timer t_unif;
+        quarry::storage::Database dw("unif");
+        auto report = Executor(&env.source, &dw).Run(unified);
+        if (!report.ok()) std::abort();
+        unif_rows = report->rows_processed;
+        sample = t_unif.ElapsedMillis();
+      }
+      double unif_ms = median3(unif_samples[0], unif_samples[1],
+                               unif_samples[2]);
+      std::printf(
+          "%7.1f %4d | %12.1f %12.1f %7.2fx | %12lld %12lld | %10.0f "
+          "%10.0f\n",
+          overlap, n, sep_ms, unif_ms, sep_ms / unif_ms,
+          static_cast<long long>(sep_rows), static_cast<long long>(unif_rows),
+          est_sep, est_unif);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_IntegrateOneFlow(benchmark::State& state) {
+  Env& env = SharedEnv();
+  std::vector<Flow> flows =
+      InterpretWorkload(env, static_cast<int>(state.range(0)), 0.8);
+  for (auto _ : state) {
+    EtlIntegrator integrator(env.columns, env.rows);
+    Flow unified("unified");
+    for (const Flow& flow : flows) {
+      auto report = integrator.Integrate(&unified, flow);
+      if (!report.ok()) std::abort();
+      benchmark::DoNotOptimize(report->nodes_reused);
+    }
+    state.counters["unified_nodes"] =
+        static_cast<double>(unified.num_nodes());
+  }
+}
+BENCHMARK(BM_IntegrateOneFlow)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_NormalizePartialFlow(benchmark::State& state) {
+  Env& env = SharedEnv();
+  std::vector<Flow> flows = InterpretWorkload(env, 1, 0.5);
+  for (auto _ : state) {
+    Flow copy = flows[0].Clone();
+    auto rewrites = quarry::etl::Normalize(&copy, env.columns);
+    if (!rewrites.ok()) std::abort();
+    benchmark::DoNotOptimize(*rewrites);
+  }
+}
+BENCHMARK(BM_NormalizePartialFlow);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

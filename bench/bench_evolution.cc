@@ -1,0 +1,142 @@
+// Experiment S2-time (EXPERIMENTS.md): "Quarry efficiently accommodates
+// these changes" — the cost of evolving an existing design incrementally
+// (ChangeRequirement / RemoveRequirement on the unified design) versus
+// rebuilding the whole design from scratch after every change.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/quarry.h"
+#include "datagen/tpch.h"
+#include "ontology/tpch_ontology.h"
+#include "requirements/workload.h"
+
+namespace {
+
+using quarry::core::Quarry;
+using quarry::req::InformationRequirement;
+
+quarry::storage::Database& SharedSource() {
+  static quarry::storage::Database* db = [] {
+    auto* d = new quarry::storage::Database("tpch");
+    if (!quarry::datagen::PopulateTpch(d, {0.005, 97}).ok()) std::abort();
+    return d;
+  }();
+  return *db;
+}
+
+std::vector<InformationRequirement> Workload(int n) {
+  quarry::req::WorkloadConfig config;
+  config.num_requirements = n;
+  config.overlap = 0.6;
+  config.seed = 5;
+  return quarry::req::GenerateTpchWorkload(config);
+}
+
+std::unique_ptr<Quarry> FreshQuarry() {
+  auto quarry = Quarry::Create(quarry::ontology::BuildTpchOntology(),
+                               quarry::ontology::BuildTpchMappings(),
+                               &SharedSource());
+  if (!quarry.ok()) std::abort();
+  return std::move(*quarry);
+}
+
+void PrintSeries() {
+  std::printf(
+      "S2-time: accommodating one change — incremental vs from-scratch\n");
+  std::printf("%4s | %14s %14s %9s\n", "N", "incremental_ms",
+              "from_scratch_ms", "speedup");
+  auto median3 = [](double a, double b, double c) {
+    return std::max(std::min(a, b), std::min(std::max(a, b), c));
+  };
+  for (int n : {4, 8, 12, 16}) {
+    std::vector<InformationRequirement> workload = Workload(n);
+    InformationRequirement original = workload[static_cast<size_t>(n / 2)];
+    InformationRequirement changed = original;
+    changed.dimensions.push_back({"Region.r_name"});
+    // Build the base design once.
+    auto quarry = FreshQuarry();
+    for (const auto& ir : workload) {
+      if (!quarry->AddRequirement(ir).ok()) std::abort();
+    }
+    // Median of three change applications (sub-millisecond work on a
+    // shared box is noisy); alternate the definition so every iteration
+    // really changes something.
+    double inc_samples[3];
+    bool use_changed = true;
+    for (double& sample : inc_samples) {
+      quarry::Timer t_inc;
+      if (!quarry->ChangeRequirement(use_changed ? changed : original)
+               .ok()) {
+        std::abort();
+      }
+      sample = t_inc.ElapsedMillis();
+      use_changed = !use_changed;
+    }
+    double incremental_ms = median3(inc_samples[0], inc_samples[1],
+                                    inc_samples[2]);
+    // From scratch: rebuild everything with the changed definition.
+    double scratch_samples[3];
+    for (double& sample : scratch_samples) {
+      quarry::Timer t_scratch;
+      auto rebuilt = FreshQuarry();
+      for (const auto& ir : workload) {
+        const InformationRequirement& use =
+            ir.id == changed.id ? changed : ir;
+        if (!rebuilt->AddRequirement(use).ok()) std::abort();
+      }
+      sample = t_scratch.ElapsedMillis();
+    }
+    double scratch_ms = median3(scratch_samples[0], scratch_samples[1],
+                                scratch_samples[2]);
+    std::printf("%4d | %14.2f %15.2f %8.2fx\n", n, incremental_ms,
+                scratch_ms, scratch_ms / incremental_ms);
+  }
+  std::printf("\n");
+}
+
+void BM_ChangeOneRequirement(benchmark::State& state) {
+  std::vector<InformationRequirement> workload =
+      Workload(static_cast<int>(state.range(0)));
+  auto quarry = FreshQuarry();
+  for (const auto& ir : workload) {
+    if (!quarry->AddRequirement(ir).ok()) std::abort();
+  }
+  InformationRequirement a = workload[1];
+  InformationRequirement b = workload[1];
+  b.dimensions.push_back({"Region.r_name"});
+  bool use_b = true;
+  for (auto _ : state) {
+    if (!quarry->ChangeRequirement(use_b ? b : a).ok()) std::abort();
+    use_b = !use_b;
+    benchmark::DoNotOptimize(quarry->flow().num_nodes());
+  }
+  state.counters["requirements"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ChangeOneRequirement)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RemoveAndReAdd(benchmark::State& state) {
+  std::vector<InformationRequirement> workload = Workload(8);
+  auto quarry = FreshQuarry();
+  for (const auto& ir : workload) {
+    if (!quarry->AddRequirement(ir).ok()) std::abort();
+  }
+  for (auto _ : state) {
+    if (!quarry->RemoveRequirement(workload[3].id).ok()) std::abort();
+    if (!quarry->AddRequirement(workload[3]).ok()) std::abort();
+    benchmark::DoNotOptimize(quarry->requirements().size());
+  }
+}
+BENCHMARK(BM_RemoveAndReAdd);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

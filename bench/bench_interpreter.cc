@@ -1,0 +1,117 @@
+// Experiment F4 (EXPERIMENTS.md): the Requirements Interpreter (paper
+// Fig. 4 / §2.2) — translation throughput and output sizes as requirement
+// complexity grows (#dimensions, #slicers, multi-hop paths).
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+
+#include "common/timer.h"
+#include "interpreter/interpreter.h"
+#include "ontology/tpch_ontology.h"
+
+namespace {
+
+using quarry::interpreter::Interpreter;
+using quarry::req::InformationRequirement;
+
+struct Env {
+  quarry::ontology::Ontology onto = quarry::ontology::BuildTpchOntology();
+  quarry::ontology::SourceMapping mapping =
+      quarry::ontology::BuildTpchMappings();
+};
+
+Env& SharedEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+constexpr std::array<const char*, 6> kDims = {
+    "Part.p_name",    "Supplier.s_name",     "Orders.o_orderdate",
+    "Nation.n_name",  "Customer.c_mktsegment", "Region.r_name"};
+
+InformationRequirement MakeIr(int dims, int slicers) {
+  InformationRequirement ir;
+  ir.id = "ir_bench";
+  ir.name = "bench";
+  ir.focus_concept = "Lineitem";
+  ir.measures.push_back(
+      {"revenue", "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+       quarry::md::AggFunc::kSum});
+  for (int i = 0; i < dims; ++i) {
+    ir.dimensions.push_back({kDims[static_cast<size_t>(i)]});
+  }
+  if (slicers > 0) ir.slicers.push_back({"Nation.n_name", "=", "SPAIN"});
+  if (slicers > 1) {
+    ir.slicers.push_back({"Orders.o_orderdate", ">=", "1995-01-01"});
+  }
+  return ir;
+}
+
+void PrintSeries() {
+  Env& env = SharedEnv();
+  Interpreter interpreter(&env.onto, &env.mapping);
+  std::printf(
+      "F4: Requirements Interpreter — requirement complexity sweep\n");
+  std::printf("%5s %8s | %10s | %10s %10s | %6s %6s\n", "dims", "slicers",
+              "time_us", "flow_nodes", "flow_edges", "facts", "schema_dims");
+  for (int dims = 1; dims <= 6; ++dims) {
+    for (int slicers : {0, 2}) {
+      InformationRequirement ir = MakeIr(dims, slicers);
+      quarry::Timer t;
+      auto design = interpreter.Interpret(ir);
+      double us = t.ElapsedMicros();
+      if (!design.ok()) std::abort();
+      std::printf("%5d %8d | %10.1f | %10zu %10zu | %6zu %6zu\n", dims,
+                  slicers, us, design->flow.num_nodes(),
+                  design->flow.num_edges(), design->schema.facts().size(),
+                  design->schema.dimensions().size());
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_InterpretRevenue(benchmark::State& state) {
+  Env& env = SharedEnv();
+  Interpreter interpreter(&env.onto, &env.mapping);
+  InformationRequirement ir = MakeIr(2, 1);
+  for (auto _ : state) {
+    auto design = interpreter.Interpret(ir);
+    if (!design.ok()) std::abort();
+    benchmark::DoNotOptimize(design->flow.num_nodes());
+  }
+}
+BENCHMARK(BM_InterpretRevenue);
+
+void BM_InterpretByDimensionCount(benchmark::State& state) {
+  Env& env = SharedEnv();
+  Interpreter interpreter(&env.onto, &env.mapping);
+  InformationRequirement ir = MakeIr(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto design = interpreter.Interpret(ir);
+    if (!design.ok()) std::abort();
+    benchmark::DoNotOptimize(design->schema.dimensions().size());
+  }
+}
+BENCHMARK(BM_InterpretByDimensionCount)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_XrqRoundtrip(benchmark::State& state) {
+  InformationRequirement ir = MakeIr(4, 2);
+  for (auto _ : state) {
+    auto doc = quarry::req::ToXrq(ir);
+    auto parsed = quarry::req::FromXrq(*doc);
+    if (!parsed.ok()) std::abort();
+    benchmark::DoNotOptimize(parsed->dimensions.size());
+  }
+}
+BENCHMARK(BM_XrqRoundtrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Experiment S2a (EXPERIMENTS.md): the MD quality factor — "structural
+// design complexity as an example quality factor for output MD schemata"
+// (paper §3, scenario 2).
+//
+// For a stream of N requirements with low/high dimension overlap, we
+// compare the structural complexity of the integrated unified schema
+// against the naive side-by-side union of the partial schemas, plus the
+// element counts behind the score.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "integrator/md_integrator.h"
+#include "interpreter/interpreter.h"
+#include "mdschema/complexity.h"
+#include "mdschema/validator.h"
+#include "ontology/tpch_ontology.h"
+#include "requirements/workload.h"
+
+namespace {
+
+using quarry::integrator::MdIntegrator;
+using quarry::interpreter::Interpreter;
+using quarry::md::MdSchema;
+
+struct Env {
+  quarry::ontology::Ontology onto = quarry::ontology::BuildTpchOntology();
+  quarry::ontology::SourceMapping mapping =
+      quarry::ontology::BuildTpchMappings();
+};
+
+Env& SharedEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+std::vector<MdSchema> InterpretWorkload(int n, double overlap,
+                                        uint64_t seed) {
+  Env& env = SharedEnv();
+  Interpreter interpreter(&env.onto, &env.mapping);
+  quarry::req::WorkloadConfig config;
+  config.num_requirements = n;
+  config.overlap = overlap;
+  config.seed = seed;
+  std::vector<MdSchema> schemas;
+  for (const auto& ir : quarry::req::GenerateTpchWorkload(config)) {
+    auto design = interpreter.Interpret(ir);
+    if (!design.ok()) std::abort();
+    schemas.push_back(std::move(design->schema));
+  }
+  return schemas;
+}
+
+void PrintSeries() {
+  Env& env = SharedEnv();
+  std::printf(
+      "S2a: structural complexity, integrated vs naive union of partial "
+      "schemas\n");
+  std::printf("%7s %4s | %10s %10s %7s | %6s %6s %7s %7s | %6s\n", "overlap",
+              "N", "cx_naive", "cx_integr", "ratio", "facts", "dims",
+              "folded", "merged", "sound");
+  for (double overlap : {0.2, 0.8}) {
+    for (int n : {2, 4, 6, 8, 10}) {
+      std::vector<MdSchema> schemas = InterpretWorkload(n, overlap, 7);
+      MdIntegrator integrator(&env.onto);
+      MdSchema unified("unified");
+      double naive = 0;
+      int folded = 0, merged = 0;
+      for (const MdSchema& partial : schemas) {
+        naive += quarry::md::StructuralComplexity(partial).score;
+        auto report = integrator.Integrate(&unified, partial);
+        if (!report.ok()) std::abort();
+        folded += report->dimensions_folded;
+        merged += report->facts_merged;
+      }
+      double integrated = quarry::md::StructuralComplexity(unified).score;
+      bool sound = quarry::md::CheckSound(unified, &env.onto).ok();
+      std::printf(
+          "%7.1f %4d | %10.1f %10.1f %6.2fx | %6zu %6zu %7d %7d | %6s\n",
+          overlap, n, naive, integrated, naive / integrated,
+          unified.facts().size(), unified.dimensions().size(), folded,
+          merged, sound ? "yes" : "NO");
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_MdIntegrateStream(benchmark::State& state) {
+  Env& env = SharedEnv();
+  std::vector<MdSchema> schemas =
+      InterpretWorkload(static_cast<int>(state.range(0)), 0.8, 11);
+  for (auto _ : state) {
+    MdIntegrator integrator(&env.onto);
+    MdSchema unified("unified");
+    for (const MdSchema& partial : schemas) {
+      auto report = integrator.Integrate(&unified, partial);
+      if (!report.ok()) std::abort();
+      benchmark::DoNotOptimize(report->complexity_after);
+    }
+  }
+}
+BENCHMARK(BM_MdIntegrateStream)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_StructuralComplexity(benchmark::State& state) {
+  Env& env = SharedEnv();
+  std::vector<MdSchema> schemas = InterpretWorkload(10, 0.5, 3);
+  MdIntegrator integrator(&env.onto);
+  MdSchema unified("unified");
+  for (const MdSchema& partial : schemas) {
+    if (!integrator.Integrate(&unified, partial).ok()) std::abort();
+  }
+  for (auto _ : state) {
+    auto report = quarry::md::StructuralComplexity(unified);
+    benchmark::DoNotOptimize(report.score);
+  }
+}
+BENCHMARK(BM_StructuralComplexity);
+
+void BM_SoundnessValidation(benchmark::State& state) {
+  Env& env = SharedEnv();
+  std::vector<MdSchema> schemas = InterpretWorkload(10, 0.5, 3);
+  MdIntegrator integrator(&env.onto);
+  MdSchema unified("unified");
+  for (const MdSchema& partial : schemas) {
+    if (!integrator.Integrate(&unified, partial).ok()) std::abort();
+  }
+  for (auto _ : state) {
+    auto violations = quarry::md::Validate(unified, &env.onto);
+    benchmark::DoNotOptimize(violations.size());
+  }
+}
+BENCHMARK(BM_SoundnessValidation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Experiment M1 (EXPERIMENTS.md): the Communication & Metadata layer
+// (paper §2.5) — parse/serialize throughput of the three interchange
+// formats (xRQ, xMD, xLM), the generic XML-JSON-XML bridge, and metadata
+// repository store/fetch round trips.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/metadata_repository.h"
+#include "etl/xlm.h"
+#include "interpreter/interpreter.h"
+#include "json/xml_json.h"
+#include "mdschema/md_schema.h"
+#include "ontology/tpch_ontology.h"
+#include "requirements/requirement.h"
+#include "requirements/workload.h"
+#include "xml/xml.h"
+
+namespace {
+
+using quarry::interpreter::Interpreter;
+
+/// A realistic artifact corpus: the partial designs of an 8-IR workload.
+struct Corpus {
+  quarry::ontology::Ontology onto = quarry::ontology::BuildTpchOntology();
+  quarry::ontology::SourceMapping mapping =
+      quarry::ontology::BuildTpchMappings();
+  std::vector<quarry::req::InformationRequirement> irs;
+  std::vector<quarry::md::MdSchema> schemas;
+  std::vector<quarry::etl::Flow> flows;
+  std::vector<std::string> xrq_texts, xmd_texts, xlm_texts;
+
+  Corpus() {
+    Interpreter interpreter(&onto, &mapping);
+    quarry::req::WorkloadConfig config;
+    config.num_requirements = 8;
+    config.overlap = 0.5;
+    config.seed = 19;
+    for (const auto& ir : quarry::req::GenerateTpchWorkload(config)) {
+      auto design = interpreter.Interpret(ir);
+      if (!design.ok()) std::abort();
+      irs.push_back(ir);
+      xrq_texts.push_back(quarry::xml::Write(*quarry::req::ToXrq(ir)));
+      xmd_texts.push_back(quarry::xml::Write(*design->schema.ToXml()));
+      xlm_texts.push_back(
+          quarry::xml::Write(*quarry::etl::FlowToXlm(design->flow)));
+      schemas.push_back(std::move(design->schema));
+      flows.push_back(std::move(design->flow));
+    }
+  }
+};
+
+Corpus& SharedCorpus() {
+  static Corpus* corpus = new Corpus();
+  return *corpus;
+}
+
+void PrintSeries() {
+  Corpus& corpus = SharedCorpus();
+  size_t xrq = 0, xmd = 0, xlm = 0;
+  for (size_t i = 0; i < corpus.irs.size(); ++i) {
+    xrq += corpus.xrq_texts[i].size();
+    xmd += corpus.xmd_texts[i].size();
+    xlm += corpus.xlm_texts[i].size();
+  }
+  std::printf("M1: metadata-layer corpus (8 partial designs)\n");
+  std::printf("  xRQ total %zu bytes, xMD total %zu bytes, xLM total %zu "
+              "bytes\n\n",
+              xrq, xmd, xlm);
+}
+
+void BM_ParseXrq(benchmark::State& state) {
+  Corpus& corpus = SharedCorpus();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    for (const std::string& text : corpus.xrq_texts) {
+      auto doc = quarry::xml::Parse(text);
+      if (!doc.ok()) std::abort();
+      auto ir = quarry::req::FromXrq(**doc);
+      if (!ir.ok()) std::abort();
+      benchmark::DoNotOptimize(ir->measures.size());
+      bytes += text.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ParseXrq);
+
+void BM_ParseXmd(benchmark::State& state) {
+  Corpus& corpus = SharedCorpus();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    for (const std::string& text : corpus.xmd_texts) {
+      auto doc = quarry::xml::Parse(text);
+      if (!doc.ok()) std::abort();
+      auto schema = quarry::md::MdSchema::FromXml(**doc);
+      if (!schema.ok()) std::abort();
+      benchmark::DoNotOptimize(schema->facts().size());
+      bytes += text.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ParseXmd);
+
+void BM_ParseXlm(benchmark::State& state) {
+  Corpus& corpus = SharedCorpus();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    for (const std::string& text : corpus.xlm_texts) {
+      auto doc = quarry::xml::Parse(text);
+      if (!doc.ok()) std::abort();
+      auto flow = quarry::etl::FlowFromXlm(**doc);
+      if (!flow.ok()) std::abort();
+      benchmark::DoNotOptimize(flow->num_nodes());
+      bytes += text.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ParseXlm);
+
+void BM_SerializeXlm(benchmark::State& state) {
+  Corpus& corpus = SharedCorpus();
+  for (auto _ : state) {
+    for (const quarry::etl::Flow& flow : corpus.flows) {
+      std::string text = quarry::xml::Write(*quarry::etl::FlowToXlm(flow));
+      benchmark::DoNotOptimize(text.size());
+    }
+  }
+}
+BENCHMARK(BM_SerializeXlm);
+
+void BM_XmlJsonXmlBridge(benchmark::State& state) {
+  Corpus& corpus = SharedCorpus();
+  auto doc = quarry::xml::Parse(corpus.xlm_texts[0]);
+  if (!doc.ok()) std::abort();
+  for (auto _ : state) {
+    quarry::json::Value mid = quarry::json::XmlToJson(**doc);
+    std::string json_text = quarry::json::Write(mid);
+    auto reparsed = quarry::json::Parse(json_text);
+    if (!reparsed.ok()) std::abort();
+    auto back = quarry::json::JsonToXml(*reparsed);
+    if (!back.ok()) std::abort();
+    benchmark::DoNotOptimize((*back)->SubtreeSize());
+  }
+}
+BENCHMARK(BM_XmlJsonXmlBridge);
+
+void BM_RepositoryStoreFetch(benchmark::State& state) {
+  Corpus& corpus = SharedCorpus();
+  auto doc = quarry::xml::Parse(corpus.xmd_texts[0]);
+  if (!doc.ok()) std::abort();
+  quarry::core::MetadataRepository repository;
+  int i = 0;
+  for (auto _ : state) {
+    std::string id = "doc-" + std::to_string(i++ % 64);
+    if (!repository.StoreXml("bench", id, **doc).ok()) std::abort();
+    auto fetched = repository.FetchXml("bench", id);
+    if (!fetched.ok()) std::abort();
+    benchmark::DoNotOptimize((*fetched)->SubtreeSize());
+  }
+}
+BENCHMARK(BM_RepositoryStoreFetch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+#ifndef QUARRY_COMMON_PRNG_H_
+#define QUARRY_COMMON_PRNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quarry {
+
+/// \brief Deterministic 64-bit PRNG (splitmix64).
+///
+/// Used by the data generator and property tests so that every run of a test
+/// or benchmark sees identical data regardless of platform or libstdc++
+/// version (std::mt19937 distributions are not cross-version stable).
+class Prng {
+ public:
+  explicit Prng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  size_t Weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = UniformDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (r < weights[i]) return i;
+      r -= weights[i];
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// Random lower-case ASCII string of the given length.
+  std::string Word(size_t length) {
+    std::string out;
+    out.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      out.push_back(static_cast<char>('a' + Uniform(0, 25)));
+    }
+    return out;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace quarry
+
+#endif  // QUARRY_COMMON_PRNG_H_

@@ -1,0 +1,87 @@
+#ifndef QUARRY_COMMON_RESULT_H_
+#define QUARRY_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace quarry {
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// The moral equivalent of arrow::Result / absl::StatusOr. A Result holding
+/// an OK status is a logic error and is normalized to kInternal.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(state_).ok()) {
+      state_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Returns OK when holding a value, the stored error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(state_);
+  }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or, when holding an error, the given fallback.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Evaluates an expression yielding Result<T>; on error returns the Status,
+/// otherwise assigns the unwrapped value to `lhs` (which must be declared by
+/// the caller, e.g. `QUARRY_ASSIGN_OR_RETURN(auto x, MakeX());`).
+#define QUARRY_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define QUARRY_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define QUARRY_ASSIGN_OR_RETURN_CONCAT(a, b) \
+  QUARRY_ASSIGN_OR_RETURN_CONCAT_(a, b)
+
+#define QUARRY_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  QUARRY_ASSIGN_OR_RETURN_IMPL(                                             \
+      QUARRY_ASSIGN_OR_RETURN_CONCAT(_quarry_result_, __LINE__), lhs, expr)
+
+}  // namespace quarry
+
+#endif  // QUARRY_COMMON_RESULT_H_

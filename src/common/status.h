@@ -1,0 +1,127 @@
+#ifndef QUARRY_COMMON_STATUS_H_
+#define QUARRY_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace quarry {
+
+/// \brief Machine-readable classification of an error.
+///
+/// Quarry does not throw exceptions across public API boundaries; every
+/// fallible operation returns a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a value that violates a precondition.
+  kNotFound,          ///< A named entity (concept, table, node, ...) is absent.
+  kAlreadyExists,     ///< Creation would collide with an existing entity.
+  kParseError,        ///< Malformed input text (XML, JSON, SQL, expression).
+  kValidationError,   ///< A design violates MD integrity constraints.
+  kUnsatisfiable,     ///< A requirement cannot be satisfied by a design.
+  kExecutionError,    ///< An ETL flow or SQL statement failed at run time.
+  kUnsupported,       ///< Feature is recognized but not implemented.
+  kInternal,          ///< Invariant breakage inside Quarry itself.
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus a diagnostic message.
+///
+/// The class is cheap to copy in the OK case (empty message) and supports the
+/// usual Arrow/RocksDB-style usage:
+///
+/// \code
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ValidationError(std::string msg) {
+    return Status(StatusCode::kValidationError, std::move(msg));
+  }
+  static Status Unsatisfiable(std::string msg) {
+    return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsValidationError() const {
+    return code_ == StatusCode::kValidationError;
+  }
+  bool IsUnsatisfiable() const { return code_ == StatusCode::kUnsatisfiable; }
+  bool IsExecutionError() const {
+    return code_ == StatusCode::kExecutionError;
+  }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Appends context to the front of the message, keeping the code.
+  /// Useful when propagating an error up through layered components.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status out of the calling function.
+#define QUARRY_RETURN_NOT_OK(expr)                   \
+  do {                                               \
+    ::quarry::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+}  // namespace quarry
+
+#endif  // QUARRY_COMMON_STATUS_H_

@@ -1,0 +1,139 @@
+#include "common/str_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace quarry {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string ToUpper(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      break;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+  return out;
+}
+
+namespace {
+
+// Collects lower-cased character bigrams, skipping '_' separators.
+std::multiset<std::pair<char, char>> Bigrams(std::string_view text) {
+  std::string norm;
+  norm.reserve(text.size());
+  for (char c : text) {
+    if (c == '_') continue;
+    norm.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  std::multiset<std::pair<char, char>> grams;
+  for (size_t i = 0; i + 1 < norm.size(); ++i) {
+    grams.insert({norm[i], norm[i + 1]});
+  }
+  return grams;
+}
+
+}  // namespace
+
+double NameSimilarity(std::string_view a, std::string_view b) {
+  if (EqualsIgnoreCase(a, b)) return 1.0;
+  auto ga = Bigrams(a);
+  auto gb = Bigrams(b);
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t common = 0;
+  for (const auto& g : ga) {
+    auto it = gb.find(g);
+    if (it != gb.end()) {
+      gb.erase(it);
+      ++common;
+    }
+  }
+  return 2.0 * static_cast<double>(common) /
+         static_cast<double>(ga.size() + gb.size() + common);
+}
+
+}  // namespace quarry

@@ -1,0 +1,43 @@
+#ifndef QUARRY_COMMON_STR_UTIL_H_
+#define QUARRY_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quarry {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view text);
+
+/// ASCII upper-casing (locale independent).
+std::string ToUpper(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// Normalized Dice coefficient over character bigrams in [0,1]; used for
+/// name-based matching of facts/dimensions during design integration.
+/// Comparison is case-insensitive and ignores '_' separators.
+double NameSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace quarry
+
+#endif  // QUARRY_COMMON_STR_UTIL_H_

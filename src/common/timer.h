@@ -1,0 +1,35 @@
+#ifndef QUARRY_COMMON_TIMER_H_
+#define QUARRY_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace quarry {
+
+/// \brief Monotonic stopwatch for reporting stage timings.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace quarry
+
+#endif  // QUARRY_COMMON_TIMER_H_

@@ -1,0 +1,93 @@
+#include "core/metadata_repository.h"
+
+#include "json/xml_json.h"
+
+namespace quarry::core {
+
+Status MetadataRepository::StoreXml(const std::string& collection,
+                                    const std::string& id,
+                                    const xml::Element& doc) {
+  json::Object wrapper;
+  wrapper.emplace_back("_id", json::Value(id));
+  wrapper.emplace_back("kind", json::Value(collection));
+  wrapper.emplace_back("doc", json::XmlToJson(doc));
+  return store_.GetOrCreate(collection)
+      ->Upsert(id, json::Value(std::move(wrapper)));
+}
+
+Result<std::unique_ptr<xml::Element>> MetadataRepository::FetchXml(
+    const std::string& collection, const std::string& id) const {
+  QUARRY_ASSIGN_OR_RETURN(const docstore::Collection* c,
+                          store_.Get(collection));
+  QUARRY_ASSIGN_OR_RETURN(json::Value doc, c->Get(id));
+  const json::Value* payload = doc.Find("doc");
+  if (payload == nullptr) {
+    return Status::Internal("document '" + id + "' lacks a 'doc' field");
+  }
+  return json::JsonToXml(*payload);
+}
+
+Status MetadataRepository::Remove(const std::string& collection,
+                                  const std::string& id) {
+  QUARRY_ASSIGN_OR_RETURN(docstore::Collection * c, store_.Get(collection));
+  return c->Remove(id);
+}
+
+std::vector<std::string> MetadataRepository::Ids(
+    const std::string& collection) const {
+  auto c = store_.Get(collection);
+  if (!c.ok()) return {};
+  return (*c)->Ids();
+}
+
+Status MetadataRepository::RegisterExporter(const std::string& name,
+                                            Exporter exporter) {
+  if (exporters_.count(name) > 0) {
+    return Status::AlreadyExists("exporter '" + name + "'");
+  }
+  exporters_.emplace(name, std::move(exporter));
+  return Status::OK();
+}
+
+Result<std::string> MetadataRepository::Export(const std::string& name,
+                                               const xml::Element& doc) const {
+  auto it = exporters_.find(name);
+  if (it == exporters_.end()) {
+    return Status::NotFound("exporter '" + name + "'");
+  }
+  return it->second(doc);
+}
+
+std::vector<std::string> MetadataRepository::ExporterNames() const {
+  std::vector<std::string> out;
+  out.reserve(exporters_.size());
+  for (const auto& [name, e] : exporters_) out.push_back(name);
+  return out;
+}
+
+Status MetadataRepository::RegisterImporter(const std::string& name,
+                                            Importer importer) {
+  if (importers_.count(name) > 0) {
+    return Status::AlreadyExists("importer '" + name + "'");
+  }
+  importers_.emplace(name, std::move(importer));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<xml::Element>> MetadataRepository::Import(
+    const std::string& name, std::string_view text) const {
+  auto it = importers_.find(name);
+  if (it == importers_.end()) {
+    return Status::NotFound("importer '" + name + "'");
+  }
+  return it->second(text);
+}
+
+std::vector<std::string> MetadataRepository::ImporterNames() const {
+  std::vector<std::string> out;
+  out.reserve(importers_.size());
+  for (const auto& [name, i] : importers_) out.push_back(name);
+  return out;
+}
+
+}  // namespace quarry::core

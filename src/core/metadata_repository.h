@@ -1,0 +1,85 @@
+#ifndef QUARRY_CORE_METADATA_REPOSITORY_H_
+#define QUARRY_CORE_METADATA_REPOSITORY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "docstore/document_store.h"
+#include "xml/xml.h"
+
+namespace quarry::core {
+
+/// \brief The Communication & Metadata layer (paper §2.5).
+///
+/// Stores the XML artifacts exchanged between Quarry's components — xRQ
+/// requirements, xMD schemas, xLM flows, ontologies, source mappings — in a
+/// document store (the MongoDB stand-in) through the generic XML-JSON-XML
+/// bridge, and offers plug-in export parsers for external notations (the
+/// paper names SQL and Apache Pig Latin as examples).
+class MetadataRepository {
+ public:
+  MetadataRepository() = default;
+
+  MetadataRepository(const MetadataRepository&) = delete;
+  MetadataRepository& operator=(const MetadataRepository&) = delete;
+  MetadataRepository(MetadataRepository&&) = default;
+  MetadataRepository& operator=(MetadataRepository&&) = default;
+
+  /// Stores (or replaces) an XML artifact under `collection`/`id`.
+  /// The document is persisted as {"_id": id, "kind": collection,
+  /// "doc": <XML-as-JSON>}.
+  Status StoreXml(const std::string& collection, const std::string& id,
+                  const xml::Element& doc);
+
+  /// Fetches an artifact back as XML.
+  Result<std::unique_ptr<xml::Element>> FetchXml(
+      const std::string& collection, const std::string& id) const;
+
+  Status Remove(const std::string& collection, const std::string& id);
+
+  /// Ids stored in a collection (empty when the collection is absent).
+  std::vector<std::string> Ids(const std::string& collection) const;
+
+  /// An exporter renders a stored XML artifact in an external notation.
+  using Exporter = std::function<Result<std::string>(const xml::Element&)>;
+
+  /// Registers a named export parser (e.g. "sql", "pdi").
+  Status RegisterExporter(const std::string& name, Exporter exporter);
+
+  /// Runs a registered exporter over an artifact.
+  Result<std::string> Export(const std::string& name,
+                             const xml::Element& doc) const;
+
+  std::vector<std::string> ExporterNames() const;
+
+  /// An importer parses an external notation into an XML artifact (e.g.
+  /// the textual ANALYZE ... BY ... notation into an xRQ cube).
+  using Importer =
+      std::function<Result<std::unique_ptr<xml::Element>>(std::string_view)>;
+
+  /// Registers a named import parser.
+  Status RegisterImporter(const std::string& name, Importer importer);
+
+  /// Runs a registered importer over external text.
+  Result<std::unique_ptr<xml::Element>> Import(const std::string& name,
+                                               std::string_view text) const;
+
+  std::vector<std::string> ImporterNames() const;
+
+  /// Direct access to the underlying document store (persistence, tests).
+  docstore::DocumentStore& store() { return store_; }
+  const docstore::DocumentStore& store() const { return store_; }
+
+ private:
+  docstore::DocumentStore store_;
+  std::map<std::string, Exporter> exporters_;
+  std::map<std::string, Importer> importers_;
+};
+
+}  // namespace quarry::core
+
+#endif  // QUARRY_CORE_METADATA_REPOSITORY_H_

@@ -1,0 +1,167 @@
+#include "core/quarry.h"
+
+#include "deployer/pdi_generator.h"
+#include "deployer/sql_generator.h"
+#include "etl/xlm.h"
+#include "requirements/query_parser.h"
+
+namespace quarry::core {
+
+Quarry::Quarry(ontology::Ontology onto, ontology::SourceMapping mapping,
+               const storage::Database* source, QuarryConfig config)
+    : onto_(std::make_unique<ontology::Ontology>(std::move(onto))),
+      mapping_(std::make_unique<ontology::SourceMapping>(std::move(mapping))),
+      source_(source),
+      config_(std::move(config)) {
+  elicitor_ = std::make_unique<req::Elicitor>(onto_.get());
+  interpreter_ =
+      std::make_unique<interpreter::Interpreter>(onto_.get(), mapping_.get());
+  etl::TableColumns columns;
+  std::map<std::string, int64_t> rows;
+  for (const std::string& name : source_->TableNames()) {
+    const storage::Table& table = **source_->GetTable(name);
+    std::vector<std::string> cols;
+    for (const storage::Column& c : table.schema().columns()) {
+      cols.push_back(c.name);
+    }
+    columns[name] = std::move(cols);
+    rows[name] = static_cast<int64_t>(table.num_rows());
+  }
+  design_ = std::make_unique<integrator::DesignIntegrator>(
+      onto_.get(), std::move(columns), std::move(rows), config_.md_options,
+      config_.etl_cost);
+}
+
+Result<std::unique_ptr<Quarry>> Quarry::Create(
+    ontology::Ontology onto, ontology::SourceMapping mapping,
+    const storage::Database* source, QuarryConfig config) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("source database is null");
+  }
+  QUARRY_RETURN_NOT_OK(
+      mapping.Validate(onto).WithContext("source schema mappings"));
+  auto quarry = std::unique_ptr<Quarry>(
+      new Quarry(std::move(onto), std::move(mapping), source,
+                 std::move(config)));
+
+  // Persist the semantic metadata (paper §2.5: the repository holds domain
+  // ontologies and source schema mappings).
+  QUARRY_RETURN_NOT_OK(quarry->repository_.StoreXml(
+      "ontologies", quarry->onto_->name(), *quarry->onto_->ToXml()));
+  QUARRY_RETURN_NOT_OK(quarry->repository_.StoreXml(
+      "mappings", quarry->onto_->name(), *quarry->mapping_->ToXml()));
+
+  // Built-in export parsers.
+  const storage::Database* source_db = quarry->source_;
+  const ontology::SourceMapping* mapping_ptr = quarry->mapping_.get();
+  std::string db_name = quarry->config_.database_name;
+  QUARRY_RETURN_NOT_OK(quarry->repository_.RegisterExporter(
+      "sql", [source_db, mapping_ptr, db_name](const xml::Element& doc)
+                 -> Result<std::string> {
+        QUARRY_ASSIGN_OR_RETURN(md::MdSchema schema, md::MdSchema::FromXml(doc));
+        return deployer::GenerateSql(schema, *mapping_ptr, *source_db,
+                                     db_name);
+      }));
+  QUARRY_RETURN_NOT_OK(quarry->repository_.RegisterExporter(
+      "pdi", [db_name](const xml::Element& doc) -> Result<std::string> {
+        QUARRY_ASSIGN_OR_RETURN(etl::Flow flow, etl::FlowFromXlm(doc));
+        return deployer::GeneratePdiText(flow, db_name);
+      }));
+  QUARRY_RETURN_NOT_OK(quarry->repository_.RegisterExporter(
+      "xmd", [](const xml::Element& doc) -> Result<std::string> {
+        return xml::Write(doc);
+      }));
+  QUARRY_RETURN_NOT_OK(quarry->repository_.RegisterExporter(
+      "xlm", [](const xml::Element& doc) -> Result<std::string> {
+        return xml::Write(doc);
+      }));
+  // Built-in import parsers (paper §2.5: "plug-in capabilities for adding
+  // import and export parsers").
+  QUARRY_RETURN_NOT_OK(quarry->repository_.RegisterImporter(
+      "arq",
+      [](std::string_view text) -> Result<std::unique_ptr<xml::Element>> {
+        QUARRY_ASSIGN_OR_RETURN(req::InformationRequirement ir,
+                                req::ParseRequirementQuery(text));
+        return req::ToXrq(ir);
+      }));
+  QUARRY_RETURN_NOT_OK(quarry->repository_.RegisterImporter(
+      "xrq",
+      [](std::string_view text) -> Result<std::unique_ptr<xml::Element>> {
+        return xml::Parse(text);
+      }));
+  return quarry;
+}
+
+Status Quarry::RefreshUnifiedArtifacts() {
+  QUARRY_RETURN_NOT_OK(repository_.StoreXml("unified_xmd", "unified",
+                                            *design_->schema().ToXml()));
+  QUARRY_RETURN_NOT_OK(repository_.StoreXml("unified_xlm", "unified",
+                                            *etl::FlowToXlm(design_->flow())));
+  return Status::OK();
+}
+
+Result<integrator::IntegrationOutcome> Quarry::AddRequirement(
+    const req::InformationRequirement& ir) {
+  QUARRY_ASSIGN_OR_RETURN(interpreter::PartialDesign partial,
+                          interpreter_->Interpret(ir));
+  QUARRY_ASSIGN_OR_RETURN(integrator::IntegrationOutcome outcome,
+                          design_->AddRequirement(ir, partial));
+  // Record every artifact of this step.
+  QUARRY_RETURN_NOT_OK(repository_.StoreXml("xrq", ir.id, *req::ToXrq(ir)));
+  QUARRY_RETURN_NOT_OK(
+      repository_.StoreXml("partial_xmd", ir.id, *partial.schema.ToXml()));
+  QUARRY_RETURN_NOT_OK(
+      repository_.StoreXml("partial_xlm", ir.id,
+                           *etl::FlowToXlm(partial.flow)));
+  QUARRY_RETURN_NOT_OK(RefreshUnifiedArtifacts());
+  return outcome;
+}
+
+Result<integrator::IntegrationOutcome> Quarry::AddRequirementFromQuery(
+    std::string_view query_text) {
+  QUARRY_ASSIGN_OR_RETURN(auto xrq, repository_.Import("arq", query_text));
+  QUARRY_ASSIGN_OR_RETURN(req::InformationRequirement ir,
+                          req::FromXrq(*xrq));
+  return AddRequirement(ir);
+}
+
+Status Quarry::RemoveRequirement(const std::string& ir_id) {
+  QUARRY_RETURN_NOT_OK(design_->RemoveRequirement(ir_id));
+  (void)repository_.Remove("xrq", ir_id);
+  (void)repository_.Remove("partial_xmd", ir_id);
+  (void)repository_.Remove("partial_xlm", ir_id);
+  return RefreshUnifiedArtifacts();
+}
+
+Result<integrator::IntegrationOutcome> Quarry::ChangeRequirement(
+    const req::InformationRequirement& ir) {
+  QUARRY_RETURN_NOT_OK(design_->RemoveRequirement(ir.id));
+  return AddRequirement(ir);
+}
+
+Result<deployer::DeploymentReport> Quarry::Deploy(storage::Database* target) {
+  if (target == nullptr) {
+    return Status::InvalidArgument("target database is null");
+  }
+  deployer::Deployer dep(source_, target);
+  return dep.Deploy(design_->schema(), design_->flow(), *mapping_,
+                    config_.database_name);
+}
+
+Result<etl::ExecutionReport> Quarry::Refresh(storage::Database* target) {
+  if (target == nullptr) {
+    return Status::InvalidArgument("target database is null");
+  }
+  deployer::Deployer dep(source_, target);
+  return dep.Refresh(design_->flow());
+}
+
+Result<std::string> Quarry::ExportSchema(const std::string& format) const {
+  return repository_.Export(format, *design_->schema().ToXml());
+}
+
+Result<std::string> Quarry::ExportFlow(const std::string& format) const {
+  return repository_.Export(format, *etl::FlowToXlm(design_->flow()));
+}
+
+}  // namespace quarry::core

@@ -1,0 +1,113 @@
+#ifndef QUARRY_CORE_QUARRY_H_
+#define QUARRY_CORE_QUARRY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/metadata_repository.h"
+#include "deployer/deployer.h"
+#include "integrator/design_integrator.h"
+#include "interpreter/interpreter.h"
+#include "ontology/mapping.h"
+#include "ontology/ontology.h"
+#include "requirements/elicitor.h"
+#include "requirements/requirement.h"
+#include "storage/database.h"
+
+namespace quarry::core {
+
+/// Configuration of a Quarry instance.
+struct QuarryConfig {
+  integrator::MdIntegrationOptions md_options;
+  etl::CostModelConfig etl_cost;
+  std::string database_name = "demo";
+};
+
+/// \brief The end-to-end Quarry system (paper Fig. 1): wires together the
+/// Requirements Elicitor, Requirements Interpreter, Design Integrator,
+/// Design Deployer and the Communication & Metadata layer.
+///
+/// Lifecycle:
+///   1. Create() over a domain ontology + source mappings + source data.
+///   2. elicitor() assists users in phrasing information requirements.
+///   3. AddRequirement() interprets the requirement into partial designs,
+///      integrates them into the unified design (validating soundness and
+///      satisfiability), and records every artifact (xRQ / partial and
+///      unified xMD + xLM) in the metadata repository.
+///   4. RemoveRequirement() / ChangeRequirement() accommodate evolution.
+///   5. Deploy() emits SQL + ktr, creates the DW star schema and runs the
+///      unified ETL to populate it.
+class Quarry {
+ public:
+  /// Validates the mapping against the ontology, snapshots source table
+  /// statistics for the cost models, registers the built-in exporters
+  /// ("sql", "pdi", "xmd", "xlm") and stores ontology + mappings in the
+  /// repository. `source` must outlive the instance.
+  static Result<std::unique_ptr<Quarry>> Create(
+      ontology::Ontology onto, ontology::SourceMapping mapping,
+      const storage::Database* source, QuarryConfig config = {});
+
+  const ontology::Ontology& ontology() const { return *onto_; }
+  const ontology::SourceMapping& mapping() const { return *mapping_; }
+  req::Elicitor& elicitor() { return *elicitor_; }
+  MetadataRepository& repository() { return repository_; }
+  const MetadataRepository& repository() const { return repository_; }
+
+  const md::MdSchema& schema() const { return design_->schema(); }
+  const etl::Flow& flow() const { return design_->flow(); }
+  const std::map<std::string, req::InformationRequirement>& requirements()
+      const {
+    return design_->requirements();
+  }
+
+  /// Interprets + integrates a requirement; stores xRQ, the partial xMD and
+  /// xLM, and refreshes the unified xMD/xLM in the repository.
+  Result<integrator::IntegrationOutcome> AddRequirement(
+      const req::InformationRequirement& ir);
+
+  /// Parses the textual "ANALYZE ... MEASURE ... BY ... WHERE ..." notation
+  /// (req::ParseRequirementQuery) and adds the resulting requirement.
+  Result<integrator::IntegrationOutcome> AddRequirementFromQuery(
+      std::string_view query_text);
+
+  /// Removes a requirement and prunes the unified design.
+  Status RemoveRequirement(const std::string& ir_id);
+
+  /// Replaces an integrated requirement with a new definition.
+  Result<integrator::IntegrationOutcome> ChangeRequirement(
+      const req::InformationRequirement& ir);
+
+  /// Deploys the unified design into `target`.
+  Result<deployer::DeploymentReport> Deploy(storage::Database* target);
+
+  /// Incrementally refreshes an already-deployed `target` with whatever
+  /// changed in the source since the last Deploy/Refresh (idempotent
+  /// loaders skip known keys).
+  Result<etl::ExecutionReport> Refresh(storage::Database* target);
+
+  /// Renders the unified MD schema via a registered exporter ("sql","xmd").
+  Result<std::string> ExportSchema(const std::string& format) const;
+
+  /// Renders the unified ETL flow via a registered exporter ("pdi","xlm").
+  Result<std::string> ExportFlow(const std::string& format) const;
+
+ private:
+  Quarry(ontology::Ontology onto, ontology::SourceMapping mapping,
+         const storage::Database* source, QuarryConfig config);
+
+  Status RefreshUnifiedArtifacts();
+
+  std::unique_ptr<ontology::Ontology> onto_;
+  std::unique_ptr<ontology::SourceMapping> mapping_;
+  const storage::Database* source_;
+  QuarryConfig config_;
+  std::unique_ptr<req::Elicitor> elicitor_;
+  std::unique_ptr<interpreter::Interpreter> interpreter_;
+  std::unique_ptr<integrator::DesignIntegrator> design_;
+  MetadataRepository repository_;
+};
+
+}  // namespace quarry::core
+
+#endif  // QUARRY_CORE_QUARRY_H_

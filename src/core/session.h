@@ -1,0 +1,37 @@
+#ifndef QUARRY_CORE_SESSION_H_
+#define QUARRY_CORE_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/quarry.h"
+
+namespace quarry::core {
+
+/// \brief Design-session persistence over the metadata repository.
+///
+/// The paper's Communication & Metadata layer "serves as a repository for
+/// the metadata that are produced and used during the DW design lifecycle"
+/// — which is exactly what makes a design session restorable: the domain
+/// ontology, the source schema mappings and every accepted xRQ requirement
+/// are sufficient to rebuild the unified design deterministically.
+
+/// Dumps the instance's metadata repository (ontology, mappings, xRQ
+/// stream, partial + unified designs) as JSON collections under `dir`
+/// (which must exist).
+Status SaveSession(const Quarry& quarry, const std::string& dir);
+
+/// Restores a session saved with SaveSession: re-creates the Quarry over
+/// `source` from the stored ontology + mappings, then re-interprets and
+/// re-integrates the stored requirements in their original order. The
+/// resulting unified design is byte-identical to the saved one (the whole
+/// pipeline is deterministic), which Load verifies against the stored
+/// unified xMD.
+Result<std::unique_ptr<Quarry>> LoadSession(const std::string& dir,
+                                            const storage::Database* source,
+                                            QuarryConfig config = {});
+
+}  // namespace quarry::core
+
+#endif  // QUARRY_CORE_SESSION_H_

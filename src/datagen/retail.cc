@@ -1,0 +1,207 @@
+#include "datagen/retail.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "common/prng.h"
+
+namespace quarry::datagen {
+
+using storage::DataType;
+using storage::Database;
+using storage::Table;
+using storage::TableSchema;
+using storage::Value;
+
+namespace {
+
+constexpr std::array<const char*, 4> kRegions = {"NORTH", "SOUTH", "EAST",
+                                                 "WEST"};
+constexpr std::array<const char*, 6> kCategories = {
+    "GROCERY", "ELECTRONICS", "CLOTHING", "GARDEN", "TOYS", "SPORTS"};
+constexpr std::array<const char*, 5> kSegments = {
+    "RETAIL", "WHOLESALE", "ONLINE", "CORPORATE", "LOYALTY"};
+constexpr std::array<const char*, 8> kCities = {
+    "Aville", "Btown", "Cberg", "Dham", "Efield", "Fport", "Gview", "Hfall"};
+
+void Check(const Status& status) { assert(status.ok()); (void)status; }
+
+Status CreateSchemas(Database* db) {
+  TableSchema region("retail_region");
+  QUARRY_RETURN_NOT_OK(
+      region.AddColumn({"rr_regionkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(region.AddColumn({"rr_name", DataType::kString, false}));
+  QUARRY_RETURN_NOT_OK(region.SetPrimaryKey({"rr_regionkey"}));
+  QUARRY_RETURN_NOT_OK(db->CreateTable(std::move(region)).status());
+
+  TableSchema store("store");
+  QUARRY_RETURN_NOT_OK(store.AddColumn({"st_storekey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(store.AddColumn({"st_city", DataType::kString, true}));
+  QUARRY_RETURN_NOT_OK(
+      store.AddColumn({"st_regionkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(store.SetPrimaryKey({"st_storekey"}));
+  QUARRY_RETURN_NOT_OK(store.AddForeignKey(
+      {{"st_regionkey"}, "retail_region", {"rr_regionkey"}}));
+  QUARRY_RETURN_NOT_OK(db->CreateTable(std::move(store)).status());
+
+  TableSchema product("product");
+  QUARRY_RETURN_NOT_OK(
+      product.AddColumn({"pr_productkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(product.AddColumn({"pr_name", DataType::kString, true}));
+  QUARRY_RETURN_NOT_OK(
+      product.AddColumn({"pr_category", DataType::kString, true}));
+  QUARRY_RETURN_NOT_OK(
+      product.AddColumn({"pr_price", DataType::kDouble, true}));
+  QUARRY_RETURN_NOT_OK(product.SetPrimaryKey({"pr_productkey"}));
+  QUARRY_RETURN_NOT_OK(db->CreateTable(std::move(product)).status());
+
+  TableSchema customer("retail_customer");
+  QUARRY_RETURN_NOT_OK(
+      customer.AddColumn({"cu_customerkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(
+      customer.AddColumn({"cu_segment", DataType::kString, true}));
+  QUARRY_RETURN_NOT_OK(customer.AddColumn({"cu_city", DataType::kString, true}));
+  QUARRY_RETURN_NOT_OK(customer.SetPrimaryKey({"cu_customerkey"}));
+  QUARRY_RETURN_NOT_OK(db->CreateTable(std::move(customer)).status());
+
+  TableSchema sale("sale");
+  QUARRY_RETURN_NOT_OK(sale.AddColumn({"sl_salekey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(
+      sale.AddColumn({"sl_productkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(sale.AddColumn({"sl_storekey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(
+      sale.AddColumn({"sl_customerkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(sale.AddColumn({"sl_date", DataType::kDate, true}));
+  QUARRY_RETURN_NOT_OK(sale.AddColumn({"sl_units", DataType::kInt64, true}));
+  QUARRY_RETURN_NOT_OK(sale.AddColumn({"sl_amount", DataType::kDouble, true}));
+  QUARRY_RETURN_NOT_OK(
+      sale.AddColumn({"sl_discount", DataType::kDouble, true}));
+  QUARRY_RETURN_NOT_OK(sale.SetPrimaryKey({"sl_salekey"}));
+  QUARRY_RETURN_NOT_OK(
+      sale.AddForeignKey({{"sl_productkey"}, "product", {"pr_productkey"}}));
+  QUARRY_RETURN_NOT_OK(
+      sale.AddForeignKey({{"sl_storekey"}, "store", {"st_storekey"}}));
+  QUARRY_RETURN_NOT_OK(sale.AddForeignKey(
+      {{"sl_customerkey"}, "retail_customer", {"cu_customerkey"}}));
+  QUARRY_RETURN_NOT_OK(db->CreateTable(std::move(sale)).status());
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PopulateRetail(Database* db, const RetailConfig& config) {
+  if (config.scale_factor <= 0) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+  QUARRY_RETURN_NOT_OK(CreateSchemas(db));
+  Prng rng(config.seed);
+  const int64_t stores = std::max<int64_t>(5, static_cast<int64_t>(
+                                                  config.scale_factor * 500));
+  const int64_t products = std::max<int64_t>(
+      20, static_cast<int64_t>(config.scale_factor * 5'000));
+  const int64_t customers = std::max<int64_t>(
+      20, static_cast<int64_t>(config.scale_factor * 10'000));
+  const int64_t sales = std::max<int64_t>(
+      100, static_cast<int64_t>(config.scale_factor * 100'000));
+
+  Table* region = *db->GetTable("retail_region");
+  for (int i = 0; i < static_cast<int>(kRegions.size()); ++i) {
+    QUARRY_RETURN_NOT_OK(
+        region->Insert({Value::Int(i), Value::String(kRegions[i])}));
+  }
+  Table* store = *db->GetTable("store");
+  for (int64_t i = 1; i <= stores; ++i) {
+    QUARRY_RETURN_NOT_OK(store->Insert(
+        {Value::Int(i), Value::String(kCities[rng.Uniform(0, 7)]),
+         Value::Int(rng.Uniform(0, 3))}));
+  }
+  Table* product = *db->GetTable("product");
+  for (int64_t i = 1; i <= products; ++i) {
+    QUARRY_RETURN_NOT_OK(product->Insert(
+        {Value::Int(i), Value::String("Product#" + std::to_string(i)),
+         Value::String(kCategories[rng.Uniform(0, 5)]),
+         Value::Double(1.0 + static_cast<double>(rng.Uniform(0, 9999)) / 100.0)}));
+  }
+  Table* customer = *db->GetTable("retail_customer");
+  for (int64_t i = 1; i <= customers; ++i) {
+    QUARRY_RETURN_NOT_OK(customer->Insert(
+        {Value::Int(i), Value::String(kSegments[rng.Uniform(0, 4)]),
+         Value::String(kCities[rng.Uniform(0, 7)])}));
+  }
+  Table* sale = *db->GetTable("sale");
+  const int32_t start = storage::DaysFromCivil(2023, 1, 1);
+  const int32_t end = storage::DaysFromCivil(2024, 12, 31);
+  for (int64_t i = 1; i <= sales; ++i) {
+    int64_t units = rng.Uniform(1, 12);
+    double price = 1.0 + static_cast<double>(rng.Uniform(0, 9999)) / 100.0;
+    QUARRY_RETURN_NOT_OK(sale->Insert(
+        {Value::Int(i), Value::Int(rng.Uniform(1, products)),
+         Value::Int(rng.Uniform(1, stores)),
+         Value::Int(rng.Uniform(1, customers)),
+         Value::Date(static_cast<int32_t>(rng.Uniform(start, end))),
+         Value::Int(units), Value::Double(static_cast<double>(units) * price),
+         Value::Double(static_cast<double>(rng.Uniform(0, 30)) / 100.0)}));
+  }
+  return Status::OK();
+}
+
+ontology::Ontology BuildRetailOntology() {
+  using ontology::Multiplicity;
+  ontology::Ontology onto("retail");
+  for (const char* concept_id :
+       {"Region", "Store", "Product", "Customer", "Sale"}) {
+    Check(onto.AddConcept(concept_id));
+  }
+  Check(onto.AddDataProperty("Region", "rr_name", DataType::kString));
+  Check(onto.AddDataProperty("Store", "st_city", DataType::kString));
+  Check(onto.AddDataProperty("Product", "pr_name", DataType::kString));
+  Check(onto.AddDataProperty("Product", "pr_category", DataType::kString));
+  Check(onto.AddDataProperty("Product", "pr_price", DataType::kDouble));
+  Check(onto.AddDataProperty("Customer", "cu_segment", DataType::kString));
+  Check(onto.AddDataProperty("Customer", "cu_city", DataType::kString));
+  Check(onto.AddDataProperty("Sale", "sl_date", DataType::kDate));
+  Check(onto.AddDataProperty("Sale", "sl_units", DataType::kInt64));
+  Check(onto.AddDataProperty("Sale", "sl_amount", DataType::kDouble));
+  Check(onto.AddDataProperty("Sale", "sl_discount", DataType::kDouble));
+  Check(onto.AddAssociation("sale_product", "Sale", "Product",
+                            Multiplicity::kManyToOne));
+  Check(onto.AddAssociation("sale_store", "Sale", "Store",
+                            Multiplicity::kManyToOne));
+  Check(onto.AddAssociation("sale_customer", "Sale", "Customer",
+                            Multiplicity::kManyToOne));
+  Check(onto.AddAssociation("store_region", "Store", "Region",
+                            Multiplicity::kManyToOne));
+  return onto;
+}
+
+ontology::SourceMapping BuildRetailMappings() {
+  ontology::SourceMapping m;
+  Check(m.MapConcept("Region", "retail_region", {"rr_regionkey"}));
+  Check(m.MapConcept("Store", "store", {"st_storekey"}));
+  Check(m.MapConcept("Product", "product", {"pr_productkey"}));
+  Check(m.MapConcept("Customer", "retail_customer", {"cu_customerkey"}));
+  Check(m.MapConcept("Sale", "sale", {"sl_salekey"}));
+  Check(m.MapProperty("Region.rr_name", "retail_region", "rr_name"));
+  Check(m.MapProperty("Store.st_city", "store", "st_city"));
+  Check(m.MapProperty("Product.pr_name", "product", "pr_name"));
+  Check(m.MapProperty("Product.pr_category", "product", "pr_category"));
+  Check(m.MapProperty("Product.pr_price", "product", "pr_price"));
+  Check(m.MapProperty("Customer.cu_segment", "retail_customer",
+                      "cu_segment"));
+  Check(m.MapProperty("Customer.cu_city", "retail_customer", "cu_city"));
+  Check(m.MapProperty("Sale.sl_date", "sale", "sl_date"));
+  Check(m.MapProperty("Sale.sl_units", "sale", "sl_units"));
+  Check(m.MapProperty("Sale.sl_amount", "sale", "sl_amount"));
+  Check(m.MapProperty("Sale.sl_discount", "sale", "sl_discount"));
+  Check(m.MapAssociation("sale_product", {"sl_productkey"},
+                         {"pr_productkey"}));
+  Check(m.MapAssociation("sale_store", {"sl_storekey"}, {"st_storekey"}));
+  Check(m.MapAssociation("sale_customer", {"sl_customerkey"},
+                         {"cu_customerkey"}));
+  Check(m.MapAssociation("store_region", {"st_regionkey"},
+                         {"rr_regionkey"}));
+  return m;
+}
+
+}  // namespace quarry::datagen

@@ -1,0 +1,38 @@
+#ifndef QUARRY_DATAGEN_RETAIL_H_
+#define QUARRY_DATAGEN_RETAIL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "ontology/mapping.h"
+#include "ontology/ontology.h"
+#include "storage/database.h"
+
+namespace quarry::datagen {
+
+/// \brief A second demo domain — a retail chain — proving the pipeline is
+/// domain-independent (the paper demos "different examples of synthetic
+/// and real-world domains, covering a variety of underlying data
+/// sources").
+///
+/// Tables: region, store (rolls up to region), product, customer, sale
+/// (the natural fact source, referencing store/product/customer).
+struct RetailConfig {
+  double scale_factor = 0.01;  ///< sale ~ 100k·sf rows.
+  uint64_t seed = 7;
+};
+
+/// Creates and fills the five retail tables in `db`.
+Status PopulateRetail(storage::Database* db, const RetailConfig& config);
+
+/// The retail domain ontology (concepts Sale, Product, Store, Customer,
+/// Region with the natural to-one associations).
+ontology::Ontology BuildRetailOntology();
+
+/// Source schema mappings grounding BuildRetailOntology() in the tables of
+/// PopulateRetail().
+ontology::SourceMapping BuildRetailMappings();
+
+}  // namespace quarry::datagen
+
+#endif  // QUARRY_DATAGEN_RETAIL_H_

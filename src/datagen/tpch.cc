@@ -1,0 +1,296 @@
+#include "datagen/tpch.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace quarry::datagen {
+
+using storage::Column;
+using storage::Database;
+using storage::DataType;
+using storage::ForeignKey;
+using storage::Row;
+using storage::Table;
+using storage::TableSchema;
+using storage::Value;
+
+namespace {
+
+constexpr std::array<const char*, 5> kRegions = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+// Nation -> region index, per the TPC-H spec.
+constexpr std::array<std::pair<const char*, int>, 25> kNations = {{
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"SPAIN", 3},
+}};
+
+constexpr std::array<const char*, 5> kSegments = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+
+constexpr std::array<const char*, 6> kPartAdjectives = {
+    "spring", "forest", "metallic", "polished", "antique", "misty"};
+constexpr std::array<const char*, 6> kPartNouns = {
+    "steel", "copper", "brass", "nickel", "tin", "chrome"};
+constexpr std::array<const char*, 5> kPartTypes = {
+    "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY"};
+
+int64_t ScaleCount(double sf, int64_t base, int64_t floor_count) {
+  return std::max<int64_t>(floor_count,
+                           static_cast<int64_t>(sf * static_cast<double>(base)));
+}
+
+struct Counts {
+  int64_t supplier;
+  int64_t customer;
+  int64_t part;
+  int64_t orders;
+};
+
+Counts ComputeCounts(const TpchConfig& config) {
+  return Counts{
+      ScaleCount(config.scale_factor, 10'000, 10),
+      ScaleCount(config.scale_factor, 150'000, 30),
+      ScaleCount(config.scale_factor, 200'000, 40),
+      ScaleCount(config.scale_factor, 1'500'000, 150),
+  };
+}
+
+Status CreateSchemas(Database* db) {
+  auto add = [&](TableSchema schema) -> Status {
+    return db->CreateTable(std::move(schema)).status();
+  };
+
+  TableSchema region("region");
+  QUARRY_RETURN_NOT_OK(region.AddColumn({"r_regionkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(region.AddColumn({"r_name", DataType::kString, false}));
+  QUARRY_RETURN_NOT_OK(region.SetPrimaryKey({"r_regionkey"}));
+  QUARRY_RETURN_NOT_OK(add(std::move(region)));
+
+  TableSchema nation("nation");
+  QUARRY_RETURN_NOT_OK(nation.AddColumn({"n_nationkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(nation.AddColumn({"n_name", DataType::kString, false}));
+  QUARRY_RETURN_NOT_OK(nation.AddColumn({"n_regionkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(nation.SetPrimaryKey({"n_nationkey"}));
+  QUARRY_RETURN_NOT_OK(
+      nation.AddForeignKey({{"n_regionkey"}, "region", {"r_regionkey"}}));
+  QUARRY_RETURN_NOT_OK(add(std::move(nation)));
+
+  TableSchema supplier("supplier");
+  QUARRY_RETURN_NOT_OK(supplier.AddColumn({"s_suppkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(supplier.AddColumn({"s_name", DataType::kString, false}));
+  QUARRY_RETURN_NOT_OK(supplier.AddColumn({"s_nationkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(supplier.AddColumn({"s_acctbal", DataType::kDouble, true}));
+  QUARRY_RETURN_NOT_OK(supplier.SetPrimaryKey({"s_suppkey"}));
+  QUARRY_RETURN_NOT_OK(
+      supplier.AddForeignKey({{"s_nationkey"}, "nation", {"n_nationkey"}}));
+  QUARRY_RETURN_NOT_OK(add(std::move(supplier)));
+
+  TableSchema customer("customer");
+  QUARRY_RETURN_NOT_OK(customer.AddColumn({"c_custkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(customer.AddColumn({"c_name", DataType::kString, false}));
+  QUARRY_RETURN_NOT_OK(customer.AddColumn({"c_nationkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(customer.AddColumn({"c_acctbal", DataType::kDouble, true}));
+  QUARRY_RETURN_NOT_OK(
+      customer.AddColumn({"c_mktsegment", DataType::kString, true}));
+  QUARRY_RETURN_NOT_OK(customer.SetPrimaryKey({"c_custkey"}));
+  QUARRY_RETURN_NOT_OK(
+      customer.AddForeignKey({{"c_nationkey"}, "nation", {"n_nationkey"}}));
+  QUARRY_RETURN_NOT_OK(add(std::move(customer)));
+
+  TableSchema part("part");
+  QUARRY_RETURN_NOT_OK(part.AddColumn({"p_partkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(part.AddColumn({"p_name", DataType::kString, false}));
+  QUARRY_RETURN_NOT_OK(part.AddColumn({"p_brand", DataType::kString, true}));
+  QUARRY_RETURN_NOT_OK(part.AddColumn({"p_type", DataType::kString, true}));
+  QUARRY_RETURN_NOT_OK(part.AddColumn({"p_retailprice", DataType::kDouble, true}));
+  QUARRY_RETURN_NOT_OK(part.SetPrimaryKey({"p_partkey"}));
+  QUARRY_RETURN_NOT_OK(add(std::move(part)));
+
+  TableSchema partsupp("partsupp");
+  QUARRY_RETURN_NOT_OK(partsupp.AddColumn({"ps_partkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(partsupp.AddColumn({"ps_suppkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(
+      partsupp.AddColumn({"ps_availqty", DataType::kInt64, true}));
+  QUARRY_RETURN_NOT_OK(
+      partsupp.AddColumn({"ps_supplycost", DataType::kDouble, true}));
+  QUARRY_RETURN_NOT_OK(partsupp.SetPrimaryKey({"ps_partkey", "ps_suppkey"}));
+  QUARRY_RETURN_NOT_OK(
+      partsupp.AddForeignKey({{"ps_partkey"}, "part", {"p_partkey"}}));
+  QUARRY_RETURN_NOT_OK(
+      partsupp.AddForeignKey({{"ps_suppkey"}, "supplier", {"s_suppkey"}}));
+  QUARRY_RETURN_NOT_OK(add(std::move(partsupp)));
+
+  TableSchema orders("orders");
+  QUARRY_RETURN_NOT_OK(orders.AddColumn({"o_orderkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(orders.AddColumn({"o_custkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(
+      orders.AddColumn({"o_orderstatus", DataType::kString, true}));
+  QUARRY_RETURN_NOT_OK(
+      orders.AddColumn({"o_totalprice", DataType::kDouble, true}));
+  QUARRY_RETURN_NOT_OK(orders.AddColumn({"o_orderdate", DataType::kDate, true}));
+  QUARRY_RETURN_NOT_OK(orders.SetPrimaryKey({"o_orderkey"}));
+  QUARRY_RETURN_NOT_OK(
+      orders.AddForeignKey({{"o_custkey"}, "customer", {"c_custkey"}}));
+  QUARRY_RETURN_NOT_OK(add(std::move(orders)));
+
+  TableSchema lineitem("lineitem");
+  QUARRY_RETURN_NOT_OK(
+      lineitem.AddColumn({"l_orderkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(
+      lineitem.AddColumn({"l_linenumber", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(lineitem.AddColumn({"l_partkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(lineitem.AddColumn({"l_suppkey", DataType::kInt64, false}));
+  QUARRY_RETURN_NOT_OK(
+      lineitem.AddColumn({"l_quantity", DataType::kInt64, true}));
+  QUARRY_RETURN_NOT_OK(
+      lineitem.AddColumn({"l_extendedprice", DataType::kDouble, true}));
+  QUARRY_RETURN_NOT_OK(
+      lineitem.AddColumn({"l_discount", DataType::kDouble, true}));
+  QUARRY_RETURN_NOT_OK(lineitem.AddColumn({"l_tax", DataType::kDouble, true}));
+  QUARRY_RETURN_NOT_OK(lineitem.AddColumn({"l_shipdate", DataType::kDate, true}));
+  QUARRY_RETURN_NOT_OK(
+      lineitem.AddColumn({"l_returnflag", DataType::kString, true}));
+  QUARRY_RETURN_NOT_OK(lineitem.SetPrimaryKey({"l_orderkey", "l_linenumber"}));
+  QUARRY_RETURN_NOT_OK(
+      lineitem.AddForeignKey({{"l_orderkey"}, "orders", {"o_orderkey"}}));
+  QUARRY_RETURN_NOT_OK(
+      lineitem.AddForeignKey({{"l_partkey"}, "part", {"p_partkey"}}));
+  QUARRY_RETURN_NOT_OK(
+      lineitem.AddForeignKey({{"l_suppkey"}, "supplier", {"s_suppkey"}}));
+  QUARRY_RETURN_NOT_OK(add(std::move(lineitem)));
+
+  return Status::OK();
+}
+
+}  // namespace
+
+int64_t ExpectedRows(const std::string& table, const TpchConfig& config) {
+  Counts counts = ComputeCounts(config);
+  if (table == "region") return 5;
+  if (table == "nation") return 25;
+  if (table == "supplier") return counts.supplier;
+  if (table == "customer") return counts.customer;
+  if (table == "part") return counts.part;
+  if (table == "partsupp") return counts.part * 2;
+  if (table == "orders") return counts.orders;
+  if (table == "lineitem") return counts.orders * 4;  // mean of 1..7
+  return 0;
+}
+
+Status PopulateTpch(Database* db, const TpchConfig& config) {
+  if (config.scale_factor <= 0) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+  QUARRY_RETURN_NOT_OK(CreateSchemas(db));
+  Prng rng(config.seed);
+  Counts counts = ComputeCounts(config);
+
+  Table* region = *db->GetTable("region");
+  for (int i = 0; i < static_cast<int>(kRegions.size()); ++i) {
+    QUARRY_RETURN_NOT_OK(
+        region->Insert({Value::Int(i), Value::String(kRegions[i])}));
+  }
+
+  Table* nation = *db->GetTable("nation");
+  for (int i = 0; i < static_cast<int>(kNations.size()); ++i) {
+    QUARRY_RETURN_NOT_OK(nation->Insert({Value::Int(i),
+                                         Value::String(kNations[i].first),
+                                         Value::Int(kNations[i].second)}));
+  }
+
+  Table* supplier = *db->GetTable("supplier");
+  for (int64_t i = 1; i <= counts.supplier; ++i) {
+    QUARRY_RETURN_NOT_OK(supplier->Insert(
+        {Value::Int(i), Value::String("Supplier#" + std::to_string(i)),
+         Value::Int(rng.Uniform(0, 24)),
+         Value::Double(rng.Uniform(-99999, 999999) / 100.0)}));
+  }
+
+  Table* customer = *db->GetTable("customer");
+  for (int64_t i = 1; i <= counts.customer; ++i) {
+    QUARRY_RETURN_NOT_OK(customer->Insert(
+        {Value::Int(i), Value::String("Customer#" + std::to_string(i)),
+         Value::Int(rng.Uniform(0, 24)),
+         Value::Double(rng.Uniform(-99999, 999999) / 100.0),
+         Value::String(kSegments[rng.Uniform(0, 4)])}));
+  }
+
+  Table* part = *db->GetTable("part");
+  for (int64_t i = 1; i <= counts.part; ++i) {
+    std::string name = std::string(kPartAdjectives[rng.Uniform(0, 5)]) + " " +
+                       kPartNouns[rng.Uniform(0, 5)] + " " +
+                       std::to_string(i);
+    QUARRY_RETURN_NOT_OK(part->Insert(
+        {Value::Int(i), Value::String(std::move(name)),
+         Value::String("Brand#" + std::to_string(rng.Uniform(1, 5)) +
+                       std::to_string(rng.Uniform(1, 5))),
+         Value::String(kPartTypes[rng.Uniform(0, 4)]),
+         Value::Double(900.0 + static_cast<double>(i % 1000))}));
+  }
+
+  // Each part gets 2 suppliers (TPC-H uses 4; 2 keeps tiny scales joinable).
+  // Remember them so lineitems reference a valid (part, supplier) offer and
+  // the Lineitem->Partsupp association joins without loss.
+  Table* partsupp = *db->GetTable("partsupp");
+  std::vector<std::array<int64_t, 2>> suppliers_of_part(
+      static_cast<size_t>(counts.part) + 1);
+  for (int64_t p = 1; p <= counts.part; ++p) {
+    int64_t s1 = rng.Uniform(1, counts.supplier);
+    int64_t s2 = s1 % counts.supplier + 1;
+    suppliers_of_part[static_cast<size_t>(p)] = {s1, s2};
+    for (int64_t s : {s1, s2}) {
+      QUARRY_RETURN_NOT_OK(partsupp->Insert(
+          {Value::Int(p), Value::Int(s), Value::Int(rng.Uniform(1, 9999)),
+           Value::Double(rng.Uniform(100, 100000) / 100.0)}));
+    }
+  }
+
+  const int32_t kStartDate = storage::DaysFromCivil(1992, 1, 1);
+  const int32_t kEndDate = storage::DaysFromCivil(1998, 8, 2);
+  Table* orders = *db->GetTable("orders");
+  Table* lineitem = *db->GetTable("lineitem");
+  for (int64_t o = 1; o <= counts.orders; ++o) {
+    int32_t order_date =
+        static_cast<int32_t>(rng.Uniform(kStartDate, kEndDate));
+    int64_t lines = rng.Uniform(1, 7);
+    double total = 0;
+    for (int64_t l = 1; l <= lines; ++l) {
+      int64_t partkey = rng.Uniform(1, counts.part);
+      int64_t quantity = rng.Uniform(1, 50);
+      double extended =
+          static_cast<double>(quantity) * (900.0 + static_cast<double>(partkey % 1000));
+      double discount = static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+      double tax = static_cast<double>(rng.Uniform(0, 8)) / 100.0;
+      total += extended * (1.0 - discount) * (1.0 + tax);
+      int64_t suppkey =
+          suppliers_of_part[static_cast<size_t>(partkey)][rng.Uniform(0, 1)];
+      QUARRY_RETURN_NOT_OK(lineitem->Insert(
+          {Value::Int(o), Value::Int(l), Value::Int(partkey),
+           Value::Int(suppkey), Value::Int(quantity),
+           Value::Double(extended), Value::Double(discount),
+           Value::Double(tax),
+           Value::Date(order_date + static_cast<int32_t>(rng.Uniform(1, 121))),
+           Value::String(rng.Chance(0.25) ? "R" : (rng.Chance(0.5) ? "A"
+                                                                   : "N"))}));
+    }
+    QUARRY_RETURN_NOT_OK(orders->Insert(
+        {Value::Int(o), Value::Int(rng.Uniform(1, counts.customer)),
+         Value::String(rng.Chance(0.5) ? "O" : "F"), Value::Double(total),
+         Value::Date(order_date)}));
+  }
+  return Status::OK();
+}
+
+}  // namespace quarry::datagen

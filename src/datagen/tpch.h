@@ -1,0 +1,34 @@
+#ifndef QUARRY_DATAGEN_TPCH_H_
+#define QUARRY_DATAGEN_TPCH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace quarry::datagen {
+
+/// \brief Sizing and determinism knobs for the TPC-H-style generator.
+///
+/// Cardinalities follow the TPC-H multipliers (supplier 10k·sf,
+/// customer 150k·sf, part 200k·sf, orders 1.5M·sf, lineitem 1-7 per order)
+/// with small floors so tiny scale factors still produce joinable data.
+/// The paper demos Quarry on the TPC-H domain (Fig. 2), so every example,
+/// test and benchmark in this repo uses this generator as the source layer.
+struct TpchConfig {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+};
+
+/// Creates the eight TPC-H tables (region, nation, supplier, customer, part,
+/// partsupp, orders, lineitem) in `db` and fills them deterministically.
+/// Fails if any of the tables already exist.
+Status PopulateTpch(storage::Database* db, const TpchConfig& config);
+
+/// Row count the generator will produce for `table` under `config`
+/// ("lineitem" is an expectation; actual count is deterministic per seed).
+int64_t ExpectedRows(const std::string& table, const TpchConfig& config);
+
+}  // namespace quarry::datagen
+
+#endif  // QUARRY_DATAGEN_TPCH_H_

@@ -1,0 +1,72 @@
+#include "deployer/deployer.h"
+
+#include "deployer/pdi_generator.h"
+#include "deployer/sql_generator.h"
+#include "etl/equivalence.h"
+#include "storage/sql.h"
+
+namespace quarry::deployer {
+
+namespace {
+
+/// Execution-plan optimization: the logical (xLM) flow is kept as designed;
+/// the deployer prunes dead columns right after each extraction before
+/// running (see etl::InsertEarlyProjections).
+Result<etl::Flow> OptimizeForExecution(const etl::Flow& flow,
+                                       const storage::Database& source) {
+  etl::TableColumns columns;
+  for (const std::string& name : source.TableNames()) {
+    std::vector<std::string> cols;
+    for (const storage::Column& c : (*source.GetTable(name))->schema()
+                                        .columns()) {
+      cols.push_back(c.name);
+    }
+    columns[name] = std::move(cols);
+  }
+  etl::Flow optimized = flow.Clone();
+  QUARRY_RETURN_NOT_OK(
+      etl::InsertEarlyProjections(&optimized, columns).status());
+  return optimized;
+}
+
+}  // namespace
+
+Result<DeploymentReport> Deployer::Deploy(
+    const md::MdSchema& schema, const etl::Flow& flow,
+    const ontology::SourceMapping& mapping,
+    const std::string& database_name) {
+  DeploymentReport report;
+  QUARRY_ASSIGN_OR_RETURN(
+      report.ddl, GenerateSql(schema, mapping, *source_, database_name));
+  report.pdi_ktr = GeneratePdiText(flow, database_name);
+
+  QUARRY_ASSIGN_OR_RETURN(auto sql_report,
+                          storage::ExecuteSql(target_, report.ddl));
+  report.tables_created = sql_report.tables_created;
+
+  QUARRY_ASSIGN_OR_RETURN(etl::Flow optimized,
+                          OptimizeForExecution(flow, *source_));
+  etl::Executor executor(source_, target_);
+  QUARRY_ASSIGN_OR_RETURN(report.etl, executor.Run(optimized));
+
+  Status integrity = target_->CheckReferentialIntegrity();
+  report.referential_integrity_ok = integrity.ok();
+  if (!integrity.ok()) {
+    return integrity.WithContext("post-deployment integrity check");
+  }
+  return report;
+}
+
+Result<etl::ExecutionReport> Deployer::Refresh(const etl::Flow& flow) {
+  QUARRY_ASSIGN_OR_RETURN(etl::Flow optimized,
+                          OptimizeForExecution(flow, *source_));
+  etl::Executor executor(source_, target_);
+  QUARRY_ASSIGN_OR_RETURN(etl::ExecutionReport report,
+                          executor.Run(optimized));
+  QUARRY_RETURN_NOT_OK(
+      target_->CheckReferentialIntegrity().WithContext("post-refresh "
+                                                       "integrity check"));
+  return report;
+}
+
+}  // namespace quarry::deployer

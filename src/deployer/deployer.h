@@ -1,0 +1,56 @@
+#ifndef QUARRY_DEPLOYER_DEPLOYER_H_
+#define QUARRY_DEPLOYER_DEPLOYER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "etl/exec/executor.h"
+#include "etl/flow.h"
+#include "mdschema/md_schema.h"
+#include "ontology/mapping.h"
+#include "storage/database.h"
+
+namespace quarry::deployer {
+
+/// Outcome of a full deployment.
+struct DeploymentReport {
+  std::string ddl;       ///< Generated SQL script (also executed).
+  std::string pdi_ktr;   ///< Generated Pentaho-style transformation XML.
+  int tables_created = 0;
+  etl::ExecutionReport etl;  ///< Stats of the initial ETL population run.
+  bool referential_integrity_ok = false;
+};
+
+/// \brief The Design Deployer (paper §2.4): turns the unified design
+/// solutions into executables for the target platforms and performs the
+/// initial deployment — CREATE TABLE script executed on the embedded
+/// relational engine (the PostgreSQL stand-in) and the unified ETL flow run
+/// on the embedded ETL engine (the Pentaho stand-in) to populate it.
+class Deployer {
+ public:
+  /// Both databases must outlive the deployer. `source` holds the
+  /// operational data the ETL extracts from; `target` receives the DW.
+  Deployer(const storage::Database* source, storage::Database* target)
+      : source_(source), target_(target) {}
+
+  /// Generates DDL + ktr, executes the DDL against the target, runs the
+  /// flow to populate it, and verifies referential integrity.
+  Result<DeploymentReport> Deploy(const md::MdSchema& schema,
+                                  const etl::Flow& flow,
+                                  const ontology::SourceMapping& mapping,
+                                  const std::string& database_name = "demo");
+
+  /// Incremental refresh of an already-deployed warehouse: re-runs the ETL
+  /// flow without touching the schema. Keyed loaders skip rows already
+  /// present and merge-fill new measure columns, so only source changes
+  /// since the last run land in the target. Verifies integrity afterwards.
+  Result<etl::ExecutionReport> Refresh(const etl::Flow& flow);
+
+ private:
+  const storage::Database* source_;
+  storage::Database* target_;
+};
+
+}  // namespace quarry::deployer
+
+#endif  // QUARRY_DEPLOYER_DEPLOYER_H_

@@ -1,0 +1,39 @@
+#include "deployer/pdi_generator.h"
+
+#include "etl/xlm.h"
+
+namespace quarry::deployer {
+
+std::unique_ptr<xml::Element> GeneratePdi(const etl::Flow& flow,
+                                          const std::string& database_name) {
+  auto root = std::make_unique<xml::Element>("transformation");
+  xml::Element* info = root->AddChild("info");
+  info->AddTextChild("name", flow.name());
+  xml::Element* connection = root->AddChild("connection");
+  connection->AddTextChild("database", database_name);
+  xml::Element* order = root->AddChild("order");
+  for (const etl::Edge& edge : flow.edges()) {
+    xml::Element* hop = order->AddChild("hop");
+    hop->AddTextChild("from", edge.from);
+    hop->AddTextChild("to", edge.to);
+    hop->AddTextChild("enabled", "Y");
+  }
+  for (const auto& [id, node] : flow.nodes()) {
+    xml::Element* step = root->AddChild("step");
+    step->AddTextChild("name", node.id);
+    step->AddTextChild("type", etl::EngineOpType(node.type));
+    for (const auto& [key, value] : node.params) {
+      xml::Element* param = step->AddChild("param");
+      param->SetAttr("name", key);
+      param->SetAttr("value", value);
+    }
+  }
+  return root;
+}
+
+std::string GeneratePdiText(const etl::Flow& flow,
+                            const std::string& database_name) {
+  return xml::Write(*GeneratePdi(flow, database_name));
+}
+
+}  // namespace quarry::deployer

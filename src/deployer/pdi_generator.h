@@ -1,0 +1,39 @@
+#ifndef QUARRY_DEPLOYER_PDI_GENERATOR_H_
+#define QUARRY_DEPLOYER_PDI_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "etl/flow.h"
+#include "xml/xml.h"
+
+namespace quarry::deployer {
+
+/// \brief Renders an ETL flow as a Pentaho-PDI-style transformation (.ktr)
+/// document, matching the snippet in the paper's Figure 3:
+///
+/// \code{.xml}
+/// <transformation>
+///   <info><name>...</name></info>
+///   <connection><database>demo</database></connection>
+///   <order>
+///     <hop><from>DATASTORE_Partsupp</from>
+///          <to>EXTRACTION_Partsupp</to><enabled>Y</enabled></hop> ...
+///   </order>
+///   <step><name>DATASTORE_Partsupp</name><type>TableInput</type> ...
+/// </transformation>
+/// \endcode
+///
+/// The repo's own engine executes flows directly (etl::Executor); this
+/// export exists for fidelity with the paper's deployment target and for
+/// the extensible-exporters demo (paper §2.5).
+std::unique_ptr<xml::Element> GeneratePdi(
+    const etl::Flow& flow, const std::string& database_name = "demo");
+
+/// Convenience: the serialized .ktr text.
+std::string GeneratePdiText(const etl::Flow& flow,
+                            const std::string& database_name = "demo");
+
+}  // namespace quarry::deployer
+
+#endif  // QUARRY_DEPLOYER_PDI_GENERATOR_H_

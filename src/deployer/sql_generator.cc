@@ -1,0 +1,120 @@
+#include "deployer/sql_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace quarry::deployer {
+
+using md::Dimension;
+using md::DimensionRef;
+using md::Fact;
+using md::Level;
+using md::MdSchema;
+using storage::DataType;
+
+namespace {
+
+const char* SqlType(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "BIGINT";
+    case DataType::kDouble:
+      return "double precision";
+    case DataType::kString:
+      return "VARCHAR(255)";
+    case DataType::kDate:
+      return "DATE";
+    case DataType::kBool:
+      return "BOOLEAN";
+  }
+  return "VARCHAR(255)";
+}
+
+/// Type of a natural key column, looked up in the mapped source table.
+Result<DataType> KeyColumnType(const storage::Database& source,
+                               const std::string& table,
+                               const std::string& column) {
+  QUARRY_ASSIGN_OR_RETURN(const storage::Table* t, source.GetTable(table));
+  QUARRY_ASSIGN_OR_RETURN(storage::Column c, t->schema().GetColumn(column));
+  return c.type;
+}
+
+}  // namespace
+
+Result<std::string> GenerateSql(const MdSchema& schema,
+                                const ontology::SourceMapping& mapping,
+                                const storage::Database& source,
+                                const std::string& database_name) {
+  std::string sql = "CREATE DATABASE " + database_name + ";\n\n";
+
+  // One table per dimension level, emitted once per distinct concept.
+  std::set<std::string> emitted_concepts;
+  for (const Dimension& dim : schema.dimensions()) {
+    for (const Level& level : dim.levels) {
+      if (!emitted_concepts.insert(level.concept_id).second) continue;
+      QUARRY_ASSIGN_OR_RETURN(auto cm, mapping.ForConcept(level.concept_id));
+      std::vector<std::string> items;
+      for (const std::string& key : cm.key_columns) {
+        QUARRY_ASSIGN_OR_RETURN(DataType type,
+                                KeyColumnType(source, cm.table, key));
+        items.push_back("  " + key + " " + SqlType(type) + " NOT NULL");
+      }
+      for (const md::LevelAttribute& attr : level.attributes) {
+        if (std::find(cm.key_columns.begin(), cm.key_columns.end(),
+                      attr.name) != cm.key_columns.end()) {
+          continue;  // Attribute coincides with a key column.
+        }
+        items.push_back("  " + attr.name + " " + SqlType(attr.type));
+      }
+      items.push_back("  PRIMARY KEY( " + Join(cm.key_columns, ", ") + " )");
+      sql += "CREATE TABLE dim_" + level.concept_id + " (\n" +
+             Join(items, ",\n") + "\n);\n\n";
+    }
+  }
+
+  // Fact tables (after dimensions so FOREIGN KEY targets exist).
+  for (const Fact& fact : schema.facts()) {
+    std::vector<std::string> items;
+    std::vector<std::string> pk;
+    std::vector<std::string> fks;
+    std::set<std::string> seen_columns;
+    for (const DimensionRef& ref : fact.dimension_refs) {
+      QUARRY_ASSIGN_OR_RETURN(const Dimension* dim,
+                              schema.GetDimension(ref.dimension));
+      const Level* level = dim->FindLevel(ref.level);
+      if (level == nullptr) {
+        return Status::ValidationError("fact '" + fact.name +
+                                       "' references missing level '" +
+                                       ref.level + "'");
+      }
+      QUARRY_ASSIGN_OR_RETURN(auto cm, mapping.ForConcept(level->concept_id));
+      for (const std::string& key : cm.key_columns) {
+        if (!seen_columns.insert(key).second) continue;
+        QUARRY_ASSIGN_OR_RETURN(DataType type,
+                                KeyColumnType(source, cm.table, key));
+        items.push_back("  " + key + " " + SqlType(type) + " NOT NULL");
+        pk.push_back(key);
+      }
+      fks.push_back("  FOREIGN KEY( " + Join(cm.key_columns, ", ") +
+                    " ) REFERENCES dim_" + level->concept_id + "( " +
+                    Join(cm.key_columns, ", ") + " )");
+    }
+    for (const md::Measure& measure : fact.measures) {
+      const char* type = measure.aggregation == md::AggFunc::kCount
+                             ? "BIGINT"
+                             : "double precision";
+      items.push_back("  " + measure.name + " " + type);
+    }
+    if (!pk.empty()) {
+      items.push_back("  PRIMARY KEY( " + Join(pk, ", ") + " )");
+    }
+    for (const std::string& fk : fks) items.push_back(fk);
+    sql += "CREATE TABLE " + fact.name + " (\n" + Join(items, ",\n") +
+           "\n);\n\n";
+  }
+  return sql;
+}
+
+}  // namespace quarry::deployer

@@ -1,0 +1,36 @@
+#ifndef QUARRY_DEPLOYER_SQL_GENERATOR_H_
+#define QUARRY_DEPLOYER_SQL_GENERATOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "mdschema/md_schema.h"
+#include "ontology/mapping.h"
+#include "storage/database.h"
+
+namespace quarry::deployer {
+
+/// \brief Generates the PostgreSQL-flavoured DDL deploying an MD schema as
+/// a star/snowflake of relational tables (paper Fig. 3 left: "MD schema
+/// (SQL, RDBMS)").
+///
+/// Layout:
+///  * one table per dimension level: `dim_<LevelConcept>` with the
+///    concept's natural key columns (NOT NULL, PRIMARY KEY) and the
+///    level's attributes;
+///  * one table per fact: the union of the referenced levels' key columns
+///    (its base; NOT NULL, composite PRIMARY KEY) plus one column per
+///    measure, with a FOREIGN KEY per dimension reference.
+///
+/// The source database provides the types of natural key columns (they are
+/// source table columns, not ontology properties). Quarry's original demo
+/// emitted surrogate-key columns; this implementation carries natural keys
+/// instead — same shape, simpler lineage (see DESIGN.md).
+Result<std::string> GenerateSql(const md::MdSchema& schema,
+                                const ontology::SourceMapping& mapping,
+                                const storage::Database& source,
+                                const std::string& database_name = "demo");
+
+}  // namespace quarry::deployer
+
+#endif  // QUARRY_DEPLOYER_SQL_GENERATOR_H_

@@ -1,0 +1,157 @@
+#include "docstore/document_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace quarry::docstore {
+
+Result<std::string> Collection::Insert(json::Value document) {
+  if (!document.is_object()) {
+    return Status::InvalidArgument("documents must be JSON objects");
+  }
+  std::string id = document.GetString("_id");
+  if (id.empty()) {
+    id = name_ + "-" + std::to_string(next_id_++);
+    document.Set("_id", json::Value(id));
+  }
+  if (docs_.count(id) > 0) {
+    return Status::AlreadyExists("document '" + id + "' in collection '" +
+                                 name_ + "'");
+  }
+  docs_.emplace(id, std::move(document));
+  order_.push_back(id);
+  return id;
+}
+
+Result<json::Value> Collection::Get(const std::string& id) const {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) {
+    return Status::NotFound("document '" + id + "' in collection '" + name_ +
+                            "'");
+  }
+  return it->second;
+}
+
+Status Collection::Upsert(const std::string& id, json::Value document) {
+  if (!document.is_object()) {
+    return Status::InvalidArgument("documents must be JSON objects");
+  }
+  document.Set("_id", json::Value(id));
+  auto it = docs_.find(id);
+  if (it == docs_.end()) {
+    docs_.emplace(id, std::move(document));
+    order_.push_back(id);
+  } else {
+    it->second = std::move(document);
+  }
+  return Status::OK();
+}
+
+Status Collection::Remove(const std::string& id) {
+  if (docs_.erase(id) == 0) {
+    return Status::NotFound("document '" + id + "' in collection '" + name_ +
+                            "'");
+  }
+  order_.erase(std::remove(order_.begin(), order_.end(), id), order_.end());
+  return Status::OK();
+}
+
+std::vector<json::Value> Collection::Find(const std::string& field,
+                                          const json::Value& value) const {
+  std::vector<json::Value> out;
+  for (const std::string& id : order_) {
+    const json::Value& doc = docs_.at(id);
+    const json::Value* v = doc.Find(field);
+    if (v != nullptr && *v == value) out.push_back(doc);
+  }
+  return out;
+}
+
+Collection* DocumentStore::GetOrCreate(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    it = collections_.emplace(name, std::make_unique<Collection>(name)).first;
+  }
+  return it->second.get();
+}
+
+Result<Collection*> DocumentStore::Get(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<const Collection*> DocumentStore::Get(const std::string& name) const {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "'");
+  }
+  return static_cast<const Collection*>(it->second.get());
+}
+
+Status DocumentStore::Drop(const std::string& name) {
+  if (collections_.erase(name) == 0) {
+    return Status::NotFound("collection '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> DocumentStore::CollectionNames() const {
+  std::vector<std::string> out;
+  out.reserve(collections_.size());
+  for (const auto& [name, c] : collections_) out.push_back(name);
+  return out;
+}
+
+Status DocumentStore::SaveToDirectory(const std::string& dir) const {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("directory '" + dir + "'");
+  }
+  for (const auto& [name, collection] : collections_) {
+    json::Array docs;
+    for (const std::string& id : collection->Ids()) {
+      docs.push_back(*collection->Get(id));
+    }
+    std::ofstream out(dir + "/" + name + ".json",
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::ExecutionError("cannot write collection '" + name +
+                                    "'");
+    }
+    out << json::Write(json::Value(std::move(docs)), /*pretty=*/true);
+  }
+  return Status::OK();
+}
+
+Result<DocumentStore> DocumentStore::LoadFromDirectory(
+    const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("directory '" + dir + "'");
+  }
+  DocumentStore store;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    QUARRY_ASSIGN_OR_RETURN(json::Value docs, json::Parse(ss.str()));
+    if (!docs.is_array()) {
+      return Status::ParseError("collection file '" +
+                                entry.path().string() +
+                                "' is not a JSON array");
+    }
+    Collection* collection = store.GetOrCreate(entry.path().stem().string());
+    for (json::Value& doc : docs.as_array()) {
+      QUARRY_RETURN_NOT_OK(collection->Insert(std::move(doc)).status());
+    }
+  }
+  return store;
+}
+
+}  // namespace quarry::docstore

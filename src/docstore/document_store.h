@@ -1,0 +1,89 @@
+#ifndef QUARRY_DOCSTORE_DOCUMENT_STORE_H_
+#define QUARRY_DOCSTORE_DOCUMENT_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "json/json.h"
+
+namespace quarry::docstore {
+
+/// \brief A collection of JSON documents keyed by a string `_id`.
+///
+/// Mirrors the slice of MongoDB the Quarry paper's Communication & Metadata
+/// layer uses: insert/get/upsert/remove plus equality queries over
+/// top-level fields. Documents are stored in insertion order.
+class Collection {
+ public:
+  explicit Collection(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return order_.size(); }
+
+  /// Inserts a document; assigns a sequential `_id` when absent. Returns
+  /// the id. Fails when a document with the same id already exists.
+  Result<std::string> Insert(json::Value document);
+
+  /// Fetches a document by id.
+  Result<json::Value> Get(const std::string& id) const;
+
+  /// Inserts or replaces the document with the given id (the `_id` field
+  /// is set to `id`).
+  Status Upsert(const std::string& id, json::Value document);
+
+  Status Remove(const std::string& id);
+
+  bool Contains(const std::string& id) const { return docs_.count(id) > 0; }
+
+  /// Documents whose top-level `field` equals `value`, in insertion order.
+  std::vector<json::Value> Find(const std::string& field,
+                                const json::Value& value) const;
+
+  /// All ids in insertion order.
+  std::vector<std::string> Ids() const { return order_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, json::Value> docs_;
+  std::vector<std::string> order_;
+  int64_t next_id_ = 1;
+};
+
+/// \brief A named set of collections with optional directory persistence —
+/// the repo's MongoDB stand-in (see DESIGN.md §2).
+class DocumentStore {
+ public:
+  DocumentStore() = default;
+
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+  DocumentStore(DocumentStore&&) = default;
+  DocumentStore& operator=(DocumentStore&&) = default;
+
+  /// Returns the collection, creating it when absent.
+  Collection* GetOrCreate(const std::string& name);
+
+  Result<Collection*> Get(const std::string& name);
+  Result<const Collection*> Get(const std::string& name) const;
+
+  Status Drop(const std::string& name);
+
+  std::vector<std::string> CollectionNames() const;
+
+  /// Persists every collection as `<dir>/<collection>.json` (an array of
+  /// documents). The directory must exist.
+  Status SaveToDirectory(const std::string& dir) const;
+
+  /// Loads every `*.json` file of `dir` as a collection.
+  static Result<DocumentStore> LoadFromDirectory(const std::string& dir);
+
+ private:
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace quarry::docstore
+
+#endif  // QUARRY_DOCSTORE_DOCUMENT_STORE_H_

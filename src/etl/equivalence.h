@@ -1,0 +1,58 @@
+#ifndef QUARRY_ETL_EQUIVALENCE_H_
+#define QUARRY_ETL_EQUIVALENCE_H_
+
+#include "common/result.h"
+#include "etl/flow.h"
+#include "etl/schema_inference.h"
+
+namespace quarry::etl {
+
+/// \brief Generic equivalence rules over logical ETL flows (paper §2.3:
+/// "ETL Process Integrator aligns the order of ETL operations by applying
+/// generic equivalence rules").
+///
+/// Each rule performs at most one semantics-preserving rewrite per call and
+/// reports whether it changed the flow; Normalize drives them to a fixpoint
+/// so that two flows computing the same result converge to the same shape —
+/// which is what lets the integrator discover the largest overlap.
+///
+/// Safety: a node is only moved past another when it is that node's sole
+/// consumer, so no other branch of the DAG observes a changed dataset.
+
+/// Moves one Selection below its upstream Join (onto the side whose columns
+/// cover the predicate) or below a row-preserving unary operator (Function,
+/// Sort, SurrogateKey, Projection) that doesn't produce a referenced column.
+Result<bool> PushSelectionDown(Flow* flow, const TableColumns& sources);
+
+/// Reorders a pair of directly adjacent Selections so the lexicographically
+/// smaller predicate runs first (deterministic canonical order; selections
+/// commute).
+Result<bool> CanonicalizeSelectionOrder(Flow* flow);
+
+/// Fuses a chain of two adjacent Selections into one with an AND predicate
+/// (kept out of Normalize: it merges requirement traces, which the
+/// integrator prefers to keep separate; exposed for the ablation bench).
+Result<bool> MergeAdjacentSelections(Flow* flow);
+
+/// Drops a Projection whose output equals its input's columns.
+Result<bool> RemoveRedundantProjection(Flow* flow,
+                                       const TableColumns& sources);
+
+/// Applies {PushSelectionDown, CanonicalizeSelectionOrder,
+/// RemoveRedundantProjection} to a fixpoint. Returns the number of rewrites
+/// applied.
+Result<int> Normalize(Flow* flow, const TableColumns& sources);
+
+/// Column-liveness optimization: computes, backwards from the sinks, which
+/// columns each operator's consumers actually need, and inserts a narrow
+/// Projection directly after every Extraction whose table provides more.
+/// Loaders conservatively require their whole input (their target binding
+/// is resolved at run time). Idempotent; returns the number of projections
+/// inserted. Kept out of Normalize — it changes flow shape, so the
+/// deployer applies it at execution-plan time instead (see the A4 ablation
+/// for the measured effect).
+Result<int> InsertEarlyProjections(Flow* flow, const TableColumns& sources);
+
+}  // namespace quarry::etl
+
+#endif  // QUARRY_ETL_EQUIVALENCE_H_

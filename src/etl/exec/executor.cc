@@ -1,0 +1,515 @@
+#include "etl/exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "etl/expr.h"
+#include "etl/schema_inference.h"
+
+namespace quarry::etl {
+
+using storage::DataType;
+using storage::Row;
+using storage::Value;
+
+namespace {
+
+std::vector<std::string> SplitNonEmpty(const std::string& text) {
+  std::vector<std::string> out;
+  for (const std::string& part : Split(text, ',')) {
+    std::string trimmed(Trim(part));
+    if (!trimmed.empty()) out.push_back(std::move(trimmed));
+  }
+  return out;
+}
+
+Result<std::vector<size_t>> ColumnPositions(
+    const std::vector<std::string>& columns,
+    const std::vector<std::string>& wanted, const std::string& node_id) {
+  std::vector<size_t> out;
+  out.reserve(wanted.size());
+  for (const std::string& name : wanted) {
+    auto it = std::find(columns.begin(), columns.end(), name);
+    if (it == columns.end()) {
+      return Status::ExecutionError("node '" + node_id +
+                                    "': unknown column '" + name + "'");
+    }
+    out.push_back(static_cast<size_t>(it - columns.begin()));
+  }
+  return out;
+}
+
+struct RowKeyHash {
+  size_t operator()(const Row& r) const { return storage::HashRow(r); }
+};
+struct RowKeyEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].SameAs(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+Row ExtractKey(const Row& row, const std::vector<size_t>& positions) {
+  Row key;
+  key.reserve(positions.size());
+  for (size_t p : positions) key.push_back(row[p]);
+  return key;
+}
+
+std::string Param(const Node& node, const std::string& key) {
+  auto it = node.params.find(key);
+  return it == node.params.end() ? "" : it->second;
+}
+
+// Running state of one aggregate.
+struct AggState {
+  double sum = 0;
+  int64_t int_sum = 0;
+  bool all_int = true;
+  bool any = false;
+  int64_t count = 0;
+  Value min, max;
+};
+
+Result<Dataset> RunAggregation(const Node& node, const Dataset& input) {
+  std::vector<std::string> group = SplitNonEmpty(Param(node, "group"));
+  QUARRY_ASSIGN_OR_RETURN(auto specs, ParseAggSpecs(Param(node, "aggs")));
+  QUARRY_ASSIGN_OR_RETURN(auto group_pos,
+                          ColumnPositions(input.columns, group, node.id));
+  std::vector<int> agg_pos(specs.size(), -1);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].input == "*") continue;
+    QUARRY_ASSIGN_OR_RETURN(
+        auto pos, ColumnPositions(input.columns, {specs[i].input}, node.id));
+    agg_pos[i] = static_cast<int>(pos[0]);
+  }
+
+  std::unordered_map<Row, std::vector<AggState>, RowKeyHash, RowKeyEq> groups;
+  std::vector<Row> group_order;  // deterministic output order
+  for (const Row& row : input.rows) {
+    Row key = ExtractKey(row, group_pos);
+    auto [it, inserted] =
+        groups.try_emplace(key, std::vector<AggState>(specs.size()));
+    if (inserted) group_order.push_back(key);
+    std::vector<AggState>& states = it->second;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      AggState& st = states[i];
+      if (specs[i].input == "*") {
+        ++st.count;
+        st.any = true;
+        continue;
+      }
+      const Value& v = row[static_cast<size_t>(agg_pos[i])];
+      if (v.is_null()) continue;
+      ++st.count;
+      if (v.is_numeric()) {
+        st.sum += v.as_double();
+        if (v.is_int()) {
+          st.int_sum += v.as_int();
+        } else {
+          st.all_int = false;
+        }
+      }
+      if (!st.any || v.Compare(st.min) < 0) st.min = v;
+      if (!st.any || v.Compare(st.max) > 0) st.max = v;
+      st.any = true;
+    }
+  }
+
+  Dataset out;
+  out.columns = group;
+  for (const AggSpec& s : specs) out.columns.push_back(s.output);
+  out.rows.reserve(group_order.size());
+  for (const Row& key : group_order) {
+    const std::vector<AggState>& states = groups.at(key);
+    Row row = key;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const AggState& st = states[i];
+      const std::string& fn = specs[i].function;
+      if (fn == "COUNT") {
+        row.push_back(Value::Int(st.count));
+      } else if (!st.any) {
+        row.push_back(Value::Null());
+      } else if (fn == "SUM") {
+        row.push_back(st.all_int ? Value::Int(st.int_sum)
+                                 : Value::Double(st.sum));
+      } else if (fn == "AVG") {
+        row.push_back(Value::Double(st.sum / static_cast<double>(st.count)));
+      } else if (fn == "MIN") {
+        row.push_back(st.min);
+      } else {
+        row.push_back(st.max);
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Dataset> RunJoin(const Node& node, const Dataset& left,
+                        const Dataset& right) {
+  std::vector<std::string> left_keys = SplitNonEmpty(Param(node, "left"));
+  std::vector<std::string> right_keys = SplitNonEmpty(Param(node, "right"));
+  if (left_keys.empty() || left_keys.size() != right_keys.size()) {
+    return Status::ExecutionError("join '" + node.id +
+                                  "' has mismatched key lists");
+  }
+  std::string join_type = Param(node, "type");
+  if (join_type.empty()) join_type = "inner";
+  if (join_type != "inner" && join_type != "left") {
+    return Status::ExecutionError("join '" + node.id +
+                                  "': unsupported type '" + join_type + "'");
+  }
+  QUARRY_ASSIGN_OR_RETURN(auto left_pos,
+                          ColumnPositions(left.columns, left_keys, node.id));
+  QUARRY_ASSIGN_OR_RETURN(
+      auto right_pos, ColumnPositions(right.columns, right_keys, node.id));
+
+  // Build on the right input.
+  std::unordered_map<Row, std::vector<size_t>, RowKeyHash, RowKeyEq> build;
+  build.reserve(right.rows.size());
+  for (size_t i = 0; i < right.rows.size(); ++i) {
+    Row key = ExtractKey(right.rows[i], right_pos);
+    bool has_null = std::any_of(key.begin(), key.end(),
+                                [](const Value& v) { return v.is_null(); });
+    if (has_null) continue;  // SQL: NULL keys never match.
+    build[std::move(key)].push_back(i);
+  }
+
+  Dataset out;
+  out.columns = left.columns;
+  out.columns.insert(out.columns.end(), right.columns.begin(),
+                     right.columns.end());
+  for (const Row& lrow : left.rows) {
+    Row key = ExtractKey(lrow, left_pos);
+    bool has_null = std::any_of(key.begin(), key.end(),
+                                [](const Value& v) { return v.is_null(); });
+    auto it = has_null ? build.end() : build.find(key);
+    if (it == build.end()) {
+      if (join_type == "left") {
+        Row row = lrow;
+        row.resize(left.columns.size() + right.columns.size(), Value::Null());
+        out.rows.push_back(std::move(row));
+      }
+      continue;
+    }
+    for (size_t ridx : it->second) {
+      Row row = lrow;
+      const Row& rrow = right.rows[ridx];
+      row.insert(row.end(), rrow.begin(), rrow.end());
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<DataType> InferColumnType(const Dataset& data, size_t column) {
+  for (const Row& row : data.rows) {
+    if (!row[column].is_null()) return row[column].type();
+  }
+  return DataType::kString;  // All-NULL column: arbitrary but stable.
+}
+
+}  // namespace
+
+Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
+                                  const std::map<std::string, Dataset>& done,
+                                  ExecutionReport* report) {
+  (void)report;
+  std::vector<std::string> inputs = flow.Predecessors(node.id);
+  auto input = [&](size_t i) -> const Dataset& {
+    return done.at(inputs[i]);
+  };
+  switch (node.type) {
+    case OpType::kDatastore: {
+      QUARRY_ASSIGN_OR_RETURN(const storage::Table* table,
+                              source_->GetTable(Param(node, "table")));
+      Dataset out;
+      for (const storage::Column& c : table->schema().columns()) {
+        out.columns.push_back(c.name);
+      }
+      out.rows = table->rows();
+      return out;
+    }
+    case OpType::kExtraction:
+      return input(0);
+    case OpType::kSelection: {
+      QUARRY_ASSIGN_OR_RETURN(Expr::Ptr pred,
+                              ParseExpr(Param(node, "predicate")));
+      Dataset out;
+      out.columns = input(0).columns;
+      for (const Row& row : input(0).rows) {
+        RowView view{&out.columns, &row};
+        QUARRY_ASSIGN_OR_RETURN(Value v, pred->Eval(view));
+        if (!v.is_null() && v.is_bool() && v.as_bool()) {
+          out.rows.push_back(row);
+        }
+      }
+      return out;
+    }
+    case OpType::kProjection: {
+      std::vector<std::string> keep = SplitNonEmpty(Param(node, "columns"));
+      QUARRY_ASSIGN_OR_RETURN(auto positions,
+                              ColumnPositions(input(0).columns, keep,
+                                              node.id));
+      Dataset out;
+      out.columns = keep;
+      out.rows.reserve(input(0).rows.size());
+      for (const Row& row : input(0).rows) {
+        out.rows.push_back(ExtractKey(row, positions));
+      }
+      return out;
+    }
+    case OpType::kJoin: {
+      if (inputs.size() != 2) {
+        return Status::ExecutionError("join '" + node.id +
+                                      "' needs exactly 2 inputs");
+      }
+      return RunJoin(node, input(0), input(1));
+    }
+    case OpType::kAggregation:
+      return RunAggregation(node, input(0));
+    case OpType::kFunction: {
+      QUARRY_ASSIGN_OR_RETURN(Expr::Ptr expr, ParseExpr(Param(node, "expr")));
+      std::string column = Param(node, "column");
+      if (column.empty()) {
+        return Status::ExecutionError("function '" + node.id +
+                                      "' lacks a column param");
+      }
+      Dataset out;
+      out.columns = input(0).columns;
+      out.columns.push_back(column);
+      out.rows.reserve(input(0).rows.size());
+      for (const Row& row : input(0).rows) {
+        RowView view{&input(0).columns, &row};
+        QUARRY_ASSIGN_OR_RETURN(Value v, expr->Eval(view));
+        Row extended = row;
+        extended.push_back(std::move(v));
+        out.rows.push_back(std::move(extended));
+      }
+      return out;
+    }
+    case OpType::kSort: {
+      std::vector<std::string> by = SplitNonEmpty(Param(node, "by"));
+      QUARRY_ASSIGN_OR_RETURN(auto positions,
+                              ColumnPositions(input(0).columns, by, node.id));
+      bool desc = Param(node, "desc") == "true";
+      Dataset out = input(0);
+      std::stable_sort(out.rows.begin(), out.rows.end(),
+                       [&](const Row& a, const Row& b) {
+                         for (size_t p : positions) {
+                           int cmp = a[p].Compare(b[p]);
+                           if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+                         }
+                         return false;
+                       });
+      return out;
+    }
+    case OpType::kUnion: {
+      if (inputs.size() < 2) {
+        return Status::ExecutionError("union '" + node.id +
+                                      "' needs >= 2 inputs");
+      }
+      Dataset out;
+      out.columns = input(0).columns;
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        if (input(i).columns != out.columns) {
+          return Status::ExecutionError("union '" + node.id +
+                                        "' inputs have different schemas");
+        }
+        out.rows.insert(out.rows.end(), input(i).rows.begin(),
+                        input(i).rows.end());
+      }
+      return out;
+    }
+    case OpType::kSurrogateKey: {
+      std::vector<std::string> keys = SplitNonEmpty(Param(node, "keys"));
+      std::string column = Param(node, "column");
+      if (column.empty() || keys.empty()) {
+        return Status::ExecutionError("surrogate key '" + node.id +
+                                      "' needs column and keys params");
+      }
+      QUARRY_ASSIGN_OR_RETURN(
+          auto positions, ColumnPositions(input(0).columns, keys, node.id));
+      std::unordered_map<Row, int64_t, RowKeyHash, RowKeyEq> ids;
+      Dataset out;
+      out.columns = input(0).columns;
+      out.columns.push_back(column);
+      out.rows.reserve(input(0).rows.size());
+      for (const Row& row : input(0).rows) {
+        Row key = ExtractKey(row, positions);
+        auto [it, inserted] =
+            ids.try_emplace(std::move(key),
+                            static_cast<int64_t>(ids.size()) + 1);
+        Row extended = row;
+        extended.push_back(Value::Int(it->second));
+        out.rows.push_back(std::move(extended));
+      }
+      return out;
+    }
+    case OpType::kLoader: {
+      const Dataset& data = input(0);
+      std::string table_name = Param(node, "table");
+      if (table_name.empty()) {
+        return Status::ExecutionError("loader '" + node.id +
+                                      "' lacks a table param");
+      }
+      std::vector<std::string> keys = SplitNonEmpty(Param(node, "keys"));
+      if (!target_->HasTable(table_name) && data.rows.empty()) {
+        // No rows and no pre-created table: defer creation (column types
+        // cannot be inferred from an empty dataset; guessing would poison
+        // later loads into the same table). Deployed designs always
+        // pre-create their tables via DDL, so this only affects ad-hoc
+        // runs.
+        report->loaded[table_name] += 0;
+        Dataset out;
+        out.columns = data.columns;
+        return out;
+      }
+      if (!target_->HasTable(table_name)) {
+        storage::TableSchema schema(table_name);
+        for (size_t c = 0; c < data.columns.size(); ++c) {
+          QUARRY_ASSIGN_OR_RETURN(DataType type, InferColumnType(data, c));
+          QUARRY_RETURN_NOT_OK(
+              schema.AddColumn({data.columns[c], type, true}));
+        }
+        if (!keys.empty()) QUARRY_RETURN_NOT_OK(schema.SetPrimaryKey(keys));
+        QUARRY_RETURN_NOT_OK(target_->CreateTable(std::move(schema)).status());
+      }
+      QUARRY_ASSIGN_OR_RETURN(storage::Table * table,
+                              target_->GetTable(table_name));
+      // Dataset columns the target lacks are added to it (ALTER TABLE ADD
+      // COLUMN semantics) so integrated flows whose loaders were merged
+      // onto one fact table can contribute their measure columns even when
+      // the table was auto-created by an earlier loader.
+      for (size_t c = 0; c < data.columns.size(); ++c) {
+        if (table->schema().ColumnIndex(data.columns[c]).has_value()) {
+          continue;
+        }
+        QUARRY_ASSIGN_OR_RETURN(DataType type, InferColumnType(data, c));
+        QUARRY_RETURN_NOT_OK(
+            table->AddColumn({data.columns[c], type, true}));
+      }
+      // Bind dataset columns to table columns by name. A target column the
+      // dataset does not provide loads as NULL (partial loads converge via
+      // the merge pass below).
+      std::vector<int> positions;  // per target column; -1 = NULL
+      for (const storage::Column& c : table->schema().columns()) {
+        auto it = std::find(data.columns.begin(), data.columns.end(), c.name);
+        positions.push_back(it == data.columns.end()
+                                ? -1
+                                : static_cast<int>(it - data.columns.begin()));
+      }
+      std::vector<size_t> key_positions;
+      if (!keys.empty()) {
+        QUARRY_ASSIGN_OR_RETURN(auto kp,
+                                ColumnPositions(data.columns, keys, node.id));
+        key_positions = kp;
+      }
+      int64_t written = 0;
+      // key -> row index in the target table (merge semantics: a re-loaded
+      // key fills the NULL cells of the existing row instead of inserting).
+      std::unordered_map<Row, size_t, RowKeyHash, RowKeyEq> existing_rows;
+      if (!key_positions.empty()) {
+        std::vector<size_t> tk;
+        for (const std::string& k : keys) {
+          tk.push_back(*table->schema().ColumnIndex(k));
+        }
+        for (size_t r = 0; r < table->num_rows(); ++r) {
+          existing_rows.emplace(ExtractKey(table->rows()[r], tk), r);
+        }
+      }
+      for (const Row& row : data.rows) {
+        if (!key_positions.empty()) {
+          Row key = ExtractKey(row, key_positions);
+          auto it = existing_rows.find(key);
+          if (it != existing_rows.end()) {
+            // Fill NULL cells the dataset can provide.
+            size_t target_row = it->second;
+            for (size_t c = 0; c < positions.size(); ++c) {
+              if (positions[c] < 0) continue;
+              const Value& incoming = row[static_cast<size_t>(positions[c])];
+              if (incoming.is_null()) continue;
+              if (!table->rows()[target_row][c].is_null()) continue;
+              QUARRY_RETURN_NOT_OK(table->SetCell(target_row, c, incoming));
+            }
+            continue;
+          }
+          Row out;
+          out.reserve(positions.size());
+          for (int p : positions) {
+            out.push_back(p < 0 ? Value::Null()
+                                : row[static_cast<size_t>(p)]);
+          }
+          QUARRY_RETURN_NOT_OK(table->Insert(std::move(out)));
+          existing_rows.emplace(std::move(key), table->num_rows() - 1);
+          ++written;
+          continue;
+        }
+        Row out;
+        out.reserve(positions.size());
+        for (int p : positions) {
+          out.push_back(p < 0 ? Value::Null() : row[static_cast<size_t>(p)]);
+        }
+        QUARRY_RETURN_NOT_OK(table->Insert(std::move(out)));
+        ++written;
+      }
+      report->loaded[table_name] += written;
+      Dataset out;
+      out.columns = data.columns;
+      return out;  // Loaders are sinks; emit an empty dataset.
+    }
+  }
+  return Status::Internal("unknown operator type");
+}
+
+Result<ExecutionReport> Executor::Run(const Flow& flow) {
+  QUARRY_ASSIGN_OR_RETURN(auto order, flow.TopologicalOrder());
+  ExecutionReport report;
+  Timer total;
+  // Reference counts so each materialized dataset is freed as soon as its
+  // last consumer has run — integrated flows would otherwise hold every
+  // intermediate at once and lose their execution-time advantage to memory
+  // pressure.
+  std::map<std::string, size_t> remaining_consumers;
+  for (const auto& [id, node] : flow.nodes()) {
+    remaining_consumers[id] = flow.Successors(id).size();
+  }
+  std::map<std::string, Dataset> done;
+  for (const std::string& id : order) {
+    const Node& node = *flow.GetNode(id).value();
+    Timer node_timer;
+    int64_t rows_in = 0;
+    for (const std::string& pred : flow.Predecessors(id)) {
+      rows_in += static_cast<int64_t>(done.at(pred).rows.size());
+    }
+    auto result = RunNode(node, flow, done, &report);
+    if (!result.ok()) {
+      return result.status().WithContext("node '" + id + "'");
+    }
+    NodeStats stats;
+    stats.node_id = id;
+    stats.type = node.type;
+    stats.rows_in = rows_in;
+    stats.rows_out = static_cast<int64_t>(result->rows.size());
+    stats.millis = node_timer.ElapsedMillis();
+    report.rows_processed += rows_in;
+    report.nodes.push_back(stats);
+    for (const std::string& pred : flow.Predecessors(id)) {
+      if (--remaining_consumers[pred] == 0) done.erase(pred);
+    }
+    if (remaining_consumers[id] == 0) {
+      continue;  // Sink (loader): no one reads its output.
+    }
+    done.emplace(id, std::move(*result));
+  }
+  report.total_millis = total.ElapsedMillis();
+  return report;
+}
+
+}  // namespace quarry::etl

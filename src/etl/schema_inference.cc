@@ -1,0 +1,250 @@
+#include "etl/schema_inference.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+#include "etl/expr.h"
+
+namespace quarry::etl {
+
+Result<std::vector<AggSpec>> ParseAggSpecs(const std::string& text) {
+  std::vector<AggSpec> out;
+  for (const std::string& raw : Split(text, ';')) {
+    std::string_view item = Trim(raw);
+    if (item.empty()) continue;
+    size_t open = item.find('(');
+    size_t close = item.find(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      return Status::ParseError("bad aggregate spec '" + std::string(item) +
+                                "'");
+    }
+    AggSpec spec;
+    spec.function = ToUpper(Trim(item.substr(0, open)));
+    spec.input = std::string(Trim(item.substr(open + 1, close - open - 1)));
+    std::string_view rest = Trim(item.substr(close + 1));
+    if (rest.size() >= 3 && EqualsIgnoreCase(rest.substr(0, 2), "AS")) {
+      spec.output = std::string(Trim(rest.substr(2)));
+    } else if (rest.empty()) {
+      spec.output = spec.function + "_" + spec.input;
+    } else {
+      return Status::ParseError("bad aggregate alias in '" +
+                                std::string(item) + "'");
+    }
+    if (spec.function != "SUM" && spec.function != "AVG" &&
+        spec.function != "MIN" && spec.function != "MAX" &&
+        spec.function != "COUNT") {
+      return Status::ParseError("unknown aggregate function '" +
+                                spec.function + "'");
+    }
+    if (spec.input == "*" && spec.function != "COUNT") {
+      return Status::ParseError("'*' is only valid for COUNT");
+    }
+    if (spec.input.empty() || spec.output.empty()) {
+      return Status::ParseError("empty aggregate input/alias in '" +
+                                std::string(item) + "'");
+    }
+    out.push_back(std::move(spec));
+  }
+  if (out.empty()) return Status::ParseError("empty aggregate list");
+  return out;
+}
+
+std::string AggSpecsToString(const std::vector<AggSpec>& specs) {
+  std::vector<std::string> parts;
+  parts.reserve(specs.size());
+  for (const AggSpec& s : specs) {
+    parts.push_back(s.function + "(" + s.input + ") AS " + s.output);
+  }
+  return Join(parts, ";");
+}
+
+namespace {
+
+Status RequireColumns(const std::vector<std::string>& have,
+                      const std::set<std::string>& need,
+                      const std::string& node_id) {
+  for (const std::string& c : need) {
+    if (std::find(have.begin(), have.end(), c) == have.end()) {
+      return Status::ValidationError("node '" + node_id +
+                                     "' references unknown column '" + c +
+                                     "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SplitNonEmpty(const std::string& text) {
+  std::vector<std::string> out;
+  for (const std::string& part : Split(text, ',')) {
+    std::string trimmed(Trim(part));
+    if (!trimmed.empty()) out.push_back(std::move(trimmed));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::map<std::string, std::vector<std::string>>> InferColumns(
+    const Flow& flow, const TableColumns& sources) {
+  QUARRY_ASSIGN_OR_RETURN(auto order, flow.TopologicalOrder());
+  std::map<std::string, std::vector<std::string>> columns;
+  for (const std::string& id : order) {
+    const Node& node = *flow.GetNode(id).value();
+    std::vector<std::string> inputs = flow.Predecessors(id);
+    auto input_columns = [&](size_t i) -> const std::vector<std::string>& {
+      return columns.at(inputs[i]);
+    };
+    switch (node.type) {
+      case OpType::kDatastore: {
+        auto it = sources.find(node.params.count("table")
+                                   ? node.params.at("table")
+                                   : "");
+        if (it == sources.end()) {
+          return Status::NotFound("source table for datastore '" + id + "'");
+        }
+        columns[id] = it->second;
+        break;
+      }
+      case OpType::kExtraction:
+      case OpType::kSelection:
+      case OpType::kSort:
+      case OpType::kLoader: {
+        if (inputs.empty()) {
+          return Status::ValidationError("node '" + id + "' has no input");
+        }
+        if (node.type == OpType::kSelection) {
+          auto pred_it = node.params.find("predicate");
+          if (pred_it == node.params.end()) {
+            return Status::ValidationError("selection '" + id +
+                                           "' lacks a predicate");
+          }
+          QUARRY_ASSIGN_OR_RETURN(Expr::Ptr pred, ParseExpr(pred_it->second));
+          QUARRY_RETURN_NOT_OK(RequireColumns(input_columns(0),
+                                              pred->ReferencedColumns(), id));
+        }
+        columns[id] = input_columns(0);
+        break;
+      }
+      case OpType::kProjection: {
+        std::vector<std::string> keep =
+            SplitNonEmpty(node.params.count("columns")
+                              ? node.params.at("columns")
+                              : "");
+        QUARRY_RETURN_NOT_OK(RequireColumns(
+            input_columns(0),
+            std::set<std::string>(keep.begin(), keep.end()), id));
+        columns[id] = std::move(keep);
+        break;
+      }
+      case OpType::kJoin: {
+        if (inputs.size() != 2) {
+          return Status::ValidationError("join '" + id +
+                                         "' needs exactly 2 inputs");
+        }
+        std::vector<std::string> left_keys =
+            SplitNonEmpty(node.params.count("left") ? node.params.at("left")
+                                                    : "");
+        std::vector<std::string> right_keys =
+            SplitNonEmpty(node.params.count("right")
+                              ? node.params.at("right")
+                              : "");
+        if (left_keys.empty() || left_keys.size() != right_keys.size()) {
+          return Status::ValidationError("join '" + id +
+                                         "' has mismatched key lists");
+        }
+        QUARRY_RETURN_NOT_OK(RequireColumns(
+            input_columns(0),
+            std::set<std::string>(left_keys.begin(), left_keys.end()), id));
+        QUARRY_RETURN_NOT_OK(RequireColumns(
+            input_columns(1),
+            std::set<std::string>(right_keys.begin(), right_keys.end()), id));
+        std::vector<std::string> merged = input_columns(0);
+        for (const std::string& c : input_columns(1)) {
+          if (std::find(merged.begin(), merged.end(), c) != merged.end()) {
+            return Status::ValidationError("join '" + id +
+                                           "' would duplicate column '" + c +
+                                           "'");
+          }
+          merged.push_back(c);
+        }
+        columns[id] = std::move(merged);
+        break;
+      }
+      case OpType::kAggregation: {
+        std::vector<std::string> group =
+            SplitNonEmpty(node.params.count("group") ? node.params.at("group")
+                                                     : "");
+        QUARRY_ASSIGN_OR_RETURN(
+            auto specs, ParseAggSpecs(node.params.count("aggs")
+                                          ? node.params.at("aggs")
+                                          : ""));
+        std::set<std::string> need(group.begin(), group.end());
+        for (const AggSpec& s : specs) {
+          if (s.input != "*") need.insert(s.input);
+        }
+        QUARRY_RETURN_NOT_OK(RequireColumns(input_columns(0), need, id));
+        std::vector<std::string> out = group;
+        for (const AggSpec& s : specs) out.push_back(s.output);
+        columns[id] = std::move(out);
+        break;
+      }
+      case OpType::kFunction: {
+        auto col_it = node.params.find("column");
+        auto expr_it = node.params.find("expr");
+        if (col_it == node.params.end() || expr_it == node.params.end()) {
+          return Status::ValidationError("function '" + id +
+                                         "' needs column and expr params");
+        }
+        QUARRY_ASSIGN_OR_RETURN(Expr::Ptr expr, ParseExpr(expr_it->second));
+        QUARRY_RETURN_NOT_OK(
+            RequireColumns(input_columns(0), expr->ReferencedColumns(), id));
+        std::vector<std::string> out = input_columns(0);
+        if (std::find(out.begin(), out.end(), col_it->second) != out.end()) {
+          return Status::ValidationError("function '" + id +
+                                         "' overwrites existing column '" +
+                                         col_it->second + "'");
+        }
+        out.push_back(col_it->second);
+        columns[id] = std::move(out);
+        break;
+      }
+      case OpType::kSurrogateKey: {
+        auto col_it = node.params.find("column");
+        if (col_it == node.params.end()) {
+          return Status::ValidationError("surrogate key '" + id +
+                                         "' needs a column param");
+        }
+        std::vector<std::string> keys =
+            SplitNonEmpty(node.params.count("keys") ? node.params.at("keys")
+                                                    : "");
+        QUARRY_RETURN_NOT_OK(RequireColumns(
+            input_columns(0), std::set<std::string>(keys.begin(), keys.end()),
+            id));
+        std::vector<std::string> out = input_columns(0);
+        out.push_back(col_it->second);
+        columns[id] = std::move(out);
+        break;
+      }
+      case OpType::kUnion: {
+        if (inputs.size() < 2) {
+          return Status::ValidationError("union '" + id +
+                                         "' needs >= 2 inputs");
+        }
+        const std::vector<std::string>& first = input_columns(0);
+        for (size_t i = 1; i < inputs.size(); ++i) {
+          if (input_columns(i) != first) {
+            return Status::ValidationError("union '" + id +
+                                           "' inputs have different schemas");
+          }
+        }
+        columns[id] = first;
+        break;
+      }
+    }
+  }
+  return columns;
+}
+
+}  // namespace quarry::etl

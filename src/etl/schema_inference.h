@@ -1,0 +1,41 @@
+#ifndef QUARRY_ETL_SCHEMA_INFERENCE_H_
+#define QUARRY_ETL_SCHEMA_INFERENCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "etl/flow.h"
+
+namespace quarry::etl {
+
+/// Column lists of the source tables a flow may extract from.
+using TableColumns = std::map<std::string, std::vector<std::string>>;
+
+/// One aggregate of an Aggregation node's "aggs" parameter.
+struct AggSpec {
+  std::string function;  ///< SUM, AVG, MIN, MAX, COUNT
+  std::string input;     ///< Column name; "*" only for COUNT.
+  std::string output;    ///< Result column name.
+};
+
+/// Parses "SUM(x) AS sx;AVG(y) AS ay;COUNT(*) AS n".
+Result<std::vector<AggSpec>> ParseAggSpecs(const std::string& text);
+
+/// Renders specs back to the parameter encoding.
+std::string AggSpecsToString(const std::vector<AggSpec>& specs);
+
+/// \brief Computes the output column list of every node in `flow`.
+///
+/// Needed by the equivalence rules (to decide which join side a selection
+/// may be pushed to), by the executor (to bind expressions), and by flow
+/// validation. Fails when an operator references a column its input does
+/// not provide, when a join would produce duplicate column names, or when
+/// union inputs disagree.
+Result<std::map<std::string, std::vector<std::string>>> InferColumns(
+    const Flow& flow, const TableColumns& sources);
+
+}  // namespace quarry::etl
+
+#endif  // QUARRY_ETL_SCHEMA_INFERENCE_H_

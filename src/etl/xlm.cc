@@ -1,0 +1,102 @@
+#include "etl/xlm.h"
+
+#include "common/str_util.h"
+
+namespace quarry::etl {
+
+const char* EngineOpType(OpType type) {
+  switch (type) {
+    case OpType::kDatastore:
+      return "TableInput";
+    case OpType::kExtraction:
+      return "TableInput";
+    case OpType::kSelection:
+      return "FilterRows";
+    case OpType::kProjection:
+      return "SelectValues";
+    case OpType::kJoin:
+      return "MergeJoin";
+    case OpType::kAggregation:
+      return "GroupBy";
+    case OpType::kFunction:
+      return "Calculator";
+    case OpType::kSort:
+      return "SortRows";
+    case OpType::kUnion:
+      return "Append";
+    case OpType::kSurrogateKey:
+      return "AddSequence";
+    case OpType::kLoader:
+      return "TableOutput";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<xml::Element> FlowToXlm(const Flow& flow) {
+  auto root = std::make_unique<xml::Element>("design");
+  xml::Element* metadata = root->AddChild("metadata");
+  metadata->AddTextChild("name", flow.name());
+  xml::Element* edges = root->AddChild("edges");
+  for (const Edge& e : flow.edges()) {
+    xml::Element* edge = edges->AddChild("edge");
+    edge->AddTextChild("from", e.from);
+    edge->AddTextChild("to", e.to);
+    edge->AddTextChild("enabled", "Y");
+  }
+  xml::Element* nodes = root->AddChild("nodes");
+  for (const auto& [id, node] : flow.nodes()) {
+    xml::Element* n = nodes->AddChild("node");
+    n->AddTextChild("name", node.id);
+    n->AddTextChild("type", OpTypeToString(node.type));
+    n->AddTextChild("optype", EngineOpType(node.type));
+    for (const auto& [key, value] : node.params) {
+      xml::Element* param = n->AddChild("param");
+      param->SetAttr("name", key);
+      param->SetAttr("value", value);
+    }
+    if (!node.requirement_ids.empty()) {
+      std::vector<std::string> ids(node.requirement_ids.begin(),
+                                   node.requirement_ids.end());
+      n->AddTextChild("requirements", Join(ids, ","));
+    }
+  }
+  return root;
+}
+
+Result<Flow> FlowFromXlm(const xml::Element& root) {
+  if (root.name() != "design") {
+    return Status::ParseError("expected <design>, got <" + root.name() + ">");
+  }
+  Flow flow;
+  if (const xml::Element* metadata = root.FirstChild("metadata");
+      metadata != nullptr) {
+    flow.set_name(metadata->ChildText("name"));
+  }
+  const xml::Element* nodes = root.FirstChild("nodes");
+  if (nodes == nullptr) return Status::ParseError("missing <nodes>");
+  for (const xml::Element* n : nodes->Children("node")) {
+    Node node;
+    node.id = n->ChildText("name");
+    QUARRY_ASSIGN_OR_RETURN(node.type, OpTypeFromString(n->ChildText("type")));
+    for (const xml::Element* param : n->Children("param")) {
+      node.params[param->AttrOr("name")] = param->AttrOr("value");
+    }
+    std::string reqs = n->ChildText("requirements");
+    if (!reqs.empty()) {
+      for (const std::string& id : Split(reqs, ',')) {
+        node.requirement_ids.insert(id);
+      }
+    }
+    QUARRY_RETURN_NOT_OK(flow.AddNode(std::move(node)));
+  }
+  const xml::Element* edges = root.FirstChild("edges");
+  if (edges != nullptr) {
+    for (const xml::Element* e : edges->Children("edge")) {
+      QUARRY_RETURN_NOT_OK(
+          flow.AddEdge(e->ChildText("from"), e->ChildText("to")));
+    }
+  }
+  return flow;
+}
+
+}  // namespace quarry::etl

@@ -1,0 +1,43 @@
+#ifndef QUARRY_ETL_XLM_H_
+#define QUARRY_ETL_XLM_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "etl/flow.h"
+#include "xml/xml.h"
+
+namespace quarry::etl {
+
+/// \brief xLM encoding of an ETL flow (paper §2.5, ref [12]).
+///
+/// The layout follows the snippets in Figures 3-4:
+///
+/// \code{.xml}
+/// <design>
+///   <metadata><name>...</name></metadata>
+///   <edges>
+///     <edge><from>DATASTORE_Partsupp</from>
+///           <to>EXTRACTION_Partsupp</to><enabled>Y</enabled></edge> ...
+///   </edges>
+///   <nodes>
+///     <node><name>DATASTORE_Partsupp</name><type>Datastore</type>
+///           <optype>TableInput</optype>
+///           <param name="table" value="partsupp"/>
+///           <requirements>ir_revenue</requirements></node> ...
+///   </nodes>
+/// </design>
+/// \endcode
+std::unique_ptr<xml::Element> FlowToXlm(const Flow& flow);
+
+/// Inverse of FlowToXlm; the engine-level <optype> tag is advisory and
+/// ignored on input.
+Result<Flow> FlowFromXlm(const xml::Element& root);
+
+/// Engine-level operator name (Pentaho-PDI-flavoured) for a logical type;
+/// written into <optype> for fidelity with the paper's snippets.
+const char* EngineOpType(OpType type);
+
+}  // namespace quarry::etl
+
+#endif  // QUARRY_ETL_XLM_H_

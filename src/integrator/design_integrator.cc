@@ -1,0 +1,108 @@
+#include "integrator/design_integrator.h"
+
+#include "integrator/satisfiability.h"
+#include "mdschema/validator.h"
+
+namespace quarry::integrator {
+
+Result<IntegrationOutcome> DesignIntegrator::AddRequirement(
+    const req::InformationRequirement& ir,
+    const interpreter::PartialDesign& partial) {
+  if (requirements_.count(ir.id) > 0) {
+    return Status::AlreadyExists("requirement '" + ir.id +
+                                 "' is already integrated");
+  }
+  md::MdSchema schema_backup = schema_;
+  etl::Flow flow_backup = flow_.Clone();
+
+  IntegrationOutcome outcome;
+  auto md_report = md_integrator_.Integrate(&schema_, partial.schema);
+  if (!md_report.ok()) {
+    schema_ = std::move(schema_backup);
+    return md_report.status().WithContext("MD integration of '" + ir.id +
+                                          "'");
+  }
+  outcome.md = std::move(*md_report);
+  // When stage 1 merged a partial fact into an existing same-grain fact,
+  // the partial flow must load the merged fact's table (its new measure
+  // columns fill in via the loader's merge semantics).
+  etl::Flow flow_to_integrate = partial.flow.Clone();
+  std::vector<std::string> loader_ids;
+  for (const auto& [id, node] : flow_to_integrate.nodes()) {
+    if (node.type == etl::OpType::kLoader) loader_ids.push_back(id);
+  }
+  for (const std::string& id : loader_ids) {
+    etl::Node* node = *flow_to_integrate.GetMutableNode(id);
+    auto table_it = node->params.find("table");
+    if (table_it == node->params.end()) continue;
+    auto mapped = outcome.md.fact_mapping.find(table_it->second);
+    if (mapped != outcome.md.fact_mapping.end() &&
+        mapped->second != table_it->second) {
+      table_it->second = mapped->second;
+    }
+  }
+  auto etl_report = etl_integrator_.Integrate(&flow_, flow_to_integrate);
+  if (!etl_report.ok()) {
+    schema_ = std::move(schema_backup);
+    flow_ = std::move(flow_backup);
+    return etl_report.status().WithContext("ETL integration of '" + ir.id +
+                                           "'");
+  }
+  outcome.etl = std::move(*etl_report);
+
+  requirements_.emplace(ir.id, ir);
+  Status verified = VerifyAll();
+  if (!verified.ok()) {
+    requirements_.erase(ir.id);
+    schema_ = std::move(schema_backup);
+    flow_ = std::move(flow_backup);
+    return verified.WithContext("post-integration verification of '" + ir.id +
+                                "'");
+  }
+  return outcome;
+}
+
+Status DesignIntegrator::RemoveRequirement(const std::string& ir_id) {
+  auto it = requirements_.find(ir_id);
+  if (it == requirements_.end()) {
+    return Status::NotFound("requirement '" + ir_id + "'");
+  }
+  md::MdSchema schema_backup = schema_;
+  etl::Flow flow_backup = flow_.Clone();
+  req::InformationRequirement ir_backup = it->second;
+
+  schema_.PruneRequirement(ir_id);
+  flow_.PruneRequirement(ir_id);
+  requirements_.erase(it);
+
+  Status verified = VerifyAll();
+  if (!verified.ok()) {
+    schema_ = std::move(schema_backup);
+    flow_ = std::move(flow_backup);
+    requirements_.emplace(ir_backup.id, std::move(ir_backup));
+    return verified.WithContext("removal of '" + ir_id + "'");
+  }
+  return Status::OK();
+}
+
+Result<IntegrationOutcome> DesignIntegrator::ChangeRequirement(
+    const req::InformationRequirement& ir,
+    const interpreter::PartialDesign& partial) {
+  QUARRY_RETURN_NOT_OK(RemoveRequirement(ir.id));
+  return AddRequirement(ir, partial);
+}
+
+Status DesignIntegrator::VerifyAll() const {
+  if (!schema_.facts().empty() || !schema_.dimensions().empty()) {
+    QUARRY_RETURN_NOT_OK(md::CheckSound(schema_, onto_));
+  }
+  if (flow_.num_nodes() > 0) {
+    QUARRY_RETURN_NOT_OK(flow_.Validate());
+  }
+  for (const auto& [id, ir] : requirements_) {
+    QUARRY_RETURN_NOT_OK(CheckSatisfies(schema_, flow_, ir));
+  }
+  return Status::OK();
+}
+
+}  // namespace quarry::integrator

@@ -1,0 +1,122 @@
+#include "integrator/etl_integrator.h"
+
+#include <algorithm>
+
+#include "etl/equivalence.h"
+
+namespace quarry::integrator {
+
+using etl::Edge;
+using etl::Flow;
+using etl::Node;
+using etl::OpType;
+
+Result<std::map<std::string, std::string>> EtlIntegrator::ComputeSignatures(
+    const Flow& flow) {
+  QUARRY_ASSIGN_OR_RETURN(auto order, flow.TopologicalOrder());
+  std::map<std::string, std::string> signatures;
+  for (const std::string& id : order) {
+    const Node& node = *flow.GetNode(id).value();
+    std::vector<std::string> input_sigs;
+    for (const std::string& pred : flow.Predecessors(id)) {
+      input_sigs.push_back(signatures.at(pred));
+    }
+    // Union inputs are order-insensitive; everything else (notably Join's
+    // left/right) keeps edge order.
+    if (node.type == OpType::kUnion) {
+      std::sort(input_sigs.begin(), input_sigs.end());
+    }
+    std::string sig = node.Signature() + "{";
+    for (const std::string& s : input_sigs) sig += s + ",";
+    sig += "}";
+    signatures[id] = std::move(sig);
+  }
+  return signatures;
+}
+
+Result<EtlIntegrationReport> EtlIntegrator::Integrate(
+    Flow* unified, const Flow& partial) const {
+  EtlIntegrationReport report;
+
+  // Stage 1: align the partial flow via equivalence rules.
+  Flow aligned = partial.Clone();
+  if (options_.align_with_equivalence_rules) {
+    QUARRY_ASSIGN_OR_RETURN(int rewrites,
+                            etl::Normalize(&aligned, source_columns_));
+    report.rewrites_applied = rewrites;
+  }
+
+  // Cost of running the flows separately (before integration).
+  QUARRY_ASSIGN_OR_RETURN(auto unified_cost_before,
+                          etl::EstimateCost(*unified, table_rows_,
+                                            cost_config_));
+  QUARRY_ASSIGN_OR_RETURN(auto partial_cost,
+                          etl::EstimateCost(aligned, table_rows_,
+                                            cost_config_));
+  report.cost_separate =
+      unified_cost_before.total_cost + partial_cost.total_cost;
+
+  // Stage 2: signatures of the existing unified flow.
+  Flow draft = unified->Clone();
+  QUARRY_ASSIGN_OR_RETURN(auto unified_sigs, ComputeSignatures(draft));
+  std::map<std::string, std::string> sig_to_id;
+  for (const auto& [id, sig] : unified_sigs) sig_to_id[sig] = id;
+
+  // Stage 3: walk the partial flow in topological order, mapping each node
+  // either onto an existing node (same computation) or a fresh copy.
+  QUARRY_ASSIGN_OR_RETURN(auto order, aligned.TopologicalOrder());
+  std::map<std::string, std::string> mapping;  // partial id -> draft id
+  std::map<std::string, std::string> partial_sigs;
+  for (const std::string& id : order) {
+    const Node& node = *aligned.GetNode(id).value();
+    std::vector<std::string> input_sigs;
+    std::vector<std::string> mapped_inputs;
+    for (const std::string& pred : aligned.Predecessors(id)) {
+      input_sigs.push_back(partial_sigs.at(pred));
+      mapped_inputs.push_back(mapping.at(pred));
+    }
+    if (node.type == OpType::kUnion) {
+      std::sort(input_sigs.begin(), input_sigs.end());
+    }
+    std::string sig = node.Signature() + "{";
+    for (const std::string& s : input_sigs) sig += s + ",";
+    sig += "}";
+    partial_sigs[id] = sig;
+
+    auto hit = sig_to_id.find(sig);
+    if (hit != sig_to_id.end()) {
+      // Same operator over the same inputs: reuse.
+      Node* reused = *draft.GetMutableNode(hit->second);
+      reused->requirement_ids.insert(node.requirement_ids.begin(),
+                                     node.requirement_ids.end());
+      mapping[id] = hit->second;
+      ++report.nodes_reused;
+      continue;
+    }
+    // Graft a copy, uniquifying the id if a different node holds it.
+    Node copy = node;
+    std::string new_id = node.id;
+    int suffix = 2;
+    while (draft.HasNode(new_id)) {
+      new_id = node.id + "#" + std::to_string(suffix++);
+    }
+    copy.id = new_id;
+    QUARRY_RETURN_NOT_OK(draft.AddNode(std::move(copy)));
+    for (const std::string& input : mapped_inputs) {
+      QUARRY_RETURN_NOT_OK(draft.AddEdge(input, new_id));
+    }
+    mapping[id] = new_id;
+    sig_to_id[sig] = new_id;
+    ++report.nodes_added;
+  }
+
+  QUARRY_RETURN_NOT_OK(draft.Validate().WithContext("integrated ETL flow"));
+  QUARRY_ASSIGN_OR_RETURN(
+      auto unified_cost_after,
+      etl::EstimateCost(draft, table_rows_, cost_config_));
+  report.cost_unified = unified_cost_after.total_cost;
+  *unified = std::move(draft);
+  return report;
+}
+
+}  // namespace quarry::integrator

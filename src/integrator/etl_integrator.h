@@ -1,0 +1,85 @@
+#ifndef QUARRY_INTEGRATOR_ETL_INTEGRATOR_H_
+#define QUARRY_INTEGRATOR_ETL_INTEGRATOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "etl/cost_model.h"
+#include "etl/flow.h"
+#include "etl/schema_inference.h"
+
+namespace quarry::integrator {
+
+/// Options steering the ETL Process Integrator (the ablation bench flips
+/// these to quantify each design choice).
+struct EtlIntegrationOptions {
+  /// Align partial flows with the generic equivalence rules before
+  /// matching. Without alignment, equal computations in different shapes
+  /// (e.g. selections at different positions) are not recognized as
+  /// reusable.
+  bool align_with_equivalence_rules = true;
+};
+
+/// What the ETL Process Integrator did.
+struct EtlIntegrationReport {
+  int nodes_reused = 0;  ///< Partial nodes mapped onto existing ones.
+  int nodes_added = 0;
+  int rewrites_applied = 0;  ///< Equivalence-rule rewrites while aligning.
+  /// Cost-model estimates: executing both flows separately vs. the unified
+  /// flow (the paper's "overall execution time" quality factor).
+  double cost_separate = 0;
+  double cost_unified = 0;
+};
+
+/// \brief The ETL Process Integrator (paper §2.3): consolidates a partial
+/// ETL flow into the unified one, maximizing reuse of data and operations.
+///
+/// Method (refs [5] in the paper):
+///  1. *Align*: normalize the partial flow with the generic equivalence
+///     rules (selection push-down, canonical selection order, redundant
+///     projection removal) so equal computations take equal shapes.
+///  2. *Match*: compute a recursive computation signature for every node
+///     (operator signature + input signatures); a partial node whose
+///     signature already exists in the unified flow denotes the same
+///     dataset and is reused — this finds the largest overlapping prefix.
+///  3. *Graft*: remaining nodes are copied in (ids uniquified on clash)
+///     and wired to their mapped inputs; requirement traces union onto
+///     reused nodes.
+///
+/// The configurable cost model reports the estimated saving of the unified
+/// flow versus executing the flows separately.
+class EtlIntegrator {
+ public:
+  /// `source_columns` lists the columns of every source table the flows
+  /// extract from (needed by the equivalence rules); `table_rows` feeds the
+  /// cost model.
+  EtlIntegrator(etl::TableColumns source_columns,
+                std::map<std::string, int64_t> table_rows,
+                etl::CostModelConfig cost_config = {},
+                EtlIntegrationOptions options = {})
+      : source_columns_(std::move(source_columns)),
+        table_rows_(std::move(table_rows)),
+        cost_config_(cost_config),
+        options_(options) {}
+
+  /// Integrates `partial` into `unified`. On error `unified` is left
+  /// unchanged.
+  Result<EtlIntegrationReport> Integrate(etl::Flow* unified,
+                                         const etl::Flow& partial) const;
+
+  /// Recursive computation signatures of every node in `flow` (exposed for
+  /// tests and benches).
+  static Result<std::map<std::string, std::string>> ComputeSignatures(
+      const etl::Flow& flow);
+
+ private:
+  etl::TableColumns source_columns_;
+  std::map<std::string, int64_t> table_rows_;
+  etl::CostModelConfig cost_config_;
+  EtlIntegrationOptions options_;
+};
+
+}  // namespace quarry::integrator
+
+#endif  // QUARRY_INTEGRATOR_ETL_INTEGRATOR_H_

@@ -1,0 +1,342 @@
+#include "integrator/md_integrator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "mdschema/validator.h"
+
+namespace quarry::integrator {
+
+using md::Dimension;
+using md::DimensionRef;
+using md::Fact;
+using md::Level;
+using md::LevelAttribute;
+using md::MdSchema;
+using md::Measure;
+
+namespace {
+
+/// Level concepts referenced by a fact, resolved against `schema`.
+Result<std::set<std::string>> BaseConcepts(const MdSchema& schema,
+                                           const Fact& fact) {
+  std::set<std::string> out;
+  for (const DimensionRef& ref : fact.dimension_refs) {
+    QUARRY_ASSIGN_OR_RETURN(const Dimension* dim,
+                            schema.GetDimension(ref.dimension));
+    const Level* level = dim->FindLevel(ref.level);
+    if (level == nullptr) {
+      return Status::ValidationError("fact '" + fact.name +
+                                     "' references missing level '" +
+                                     ref.level + "'");
+    }
+    out.insert(level->concept_id);
+  }
+  return out;
+}
+
+void MergeAttributes(Level* into, const Level& from, int* attributes_added) {
+  for (const LevelAttribute& attr : from.attributes) {
+    bool present = std::any_of(
+        into->attributes.begin(), into->attributes.end(),
+        [&](const LevelAttribute& e) { return e.name == attr.name; });
+    if (!present) {
+      into->attributes.push_back(attr);
+      ++*attributes_added;
+    }
+  }
+  into->requirement_ids.insert(from.requirement_ids.begin(),
+                               from.requirement_ids.end());
+}
+
+}  // namespace
+
+Result<MdIntegrationReport> MdIntegrator::Integrate(
+    MdSchema* unified, const MdSchema& partial) const {
+  MdIntegrationReport report;
+  // Naive union complexity = sum of both schemas untouched.
+  report.complexity_naive_union =
+      md::StructuralComplexity(*unified, options_.weights).score +
+      md::StructuralComplexity(partial, options_.weights).score;
+  // Work on a copy so failures leave `unified` untouched.
+  MdSchema draft = *unified;
+  QUARRY_RETURN_NOT_OK(IntegrateInto(&draft, partial, &report));
+  if (options_.allow_hierarchy_merge) {
+    QUARRY_RETURN_NOT_OK(FoldHierarchies(&draft, &report));
+  }
+  QUARRY_RETURN_NOT_OK(md::CheckSound(draft, onto_));
+  report.complexity_after =
+      md::StructuralComplexity(draft, options_.weights).score;
+  *unified = std::move(draft);
+  return report;
+}
+
+Result<std::vector<MdAlternative>> MdIntegrator::ProposeAlternatives(
+    const MdSchema& unified, const MdSchema& partial) const {
+  std::vector<MdAlternative> out;
+
+  // Alternative 1: full integration with folding.
+  {
+    MdSchema draft = unified;
+    MdIntegrationReport report;
+    Status s = IntegrateInto(&draft, partial, &report);
+    if (s.ok()) s = FoldHierarchies(&draft, &report);
+    if (s.ok() && md::CheckSound(draft, onto_).ok()) {
+      MdAlternative alt;
+      alt.description = "integrate (conform dimensions, merge same-grain "
+                        "facts, fold hierarchies)";
+      alt.complexity = md::StructuralComplexity(draft, options_.weights).score;
+      alt.schema = std::move(draft);
+      out.push_back(std::move(alt));
+    }
+  }
+
+  // Alternative 2: integration without hierarchy folding.
+  {
+    MdSchema draft = unified;
+    MdIntegrationReport report;
+    Status s = IntegrateInto(&draft, partial, &report);
+    if (s.ok() && md::CheckSound(draft, onto_).ok()) {
+      MdAlternative alt;
+      alt.description = "integrate, keep dimensions flat (no folding)";
+      alt.complexity = md::StructuralComplexity(draft, options_.weights).score;
+      alt.schema = std::move(draft);
+      out.push_back(std::move(alt));
+    }
+  }
+
+  // Alternative 3: side-by-side union, renaming collisions.
+  {
+    MdSchema draft = unified;
+    bool ok = true;
+    std::map<std::string, std::string> renamed_dims;
+    for (const Dimension& pd : partial.dimensions()) {
+      Dimension copy = pd;
+      while (draft.GetDimension(copy.name).ok()) copy.name += "_2";
+      renamed_dims[pd.name] = copy.name;
+      if (!draft.AddDimension(std::move(copy)).ok()) {
+        ok = false;
+        break;
+      }
+    }
+    for (const Fact& pf : partial.facts()) {
+      if (!ok) break;
+      Fact copy = pf;
+      while (draft.GetFact(copy.name).ok()) copy.name += "_2";
+      for (DimensionRef& ref : copy.dimension_refs) {
+        auto it = renamed_dims.find(ref.dimension);
+        if (it != renamed_dims.end()) ref.dimension = it->second;
+      }
+      if (!draft.AddFact(std::move(copy)).ok()) ok = false;
+    }
+    if (ok && md::CheckSound(draft, onto_).ok()) {
+      MdAlternative alt;
+      alt.description = "append side by side (no matching, collisions "
+                        "renamed)";
+      alt.complexity = md::StructuralComplexity(draft, options_.weights).score;
+      alt.schema = std::move(draft);
+      out.push_back(std::move(alt));
+    }
+  }
+
+  if (out.empty()) {
+    return Status::Unsatisfiable(
+        "no sound integration alternative for partial schema '" +
+        partial.name() + "'");
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MdAlternative& a, const MdAlternative& b) {
+              return a.complexity < b.complexity;
+            });
+  return out;
+}
+
+Status MdIntegrator::IntegrateInto(MdSchema* unified, const MdSchema& partial,
+                                   MdIntegrationReport* report) const {
+  // ---- stage 1 & 2 prep: match dimensions ---------------------------------
+  // partial dimension name -> unified dimension name (after conforming).
+  std::map<std::string, std::string> dim_mapping;
+  for (const Dimension& pd : partial.dimensions()) {
+    if (pd.levels.empty()) {
+      return Status::ValidationError("partial dimension '" + pd.name +
+                                     "' has no levels");
+    }
+    // A unified dimension conforms when it has a level over the partial
+    // dimension's base concept.
+    Dimension* match = nullptr;
+    for (const Dimension& ud : unified->dimensions()) {
+      for (const Level& level : ud.levels) {
+        if (level.concept_id == pd.levels[0].concept_id) {
+          match = *unified->GetMutableDimension(ud.name);
+          break;
+        }
+      }
+      if (match != nullptr) break;
+    }
+    if (match == nullptr) {
+      QUARRY_RETURN_NOT_OK(unified->AddDimension(pd));
+      dim_mapping[pd.name] = pd.name;
+      ++report->dimensions_added;
+      report->decisions.push_back("added dimension '" + pd.name + "'");
+      continue;
+    }
+    // Conform: merge level attributes; append genuinely new upper levels.
+    for (const Level& pl : pd.levels) {
+      Level* existing = nullptr;
+      for (Level& ul : match->levels) {
+        if (ul.concept_id == pl.concept_id) {
+          existing = &ul;
+          break;
+        }
+      }
+      if (existing != nullptr) {
+        MergeAttributes(existing, pl, &report->attributes_added);
+        continue;
+      }
+      // Appendable only if it extends the hierarchy functionally.
+      const Level& top = match->levels.back();
+      auto path = onto_->FindFunctionalPath(top.concept_id, pl.concept_id);
+      if (!path.ok()) {
+        return Status::ValidationError(
+            "cannot conform dimension '" + pd.name + "': level '" + pl.name +
+            "' does not roll up from '" + top.name + "'");
+      }
+      match->levels.push_back(pl);
+    }
+    match->requirement_ids.insert(pd.requirement_ids.begin(),
+                                  pd.requirement_ids.end());
+    dim_mapping[pd.name] = match->name;
+    ++report->dimensions_conformed;
+    report->decisions.push_back("conformed dimension '" + pd.name +
+                                "' into '" + match->name + "'");
+  }
+
+  // ---- stage 1: match facts ------------------------------------------------
+  for (const Fact& pf_original : partial.facts()) {
+    Fact pf = pf_original;
+    for (DimensionRef& ref : pf.dimension_refs) {
+      auto it = dim_mapping.find(ref.dimension);
+      if (it == dim_mapping.end()) {
+        return Status::ValidationError("fact '" + pf.name +
+                                       "' references unknown dimension '" +
+                                       ref.dimension + "'");
+      }
+      ref.dimension = it->second;
+    }
+    QUARRY_ASSIGN_OR_RETURN(auto pf_base, BaseConcepts(*unified, pf));
+
+    Fact* match = nullptr;
+    for (const Fact& uf : unified->facts()) {
+      if (uf.concept_id != pf.concept_id) continue;
+      QUARRY_ASSIGN_OR_RETURN(auto uf_base, BaseConcepts(*unified, uf));
+      if (uf_base == pf_base) {
+        match = *unified->GetMutableFact(uf.name);
+        break;
+      }
+    }
+    if (match == nullptr) {
+      QUARRY_RETURN_NOT_OK(unified->AddFact(std::move(pf)));
+      ++report->facts_added;
+      report->fact_mapping[pf_original.name] = pf_original.name;
+      report->decisions.push_back("added fact '" + pf_original.name + "'");
+      continue;
+    }
+    // Same focus and same grain: merge measures.
+    for (const Measure& pm : pf.measures) {
+      Measure* existing = nullptr;
+      for (Measure& um : match->measures) {
+        if (um.name == pm.name) {
+          existing = &um;
+          break;
+        }
+      }
+      if (existing == nullptr) {
+        match->measures.push_back(pm);
+        ++report->measures_added;
+        continue;
+      }
+      if (existing->expression != pm.expression ||
+          existing->aggregation != pm.aggregation) {
+        return Status::ValidationError(
+            "measure '" + pm.name + "' of fact '" + match->name +
+            "' conflicts with an existing definition; rename the measure in "
+            "the new requirement");
+      }
+      existing->requirement_ids.insert(pm.requirement_ids.begin(),
+                                       pm.requirement_ids.end());
+    }
+    match->requirement_ids.insert(pf.requirement_ids.begin(),
+                                  pf.requirement_ids.end());
+    ++report->facts_merged;
+    report->fact_mapping[pf_original.name] = match->name;
+    report->decisions.push_back("merged fact '" + pf_original.name +
+                                "' into '" + match->name + "'");
+  }
+  return Status::OK();
+}
+
+Status MdIntegrator::FoldHierarchies(MdSchema* unified,
+                                     MdIntegrationReport* report) const {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Dimension& candidate : unified->dimensions()) {
+      if (candidate.levels.size() != 1) continue;
+      const std::string target_concept = candidate.levels[0].concept_id;
+      for (const Dimension& host : unified->dimensions()) {
+        if (host.name == candidate.name || host.levels.empty()) continue;
+        // The host's top level must roll up to the candidate's concept.
+        bool already_present = false;
+        for (const Level& level : host.levels) {
+          if (level.concept_id == target_concept) already_present = true;
+        }
+        if (already_present) continue;
+        auto path = onto_->FindFunctionalPath(host.levels.back().concept_id,
+                                              target_concept);
+        if (!path.ok()) continue;
+        // (A fact referencing both dimensions is fine: after the fold it
+        // references the host at two levels, which the validator accepts
+        // because the lower level determines the upper.)
+        // Cost model: fold only when it lowers structural complexity.
+        MdSchema trial = *unified;
+        Dimension* trial_host = *trial.GetMutableDimension(host.name);
+        Dimension* trial_candidate =
+            *trial.GetMutableDimension(candidate.name);
+        trial_host->levels.push_back(trial_candidate->levels[0]);
+        trial_host->requirement_ids.insert(
+            trial_candidate->requirement_ids.begin(),
+            trial_candidate->requirement_ids.end());
+        std::string candidate_level = trial_candidate->levels[0].name;
+        std::string candidate_name = candidate.name;
+        QUARRY_RETURN_NOT_OK(trial.RemoveDimension(candidate_name));
+        for (const Fact& fact : trial.facts()) {
+          Fact* mutable_fact = *trial.GetMutableFact(fact.name);
+          for (DimensionRef& ref : mutable_fact->dimension_refs) {
+            if (ref.dimension == candidate_name) {
+              ref.dimension = host.name;
+              ref.level = candidate_level;
+            }
+          }
+        }
+        double before =
+            md::StructuralComplexity(*unified, options_.weights).score;
+        double after = md::StructuralComplexity(trial, options_.weights).score;
+        if (after >= before) continue;
+        if (!md::CheckSound(trial, onto_).ok()) continue;
+        report->decisions.push_back(
+            "folded dimension '" + candidate_name + "' into hierarchy of '" +
+            host.name + "' (complexity " + std::to_string(before) + " -> " +
+            std::to_string(after) + ")");
+        ++report->dimensions_folded;
+        *unified = std::move(trial);
+        changed = true;
+        break;
+      }
+      if (changed) break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace quarry::integrator

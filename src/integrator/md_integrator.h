@@ -1,0 +1,109 @@
+#ifndef QUARRY_INTEGRATOR_MD_INTEGRATOR_H_
+#define QUARRY_INTEGRATOR_MD_INTEGRATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mdschema/complexity.h"
+#include "mdschema/md_schema.h"
+#include "ontology/ontology.h"
+
+namespace quarry::integrator {
+
+/// Options steering the MD Schema Integrator's cost-based choices.
+struct MdIntegrationOptions {
+  md::ComplexityWeights weights;
+  /// When true (default), stage 3 folds a dimension into another one's
+  /// hierarchy when its base concept is a functional rollup target of the
+  /// other's top level *and* doing so lowers structural complexity.
+  bool allow_hierarchy_merge = true;
+};
+
+/// What the integrator did and what it cost.
+struct MdIntegrationReport {
+  int facts_merged = 0;
+  int facts_added = 0;
+  int dimensions_conformed = 0;  ///< Matched to an existing dimension.
+  int dimensions_added = 0;
+  int dimensions_folded = 0;     ///< Absorbed as upper hierarchy levels.
+  int measures_added = 0;
+  int attributes_added = 0;
+  /// Structural complexity of the naive side-by-side union, for comparison.
+  double complexity_naive_union = 0;
+  double complexity_after = 0;
+  std::vector<std::string> decisions;  ///< Human-readable stage log.
+  /// partial fact name -> unified fact name (differs when stage 1 merged
+  /// the fact into an existing same-grain fact). The Design Integrator
+  /// uses this to redirect the partial ETL flow's fact loaders.
+  std::map<std::string, std::string> fact_mapping;
+};
+
+/// One candidate unified design, for user-in-the-loop selection (paper
+/// §2.3: the first three stages "gradually match different MD concepts and
+/// explore new DW design alternatives. The last stage considers these
+/// matchings and end-user's feedback").
+struct MdAlternative {
+  std::string description;
+  md::MdSchema schema;
+  double complexity = 0;
+};
+
+/// \brief The MD Schema Integrator (paper §2.3): consolidates a partial MD
+/// schema into the unified one through four stages — matching facts,
+/// matching dimensions, complementing the design, and integration — while
+/// guaranteeing MD-compliant results and minimizing structural design
+/// complexity.
+///
+/// Stage semantics (refs [6] in the paper):
+///  1. *Matching facts*: a partial fact merges into a unified fact with the
+///     same focus concept and the same base (set of referenced level
+///     concepts); measures union (same-name measures must agree on
+///     expression and aggregation).
+///  2. *Matching dimensions*: a partial dimension conforms to a unified
+///     dimension containing a level over the same concept; level
+///     attributes union.
+///  3. *Complementing*: hierarchy folding — a single-level dimension whose
+///     concept is a functional rollup target of another dimension's top
+///     level is offered as an upper level of that dimension; the
+///     complexity cost model accepts or rejects the alternative.
+///  4. *Integration*: apply the chosen alternatives, rewrite fact
+///     dimension references, union requirement traces, and re-validate
+///     soundness (md::CheckSound).
+class MdIntegrator {
+ public:
+  /// The ontology must outlive the integrator.
+  explicit MdIntegrator(const ontology::Ontology* onto,
+                        MdIntegrationOptions options = {})
+      : onto_(onto), options_(options) {}
+
+  /// Integrates `partial` into `unified`. On error `unified` is left
+  /// unchanged.
+  Result<MdIntegrationReport> Integrate(md::MdSchema* unified,
+                                        const md::MdSchema& partial) const;
+
+  /// Enumerates the sound candidate designs for accommodating `partial`
+  /// into `unified`, cheapest (lowest structural complexity) first:
+  ///   1. full integration with hierarchy folding,
+  ///   2. full integration keeping dimensions flat,
+  ///   3. side-by-side union (partial elements renamed on collision) —
+  ///      the "reject all matchings" baseline a reviewer may prefer.
+  /// The first entry is what Integrate() would produce with the current
+  /// options; callers wanting user feedback present the list instead.
+  Result<std::vector<MdAlternative>> ProposeAlternatives(
+      const md::MdSchema& unified, const md::MdSchema& partial) const;
+
+ private:
+  Status IntegrateInto(md::MdSchema* unified, const md::MdSchema& partial,
+                       MdIntegrationReport* report) const;
+  Status FoldHierarchies(md::MdSchema* unified,
+                         MdIntegrationReport* report) const;
+
+  const ontology::Ontology* onto_;
+  MdIntegrationOptions options_;
+};
+
+}  // namespace quarry::integrator
+
+#endif  // QUARRY_INTEGRATOR_MD_INTEGRATOR_H_

@@ -1,0 +1,61 @@
+#include "integrator/satisfiability.h"
+
+namespace quarry::integrator {
+
+Status CheckSatisfies(const md::MdSchema& schema, const etl::Flow& flow,
+                      const req::InformationRequirement& ir) {
+  // Find the fact serving this requirement.
+  const md::Fact* fact = nullptr;
+  for (const md::Fact& f : schema.facts()) {
+    if (f.requirement_ids.count(ir.id) > 0) {
+      fact = &f;
+      break;
+    }
+  }
+  if (fact == nullptr) {
+    return Status::Unsatisfiable("no fact serves requirement '" + ir.id +
+                                 "'");
+  }
+  for (const req::MeasureSpec& m : ir.measures) {
+    const md::Measure* measure = fact->FindMeasure(m.id);
+    if (measure == nullptr || measure->requirement_ids.count(ir.id) == 0) {
+      return Status::Unsatisfiable("fact '" + fact->name +
+                                   "' lost measure '" + m.id +
+                                   "' of requirement '" + ir.id + "'");
+    }
+  }
+  for (const req::DimensionSpec& d : ir.dimensions) {
+    bool found = false;
+    for (const md::DimensionRef& ref : fact->dimension_refs) {
+      auto dim = schema.GetDimension(ref.dimension);
+      if (!dim.ok()) continue;
+      for (const md::Level& level : (*dim)->levels) {
+        for (const md::LevelAttribute& attr : level.attributes) {
+          if (attr.source_property == d.property_id) found = true;
+        }
+      }
+    }
+    if (!found) {
+      return Status::Unsatisfiable("dimension attribute '" + d.property_id +
+                                   "' of requirement '" + ir.id +
+                                   "' is not reachable from fact '" +
+                                   fact->name + "'");
+    }
+  }
+  // The ETL flow must still load the fact's table for this requirement.
+  bool loader_found = false;
+  for (const auto& [id, node] : flow.nodes()) {
+    if (node.type != etl::OpType::kLoader) continue;
+    auto it = node.params.find("table");
+    if (it == node.params.end() || it->second != fact->name) continue;
+    if (node.requirement_ids.count(ir.id) > 0) loader_found = true;
+  }
+  if (!loader_found) {
+    return Status::Unsatisfiable("unified ETL flow has no loader for fact '" +
+                                 fact->name + "' serving requirement '" +
+                                 ir.id + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace quarry::integrator

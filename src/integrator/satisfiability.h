@@ -1,0 +1,29 @@
+#ifndef QUARRY_INTEGRATOR_SATISFIABILITY_H_
+#define QUARRY_INTEGRATOR_SATISFIABILITY_H_
+
+#include "common/result.h"
+#include "etl/flow.h"
+#include "mdschema/md_schema.h"
+#include "requirements/requirement.h"
+
+namespace quarry::integrator {
+
+/// \brief Verifies that a unified design still satisfies one information
+/// requirement (the paper's satisfiability guarantee, §2.3: "at each step
+/// ... Quarry guarantees the soundness of the unified design solutions and
+/// the satisfiability of all requirements processed so far").
+///
+/// Checks, against the unified MD schema:
+///  * some fact is traced to the requirement and carries every requested
+///    measure (by name, traced to the requirement);
+///  * every requested dimension property appears as a level attribute
+///    (matched by source property id) of a dimension referenced by that
+///    fact;
+/// and against the unified ETL flow:
+///  * a Loader traced to the requirement exists for the fact's table.
+Status CheckSatisfies(const md::MdSchema& schema, const etl::Flow& flow,
+                      const req::InformationRequirement& ir);
+
+}  // namespace quarry::integrator
+
+#endif  // QUARRY_INTEGRATOR_SATISFIABILITY_H_

@@ -1,0 +1,396 @@
+#include "interpreter/interpreter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/str_util.h"
+#include "etl/expr.h"
+#include "mdschema/validator.h"
+
+namespace quarry::interpreter {
+
+using etl::Expr;
+using etl::Flow;
+using etl::Node;
+using etl::OpType;
+using ontology::ConceptMapping;
+using ontology::DataProperty;
+using ontology::PathStep;
+using req::InformationRequirement;
+using storage::Value;
+
+namespace {
+
+/// Rewrites every column reference (an ontology property id) to its mapped
+/// source column.
+Result<Expr::Ptr> RewriteToColumns(const Expr::Ptr& expr,
+                                   const ontology::SourceMapping& mapping) {
+  switch (expr->kind()) {
+    case Expr::Kind::kLiteral:
+      return expr;
+    case Expr::Kind::kColumn: {
+      QUARRY_ASSIGN_OR_RETURN(auto pm, mapping.ForProperty(expr->column()));
+      return Expr::Column(pm.column);
+    }
+    case Expr::Kind::kUnary: {
+      QUARRY_ASSIGN_OR_RETURN(Expr::Ptr arg,
+                              RewriteToColumns(expr->args()[0], mapping));
+      return Expr::Unary(expr->op(), arg);
+    }
+    case Expr::Kind::kBinary: {
+      QUARRY_ASSIGN_OR_RETURN(Expr::Ptr lhs,
+                              RewriteToColumns(expr->args()[0], mapping));
+      QUARRY_ASSIGN_OR_RETURN(Expr::Ptr rhs,
+                              RewriteToColumns(expr->args()[1], mapping));
+      return Expr::Binary(expr->op(), lhs, rhs);
+    }
+  }
+  return Status::Internal("corrupt expression");
+}
+
+const char* EtlAggName(md::AggFunc f) {
+  switch (f) {
+    case md::AggFunc::kSum:
+      return "SUM";
+    case md::AggFunc::kAvg:
+      return "AVG";
+    case md::AggFunc::kMin:
+      return "MIN";
+    case md::AggFunc::kMax:
+      return "MAX";
+    case md::AggFunc::kCount:
+      return "COUNT";
+  }
+  return "SUM";
+}
+
+}  // namespace
+
+std::string Interpreter::DimTableName(const std::string& concept_id) {
+  return "dim_" + concept_id;
+}
+
+std::string Interpreter::FactTableName(const InformationRequirement& ir) {
+  std::string base = ir.name.empty() ? ir.id : ir.name;
+  if (StartsWith(base, "fact")) return base;
+  return "fact_table_" + base;
+}
+
+Result<PartialDesign> Interpreter::Interpret(
+    const InformationRequirement& ir) const {
+  if (ir.id.empty()) {
+    return Status::InvalidArgument("requirement has no id");
+  }
+  if (ir.measures.empty()) {
+    return Status::Unsatisfiable("requirement '" + ir.id +
+                                 "' requests no measures");
+  }
+  if (ir.dimensions.empty()) {
+    return Status::Unsatisfiable("requirement '" + ir.id +
+                                 "' requests no dimensions");
+  }
+
+  // ---- resolve the focus concept ----------------------------------------
+  std::string focus = ir.focus_concept;
+  if (focus.empty()) {
+    // Derive from the first measure's first property.
+    QUARRY_ASSIGN_OR_RETURN(Expr::Ptr e,
+                            etl::ParseExpr(ir.measures[0].expression));
+    auto columns = e->ReferencedColumns();
+    if (columns.empty()) {
+      return Status::Unsatisfiable(
+          "requirement '" + ir.id +
+          "' has a constant measure and no explicit focus concept");
+    }
+    QUARRY_ASSIGN_OR_RETURN(DataProperty p,
+                            onto_->GetProperty(*columns.begin()));
+    focus = p.concept_id;
+  }
+  QUARRY_RETURN_NOT_OK(onto_->GetConcept(focus).status());
+
+  // ---- tag concepts and find functional paths ---------------------------
+  std::map<std::string, std::vector<PathStep>> paths;
+  auto need_concept = [&](const std::string& concept_id) -> Status {
+    if (paths.count(concept_id) > 0) return Status::OK();
+    auto path = onto_->FindFunctionalPath(focus, concept_id);
+    if (!path.ok()) {
+      return path.status().WithContext(
+          "requirement '" + ir.id + "' violates summarizability");
+    }
+    paths[concept_id] = std::move(*path);
+    return Status::OK();
+  };
+  QUARRY_RETURN_NOT_OK(need_concept(focus));
+
+  // Group requested dimension attributes per owning concept.
+  std::map<std::string, std::vector<DataProperty>> dim_attrs;
+  for (const req::DimensionSpec& d : ir.dimensions) {
+    QUARRY_ASSIGN_OR_RETURN(DataProperty p, onto_->GetProperty(d.property_id));
+    QUARRY_RETURN_NOT_OK(need_concept(p.concept_id));
+    auto& attrs = dim_attrs[p.concept_id];
+    if (std::none_of(attrs.begin(), attrs.end(),
+                     [&](const DataProperty& e) { return e.id == p.id; })) {
+      attrs.push_back(p);
+    }
+  }
+
+  // Parse measures, resolve their properties and rewrite to source columns.
+  struct MeasureInfo {
+    req::MeasureSpec spec;
+    std::string column_expression;
+  };
+  std::vector<MeasureInfo> measures;
+  std::set<std::string> measure_ids;
+  for (const req::MeasureSpec& m : ir.measures) {
+    if (!measure_ids.insert(m.id).second) {
+      return Status::InvalidArgument("duplicate measure id '" + m.id +
+                                     "' in requirement '" + ir.id + "'");
+    }
+    QUARRY_ASSIGN_OR_RETURN(Expr::Ptr expr, etl::ParseExpr(m.expression));
+    for (const std::string& property_id : expr->ReferencedColumns()) {
+      QUARRY_ASSIGN_OR_RETURN(DataProperty p,
+                              onto_->GetProperty(property_id));
+      if (!p.is_numeric()) {
+        return Status::ValidationError("measure '" + m.id +
+                                       "' uses non-numeric property '" +
+                                       property_id + "'");
+      }
+      QUARRY_RETURN_NOT_OK(need_concept(p.concept_id));
+    }
+    QUARRY_ASSIGN_OR_RETURN(Expr::Ptr rewritten,
+                            RewriteToColumns(expr, *mapping_));
+    measures.push_back({m, rewritten->ToString()});
+  }
+
+  // Slicers: resolve property, type the literal, build predicate text.
+  struct SlicerInfo {
+    std::string column;
+    std::string predicate;
+  };
+  std::vector<SlicerInfo> slicers;
+  for (const req::Slicer& s : ir.slicers) {
+    QUARRY_ASSIGN_OR_RETURN(DataProperty p, onto_->GetProperty(s.property_id));
+    QUARRY_RETURN_NOT_OK(need_concept(p.concept_id));
+    QUARRY_ASSIGN_OR_RETURN(auto pm, mapping_->ForProperty(s.property_id));
+    QUARRY_ASSIGN_OR_RETURN(Value literal, Value::Parse(s.value, p.type));
+    Expr::Ptr predicate = Expr::Binary(s.op, Expr::Column(pm.column),
+                                       Expr::Literal(std::move(literal)));
+    slicers.push_back({pm.column, predicate->ToString()});
+  }
+
+  // ---- partial MD schema --------------------------------------------------
+  md::MdSchema schema(ir.id);
+  for (const auto& [concept_id, attrs] : dim_attrs) {
+    md::Dimension dim;
+    dim.name = concept_id;
+    dim.requirement_ids = {ir.id};
+    md::Level level;
+    level.name = concept_id;
+    level.concept_id = concept_id;
+    level.requirement_ids = {ir.id};
+    for (const DataProperty& p : attrs) {
+      QUARRY_ASSIGN_OR_RETURN(auto pm, mapping_->ForProperty(p.id));
+      level.attributes.push_back({pm.column, p.type, p.id});
+    }
+    dim.levels.push_back(std::move(level));
+    QUARRY_RETURN_NOT_OK(schema.AddDimension(std::move(dim)));
+  }
+  md::Fact fact;
+  fact.name = FactTableName(ir);
+  fact.concept_id = focus;
+  fact.requirement_ids = {ir.id};
+  for (const MeasureInfo& m : measures) {
+    md::Measure measure;
+    measure.name = m.spec.id;
+    measure.expression = m.spec.expression;  // Property-id form in xMD.
+    measure.aggregation = m.spec.aggregation;
+    measure.requirement_ids = {ir.id};
+    fact.measures.push_back(std::move(measure));
+  }
+  for (const auto& [concept_id, attrs] : dim_attrs) {
+    fact.dimension_refs.push_back({concept_id, concept_id});
+  }
+  QUARRY_RETURN_NOT_OK(schema.AddFact(std::move(fact)));
+  QUARRY_RETURN_NOT_OK(md::CheckSound(schema, onto_));
+
+  // ---- partial ETL flow ----------------------------------------------------
+  Flow flow(ir.id);
+  auto trace = [&](Node node) {
+    node.requirement_ids = {ir.id};
+    return node;
+  };
+  // Shared DATASTORE_/EXTRACTION_ pair per source table.
+  auto ensure_extraction = [&](const std::string& table)
+      -> Result<std::string> {
+    std::string ds_id = "DATASTORE_" + table;
+    std::string ex_id = "EXTRACTION_" + table;
+    if (!flow.HasNode(ds_id)) {
+      Node ds;
+      ds.id = ds_id;
+      ds.type = OpType::kDatastore;
+      ds.params["table"] = table;
+      QUARRY_RETURN_NOT_OK(flow.AddNode(trace(std::move(ds))));
+      Node ex;
+      ex.id = ex_id;
+      ex.type = OpType::kExtraction;
+      ex.params["table"] = table;
+      QUARRY_RETURN_NOT_OK(flow.AddNode(trace(std::move(ex))));
+      QUARRY_RETURN_NOT_OK(flow.AddEdge(ds_id, ex_id));
+    }
+    return ex_id;
+  };
+
+  QUARRY_ASSIGN_OR_RETURN(ConceptMapping focus_map,
+                          mapping_->ForConcept(focus));
+  QUARRY_ASSIGN_OR_RETURN(std::string current,
+                          ensure_extraction(focus_map.table));
+
+  // Left-deep join tree over the union of all functional paths; shorter
+  // paths first so every step's source concept is already joined.
+  std::vector<std::pair<std::string, const std::vector<PathStep>*>> ordered;
+  for (const auto& [concept_id, path] : paths) {
+    ordered.emplace_back(concept_id, &path);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    if (a.second->size() != b.second->size()) {
+      return a.second->size() < b.second->size();
+    }
+    return a.first < b.first;
+  });
+  std::set<std::string> joined{focus};
+  for (const auto& [concept_id, path] : ordered) {
+    for (const PathStep& step : *path) {
+      if (joined.count(step.to_concept) > 0) continue;
+      QUARRY_ASSIGN_OR_RETURN(auto assoc_map,
+                              mapping_->ForAssociation(step.association_id));
+      QUARRY_ASSIGN_OR_RETURN(ConceptMapping to_map,
+                              mapping_->ForConcept(step.to_concept));
+      QUARRY_ASSIGN_OR_RETURN(std::string ex_to,
+                              ensure_extraction(to_map.table));
+      Node join;
+      join.id = "JOIN_" + step.association_id;
+      join.type = OpType::kJoin;
+      join.params["left"] = Join(
+          step.forward ? assoc_map.from_columns : assoc_map.to_columns, ",");
+      join.params["right"] = Join(
+          step.forward ? assoc_map.to_columns : assoc_map.from_columns, ",");
+      QUARRY_RETURN_NOT_OK(flow.AddNode(trace(std::move(join))));
+      QUARRY_RETURN_NOT_OK(flow.AddEdge(current, "JOIN_" +
+                                                     step.association_id));
+      QUARRY_RETURN_NOT_OK(
+          flow.AddEdge(ex_to, "JOIN_" + step.association_id));
+      current = "JOIN_" + step.association_id;
+      joined.insert(step.to_concept);
+    }
+  }
+
+  // Slicer selections (after the join tree; the integrator pushes down).
+  for (size_t i = 0; i < slicers.size(); ++i) {
+    Node sel;
+    sel.id = "SELECTION_" + std::to_string(i) + "_" + slicers[i].column;
+    sel.type = OpType::kSelection;
+    sel.params["predicate"] = slicers[i].predicate;
+    std::string id = sel.id;
+    QUARRY_RETURN_NOT_OK(flow.AddNode(trace(std::move(sel))));
+    QUARRY_RETURN_NOT_OK(flow.AddEdge(current, id));
+    current = id;
+  }
+
+  // Measure computations.
+  for (const MeasureInfo& m : measures) {
+    Node fn;
+    fn.id = "FUNCTION_" + m.spec.id;
+    fn.type = OpType::kFunction;
+    fn.params["column"] = m.spec.id;
+    fn.params["expr"] = m.column_expression;
+    std::string id = fn.id;
+    QUARRY_RETURN_NOT_OK(flow.AddNode(trace(std::move(fn))));
+    QUARRY_RETURN_NOT_OK(flow.AddEdge(current, id));
+    current = id;
+  }
+
+  // Fact branch: project grain + measures, aggregate, load.
+  std::vector<std::string> grain_columns;
+  for (const auto& [concept_id, attrs] : dim_attrs) {
+    QUARRY_ASSIGN_OR_RETURN(ConceptMapping cm,
+                            mapping_->ForConcept(concept_id));
+    for (const std::string& key : cm.key_columns) {
+      if (std::find(grain_columns.begin(), grain_columns.end(), key) ==
+          grain_columns.end()) {
+        grain_columns.push_back(key);
+      }
+    }
+  }
+  std::string fact_table = FactTableName(ir);
+  {
+    std::vector<std::string> projected = grain_columns;
+    std::vector<std::string> agg_parts;
+    for (const MeasureInfo& m : measures) {
+      projected.push_back(m.spec.id);
+      agg_parts.push_back(std::string(EtlAggName(m.spec.aggregation)) + "(" +
+                          m.spec.id + ") AS " + m.spec.id);
+    }
+    Node proj;
+    proj.id = "PROJECT_" + fact_table;
+    proj.type = OpType::kProjection;
+    proj.params["columns"] = Join(projected, ",");
+    QUARRY_RETURN_NOT_OK(flow.AddNode(trace(std::move(proj))));
+    QUARRY_RETURN_NOT_OK(flow.AddEdge(current, "PROJECT_" + fact_table));
+
+    Node agg;
+    agg.id = "AGG_" + fact_table;
+    agg.type = OpType::kAggregation;
+    agg.params["group"] = Join(grain_columns, ",");
+    agg.params["aggs"] = Join(agg_parts, ";");
+    QUARRY_RETURN_NOT_OK(flow.AddNode(trace(std::move(agg))));
+    QUARRY_RETURN_NOT_OK(
+        flow.AddEdge("PROJECT_" + fact_table, "AGG_" + fact_table));
+
+    Node load;
+    load.id = "LOAD_" + fact_table;
+    load.type = OpType::kLoader;
+    load.params["table"] = fact_table;
+    load.params["keys"] = Join(grain_columns, ",");
+    QUARRY_RETURN_NOT_OK(flow.AddNode(trace(std::move(load))));
+    QUARRY_RETURN_NOT_OK(
+        flow.AddEdge("AGG_" + fact_table, "LOAD_" + fact_table));
+  }
+
+  // Dimension branches: straight from each concept's own extraction.
+  for (const auto& [concept_id, attrs] : dim_attrs) {
+    QUARRY_ASSIGN_OR_RETURN(ConceptMapping cm,
+                            mapping_->ForConcept(concept_id));
+    QUARRY_ASSIGN_OR_RETURN(std::string ex_id, ensure_extraction(cm.table));
+    std::vector<std::string> projected = cm.key_columns;
+    for (const DataProperty& p : attrs) {
+      QUARRY_ASSIGN_OR_RETURN(auto pm, mapping_->ForProperty(p.id));
+      if (std::find(projected.begin(), projected.end(), pm.column) ==
+          projected.end()) {
+        projected.push_back(pm.column);
+      }
+    }
+    std::string dim_table = DimTableName(concept_id);
+    Node proj;
+    proj.id = "PROJECT_" + dim_table;
+    proj.type = OpType::kProjection;
+    proj.params["columns"] = Join(projected, ",");
+    QUARRY_RETURN_NOT_OK(flow.AddNode(trace(std::move(proj))));
+    QUARRY_RETURN_NOT_OK(flow.AddEdge(ex_id, "PROJECT_" + dim_table));
+    Node load;
+    load.id = "LOAD_" + dim_table;
+    load.type = OpType::kLoader;
+    load.params["table"] = dim_table;
+    load.params["keys"] = Join(cm.key_columns, ",");
+    QUARRY_RETURN_NOT_OK(flow.AddNode(trace(std::move(load))));
+    QUARRY_RETURN_NOT_OK(
+        flow.AddEdge("PROJECT_" + dim_table, "LOAD_" + dim_table));
+  }
+
+  QUARRY_RETURN_NOT_OK(
+      flow.Validate().WithContext("generated flow for '" + ir.id + "'"));
+  return PartialDesign{std::move(schema), std::move(flow)};
+}
+
+}  // namespace quarry::interpreter

@@ -1,0 +1,70 @@
+#ifndef QUARRY_INTERPRETER_INTERPRETER_H_
+#define QUARRY_INTERPRETER_INTERPRETER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "etl/flow.h"
+#include "mdschema/md_schema.h"
+#include "ontology/mapping.h"
+#include "ontology/ontology.h"
+#include "requirements/requirement.h"
+
+namespace quarry::interpreter {
+
+/// A validated partial design: the MD schema and ETL process satisfying one
+/// information requirement (paper §2.2, Fig. 4 right side).
+struct PartialDesign {
+  md::MdSchema schema;
+  etl::Flow flow;
+};
+
+/// \brief The Requirements Interpreter (paper §2.2): maps an information
+/// requirement onto the data sources through the domain ontology and its
+/// source schema mappings, validates its MD role assignment, and generates
+/// a partial MD schema (xMD) plus a partial ETL flow (xLM) — the GEM
+/// algorithm of ref [11], reimplemented.
+///
+/// Validation performed (failures are kValidationError / kUnsatisfiable):
+///  * every referenced property exists and is mapped to a source column;
+///  * each dimension / slicer property's concept is reachable from the
+///    focus concept through a functional (to-one) path — the
+///    summarizability precondition;
+///  * measure expressions are parseable and purely numeric-property-based;
+///  * the produced MD schema passes md::CheckSound.
+///
+/// Generated ETL shape (one flow per requirement):
+///  * shared DATASTORE_/EXTRACTION_ nodes per source table;
+///  * a left-deep join tree from the focus table following the functional
+///    paths (one JOIN per association hop, reused across dimensions);
+///  * SELECTION nodes for slicers applied after the join tree (the ETL
+///    Process Integrator later pushes them down via equivalence rules);
+///  * FUNCTION nodes computing each measure;
+///  * per-dimension branches projecting key + attribute columns into
+///    idempotent dim loaders, and a fact branch projecting, aggregating to
+///    the fact's grain, and loading the fact table.
+class Interpreter {
+ public:
+  /// Both pointers must outlive the interpreter.
+  Interpreter(const ontology::Ontology* onto,
+              const ontology::SourceMapping* mapping)
+      : onto_(onto), mapping_(mapping) {}
+
+  /// Translates one requirement into a validated partial design.
+  Result<PartialDesign> Interpret(
+      const req::InformationRequirement& ir) const;
+
+  /// Target table name for a dimension concept ("dim_<Concept>").
+  static std::string DimTableName(const std::string& concept_id);
+
+  /// Target fact table name for a requirement ("fact_table_<name>").
+  static std::string FactTableName(const req::InformationRequirement& ir);
+
+ private:
+  const ontology::Ontology* onto_;
+  const ontology::SourceMapping* mapping_;
+};
+
+}  // namespace quarry::interpreter
+
+#endif  // QUARRY_INTERPRETER_INTERPRETER_H_

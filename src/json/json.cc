@@ -1,0 +1,365 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace quarry::json {
+
+const Value* Value::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::Set(const std::string& key, Value value) {
+  if (is_null()) data_ = Object{};
+  Object& obj = as_object();
+  for (auto& [k, v] : obj) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  obj.emplace_back(key, std::move(value));
+}
+
+std::string Value::GetString(std::string_view key,
+                             std::string fallback) const {
+  const Value* v = Find(key);
+  if (v == nullptr || !v->is_string()) return fallback;
+  return v->as_string();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<Value> ParseDocument() {
+    QUARRY_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != input_.size()) {
+      return Status::ParseError("trailing content after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  bool Match(char c) {
+    if (!AtEnd() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchWord(std::string_view word) {
+    if (input_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    SkipWhitespace();
+    if (AtEnd()) return Status::ParseError("unexpected end of JSON input");
+    char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      QUARRY_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Value(std::move(s));
+    }
+    if (MatchWord("true")) return Value(true);
+    if (MatchWord("false")) return Value(false);
+    if (MatchWord("null")) return Value(nullptr);
+    return ParseNumber();
+  }
+
+  Result<Value> ParseObject() {
+    ++pos_;  // '{'
+    Object obj;
+    SkipWhitespace();
+    if (Match('}')) return Value(std::move(obj));
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return Status::ParseError("expected object key string");
+      }
+      QUARRY_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Match(':')) return Status::ParseError("expected ':' in object");
+      QUARRY_ASSIGN_OR_RETURN(Value v, ParseValue());
+      obj.emplace_back(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Match(',')) continue;
+      if (Match('}')) break;
+      return Status::ParseError("expected ',' or '}' in object");
+    }
+    return Value(std::move(obj));
+  }
+
+  Result<Value> ParseArray() {
+    ++pos_;  // '['
+    Array arr;
+    SkipWhitespace();
+    if (Match(']')) return Value(std::move(arr));
+    while (true) {
+      QUARRY_ASSIGN_OR_RETURN(Value v, ParseValue());
+      arr.push_back(std::move(v));
+      SkipWhitespace();
+      if (Match(',')) continue;
+      if (Match(']')) break;
+      return Status::ParseError("expected ',' or ']' in array");
+    }
+    return Value(std::move(arr));
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Status::ParseError("unterminated string");
+      char c = Peek();
+      ++pos_;
+      if (c == '"') break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Status::ParseError("unterminated escape");
+      char e = Peek();
+      ++pos_;
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > input_.size()) {
+            return Status::ParseError("truncated \\u escape");
+          }
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = input_[pos_ + i];
+            int digit;
+            if (h >= '0' && h <= '9') {
+              digit = h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              digit = h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              digit = h - 'A' + 10;
+            } else {
+              return Status::ParseError("bad hex digit in \\u escape");
+            }
+            code = code * 16 + digit;
+          }
+          pos_ += 4;
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::ParseError("unknown escape \\" + std::string(1, e));
+      }
+    }
+    return out;
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (!AtEnd() && (Peek() == '-' || Peek() == '+')) ++pos_;
+    bool is_double = false;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view token = input_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      return Status::ParseError("invalid number");
+    }
+    if (is_double) {
+      double d = 0;
+      auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), d);
+      if (ec != std::errc() || ptr != token.data() + token.size()) {
+        return Status::ParseError("invalid number '" + std::string(token) +
+                                  "'");
+      }
+      return Value(d);
+    }
+    int64_t i = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), i);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Status::ParseError("invalid integer '" + std::string(token) +
+                                "'");
+    }
+    return Value(i);
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+void WriteString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void WriteValue(const Value& value, bool pretty, int depth, std::string* out) {
+  const std::string indent = pretty ? std::string(2 * (depth + 1), ' ') : "";
+  const std::string closing_indent = pretty ? std::string(2 * depth, ' ') : "";
+  const char* newline = pretty ? "\n" : "";
+  if (value.is_null()) {
+    out->append("null");
+  } else if (value.is_bool()) {
+    out->append(value.as_bool() ? "true" : "false");
+  } else if (value.is_int()) {
+    out->append(std::to_string(value.as_int()));
+  } else if (value.is_double()) {
+    double d = value.as_double();
+    if (std::isfinite(d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out->append(buf);
+    } else {
+      out->append("null");  // JSON has no Inf/NaN.
+    }
+  } else if (value.is_string()) {
+    WriteString(value.as_string(), out);
+  } else if (value.is_array()) {
+    const Array& arr = value.as_array();
+    if (arr.empty()) {
+      out->append("[]");
+      return;
+    }
+    out->push_back('[');
+    out->append(newline);
+    for (size_t i = 0; i < arr.size(); ++i) {
+      out->append(indent);
+      WriteValue(arr[i], pretty, depth + 1, out);
+      if (i + 1 < arr.size()) out->push_back(',');
+      out->append(newline);
+    }
+    out->append(closing_indent);
+    out->push_back(']');
+  } else {
+    const Object& obj = value.as_object();
+    if (obj.empty()) {
+      out->append("{}");
+      return;
+    }
+    out->push_back('{');
+    out->append(newline);
+    for (size_t i = 0; i < obj.size(); ++i) {
+      out->append(indent);
+      WriteString(obj[i].first, out);
+      out->push_back(':');
+      if (pretty) out->push_back(' ');
+      WriteValue(obj[i].second, pretty, depth + 1, out);
+      if (i + 1 < obj.size()) out->push_back(',');
+      out->append(newline);
+    }
+    out->append(closing_indent);
+    out->push_back('}');
+  }
+}
+
+}  // namespace
+
+Result<Value> Parse(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+std::string Write(const Value& value, bool pretty) {
+  std::string out;
+  WriteValue(value, pretty, 0, &out);
+  return out;
+}
+
+}  // namespace quarry::json

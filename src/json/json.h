@@ -1,0 +1,89 @@
+#ifndef QUARRY_JSON_JSON_H_
+#define QUARRY_JSON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace quarry::json {
+
+class Value;
+
+/// Objects keep insertion order (documents written to the repository must
+/// round-trip byte-stably), so they are stored as ordered key/value vectors
+/// with linear lookup; repository documents are small.
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+/// \brief A JSON value (null, bool, number, string, array or object).
+///
+/// Numbers are stored as int64 when the literal has no fraction/exponent,
+/// double otherwise.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}          // NOLINT
+  Value(bool b) : data_(b) {}                        // NOLINT
+  Value(int64_t i) : data_(i) {}                     // NOLINT
+  Value(int i) : data_(static_cast<int64_t>(i)) {}   // NOLINT
+  Value(double d) : data_(d) {}                      // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}      // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}    // NOLINT
+  Value(Array a) : data_(std::move(a)) {}            // NOLINT
+  Value(Object o) : data_(std::move(o)) {}           // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(data_))
+                    : std::get<double>(data_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  /// Object field lookup; returns nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  /// Sets (or overwrites) an object field. Converts a null value to an
+  /// empty object first; any other non-object type is a logic error.
+  void Set(const std::string& key, Value value);
+
+  /// Convenience: string field or fallback.
+  std::string GetString(std::string_view key, std::string fallback = "") const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+/// Parses a JSON document.
+Result<Value> Parse(std::string_view input);
+
+/// Serializes a value; `pretty` indents with two spaces.
+std::string Write(const Value& value, bool pretty = false);
+
+}  // namespace quarry::json
+
+#endif  // QUARRY_JSON_JSON_H_

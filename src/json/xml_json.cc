@@ -1,0 +1,68 @@
+#include "json/xml_json.h"
+
+namespace quarry::json {
+
+Value XmlToJson(const xml::Element& element) {
+  Object obj;
+  obj.emplace_back("tag", Value(element.name()));
+  if (!element.attributes().empty()) {
+    Object attrs;
+    for (const auto& [k, v] : element.attributes()) {
+      attrs.emplace_back(k, Value(v));
+    }
+    obj.emplace_back("attrs", Value(std::move(attrs)));
+  }
+  if (!element.text().empty()) {
+    obj.emplace_back("text", Value(element.text()));
+  }
+  if (!element.children().empty()) {
+    Array children;
+    children.reserve(element.children().size());
+    for (const auto& child : element.children()) {
+      children.push_back(XmlToJson(*child));
+    }
+    obj.emplace_back("children", Value(std::move(children)));
+  }
+  return Value(std::move(obj));
+}
+
+Result<std::unique_ptr<xml::Element>> JsonToXml(const Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("XML-JSON value must be an object");
+  }
+  const Value* tag = value.Find("tag");
+  if (tag == nullptr || !tag->is_string()) {
+    return Status::InvalidArgument("XML-JSON object lacks a string 'tag'");
+  }
+  auto element = std::make_unique<xml::Element>(tag->as_string());
+  if (const Value* attrs = value.Find("attrs"); attrs != nullptr) {
+    if (!attrs->is_object()) {
+      return Status::InvalidArgument("'attrs' must be an object");
+    }
+    for (const auto& [k, v] : attrs->as_object()) {
+      if (!v.is_string()) {
+        return Status::InvalidArgument("attribute '" + k +
+                                       "' must be a string");
+      }
+      element->SetAttr(k, v.as_string());
+    }
+  }
+  if (const Value* text = value.Find("text"); text != nullptr) {
+    if (!text->is_string()) {
+      return Status::InvalidArgument("'text' must be a string");
+    }
+    element->set_text(text->as_string());
+  }
+  if (const Value* children = value.Find("children"); children != nullptr) {
+    if (!children->is_array()) {
+      return Status::InvalidArgument("'children' must be an array");
+    }
+    for (const Value& child : children->as_array()) {
+      QUARRY_ASSIGN_OR_RETURN(auto child_element, JsonToXml(child));
+      element->Adopt(std::move(child_element));
+    }
+  }
+  return element;
+}
+
+}  // namespace quarry::json

@@ -1,0 +1,33 @@
+#ifndef QUARRY_JSON_XML_JSON_H_
+#define QUARRY_JSON_XML_JSON_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "json/json.h"
+#include "xml/xml.h"
+
+namespace quarry::json {
+
+/// \brief Generic, lossless XML<->JSON<->XML bridge.
+///
+/// The Quarry paper's Communication & Metadata layer stores XML artifacts
+/// (xRQ / xMD / xLM documents, ontologies) in a document store "using a
+/// generic XML-JSON-XML parser". This is that bridge. An element becomes:
+///
+/// \code{.json}
+///   {"tag": "node", "attrs": {"id": "n1"}, "text": "...",
+///    "children": [ ... ]}
+/// \endcode
+///
+/// with empty `attrs`/`text`/`children` omitted, so that
+/// `JsonToXml(XmlToJson(e))` is structurally identical to `e`
+/// (xml::DeepEqual).
+Value XmlToJson(const xml::Element& element);
+
+/// Inverse of XmlToJson. Fails when the value does not follow the mapping.
+Result<std::unique_ptr<xml::Element>> JsonToXml(const Value& value);
+
+}  // namespace quarry::json
+
+#endif  // QUARRY_JSON_XML_JSON_H_

@@ -1,0 +1,34 @@
+#include "mdschema/complexity.h"
+
+namespace quarry::md {
+
+ComplexityReport StructuralComplexity(const MdSchema& schema,
+                                      const ComplexityWeights& weights) {
+  ComplexityReport report;
+  for (const Fact& fact : schema.facts()) {
+    ++report.facts;
+    report.measures += static_cast<int>(fact.measures.size());
+    report.fact_dimension_edges +=
+        static_cast<int>(fact.dimension_refs.size());
+  }
+  for (const Dimension& dim : schema.dimensions()) {
+    ++report.dimensions;
+    report.levels += static_cast<int>(dim.levels.size());
+    if (!dim.levels.empty()) {
+      report.rollup_edges += static_cast<int>(dim.levels.size()) - 1;
+    }
+    for (const Level& level : dim.levels) {
+      report.attributes += static_cast<int>(level.attributes.size());
+    }
+  }
+  report.score = weights.fact * report.facts +
+                 weights.dimension * report.dimensions +
+                 weights.level * report.levels +
+                 weights.attribute * report.attributes +
+                 weights.measure * report.measures +
+                 weights.fact_dimension_edge * report.fact_dimension_edges +
+                 weights.rollup_edge * report.rollup_edges;
+  return report;
+}
+
+}  // namespace quarry::md

@@ -1,0 +1,42 @@
+#ifndef QUARRY_MDSCHEMA_COMPLEXITY_H_
+#define QUARRY_MDSCHEMA_COMPLEXITY_H_
+
+#include "mdschema/md_schema.h"
+
+namespace quarry::md {
+
+/// \brief Weights of the structural-design-complexity cost model — the
+/// example quality factor the paper names for MD schemas (§2.3, §3).
+///
+/// The score is a weighted element count: schemas with fewer, more shared
+/// (conformed) design elements score lower. The MD Schema Integrator picks
+/// the integration alternative minimizing this score.
+struct ComplexityWeights {
+  double fact = 3.0;
+  double dimension = 2.0;
+  double level = 1.5;
+  double attribute = 0.25;
+  double measure = 1.0;
+  double fact_dimension_edge = 1.0;  ///< Per DimensionRef.
+  double rollup_edge = 0.75;         ///< Per adjacent level pair.
+};
+
+/// Element counts plus the weighted score.
+struct ComplexityReport {
+  int facts = 0;
+  int dimensions = 0;
+  int levels = 0;
+  int attributes = 0;
+  int measures = 0;
+  int fact_dimension_edges = 0;
+  int rollup_edges = 0;
+  double score = 0;
+};
+
+/// Computes the structural complexity of `schema`.
+ComplexityReport StructuralComplexity(
+    const MdSchema& schema, const ComplexityWeights& weights = {});
+
+}  // namespace quarry::md
+
+#endif  // QUARRY_MDSCHEMA_COMPLEXITY_H_

@@ -1,0 +1,368 @@
+#include "mdschema/md_schema.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace quarry::md {
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVERAGE";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kCount:
+      return "COUNT";
+  }
+  return "UNKNOWN";
+}
+
+const char* AggFuncToEtlName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kCount:
+      return "COUNT";
+  }
+  return "SUM";
+}
+
+Result<AggFunc> AggFuncFromString(const std::string& text) {
+  std::string upper = ToUpper(text);
+  if (upper == "SUM") return AggFunc::kSum;
+  if (upper == "AVERAGE" || upper == "AVG") return AggFunc::kAvg;
+  if (upper == "MIN") return AggFunc::kMin;
+  if (upper == "MAX") return AggFunc::kMax;
+  if (upper == "COUNT") return AggFunc::kCount;
+  return Status::ParseError("unknown aggregation function '" + text + "'");
+}
+
+const Level* Dimension::FindLevel(const std::string& level_name) const {
+  for (const Level& level : levels) {
+    if (level.name == level_name) return &level;
+  }
+  return nullptr;
+}
+
+Level* Dimension::FindLevel(const std::string& level_name) {
+  for (Level& level : levels) {
+    if (level.name == level_name) return &level;
+  }
+  return nullptr;
+}
+
+const Measure* Fact::FindMeasure(const std::string& measure_name) const {
+  for (const Measure& m : measures) {
+    if (m.name == measure_name) return &m;
+  }
+  return nullptr;
+}
+
+Status MdSchema::AddFact(Fact fact) {
+  for (const Fact& f : facts_) {
+    if (f.name == fact.name) {
+      return Status::AlreadyExists("fact '" + fact.name + "'");
+    }
+  }
+  facts_.push_back(std::move(fact));
+  return Status::OK();
+}
+
+Status MdSchema::AddDimension(Dimension dimension) {
+  for (const Dimension& d : dimensions_) {
+    if (d.name == dimension.name) {
+      return Status::AlreadyExists("dimension '" + dimension.name + "'");
+    }
+  }
+  dimensions_.push_back(std::move(dimension));
+  return Status::OK();
+}
+
+Result<const Fact*> MdSchema::GetFact(const std::string& name) const {
+  for (const Fact& f : facts_) {
+    if (f.name == name) return &f;
+  }
+  return Status::NotFound("fact '" + name + "'");
+}
+
+Result<Fact*> MdSchema::GetMutableFact(const std::string& name) {
+  for (Fact& f : facts_) {
+    if (f.name == name) return &f;
+  }
+  return Status::NotFound("fact '" + name + "'");
+}
+
+Result<const Dimension*> MdSchema::GetDimension(
+    const std::string& name) const {
+  for (const Dimension& d : dimensions_) {
+    if (d.name == name) return &d;
+  }
+  return Status::NotFound("dimension '" + name + "'");
+}
+
+Result<Dimension*> MdSchema::GetMutableDimension(const std::string& name) {
+  for (Dimension& d : dimensions_) {
+    if (d.name == name) return &d;
+  }
+  return Status::NotFound("dimension '" + name + "'");
+}
+
+Status MdSchema::RemoveFact(const std::string& name) {
+  auto it = std::find_if(facts_.begin(), facts_.end(),
+                         [&](const Fact& f) { return f.name == name; });
+  if (it == facts_.end()) return Status::NotFound("fact '" + name + "'");
+  facts_.erase(it);
+  return Status::OK();
+}
+
+Status MdSchema::RemoveDimension(const std::string& name) {
+  auto it =
+      std::find_if(dimensions_.begin(), dimensions_.end(),
+                   [&](const Dimension& d) { return d.name == name; });
+  if (it == dimensions_.end()) {
+    return Status::NotFound("dimension '" + name + "'");
+  }
+  dimensions_.erase(it);
+  return Status::OK();
+}
+
+std::set<std::string> MdSchema::RequirementIds() const {
+  std::set<std::string> out;
+  for (const Fact& f : facts_) {
+    out.insert(f.requirement_ids.begin(), f.requirement_ids.end());
+    for (const Measure& m : f.measures) {
+      out.insert(m.requirement_ids.begin(), m.requirement_ids.end());
+    }
+  }
+  for (const Dimension& d : dimensions_) {
+    out.insert(d.requirement_ids.begin(), d.requirement_ids.end());
+  }
+  return out;
+}
+
+size_t MdSchema::PruneRequirement(const std::string& requirement_id) {
+  size_t removed = 0;
+  // Measures first, then facts, then dimensions (so a dimension only
+  // referenced by removed facts can go too).
+  for (auto fact_it = facts_.begin(); fact_it != facts_.end();) {
+    Fact& fact = *fact_it;
+    fact.requirement_ids.erase(requirement_id);
+    for (auto m_it = fact.measures.begin(); m_it != fact.measures.end();) {
+      m_it->requirement_ids.erase(requirement_id);
+      if (m_it->requirement_ids.empty()) {
+        m_it = fact.measures.erase(m_it);
+        ++removed;
+      } else {
+        ++m_it;
+      }
+    }
+    if (fact.requirement_ids.empty() || fact.measures.empty()) {
+      fact_it = facts_.erase(fact_it);
+      ++removed;
+    } else {
+      ++fact_it;
+    }
+  }
+  // A dimension survives if some remaining fact references it or its trace
+  // still names a live requirement; within a surviving dimension, levels
+  // whose own trace empties out (and that no fact references) are pruned —
+  // e.g. an upper level folded in for a now-removed requirement.
+  auto referenced = [&](const std::string& dim_name) {
+    for (const Fact& f : facts_) {
+      for (const DimensionRef& ref : f.dimension_refs) {
+        if (ref.dimension == dim_name) return true;
+      }
+    }
+    return false;
+  };
+  auto level_referenced = [&](const std::string& dim_name,
+                              const std::string& level_name) {
+    for (const Fact& f : facts_) {
+      for (const DimensionRef& ref : f.dimension_refs) {
+        if (ref.dimension == dim_name && ref.level == level_name) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  for (auto d_it = dimensions_.begin(); d_it != dimensions_.end();) {
+    d_it->requirement_ids.erase(requirement_id);
+    for (auto l_it = d_it->levels.begin(); l_it != d_it->levels.end();) {
+      l_it->requirement_ids.erase(requirement_id);
+      if (l_it->requirement_ids.empty() &&
+          !level_referenced(d_it->name, l_it->name)) {
+        l_it = d_it->levels.erase(l_it);
+        ++removed;
+      } else {
+        ++l_it;
+      }
+    }
+    if ((d_it->requirement_ids.empty() && !referenced(d_it->name)) ||
+        d_it->levels.empty()) {
+      d_it = dimensions_.erase(d_it);
+      ++removed;
+    } else {
+      ++d_it;
+    }
+  }
+  return removed;
+}
+
+namespace {
+
+void WriteRequirements(const std::set<std::string>& ids, xml::Element* e) {
+  if (ids.empty()) return;
+  std::vector<std::string> sorted(ids.begin(), ids.end());
+  e->AddTextChild("requirements", Join(sorted, ","));
+}
+
+std::set<std::string> ReadRequirements(const xml::Element& e) {
+  std::set<std::string> out;
+  std::string text = e.ChildText("requirements");
+  if (text.empty()) return out;
+  for (const std::string& id : Split(text, ',')) out.insert(id);
+  return out;
+}
+
+Result<storage::DataType> DataTypeFromString(const std::string& text) {
+  if (text == "BIGINT") return storage::DataType::kInt64;
+  if (text == "DOUBLE PRECISION") return storage::DataType::kDouble;
+  if (text == "VARCHAR") return storage::DataType::kString;
+  if (text == "DATE") return storage::DataType::kDate;
+  if (text == "BOOLEAN") return storage::DataType::kBool;
+  return Status::ParseError("unknown data type '" + text + "'");
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Element> MdSchema::ToXml() const {
+  auto root = std::make_unique<xml::Element>("MDschema");
+  root->SetAttr("name", name_);
+  xml::Element* facts = root->AddChild("facts");
+  for (const Fact& f : facts_) {
+    xml::Element* fact = facts->AddChild("fact");
+    fact->AddTextChild("name", f.name);
+    fact->AddTextChild("concept", f.concept_id);
+    xml::Element* measures = fact->AddChild("measures");
+    for (const Measure& m : f.measures) {
+      xml::Element* measure = measures->AddChild("measure");
+      measure->AddTextChild("name", m.name);
+      measure->AddTextChild("expression", m.expression);
+      measure->AddTextChild("aggregation", AggFuncToString(m.aggregation));
+      measure->AddTextChild("additive", m.additive ? "Y" : "N");
+      WriteRequirements(m.requirement_ids, measure);
+    }
+    xml::Element* refs = fact->AddChild("dimensionRefs");
+    for (const DimensionRef& ref : f.dimension_refs) {
+      xml::Element* r = refs->AddChild("dimensionRef");
+      r->SetAttr("dimension", ref.dimension);
+      r->SetAttr("level", ref.level);
+    }
+    WriteRequirements(f.requirement_ids, fact);
+  }
+  xml::Element* dims = root->AddChild("dimensions");
+  for (const Dimension& d : dimensions_) {
+    xml::Element* dim = dims->AddChild("dimension");
+    dim->AddTextChild("name", d.name);
+    xml::Element* levels = dim->AddChild("levels");
+    for (const Level& level : d.levels) {
+      xml::Element* l = levels->AddChild("level");
+      l->AddTextChild("name", level.name);
+      l->AddTextChild("concept", level.concept_id);
+      WriteRequirements(level.requirement_ids, l);
+      xml::Element* attrs = l->AddChild("attributes");
+      for (const LevelAttribute& a : level.attributes) {
+        xml::Element* attr = attrs->AddChild("attribute");
+        attr->SetAttr("name", a.name);
+        attr->SetAttr("type", storage::DataTypeToString(a.type));
+        attr->SetAttr("source", a.source_property);
+      }
+    }
+    WriteRequirements(d.requirement_ids, dim);
+  }
+  return root;
+}
+
+Result<MdSchema> MdSchema::FromXml(const xml::Element& root) {
+  if (root.name() != "MDschema") {
+    return Status::ParseError("expected <MDschema>, got <" + root.name() +
+                              ">");
+  }
+  MdSchema schema(root.AttrOr("name"));
+  if (const xml::Element* facts = root.FirstChild("facts");
+      facts != nullptr) {
+    for (const xml::Element* f : facts->Children("fact")) {
+      Fact fact;
+      fact.name = f->ChildText("name");
+      fact.concept_id = f->ChildText("concept");
+      fact.requirement_ids = ReadRequirements(*f);
+      if (const xml::Element* measures = f->FirstChild("measures");
+          measures != nullptr) {
+        for (const xml::Element* m : measures->Children("measure")) {
+          Measure measure;
+          measure.name = m->ChildText("name");
+          measure.expression = m->ChildText("expression");
+          QUARRY_ASSIGN_OR_RETURN(
+              measure.aggregation,
+              AggFuncFromString(m->ChildText("aggregation")));
+          measure.additive = m->ChildText("additive") != "N";
+          measure.requirement_ids = ReadRequirements(*m);
+          fact.measures.push_back(std::move(measure));
+        }
+      }
+      if (const xml::Element* refs = f->FirstChild("dimensionRefs");
+          refs != nullptr) {
+        for (const xml::Element* r : refs->Children("dimensionRef")) {
+          fact.dimension_refs.push_back(
+              {r->AttrOr("dimension"), r->AttrOr("level")});
+        }
+      }
+      QUARRY_RETURN_NOT_OK(schema.AddFact(std::move(fact)));
+    }
+  }
+  if (const xml::Element* dims = root.FirstChild("dimensions");
+      dims != nullptr) {
+    for (const xml::Element* d : dims->Children("dimension")) {
+      Dimension dim;
+      dim.name = d->ChildText("name");
+      dim.requirement_ids = ReadRequirements(*d);
+      if (const xml::Element* levels = d->FirstChild("levels");
+          levels != nullptr) {
+        for (const xml::Element* l : levels->Children("level")) {
+          Level level;
+          level.name = l->ChildText("name");
+          level.concept_id = l->ChildText("concept");
+          level.requirement_ids = ReadRequirements(*l);
+          if (const xml::Element* attrs = l->FirstChild("attributes");
+              attrs != nullptr) {
+            for (const xml::Element* a : attrs->Children("attribute")) {
+              LevelAttribute attr;
+              attr.name = a->AttrOr("name");
+              QUARRY_ASSIGN_OR_RETURN(attr.type,
+                                      DataTypeFromString(a->AttrOr("type")));
+              attr.source_property = a->AttrOr("source");
+              level.attributes.push_back(std::move(attr));
+            }
+          }
+          dim.levels.push_back(std::move(level));
+        }
+      }
+      QUARRY_RETURN_NOT_OK(schema.AddDimension(std::move(dim)));
+    }
+  }
+  return schema;
+}
+
+}  // namespace quarry::md

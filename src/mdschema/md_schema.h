@@ -1,0 +1,137 @@
+#ifndef QUARRY_MDSCHEMA_MD_SCHEMA_H_
+#define QUARRY_MDSCHEMA_MD_SCHEMA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+#include "xml/xml.h"
+
+namespace quarry::md {
+
+/// Aggregation functions the MD model supports.
+enum class AggFunc { kSum, kAvg, kMin, kMax, kCount };
+
+const char* AggFuncToString(AggFunc f);
+Result<AggFunc> AggFuncFromString(const std::string& text);
+
+/// The ETL engine's spelling of the aggregate ("AVG" instead of xMD's
+/// "AVERAGE"); used when compiling measures into Aggregation operators.
+const char* AggFuncToEtlName(AggFunc f);
+
+/// \brief A measure of a fact: a numeric expression over source properties
+/// plus its default aggregation.
+struct Measure {
+  std::string name;
+  std::string expression;  ///< Over mapped source columns, e.g.
+                           ///< "l_extendedprice * (1 - l_discount)".
+  AggFunc aggregation = AggFunc::kSum;
+  /// False for stock/level measures (account balances, inventory): summing
+  /// them across a dimension is a summarizability violation.
+  bool additive = true;
+  std::set<std::string> requirement_ids;
+};
+
+/// A descriptive attribute of a dimension level.
+struct LevelAttribute {
+  std::string name;
+  storage::DataType type = storage::DataType::kString;
+  std::string source_property;  ///< Ontology property id, e.g. "Part.p_name".
+
+  bool operator==(const LevelAttribute&) const = default;
+};
+
+/// \brief One aggregation level of a dimension hierarchy, grounded in an
+/// ontology concept.
+struct Level {
+  std::string name;
+  std::string concept_id;
+  std::vector<LevelAttribute> attributes;
+  /// Requirements this level serves; a level whose trace empties out on
+  /// requirement removal is pruned (unless a fact still references it).
+  std::set<std::string> requirement_ids;
+
+  /// Name of the level's surrogate-key column in the deployed star schema.
+  std::string IdColumn() const { return name + "ID"; }
+};
+
+/// \brief A dimension: an ordered hierarchy of levels (base first). Every
+/// adjacent pair must roll up functionally (validated against the
+/// ontology's multiplicities).
+struct Dimension {
+  std::string name;
+  std::vector<Level> levels;
+  std::set<std::string> requirement_ids;
+
+  const Level* FindLevel(const std::string& level_name) const;
+  Level* FindLevel(const std::string& level_name);
+};
+
+/// A fact's link to one dimension at a given level (together these refs
+/// form the fact's *base*/grain).
+struct DimensionRef {
+  std::string dimension;
+  std::string level;
+
+  bool operator==(const DimensionRef&) const = default;
+};
+
+/// \brief A fact table: measures plus the dimension references forming its
+/// base.
+struct Fact {
+  std::string name;
+  std::string concept_id;  ///< Focus concept (e.g. Lineitem).
+  std::vector<Measure> measures;
+  std::vector<DimensionRef> dimension_refs;
+  std::set<std::string> requirement_ids;
+
+  const Measure* FindMeasure(const std::string& measure_name) const;
+};
+
+/// \brief A multidimensional schema (xMD's <MDschema>): facts + dimensions.
+class MdSchema {
+ public:
+  MdSchema() = default;
+  explicit MdSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Status AddFact(Fact fact);
+  Status AddDimension(Dimension dimension);
+
+  Result<const Fact*> GetFact(const std::string& name) const;
+  Result<Fact*> GetMutableFact(const std::string& name);
+  Result<const Dimension*> GetDimension(const std::string& name) const;
+  Result<Dimension*> GetMutableDimension(const std::string& name);
+
+  Status RemoveFact(const std::string& name);
+  Status RemoveDimension(const std::string& name);
+
+  const std::vector<Fact>& facts() const { return facts_; }
+  const std::vector<Dimension>& dimensions() const { return dimensions_; }
+
+  /// Union of requirement ids traced anywhere in the schema.
+  std::set<std::string> RequirementIds() const;
+
+  /// Removes `requirement_id` from all traces, deleting measures, facts and
+  /// dimensions that no longer serve any requirement; dangling dimension
+  /// refs are pruned with their facts' traces. Returns #elements removed.
+  size_t PruneRequirement(const std::string& requirement_id);
+
+  /// xMD serialization (paper §2.5, Figures 3-4).
+  std::unique_ptr<xml::Element> ToXml() const;
+  static Result<MdSchema> FromXml(const xml::Element& root);
+
+ private:
+  std::string name_;
+  std::vector<Fact> facts_;
+  std::vector<Dimension> dimensions_;
+};
+
+}  // namespace quarry::md
+
+#endif  // QUARRY_MDSCHEMA_MD_SCHEMA_H_

@@ -1,0 +1,163 @@
+#include "mdschema/validator.h"
+
+#include <set>
+
+namespace quarry::md {
+
+const char* ViolationKindToString(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kStructural:
+      return "Structural";
+    case ViolationKind::kSummarizability:
+      return "Summarizability";
+    case ViolationKind::kAggregation:
+      return "Aggregation";
+    case ViolationKind::kBase:
+      return "Base";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+void Add(std::vector<Violation>* out, ViolationKind kind,
+         const std::string& element, const std::string& message) {
+  out->push_back({kind, element, message});
+}
+
+}  // namespace
+
+std::vector<Violation> Validate(const MdSchema& schema,
+                                const ontology::Ontology* onto) {
+  std::vector<Violation> out;
+
+  std::set<std::string> fact_names;
+  for (const Fact& fact : schema.facts()) {
+    if (!fact_names.insert(fact.name).second) {
+      Add(&out, ViolationKind::kStructural, fact.name, "duplicate fact name");
+    }
+    if (fact.measures.empty()) {
+      Add(&out, ViolationKind::kStructural, fact.name, "fact has no measures");
+    }
+    if (fact.dimension_refs.empty()) {
+      Add(&out, ViolationKind::kBase, fact.name,
+          "fact has an empty base (no dimension references)");
+    }
+    std::set<std::string> measure_names;
+    for (const Measure& m : fact.measures) {
+      if (!measure_names.insert(m.name).second) {
+        Add(&out, ViolationKind::kStructural, fact.name + "." + m.name,
+            "duplicate measure name");
+      }
+      if (!m.additive && m.aggregation == AggFunc::kSum) {
+        Add(&out, ViolationKind::kAggregation, fact.name + "." + m.name,
+            "non-additive measure aggregated with SUM");
+      }
+    }
+    // A fact may reference one dimension at several *distinct* levels
+    // (this arises when conforming maps two partial dimensions onto one
+    // hierarchy: the lower level functionally determines the upper, so
+    // the base stays consistent, merely redundant). Referencing the same
+    // (dimension, level) twice is a genuine base violation.
+    std::set<std::pair<std::string, std::string>> base;
+    for (const DimensionRef& ref : fact.dimension_refs) {
+      if (!base.insert({ref.dimension, ref.level}).second) {
+        Add(&out, ViolationKind::kBase, fact.name,
+            "fact references dimension '" + ref.dimension + "' level '" +
+                ref.level + "' twice");
+      }
+      auto dim = schema.GetDimension(ref.dimension);
+      if (!dim.ok()) {
+        Add(&out, ViolationKind::kStructural, fact.name,
+            "dangling dimension reference '" + ref.dimension + "'");
+        continue;
+      }
+      const Level* level = (*dim)->FindLevel(ref.level);
+      if (level == nullptr) {
+        Add(&out, ViolationKind::kStructural, fact.name,
+            "dimension '" + ref.dimension + "' has no level '" + ref.level +
+                "'");
+        continue;
+      }
+      if (onto != nullptr && !fact.concept_id.empty()) {
+        auto path =
+            onto->FindFunctionalPath(fact.concept_id, level->concept_id);
+        if (!path.ok()) {
+          Add(&out, ViolationKind::kSummarizability,
+              fact.name + "->" + ref.dimension,
+              "no to-one path from fact concept '" + fact.concept_id +
+                  "' to level concept '" + level->concept_id + "'");
+        }
+      }
+    }
+  }
+
+  std::set<std::string> dim_names;
+  for (const Dimension& dim : schema.dimensions()) {
+    if (!dim_names.insert(dim.name).second) {
+      Add(&out, ViolationKind::kStructural, dim.name,
+          "duplicate dimension name");
+    }
+    if (dim.levels.empty()) {
+      Add(&out, ViolationKind::kStructural, dim.name,
+          "dimension has no levels");
+      continue;
+    }
+    std::set<std::string> level_names;
+    std::set<std::string> level_concepts;
+    for (const Level& level : dim.levels) {
+      if (!level_names.insert(level.name).second) {
+        Add(&out, ViolationKind::kStructural, dim.name + "." + level.name,
+            "duplicate level name in hierarchy");
+      }
+      if (!level.concept_id.empty() &&
+          !level_concepts.insert(level.concept_id).second) {
+        Add(&out, ViolationKind::kStructural, dim.name + "." + level.name,
+            "hierarchy visits concept '" + level.concept_id + "' twice");
+      }
+      if (onto != nullptr && !level.concept_id.empty() &&
+          !onto->HasConcept(level.concept_id)) {
+        Add(&out, ViolationKind::kStructural, dim.name + "." + level.name,
+            "unknown concept '" + level.concept_id + "'");
+      }
+    }
+    if (onto != nullptr) {
+      for (size_t i = 0; i + 1 < dim.levels.size(); ++i) {
+        const Level& lower = dim.levels[i];
+        const Level& upper = dim.levels[i + 1];
+        if (lower.concept_id.empty() || upper.concept_id.empty()) continue;
+        if (!onto->HasConcept(lower.concept_id) ||
+            !onto->HasConcept(upper.concept_id)) {
+          continue;  // Already reported above.
+        }
+        auto path =
+            onto->FindFunctionalPath(lower.concept_id, upper.concept_id);
+        if (!path.ok()) {
+          Add(&out, ViolationKind::kSummarizability,
+              dim.name + "." + lower.name + "->" + upper.name,
+              "rollup is not functional: no to-one path from '" +
+                  lower.concept_id + "' to '" + upper.concept_id + "'");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Status CheckSound(const MdSchema& schema, const ontology::Ontology* onto) {
+  std::vector<Violation> violations = Validate(schema, onto);
+  if (violations.empty()) return Status::OK();
+  std::string message = "MD schema '" + schema.name() + "' is unsound:";
+  size_t shown = 0;
+  for (const Violation& v : violations) {
+    if (shown++ == 3) {
+      message += " (+" + std::to_string(violations.size() - 3) + " more)";
+      break;
+    }
+    message += std::string(" [") + ViolationKindToString(v.kind) + " @ " +
+               v.element + ": " + v.message + "]";
+  }
+  return Status::ValidationError(message);
+}
+
+}  // namespace quarry::md

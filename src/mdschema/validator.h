@@ -1,0 +1,52 @@
+#ifndef QUARRY_MDSCHEMA_VALIDATOR_H_
+#define QUARRY_MDSCHEMA_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mdschema/md_schema.h"
+#include "ontology/ontology.h"
+
+namespace quarry::md {
+
+/// Kinds of MD integrity violations (the paper's "soundness", refs [6][9]).
+enum class ViolationKind {
+  kStructural,        ///< Dangling refs, duplicate names, empty facts.
+  kSummarizability,   ///< Non-functional fact->level or level->level rollup.
+  kAggregation,       ///< Aggregation incompatible with measure additivity.
+  kBase,              ///< A fact's base does not determine its instances.
+};
+
+const char* ViolationKindToString(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  std::string element;  ///< Offending fact/dimension/measure name.
+  std::string message;
+};
+
+/// \brief Checks a schema against the MD integrity constraints:
+///
+///  1. *Structure*: unique names; every DimensionRef resolves to an existing
+///     dimension level; every fact has >= 1 measure and >= 1 dimension ref;
+///     dimensions have >= 1 level and no repeated level names/concepts.
+///  2. *Summarizability*: against the ontology, the path from the fact's
+///     concept to each referenced level's concept must be functional
+///     (to-one), and each adjacent level pair of every hierarchy must roll
+///     up functionally base->top (strict hierarchies).
+///  3. *Aggregation compatibility*: non-additive measures must not default
+///     to SUM.
+///
+/// Passing a null ontology skips the multiplicity checks (pure structural
+/// validation).
+std::vector<Violation> Validate(const MdSchema& schema,
+                                const ontology::Ontology* onto);
+
+/// Convenience wrapper: OK when Validate returns no violations, otherwise a
+/// ValidationError naming the first few.
+Status CheckSound(const MdSchema& schema, const ontology::Ontology* onto);
+
+}  // namespace quarry::md
+
+#endif  // QUARRY_MDSCHEMA_VALIDATOR_H_

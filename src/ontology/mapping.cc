@@ -1,0 +1,148 @@
+#include "ontology/mapping.h"
+
+#include "common/str_util.h"
+
+namespace quarry::ontology {
+
+Status SourceMapping::MapConcept(const std::string& concept_id,
+                                 const std::string& table,
+                                 std::vector<std::string> key_columns) {
+  if (concepts_.count(concept_id) > 0) {
+    return Status::AlreadyExists("concept mapping for '" + concept_id + "'");
+  }
+  if (key_columns.empty()) {
+    return Status::InvalidArgument("concept mapping for '" + concept_id +
+                                   "' needs at least one key column");
+  }
+  concepts_.emplace(concept_id,
+                    ConceptMapping{concept_id, table, std::move(key_columns)});
+  return Status::OK();
+}
+
+Status SourceMapping::MapProperty(const std::string& property_id,
+                                  const std::string& table,
+                                  const std::string& column) {
+  if (properties_.count(property_id) > 0) {
+    return Status::AlreadyExists("property mapping for '" + property_id +
+                                 "'");
+  }
+  properties_.emplace(property_id,
+                      PropertyMapping{property_id, table, column});
+  return Status::OK();
+}
+
+Status SourceMapping::MapAssociation(const std::string& association_id,
+                                     std::vector<std::string> from_columns,
+                                     std::vector<std::string> to_columns) {
+  if (associations_.count(association_id) > 0) {
+    return Status::AlreadyExists("association mapping for '" +
+                                 association_id + "'");
+  }
+  if (from_columns.empty() || from_columns.size() != to_columns.size()) {
+    return Status::InvalidArgument("association mapping for '" +
+                                   association_id +
+                                   "' needs matching join column lists");
+  }
+  associations_.emplace(association_id,
+                        AssociationMapping{association_id,
+                                           std::move(from_columns),
+                                           std::move(to_columns)});
+  return Status::OK();
+}
+
+Result<ConceptMapping> SourceMapping::ForConcept(
+    const std::string& concept_id) const {
+  auto it = concepts_.find(concept_id);
+  if (it == concepts_.end()) {
+    return Status::NotFound("concept mapping for '" + concept_id + "'");
+  }
+  return it->second;
+}
+
+Result<PropertyMapping> SourceMapping::ForProperty(
+    const std::string& property_id) const {
+  auto it = properties_.find(property_id);
+  if (it == properties_.end()) {
+    return Status::NotFound("property mapping for '" + property_id + "'");
+  }
+  return it->second;
+}
+
+Result<AssociationMapping> SourceMapping::ForAssociation(
+    const std::string& association_id) const {
+  auto it = associations_.find(association_id);
+  if (it == associations_.end()) {
+    return Status::NotFound("association mapping for '" + association_id +
+                            "'");
+  }
+  return it->second;
+}
+
+Status SourceMapping::Validate(const Ontology& onto) const {
+  for (const auto& [id, m] : concepts_) {
+    if (!onto.HasConcept(id)) {
+      return Status::ValidationError("mapping refers to unknown concept '" +
+                                     id + "'");
+    }
+  }
+  for (const auto& [id, m] : properties_) {
+    QUARRY_ASSIGN_OR_RETURN(DataProperty p, onto.GetProperty(id));
+    if (concepts_.count(p.concept_id) == 0) {
+      return Status::ValidationError("property '" + id +
+                                     "' mapped but its concept '" +
+                                     p.concept_id + "' is not");
+    }
+  }
+  for (const auto& [id, m] : associations_) {
+    QUARRY_RETURN_NOT_OK(onto.GetAssociation(id).status());
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<xml::Element> SourceMapping::ToXml() const {
+  auto root = std::make_unique<xml::Element>("mappings");
+  for (const auto& [id, m] : concepts_) {
+    xml::Element* e = root->AddChild("conceptMap");
+    e->SetAttr("concept", m.concept_id);
+    e->SetAttr("table", m.table);
+    e->SetAttr("keys", Join(m.key_columns, ","));
+  }
+  for (const auto& [id, m] : properties_) {
+    xml::Element* e = root->AddChild("propertyMap");
+    e->SetAttr("property", m.property_id);
+    e->SetAttr("table", m.table);
+    e->SetAttr("column", m.column);
+  }
+  for (const auto& [id, m] : associations_) {
+    xml::Element* e = root->AddChild("associationMap");
+    e->SetAttr("association", m.association_id);
+    e->SetAttr("fromColumns", Join(m.from_columns, ","));
+    e->SetAttr("toColumns", Join(m.to_columns, ","));
+  }
+  return root;
+}
+
+Result<SourceMapping> SourceMapping::FromXml(const xml::Element& root) {
+  if (root.name() != "mappings") {
+    return Status::ParseError("expected <mappings>, got <" + root.name() +
+                              ">");
+  }
+  SourceMapping mapping;
+  for (const xml::Element* e : root.Children("conceptMap")) {
+    QUARRY_RETURN_NOT_OK(mapping.MapConcept(e->AttrOr("concept"),
+                                            e->AttrOr("table"),
+                                            Split(e->AttrOr("keys"), ',')));
+  }
+  for (const xml::Element* e : root.Children("propertyMap")) {
+    QUARRY_RETURN_NOT_OK(mapping.MapProperty(
+        e->AttrOr("property"), e->AttrOr("table"), e->AttrOr("column")));
+  }
+  for (const xml::Element* e : root.Children("associationMap")) {
+    QUARRY_RETURN_NOT_OK(mapping.MapAssociation(
+        e->AttrOr("association"), Split(e->AttrOr("fromColumns"), ','),
+        Split(e->AttrOr("toColumns"), ',')));
+  }
+  return mapping;
+}
+
+}  // namespace quarry::ontology

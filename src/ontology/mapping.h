@@ -1,0 +1,82 @@
+#ifndef QUARRY_ONTOLOGY_MAPPING_H_
+#define QUARRY_ONTOLOGY_MAPPING_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+#include "xml/xml.h"
+
+namespace quarry::ontology {
+
+/// Maps a concept onto the source table holding its instances.
+struct ConceptMapping {
+  std::string concept_id;
+  std::string table;
+  std::vector<std::string> key_columns;  ///< Identify one instance.
+};
+
+/// Maps a datatype property onto a source column.
+struct PropertyMapping {
+  std::string property_id;
+  std::string table;
+  std::string column;
+};
+
+/// Maps an association onto an equi-join between the two mapped tables.
+struct AssociationMapping {
+  std::string association_id;
+  std::vector<std::string> from_columns;  ///< In the from-concept's table.
+  std::vector<std::string> to_columns;    ///< In the to-concept's table.
+};
+
+/// \brief Source schema mappings: how ontology vocabulary grounds out in the
+/// underlying data stores (paper §2.5).
+///
+/// The Requirements Interpreter consults these to turn a validated
+/// requirement into extraction/join/projection operations over concrete
+/// tables, and the Design Deployer uses the key columns to build
+/// dimension-table identifiers.
+class SourceMapping {
+ public:
+  SourceMapping() = default;
+
+  SourceMapping(const SourceMapping&) = delete;
+  SourceMapping& operator=(const SourceMapping&) = delete;
+  SourceMapping(SourceMapping&&) = default;
+  SourceMapping& operator=(SourceMapping&&) = default;
+
+  Status MapConcept(const std::string& concept_id, const std::string& table,
+                    std::vector<std::string> key_columns);
+  Status MapProperty(const std::string& property_id, const std::string& table,
+                     const std::string& column);
+  Status MapAssociation(const std::string& association_id,
+                        std::vector<std::string> from_columns,
+                        std::vector<std::string> to_columns);
+
+  Result<ConceptMapping> ForConcept(const std::string& concept_id) const;
+  Result<PropertyMapping> ForProperty(const std::string& property_id) const;
+  Result<AssociationMapping> ForAssociation(
+      const std::string& association_id) const;
+
+  size_t num_concept_mappings() const { return concepts_.size(); }
+
+  /// Checks that every mapping refers to existing ontology elements and
+  /// that each concept of `onto` used by a property mapping is mapped.
+  Status Validate(const Ontology& onto) const;
+
+  std::unique_ptr<xml::Element> ToXml() const;
+  static Result<SourceMapping> FromXml(const xml::Element& root);
+
+ private:
+  std::map<std::string, ConceptMapping> concepts_;
+  std::map<std::string, PropertyMapping> properties_;
+  std::map<std::string, AssociationMapping> associations_;
+};
+
+}  // namespace quarry::ontology
+
+#endif  // QUARRY_ONTOLOGY_MAPPING_H_

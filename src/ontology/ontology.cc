@@ -1,0 +1,316 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace quarry::ontology {
+
+const char* MultiplicityToString(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::kOneToOne:
+      return "ONE_TO_ONE";
+    case Multiplicity::kManyToOne:
+      return "MANY_TO_ONE";
+    case Multiplicity::kOneToMany:
+      return "ONE_TO_MANY";
+    case Multiplicity::kManyToMany:
+      return "MANY_TO_MANY";
+  }
+  return "UNKNOWN";
+}
+
+Result<Multiplicity> MultiplicityFromString(const std::string& text) {
+  if (text == "ONE_TO_ONE") return Multiplicity::kOneToOne;
+  if (text == "MANY_TO_ONE") return Multiplicity::kManyToOne;
+  if (text == "ONE_TO_MANY") return Multiplicity::kOneToMany;
+  if (text == "MANY_TO_MANY") return Multiplicity::kManyToMany;
+  return Status::ParseError("unknown multiplicity '" + text + "'");
+}
+
+Status Ontology::AddConcept(const std::string& id,
+                            const std::string& parent_id) {
+  if (concepts_.count(id) > 0) {
+    return Status::AlreadyExists("concept '" + id + "'");
+  }
+  if (!parent_id.empty() && concepts_.count(parent_id) == 0) {
+    return Status::NotFound("parent concept '" + parent_id + "'");
+  }
+  concepts_.emplace(id, Concept{id, parent_id});
+  return Status::OK();
+}
+
+Status Ontology::AddDataProperty(const std::string& concept_id,
+                                 const std::string& name,
+                                 storage::DataType type) {
+  if (concepts_.count(concept_id) == 0) {
+    return Status::NotFound("concept '" + concept_id + "'");
+  }
+  std::string id = concept_id + "." + name;
+  if (properties_.count(id) > 0) {
+    return Status::AlreadyExists("property '" + id + "'");
+  }
+  properties_.emplace(id, DataProperty{id, concept_id, name, type});
+  properties_by_concept_[concept_id].push_back(id);
+  return Status::OK();
+}
+
+Status Ontology::AddAssociation(const std::string& id, const std::string& from,
+                                const std::string& to,
+                                Multiplicity multiplicity) {
+  if (associations_.count(id) > 0) {
+    return Status::AlreadyExists("association '" + id + "'");
+  }
+  if (concepts_.count(from) == 0) {
+    return Status::NotFound("concept '" + from + "'");
+  }
+  if (concepts_.count(to) == 0) {
+    return Status::NotFound("concept '" + to + "'");
+  }
+  associations_.emplace(id, Association{id, from, to, multiplicity});
+  associations_by_concept_[from].push_back(id);
+  if (to != from) associations_by_concept_[to].push_back(id);
+  return Status::OK();
+}
+
+bool Ontology::HasConcept(const std::string& id) const {
+  return concepts_.count(id) > 0;
+}
+
+Result<Concept> Ontology::GetConcept(const std::string& id) const {
+  auto it = concepts_.find(id);
+  if (it == concepts_.end()) return Status::NotFound("concept '" + id + "'");
+  return it->second;
+}
+
+Result<DataProperty> Ontology::GetProperty(
+    const std::string& property_id) const {
+  auto it = properties_.find(property_id);
+  if (it == properties_.end()) {
+    return Status::NotFound("property '" + property_id + "'");
+  }
+  return it->second;
+}
+
+Result<Association> Ontology::GetAssociation(const std::string& id) const {
+  auto it = associations_.find(id);
+  if (it == associations_.end()) {
+    return Status::NotFound("association '" + id + "'");
+  }
+  return it->second;
+}
+
+std::vector<Concept> Ontology::concepts() const {
+  std::vector<Concept> out;
+  out.reserve(concepts_.size());
+  for (const auto& [id, c] : concepts_) out.push_back(c);
+  return out;
+}
+
+std::vector<Association> Ontology::associations() const {
+  std::vector<Association> out;
+  out.reserve(associations_.size());
+  for (const auto& [id, a] : associations_) out.push_back(a);
+  return out;
+}
+
+std::vector<DataProperty> Ontology::PropertiesOf(
+    const std::string& concept_id) const {
+  std::vector<DataProperty> out;
+  // Own properties first, then walk up the taxonomy.
+  std::string current = concept_id;
+  std::set<std::string> visited;
+  while (!current.empty() && visited.insert(current).second) {
+    auto bucket = properties_by_concept_.find(current);
+    if (bucket != properties_by_concept_.end()) {
+      for (const std::string& id : bucket->second) {
+        out.push_back(properties_.at(id));
+      }
+    }
+    auto it = concepts_.find(current);
+    current = it == concepts_.end() ? "" : it->second.parent_id;
+  }
+  return out;
+}
+
+std::vector<Association> Ontology::AssociationsOf(
+    const std::string& concept_id) const {
+  std::vector<Association> out;
+  auto bucket = associations_by_concept_.find(concept_id);
+  if (bucket == associations_by_concept_.end()) return out;
+  for (const std::string& id : bucket->second) {
+    out.push_back(associations_.at(id));
+  }
+  return out;
+}
+
+bool Ontology::IsSubclassOf(const std::string& descendant,
+                            const std::string& ancestor) const {
+  std::string current = descendant;
+  std::set<std::string> visited;
+  while (!current.empty() && visited.insert(current).second) {
+    if (current == ancestor) return true;
+    auto it = concepts_.find(current);
+    current = it == concepts_.end() ? "" : it->second.parent_id;
+  }
+  return false;
+}
+
+std::vector<PathStep> Ontology::FunctionalSteps(
+    const std::string& from) const {
+  std::vector<PathStep> steps;
+  auto bucket = associations_by_concept_.find(from);
+  if (bucket == associations_by_concept_.end()) return steps;
+  for (const std::string& id : bucket->second) {
+    const Association& a = associations_.at(id);
+    bool forward_functional = a.multiplicity == Multiplicity::kManyToOne ||
+                              a.multiplicity == Multiplicity::kOneToOne;
+    bool backward_functional = a.multiplicity == Multiplicity::kOneToMany ||
+                               a.multiplicity == Multiplicity::kOneToOne;
+    if (a.from_concept == from && forward_functional) {
+      steps.push_back({a.id, a.from_concept, a.to_concept, true});
+    }
+    if (a.to_concept == from && backward_functional) {
+      steps.push_back({a.id, a.to_concept, a.from_concept, false});
+    }
+  }
+  return steps;
+}
+
+bool Ontology::HasFunctionalStep(const std::string& from,
+                                 const std::string& to) const {
+  for (const PathStep& step : FunctionalSteps(from)) {
+    if (step.to_concept == to) return true;
+  }
+  return false;
+}
+
+Result<std::vector<PathStep>> Ontology::FindFunctionalPath(
+    const std::string& from, const std::string& to) const {
+  if (concepts_.count(from) == 0) {
+    return Status::NotFound("concept '" + from + "'");
+  }
+  if (concepts_.count(to) == 0) {
+    return Status::NotFound("concept '" + to + "'");
+  }
+  if (from == to) return std::vector<PathStep>{};
+  // BFS over functional steps.
+  std::map<std::string, PathStep> came_from;
+  std::deque<std::string> frontier{from};
+  std::set<std::string> visited{from};
+  while (!frontier.empty()) {
+    std::string current = frontier.front();
+    frontier.pop_front();
+    for (const PathStep& step : FunctionalSteps(current)) {
+      if (!visited.insert(step.to_concept).second) continue;
+      came_from.emplace(step.to_concept, step);
+      if (step.to_concept == to) {
+        std::vector<PathStep> path;
+        std::string cursor = to;
+        while (cursor != from) {
+          const PathStep& s = came_from.at(cursor);
+          path.push_back(s);
+          cursor = s.from_concept;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(step.to_concept);
+    }
+  }
+  return Status::Unsatisfiable("no functional (to-one) path from '" + from +
+                               "' to '" + to + "'");
+}
+
+std::vector<std::pair<std::string, int>> Ontology::FunctionallyReachable(
+    const std::string& from) const {
+  std::vector<std::pair<std::string, int>> out;
+  std::deque<std::pair<std::string, int>> frontier{{from, 0}};
+  std::set<std::string> visited{from};
+  while (!frontier.empty()) {
+    auto [current, depth] = frontier.front();
+    frontier.pop_front();
+    for (const PathStep& step : FunctionalSteps(current)) {
+      if (!visited.insert(step.to_concept).second) continue;
+      out.emplace_back(step.to_concept, depth + 1);
+      frontier.emplace_back(step.to_concept, depth + 1);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  });
+  return out;
+}
+
+std::unique_ptr<xml::Element> Ontology::ToXml() const {
+  auto root = std::make_unique<xml::Element>("ontology");
+  root->SetAttr("name", name_);
+  for (const auto& [id, c] : concepts_) {
+    xml::Element* e = root->AddChild("concept");
+    e->SetAttr("id", c.id);
+    if (!c.parent_id.empty()) e->SetAttr("parent", c.parent_id);
+  }
+  for (const auto& [id, p] : properties_) {
+    xml::Element* e = root->AddChild("property");
+    e->SetAttr("id", p.id);
+    e->SetAttr("concept", p.concept_id);
+    e->SetAttr("name", p.name);
+    e->SetAttr("type", storage::DataTypeToString(p.type));
+  }
+  for (const auto& [id, a] : associations_) {
+    xml::Element* e = root->AddChild("association");
+    e->SetAttr("id", a.id);
+    e->SetAttr("from", a.from_concept);
+    e->SetAttr("to", a.to_concept);
+    e->SetAttr("multiplicity", MultiplicityToString(a.multiplicity));
+  }
+  return root;
+}
+
+namespace {
+
+Result<storage::DataType> DataTypeFromString(const std::string& text) {
+  if (text == "BIGINT") return storage::DataType::kInt64;
+  if (text == "DOUBLE PRECISION") return storage::DataType::kDouble;
+  if (text == "VARCHAR") return storage::DataType::kString;
+  if (text == "DATE") return storage::DataType::kDate;
+  if (text == "BOOLEAN") return storage::DataType::kBool;
+  return Status::ParseError("unknown data type '" + text + "'");
+}
+
+}  // namespace
+
+Result<Ontology> Ontology::FromXml(const xml::Element& root) {
+  if (root.name() != "ontology") {
+    return Status::ParseError("expected <ontology>, got <" + root.name() +
+                              ">");
+  }
+  Ontology onto(root.AttrOr("name"));
+  // Two passes over concepts so parents can appear in any order.
+  for (const xml::Element* e : root.Children("concept")) {
+    QUARRY_RETURN_NOT_OK(onto.AddConcept(e->AttrOr("id")));
+  }
+  for (const xml::Element* e : root.Children("concept")) {
+    std::string parent = e->AttrOr("parent");
+    if (parent.empty()) continue;
+    if (onto.concepts_.count(parent) == 0) {
+      return Status::ParseError("unknown parent concept '" + parent + "'");
+    }
+    onto.concepts_[e->AttrOr("id")].parent_id = parent;
+  }
+  for (const xml::Element* e : root.Children("property")) {
+    QUARRY_ASSIGN_OR_RETURN(storage::DataType type,
+                            DataTypeFromString(e->AttrOr("type")));
+    QUARRY_RETURN_NOT_OK(
+        onto.AddDataProperty(e->AttrOr("concept"), e->AttrOr("name"), type));
+  }
+  for (const xml::Element* e : root.Children("association")) {
+    QUARRY_ASSIGN_OR_RETURN(Multiplicity mult,
+                            MultiplicityFromString(e->AttrOr("multiplicity")));
+    QUARRY_RETURN_NOT_OK(onto.AddAssociation(e->AttrOr("id"), e->AttrOr("from"),
+                                             e->AttrOr("to"), mult));
+  }
+  return onto;
+}
+
+}  // namespace quarry::ontology

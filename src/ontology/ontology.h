@@ -1,0 +1,162 @@
+#ifndef QUARRY_ONTOLOGY_ONTOLOGY_H_
+#define QUARRY_ONTOLOGY_ONTOLOGY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+#include "xml/xml.h"
+
+namespace quarry::ontology {
+
+/// How instances of the `from` concept of an association relate to instances
+/// of its `to` concept. kManyToOne means each `from` instance maps to exactly
+/// one `to` instance (the step from→to is *functional*); kOneToMany is the
+/// inverse; kOneToOne is functional both ways; kManyToMany neither.
+///
+/// Functional steps are what make a concept usable as an aggregation level:
+/// MD integrity (summarizability) requires fact→level paths to be
+/// functional at every hop [Mazón et al., ref 9 in the paper].
+enum class Multiplicity {
+  kOneToOne,
+  kManyToOne,
+  kOneToMany,
+  kManyToMany,
+};
+
+const char* MultiplicityToString(Multiplicity m);
+Result<Multiplicity> MultiplicityFromString(const std::string& text);
+
+/// A class of the domain (e.g. Lineitem, Part, Nation).
+struct Concept {
+  std::string id;         ///< Unique; doubles as the display name.
+  std::string parent_id;  ///< Superclass ("" when none).
+};
+
+/// A datatype property (attribute) of a concept.
+struct DataProperty {
+  std::string id;  ///< "<concept>.<name>", unique.
+  std::string concept_id;
+  std::string name;
+  storage::DataType type = storage::DataType::kString;
+
+  bool is_numeric() const {
+    return type == storage::DataType::kInt64 ||
+           type == storage::DataType::kDouble;
+  }
+};
+
+/// An object property (binary association) between two concepts.
+struct Association {
+  std::string id;  ///< Unique.
+  std::string from_concept;
+  std::string to_concept;
+  Multiplicity multiplicity = Multiplicity::kManyToOne;
+};
+
+/// One hop of a path through the ontology graph.
+struct PathStep {
+  std::string association_id;
+  std::string from_concept;  ///< Concept the step leaves (traversal order).
+  std::string to_concept;    ///< Concept the step arrives at.
+  bool forward = true;       ///< True when traversed in declared direction.
+};
+
+/// \brief The domain ontology capturing the data sources (paper §2.5).
+///
+/// Quarry uses the ontology to let non-expert users phrase requirements in
+/// business vocabulary, to validate the MD role of each requirement element,
+/// and to drive integration matching. This class stores the concept
+/// taxonomy, datatype properties and associations, and answers the graph
+/// queries the rest of the system needs — most importantly *functional
+/// reachability* (to-one paths).
+class Ontology {
+ public:
+  Ontology() = default;
+  explicit Ontology(std::string name) : name_(std::move(name)) {}
+
+  Ontology(const Ontology&) = delete;
+  Ontology& operator=(const Ontology&) = delete;
+  Ontology(Ontology&&) = default;
+  Ontology& operator=(Ontology&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  // -- construction --------------------------------------------------------
+
+  Status AddConcept(const std::string& id, const std::string& parent_id = "");
+
+  Status AddDataProperty(const std::string& concept_id,
+                         const std::string& name, storage::DataType type);
+
+  Status AddAssociation(const std::string& id, const std::string& from,
+                        const std::string& to, Multiplicity multiplicity);
+
+  // -- lookups --------------------------------------------------------------
+
+  bool HasConcept(const std::string& id) const;
+  Result<Concept> GetConcept(const std::string& id) const;
+  Result<DataProperty> GetProperty(const std::string& property_id) const;
+  Result<Association> GetAssociation(const std::string& id) const;
+
+  std::vector<Concept> concepts() const;
+  std::vector<Association> associations() const;
+
+  /// Datatype properties declared on `concept_id` (inherited properties of
+  /// superclasses included last).
+  std::vector<DataProperty> PropertiesOf(const std::string& concept_id) const;
+
+  /// Associations with `concept_id` on either end.
+  std::vector<Association> AssociationsOf(const std::string& concept_id) const;
+
+  /// True when `descendant` equals `ancestor` or is (transitively) a
+  /// subclass of it.
+  bool IsSubclassOf(const std::string& descendant,
+                    const std::string& ancestor) const;
+
+  size_t num_concepts() const { return concepts_.size(); }
+  size_t num_properties() const { return properties_.size(); }
+  size_t num_associations() const { return associations_.size(); }
+
+  // -- graph analysis -------------------------------------------------------
+
+  /// Shortest functional (to-one at every hop) path from `from` to `to`.
+  /// Fails with Unsatisfiable when none exists.
+  Result<std::vector<PathStep>> FindFunctionalPath(const std::string& from,
+                                                   const std::string& to)
+      const;
+
+  /// Every concept reachable from `from` via functional steps, with the
+  /// number of hops; excludes `from` itself. Sorted by (hops, id).
+  std::vector<std::pair<std::string, int>> FunctionallyReachable(
+      const std::string& from) const;
+
+  /// True when a single functional hop from→to exists.
+  bool HasFunctionalStep(const std::string& from, const std::string& to) const;
+
+  // -- serialization --------------------------------------------------------
+
+  /// XML form (the repo's OWL stand-in; see DESIGN.md).
+  std::unique_ptr<xml::Element> ToXml() const;
+  static Result<Ontology> FromXml(const xml::Element& root);
+
+ private:
+  std::vector<PathStep> FunctionalSteps(const std::string& from) const;
+
+  std::string name_;
+  std::map<std::string, Concept> concepts_;
+  std::map<std::string, DataProperty> properties_;
+  std::map<std::string, Association> associations_;
+  // Adjacency indexes so per-concept queries (PropertiesOf,
+  // AssociationsOf, functional-step expansion) stay O(degree) instead of
+  // O(|ontology|); keeps the Elicitor interactive on large domain models.
+  std::map<std::string, std::vector<std::string>> properties_by_concept_;
+  std::map<std::string, std::vector<std::string>> associations_by_concept_;
+};
+
+}  // namespace quarry::ontology
+
+#endif  // QUARRY_ONTOLOGY_ONTOLOGY_H_

@@ -1,0 +1,127 @@
+#include "ontology/tpch_ontology.h"
+
+#include <cassert>
+
+namespace quarry::ontology {
+
+namespace {
+
+using storage::DataType;
+
+// The builders below are infallible by construction; Check keeps that
+// invariant loud during development without leaking Status plumbing to
+// callers.
+void Check(const Status& status) { assert(status.ok()); (void)status; }
+
+}  // namespace
+
+Ontology BuildTpchOntology() {
+  Ontology onto("tpch");
+  for (const char* concept_id :
+       {"Region", "Nation", "Supplier", "Customer", "Part", "Partsupp",
+        "Orders", "Lineitem"}) {
+    Check(onto.AddConcept(concept_id));
+  }
+
+  Check(onto.AddDataProperty("Region", "r_name", DataType::kString));
+  Check(onto.AddDataProperty("Nation", "n_name", DataType::kString));
+  Check(onto.AddDataProperty("Supplier", "s_name", DataType::kString));
+  Check(onto.AddDataProperty("Supplier", "s_acctbal", DataType::kDouble));
+  Check(onto.AddDataProperty("Customer", "c_name", DataType::kString));
+  Check(onto.AddDataProperty("Customer", "c_acctbal", DataType::kDouble));
+  Check(onto.AddDataProperty("Customer", "c_mktsegment", DataType::kString));
+  Check(onto.AddDataProperty("Part", "p_name", DataType::kString));
+  Check(onto.AddDataProperty("Part", "p_brand", DataType::kString));
+  Check(onto.AddDataProperty("Part", "p_type", DataType::kString));
+  Check(onto.AddDataProperty("Part", "p_retailprice", DataType::kDouble));
+  Check(onto.AddDataProperty("Partsupp", "ps_availqty", DataType::kInt64));
+  Check(onto.AddDataProperty("Partsupp", "ps_supplycost", DataType::kDouble));
+  Check(onto.AddDataProperty("Orders", "o_orderstatus", DataType::kString));
+  Check(onto.AddDataProperty("Orders", "o_totalprice", DataType::kDouble));
+  Check(onto.AddDataProperty("Orders", "o_orderdate", DataType::kDate));
+  Check(onto.AddDataProperty("Lineitem", "l_quantity", DataType::kInt64));
+  Check(onto.AddDataProperty("Lineitem", "l_extendedprice",
+                             DataType::kDouble));
+  Check(onto.AddDataProperty("Lineitem", "l_discount", DataType::kDouble));
+  Check(onto.AddDataProperty("Lineitem", "l_tax", DataType::kDouble));
+  Check(onto.AddDataProperty("Lineitem", "l_shipdate", DataType::kDate));
+  Check(onto.AddDataProperty("Lineitem", "l_returnflag", DataType::kString));
+
+  Check(onto.AddAssociation("nation_region", "Nation", "Region",
+                            Multiplicity::kManyToOne));
+  Check(onto.AddAssociation("supplier_nation", "Supplier", "Nation",
+                            Multiplicity::kManyToOne));
+  Check(onto.AddAssociation("customer_nation", "Customer", "Nation",
+                            Multiplicity::kManyToOne));
+  Check(onto.AddAssociation("orders_customer", "Orders", "Customer",
+                            Multiplicity::kManyToOne));
+  Check(onto.AddAssociation("lineitem_orders", "Lineitem", "Orders",
+                            Multiplicity::kManyToOne));
+  Check(onto.AddAssociation("lineitem_part", "Lineitem", "Part",
+                            Multiplicity::kManyToOne));
+  Check(onto.AddAssociation("lineitem_supplier", "Lineitem", "Supplier",
+                            Multiplicity::kManyToOne));
+  Check(onto.AddAssociation("partsupp_part", "Partsupp", "Part",
+                            Multiplicity::kManyToOne));
+  Check(onto.AddAssociation("partsupp_supplier", "Partsupp", "Supplier",
+                            Multiplicity::kManyToOne));
+  // Each Lineitem references exactly one (part, supplier) offer.
+  Check(onto.AddAssociation("lineitem_partsupp", "Lineitem", "Partsupp",
+                            Multiplicity::kManyToOne));
+  return onto;
+}
+
+SourceMapping BuildTpchMappings() {
+  SourceMapping m;
+  Check(m.MapConcept("Region", "region", {"r_regionkey"}));
+  Check(m.MapConcept("Nation", "nation", {"n_nationkey"}));
+  Check(m.MapConcept("Supplier", "supplier", {"s_suppkey"}));
+  Check(m.MapConcept("Customer", "customer", {"c_custkey"}));
+  Check(m.MapConcept("Part", "part", {"p_partkey"}));
+  Check(m.MapConcept("Partsupp", "partsupp", {"ps_partkey", "ps_suppkey"}));
+  Check(m.MapConcept("Orders", "orders", {"o_orderkey"}));
+  Check(m.MapConcept("Lineitem", "lineitem", {"l_orderkey", "l_linenumber"}));
+
+  Check(m.MapProperty("Region.r_name", "region", "r_name"));
+  Check(m.MapProperty("Nation.n_name", "nation", "n_name"));
+  Check(m.MapProperty("Supplier.s_name", "supplier", "s_name"));
+  Check(m.MapProperty("Supplier.s_acctbal", "supplier", "s_acctbal"));
+  Check(m.MapProperty("Customer.c_name", "customer", "c_name"));
+  Check(m.MapProperty("Customer.c_acctbal", "customer", "c_acctbal"));
+  Check(m.MapProperty("Customer.c_mktsegment", "customer", "c_mktsegment"));
+  Check(m.MapProperty("Part.p_name", "part", "p_name"));
+  Check(m.MapProperty("Part.p_brand", "part", "p_brand"));
+  Check(m.MapProperty("Part.p_type", "part", "p_type"));
+  Check(m.MapProperty("Part.p_retailprice", "part", "p_retailprice"));
+  Check(m.MapProperty("Partsupp.ps_availqty", "partsupp", "ps_availqty"));
+  Check(m.MapProperty("Partsupp.ps_supplycost", "partsupp", "ps_supplycost"));
+  Check(m.MapProperty("Orders.o_orderstatus", "orders", "o_orderstatus"));
+  Check(m.MapProperty("Orders.o_totalprice", "orders", "o_totalprice"));
+  Check(m.MapProperty("Orders.o_orderdate", "orders", "o_orderdate"));
+  Check(m.MapProperty("Lineitem.l_quantity", "lineitem", "l_quantity"));
+  Check(m.MapProperty("Lineitem.l_extendedprice", "lineitem",
+                      "l_extendedprice"));
+  Check(m.MapProperty("Lineitem.l_discount", "lineitem", "l_discount"));
+  Check(m.MapProperty("Lineitem.l_tax", "lineitem", "l_tax"));
+  Check(m.MapProperty("Lineitem.l_shipdate", "lineitem", "l_shipdate"));
+  Check(m.MapProperty("Lineitem.l_returnflag", "lineitem", "l_returnflag"));
+
+  Check(m.MapAssociation("nation_region", {"n_regionkey"}, {"r_regionkey"}));
+  Check(
+      m.MapAssociation("supplier_nation", {"s_nationkey"}, {"n_nationkey"}));
+  Check(
+      m.MapAssociation("customer_nation", {"c_nationkey"}, {"n_nationkey"}));
+  Check(m.MapAssociation("orders_customer", {"o_custkey"}, {"c_custkey"}));
+  Check(m.MapAssociation("lineitem_orders", {"l_orderkey"}, {"o_orderkey"}));
+  Check(m.MapAssociation("lineitem_part", {"l_partkey"}, {"p_partkey"}));
+  Check(
+      m.MapAssociation("lineitem_supplier", {"l_suppkey"}, {"s_suppkey"}));
+  Check(m.MapAssociation("partsupp_part", {"ps_partkey"}, {"p_partkey"}));
+  Check(
+      m.MapAssociation("partsupp_supplier", {"ps_suppkey"}, {"s_suppkey"}));
+  Check(m.MapAssociation("lineitem_partsupp", {"l_partkey", "l_suppkey"},
+                         {"ps_partkey", "ps_suppkey"}));
+  return m;
+}
+
+}  // namespace quarry::ontology

@@ -1,0 +1,24 @@
+#ifndef QUARRY_ONTOLOGY_TPCH_ONTOLOGY_H_
+#define QUARRY_ONTOLOGY_TPCH_ONTOLOGY_H_
+
+#include "ontology/mapping.h"
+#include "ontology/ontology.h"
+
+namespace quarry::ontology {
+
+/// \brief The TPC-H domain ontology from the paper's running example
+/// (Fig. 2 shows its graphical rendering in the Requirements Elicitor).
+///
+/// Concepts: Region, Nation, Supplier, Customer, Part, Partsupp, Orders,
+/// Lineitem. Associations carry the natural multiplicities (e.g. every
+/// Lineitem belongs to exactly one Orders — MANY_TO_ONE), which is what the
+/// Interpreter's MD validation and the Elicitor's suggestions key off.
+Ontology BuildTpchOntology();
+
+/// Source schema mappings grounding BuildTpchOntology() in the tables
+/// produced by quarry::datagen::PopulateTpch.
+SourceMapping BuildTpchMappings();
+
+}  // namespace quarry::ontology
+
+#endif  // QUARRY_ONTOLOGY_TPCH_ONTOLOGY_H_

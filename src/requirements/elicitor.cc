@@ -1,0 +1,167 @@
+#include "requirements/elicitor.h"
+
+#include <algorithm>
+
+#include "etl/expr.h"
+
+namespace quarry::req {
+
+using ontology::Association;
+using ontology::DataProperty;
+using ontology::Multiplicity;
+
+std::vector<FactSuggestion> Elicitor::SuggestFacts() const {
+  std::vector<FactSuggestion> out;
+  for (const ontology::Concept& c : onto_->concepts()) {
+    FactSuggestion s;
+    s.concept_id = c.id;
+    for (const DataProperty& p : onto_->PropertiesOf(c.id)) {
+      if (p.is_numeric()) ++s.numeric_properties;
+    }
+    int functional_in_degree = 0;
+    for (const Association& a : onto_->AssociationsOf(c.id)) {
+      bool forward_functional = a.multiplicity == Multiplicity::kManyToOne ||
+                                a.multiplicity == Multiplicity::kOneToOne;
+      bool backward_functional = a.multiplicity == Multiplicity::kOneToMany ||
+                                 a.multiplicity == Multiplicity::kOneToOne;
+      if (a.from_concept == c.id && forward_functional) {
+        ++s.functional_out_degree;
+      }
+      if (a.to_concept == c.id && backward_functional) {
+        ++s.functional_out_degree;
+      }
+      if (a.to_concept == c.id && forward_functional) {
+        ++functional_in_degree;
+      }
+      if (a.from_concept == c.id && backward_functional) {
+        ++functional_in_degree;
+      }
+    }
+    // Events (facts) measure things and fan out to dimensions; concepts
+    // that many others roll up to are dimensions themselves.
+    s.score = 1.0 * s.numeric_properties + 0.5 * s.functional_out_degree -
+              0.25 * functional_in_degree;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FactSuggestion& a, const FactSuggestion& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.concept_id < b.concept_id;
+            });
+  return out;
+}
+
+Result<std::vector<MeasureSuggestion>> Elicitor::SuggestMeasures(
+    const std::string& focus_concept) const {
+  QUARRY_RETURN_NOT_OK(onto_->GetConcept(focus_concept).status());
+  std::vector<MeasureSuggestion> out;
+  for (const DataProperty& p : onto_->PropertiesOf(focus_concept)) {
+    if (!p.is_numeric()) continue;
+    MeasureSuggestion s;
+    s.property_id = p.id;
+    // Doubles (amounts, prices) rank above ints (counts, keys).
+    s.score = p.type == storage::DataType::kDouble ? 1.0 : 0.5;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MeasureSuggestion& a, const MeasureSuggestion& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.property_id < b.property_id;
+            });
+  return out;
+}
+
+Result<std::vector<DimensionSuggestion>> Elicitor::SuggestDimensions(
+    const std::string& focus_concept) const {
+  QUARRY_RETURN_NOT_OK(onto_->GetConcept(focus_concept).status());
+  std::vector<DimensionSuggestion> out;
+  for (const auto& [concept_id, hops] :
+       onto_->FunctionallyReachable(focus_concept)) {
+    DimensionSuggestion s;
+    s.concept_id = concept_id;
+    s.hops = hops;
+    for (const DataProperty& p : onto_->PropertiesOf(concept_id)) {
+      if (!p.is_numeric()) s.descriptive_properties.push_back(p.id);
+    }
+    s.score = (1.0 / hops) + 0.1 * static_cast<double>(
+                                       s.descriptive_properties.size());
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DimensionSuggestion& a, const DimensionSuggestion& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.concept_id < b.concept_id;
+            });
+  return out;
+}
+
+Status Elicitor::CheckPropertyReachable(
+    const std::string& property_id, const std::string& focus_concept) const {
+  QUARRY_ASSIGN_OR_RETURN(DataProperty p, onto_->GetProperty(property_id));
+  Status reachable =
+      onto_->FindFunctionalPath(focus_concept, p.concept_id).status();
+  if (!reachable.ok()) {
+    return Status::Unsatisfiable(
+        "property '" + property_id + "' lives on concept '" + p.concept_id +
+        "', which is not functionally reachable from focus '" +
+        focus_concept + "'");
+  }
+  return Status::OK();
+}
+
+Result<InformationRequirement> Elicitor::BuildRequirement(
+    const std::string& id, const std::string& name,
+    const std::string& focus_concept, std::vector<MeasureSpec> measures,
+    std::vector<DimensionSpec> dimensions,
+    std::vector<Slicer> slicers) const {
+  if (id.empty()) return Status::InvalidArgument("requirement id is empty");
+  QUARRY_RETURN_NOT_OK(onto_->GetConcept(focus_concept).status());
+  if (measures.empty()) {
+    return Status::InvalidArgument("requirement '" + id +
+                                   "' has no measures");
+  }
+  if (dimensions.empty()) {
+    return Status::InvalidArgument("requirement '" + id +
+                                   "' has no dimensions");
+  }
+  for (const MeasureSpec& m : measures) {
+    QUARRY_ASSIGN_OR_RETURN(etl::Expr::Ptr expr,
+                            etl::ParseExpr(m.expression));
+    for (const std::string& property_id : expr->ReferencedColumns()) {
+      QUARRY_RETURN_NOT_OK(CheckPropertyReachable(property_id, focus_concept)
+                               .WithContext("measure '" + m.id + "'"));
+    }
+  }
+  for (const DimensionSpec& d : dimensions) {
+    QUARRY_RETURN_NOT_OK(CheckPropertyReachable(d.property_id, focus_concept)
+                             .WithContext("dimension"));
+  }
+  for (const Slicer& s : slicers) {
+    QUARRY_RETURN_NOT_OK(CheckPropertyReachable(s.property_id, focus_concept)
+                             .WithContext("slicer"));
+    if (s.op != "=" && s.op != "<>" && s.op != "<" && s.op != "<=" &&
+        s.op != ">" && s.op != ">=") {
+      return Status::InvalidArgument("slicer operator '" + s.op +
+                                     "' is not supported");
+    }
+  }
+  InformationRequirement ir;
+  ir.id = id;
+  ir.name = name;
+  ir.focus_concept = focus_concept;
+  ir.measures = std::move(measures);
+  ir.dimensions = std::move(dimensions);
+  ir.slicers = std::move(slicers);
+  // Default aggregation plan: every measure by every dimension with the
+  // measure's own function (the paper's Fig. 4 lists these explicitly).
+  int order = 1;
+  for (const MeasureSpec& m : ir.measures) {
+    for (const DimensionSpec& d : ir.dimensions) {
+      ir.aggregations.push_back({d.property_id, m.id, m.aggregation, order});
+    }
+    ++order;
+  }
+  return ir;
+}
+
+}  // namespace quarry::req

@@ -1,0 +1,85 @@
+#ifndef QUARRY_REQUIREMENTS_ELICITOR_H_
+#define QUARRY_REQUIREMENTS_ELICITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+#include "requirements/requirement.h"
+
+namespace quarry::req {
+
+/// A concept suggested as an analysis dimension for a chosen focus.
+struct DimensionSuggestion {
+  std::string concept_id;
+  int hops = 0;  ///< Functional-path length from the focus.
+  /// Descriptive (non-numeric) properties usable as grouping attributes.
+  std::vector<std::string> descriptive_properties;
+  double score = 0;  ///< Higher = suggested earlier.
+};
+
+/// A numeric property suggested as a measure for a chosen focus.
+struct MeasureSuggestion {
+  std::string property_id;
+  double score = 0;
+};
+
+/// A concept suggested as a subject of analysis (fact candidate).
+struct FactSuggestion {
+  std::string concept_id;
+  int numeric_properties = 0;
+  int functional_out_degree = 0;  ///< To-one associations leaving it.
+  double score = 0;
+};
+
+/// \brief The analysis behind the Requirements Elicitor UI (paper §2.1):
+/// "analyzing the relationships in the domain ontology, and automatically
+/// suggesting potentially interesting analytical perspectives".
+///
+/// A good fact candidate has numeric properties to measure and many to-one
+/// associations fanning out to potential dimensions (e.g. Lineitem). A good
+/// dimension for a focus is any concept reachable through a functional
+/// path, nearer concepts first — exactly the suggestion in the paper's
+/// example ("a user may choose Lineitem ... the system suggests Supplier,
+/// Nation, Part").
+class Elicitor {
+ public:
+  /// The ontology must outlive the elicitor.
+  explicit Elicitor(const ontology::Ontology* onto) : onto_(onto) {}
+
+  /// Fact candidates ranked by score (numeric properties + functional
+  /// out-degree, penalized by being a rollup target itself).
+  std::vector<FactSuggestion> SuggestFacts() const;
+
+  /// Numeric properties of `focus_concept` ranked for use as measures.
+  Result<std::vector<MeasureSuggestion>> SuggestMeasures(
+      const std::string& focus_concept) const;
+
+  /// Dimension candidates for `focus_concept`: functionally reachable
+  /// concepts, nearest first, with their descriptive properties.
+  Result<std::vector<DimensionSuggestion>> SuggestDimensions(
+      const std::string& focus_concept) const;
+
+  /// Assembles and sanity-checks a requirement against the ontology: every
+  /// referenced property must exist, measures must be numeric expressions
+  /// over the focus (or functionally reachable) concepts, and each
+  /// dimension/slicer property's concept must be functionally reachable
+  /// from the focus. This is the elicitor-side validation that precedes
+  /// the interpreter's full MD validation.
+  Result<InformationRequirement> BuildRequirement(
+      const std::string& id, const std::string& name,
+      const std::string& focus_concept, std::vector<MeasureSpec> measures,
+      std::vector<DimensionSpec> dimensions,
+      std::vector<Slicer> slicers) const;
+
+ private:
+  Status CheckPropertyReachable(const std::string& property_id,
+                                const std::string& focus_concept) const;
+
+  const ontology::Ontology* onto_;
+};
+
+}  // namespace quarry::req
+
+#endif  // QUARRY_REQUIREMENTS_ELICITOR_H_

@@ -1,0 +1,307 @@
+#include "requirements/query_parser.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+#include "etl/expr.h"
+
+namespace quarry::req {
+
+namespace {
+
+/// Word-and-symbol scanner over the statement.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Matches a keyword case-insensitively at a word boundary.
+  bool MatchKeyword(std::string_view kw) {
+    SkipSpace();
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) !=
+          kw[i]) {
+        return false;
+      }
+    }
+    size_t end = pos_ + kw.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool MatchChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// An identifier ([A-Za-z_][A-Za-z0-9_.]*).
+  Result<std::string> Identifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected identifier at offset " +
+                                std::to_string(pos_));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// A double-quoted string.
+  Result<std::string> QuotedName() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status::ParseError("expected '\"'");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      out.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("unterminated quoted name");
+    }
+    ++pos_;
+    return out;
+  }
+
+  /// Raw text until one of the given top-level keywords, a comma, or the
+  /// end. Used for measure expressions, which have their own grammar (and
+  /// contain neither commas nor the clause keywords as bare words).
+  std::string UntilKeywordOrComma(const std::vector<std::string_view>& stops) {
+    SkipSpace();
+    size_t start = pos_;
+    size_t best = text_.size();
+    for (std::string_view stop : stops) {
+      // Case-insensitive search for the stop word at a word boundary.
+      for (size_t i = start; i + stop.size() <= text_.size(); ++i) {
+        bool match = true;
+        for (size_t k = 0; k < stop.size(); ++k) {
+          if (std::toupper(static_cast<unsigned char>(text_[i + k])) !=
+              stop[k]) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        bool left_ok =
+            i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                           text_[i - 1])) &&
+                       text_[i - 1] != '_');
+        size_t after = i + stop.size();
+        bool right_ok =
+            after >= text_.size() ||
+            (!std::isalnum(static_cast<unsigned char>(text_[after])) &&
+             text_[after] != '_');
+        if (left_ok && right_ok) {
+          best = std::min(best, i);
+          break;
+        }
+      }
+    }
+    size_t comma = text_.find(',', start);
+    if (comma != std::string_view::npos) best = std::min(best, comma);
+    std::string out(Trim(text_.substr(start, best - start)));
+    pos_ = best;
+    return out;
+  }
+
+  /// A literal for WHERE: number, or single-quoted string.
+  Result<std::string> Literal() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::ParseError("expected literal");
+    if (text_[pos_] == '\'') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '\'') {
+        out.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated string literal");
+      }
+      ++pos_;
+      return out;
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::ParseError("expected literal");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ComparisonOp() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::ParseError("expected operator");
+    char c = text_[pos_];
+    if (c == '=') {
+      ++pos_;
+      return std::string("=");
+    }
+    if (c == '<') {
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '>') {
+        ++pos_;
+        return std::string("<>");
+      }
+      if (pos_ < text_.size() && text_[pos_] == '=') {
+        ++pos_;
+        return std::string("<=");
+      }
+      return std::string("<");
+    }
+    if (c == '>') {
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '=') {
+        ++pos_;
+        return std::string(">=");
+      }
+      return std::string(">");
+    }
+    return Status::ParseError(std::string("unknown comparison operator '") +
+                              c + "'");
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<md::AggFunc> OptionalAgg(Scanner* scanner) {
+  if (scanner->MatchKeyword("SUM")) return md::AggFunc::kSum;
+  if (scanner->MatchKeyword("AVG")) return md::AggFunc::kAvg;
+  if (scanner->MatchKeyword("MIN")) return md::AggFunc::kMin;
+  if (scanner->MatchKeyword("MAX")) return md::AggFunc::kMax;
+  if (scanner->MatchKeyword("COUNT")) return md::AggFunc::kCount;
+  return md::AggFunc::kSum;
+}
+
+}  // namespace
+
+Result<InformationRequirement> ParseRequirementQuery(std::string_view text) {
+  Scanner scanner(text);
+  InformationRequirement ir;
+  if (!scanner.MatchKeyword("ANALYZE")) {
+    return Status::ParseError("query must start with ANALYZE");
+  }
+  QUARRY_ASSIGN_OR_RETURN(ir.id, scanner.Identifier());
+  ir.name = ir.id;
+  if (scanner.MatchKeyword("AS")) {
+    QUARRY_ASSIGN_OR_RETURN(ir.name, scanner.QuotedName());
+  }
+  if (scanner.MatchKeyword("ON")) {
+    QUARRY_ASSIGN_OR_RETURN(ir.focus_concept, scanner.Identifier());
+  }
+  if (!scanner.MatchKeyword("MEASURE")) {
+    return Status::ParseError("expected MEASURE clause");
+  }
+  while (true) {
+    MeasureSpec measure;
+    QUARRY_ASSIGN_OR_RETURN(measure.id, scanner.Identifier());
+    if (!scanner.MatchChar('=')) {
+      return Status::ParseError("expected '=' after measure name '" +
+                                measure.id + "'");
+    }
+    measure.expression = scanner.UntilKeywordOrComma(
+        {"SUM", "AVG", "MIN", "MAX", "COUNT", "BY", "WHERE"});
+    if (measure.expression.empty()) {
+      return Status::ParseError("empty expression for measure '" +
+                                measure.id + "'");
+    }
+    // Validate the expression parses.
+    QUARRY_RETURN_NOT_OK(
+        etl::ParseExpr(measure.expression).status().WithContext(
+            "measure '" + measure.id + "'"));
+    QUARRY_ASSIGN_OR_RETURN(measure.aggregation, OptionalAgg(&scanner));
+    ir.measures.push_back(std::move(measure));
+    if (!scanner.MatchChar(',')) break;
+  }
+  if (!scanner.MatchKeyword("BY")) {
+    return Status::ParseError("expected BY clause");
+  }
+  while (true) {
+    QUARRY_ASSIGN_OR_RETURN(std::string property, scanner.Identifier());
+    ir.dimensions.push_back({std::move(property)});
+    if (!scanner.MatchChar(',')) break;
+  }
+  if (scanner.MatchKeyword("WHERE")) {
+    while (true) {
+      Slicer slicer;
+      QUARRY_ASSIGN_OR_RETURN(slicer.property_id, scanner.Identifier());
+      QUARRY_ASSIGN_OR_RETURN(slicer.op, scanner.ComparisonOp());
+      QUARRY_ASSIGN_OR_RETURN(slicer.value, scanner.Literal());
+      ir.slicers.push_back(std::move(slicer));
+      if (!scanner.MatchKeyword("AND")) break;
+    }
+  }
+  if (!scanner.AtEnd()) {
+    return Status::ParseError("trailing input after query");
+  }
+  return ir;
+}
+
+std::string RequirementQueryToString(const InformationRequirement& ir) {
+  std::string out = "ANALYZE " + ir.id;
+  if (!ir.name.empty() && ir.name != ir.id) {
+    out += " AS \"" + ir.name + "\"";
+  }
+  if (!ir.focus_concept.empty()) out += " ON " + ir.focus_concept;
+  out += "\nMEASURE ";
+  for (size_t i = 0; i < ir.measures.size(); ++i) {
+    if (i > 0) out += ",\n        ";
+    const MeasureSpec& m = ir.measures[i];
+    out += m.id + " = " + m.expression + " " +
+           md::AggFuncToEtlName(m.aggregation);
+  }
+  out += "\nBY ";
+  for (size_t i = 0; i < ir.dimensions.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ir.dimensions[i].property_id;
+  }
+  if (!ir.slicers.empty()) {
+    out += "\nWHERE ";
+    for (size_t i = 0; i < ir.slicers.size(); ++i) {
+      if (i > 0) out += " AND ";
+      const Slicer& s = ir.slicers[i];
+      bool quoted = !s.value.empty() &&
+                    !std::isdigit(static_cast<unsigned char>(s.value[0])) &&
+                    s.value[0] != '-' && s.value[0] != '+';
+      // Dates are digits-led but must be quoted too.
+      if (s.value.find('-') != std::string::npos &&
+          s.value.find_first_not_of("0123456789-") == std::string::npos) {
+        quoted = true;
+      }
+      out += s.property_id + " " + s.op + " " +
+             (quoted ? "'" + s.value + "'" : s.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace quarry::req

@@ -1,0 +1,40 @@
+#ifndef QUARRY_REQUIREMENTS_QUERY_PARSER_H_
+#define QUARRY_REQUIREMENTS_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "requirements/requirement.h"
+
+namespace quarry::req {
+
+/// \brief Parses the textual analytical-query notation business users write
+/// (an import parser for the Communication & Metadata layer, paper §2.5).
+///
+/// Grammar (case-insensitive keywords, one statement):
+///
+///   ANALYZE <id> [AS "<display name>"] [ON <FocusConcept>]
+///   MEASURE <name> = <expression> [SUM|AVG|MIN|MAX|COUNT]
+///           (, <name> = <expression> [agg])*
+///   BY <Concept.property> (, <Concept.property>)*
+///   [WHERE <Concept.property> <op> <literal>
+///          (AND <Concept.property> <op> <literal>)*]
+///
+/// Example (the paper's introduction sentence, as a query):
+///
+///   ANALYZE revenue ON Lineitem
+///   MEASURE revenue = Lineitem.l_extendedprice * (1 - Lineitem.l_discount)
+///   BY Part.p_name, Supplier.s_name
+///   WHERE Nation.n_name = 'SPAIN'
+///
+/// Literals: numbers, 'strings', dates as 'YYYY-MM-DD' (typed by the
+/// property at interpretation time).
+Result<InformationRequirement> ParseRequirementQuery(std::string_view text);
+
+/// Renders a requirement back to the notation (round-trips through
+/// ParseRequirementQuery).
+std::string RequirementQueryToString(const InformationRequirement& ir);
+
+}  // namespace quarry::req
+
+#endif  // QUARRY_REQUIREMENTS_QUERY_PARSER_H_

@@ -1,0 +1,111 @@
+#include "requirements/requirement.h"
+
+namespace quarry::req {
+
+std::unique_ptr<xml::Element> ToXrq(const InformationRequirement& ir) {
+  auto root = std::make_unique<xml::Element>("cube");
+  root->SetAttr("id", ir.id);
+  root->SetAttr("name", ir.name);
+  if (!ir.focus_concept.empty()) root->SetAttr("focus", ir.focus_concept);
+  xml::Element* dimensions = root->AddChild("dimensions");
+  for (const DimensionSpec& d : ir.dimensions) {
+    dimensions->AddChild("concept")->SetAttr("id", d.property_id);
+  }
+  xml::Element* measures = root->AddChild("measures");
+  for (const MeasureSpec& m : ir.measures) {
+    xml::Element* concept_el = measures->AddChild("concept");
+    concept_el->SetAttr("id", m.id);
+    concept_el->AddTextChild("function", m.expression);
+    concept_el->AddTextChild("aggregation", md::AggFuncToString(m.aggregation));
+  }
+  xml::Element* slicers = root->AddChild("slicers");
+  for (const Slicer& s : ir.slicers) {
+    xml::Element* comparison = slicers->AddChild("comparison");
+    comparison->AddChild("concept")->SetAttr("id", s.property_id);
+    comparison->AddTextChild("operator", s.op);
+    comparison->AddTextChild("value", s.value);
+  }
+  xml::Element* aggregations = root->AddChild("aggregations");
+  for (const AggregationSpec& a : ir.aggregations) {
+    xml::Element* aggregation = aggregations->AddChild("aggregation");
+    aggregation->SetAttr("order", std::to_string(a.order));
+    aggregation->AddChild("dimension")->SetAttr("refID",
+                                                a.dimension_property);
+    aggregation->AddChild("measure")->SetAttr("refID", a.measure_id);
+    aggregation->AddTextChild("function", md::AggFuncToString(a.function));
+  }
+  return root;
+}
+
+Result<InformationRequirement> FromXrq(const xml::Element& root) {
+  if (root.name() != "cube") {
+    return Status::ParseError("expected <cube>, got <" + root.name() + ">");
+  }
+  InformationRequirement ir;
+  ir.id = root.AttrOr("id");
+  ir.name = root.AttrOr("name");
+  ir.focus_concept = root.AttrOr("focus");
+  if (ir.id.empty()) {
+    return Status::ParseError("xRQ cube lacks an id attribute");
+  }
+  if (const xml::Element* dimensions = root.FirstChild("dimensions");
+      dimensions != nullptr) {
+    for (const xml::Element* c : dimensions->Children("concept")) {
+      ir.dimensions.push_back({c->AttrOr("id")});
+    }
+  }
+  if (const xml::Element* measures = root.FirstChild("measures");
+      measures != nullptr) {
+    for (const xml::Element* c : measures->Children("concept")) {
+      MeasureSpec m;
+      m.id = c->AttrOr("id");
+      m.expression = c->ChildText("function");
+      std::string agg = c->ChildText("aggregation");
+      if (!agg.empty()) {
+        QUARRY_ASSIGN_OR_RETURN(m.aggregation, md::AggFuncFromString(agg));
+      }
+      if (m.id.empty() || m.expression.empty()) {
+        return Status::ParseError("xRQ measure needs an id and a function");
+      }
+      ir.measures.push_back(std::move(m));
+    }
+  }
+  if (const xml::Element* slicers = root.FirstChild("slicers");
+      slicers != nullptr) {
+    for (const xml::Element* comparison : slicers->Children("comparison")) {
+      Slicer s;
+      const xml::Element* concept_el = comparison->FirstChild("concept");
+      if (concept_el == nullptr) {
+        return Status::ParseError("xRQ comparison lacks a concept");
+      }
+      s.property_id = concept_el->AttrOr("id");
+      s.op = comparison->ChildText("operator");
+      s.value = comparison->ChildText("value");
+      if (s.op.empty()) {
+        return Status::ParseError("xRQ comparison lacks an operator");
+      }
+      ir.slicers.push_back(std::move(s));
+    }
+  }
+  if (const xml::Element* aggregations = root.FirstChild("aggregations");
+      aggregations != nullptr) {
+    for (const xml::Element* a : aggregations->Children("aggregation")) {
+      AggregationSpec spec;
+      spec.order = std::atoi(a->AttrOr("order", "1").c_str());
+      if (const xml::Element* d = a->FirstChild("dimension"); d != nullptr) {
+        spec.dimension_property = d->AttrOr("refID");
+      }
+      if (const xml::Element* m = a->FirstChild("measure"); m != nullptr) {
+        spec.measure_id = m->AttrOr("refID");
+      }
+      std::string fn = a->ChildText("function");
+      if (!fn.empty()) {
+        QUARRY_ASSIGN_OR_RETURN(spec.function, md::AggFuncFromString(fn));
+      }
+      ir.aggregations.push_back(std::move(spec));
+    }
+  }
+  return ir;
+}
+
+}  // namespace quarry::req

@@ -1,0 +1,80 @@
+#ifndef QUARRY_REQUIREMENTS_REQUIREMENT_H_
+#define QUARRY_REQUIREMENTS_REQUIREMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mdschema/md_schema.h"
+#include "xml/xml.h"
+
+namespace quarry::req {
+
+/// A requested measure: a named numeric expression over ontology property
+/// ids (e.g. "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)").
+struct MeasureSpec {
+  std::string id;  ///< e.g. "revenue".
+  std::string expression;
+  md::AggFunc aggregation = md::AggFunc::kSum;
+};
+
+/// A requested analysis dimension, named by the descriptive property to
+/// group by (its owning concept becomes the dimension level).
+struct DimensionSpec {
+  std::string property_id;  ///< e.g. "Part.p_name".
+};
+
+/// A slicer: restrict the analysis to rows where `property op value`.
+struct Slicer {
+  std::string property_id;  ///< e.g. "Nation.n_name".
+  std::string op;           ///< =, <>, <, <=, >, >=
+  std::string value;        ///< Literal text; typed by the property.
+};
+
+/// Explicit (dimension, measure, function) aggregation request.
+struct AggregationSpec {
+  std::string dimension_property;
+  std::string measure_id;
+  md::AggFunc function = md::AggFunc::kSum;
+  int order = 1;
+};
+
+/// \brief An information requirement: an analytical query in MD terms
+/// ("Analyze the revenue from last year's sales, per products ordered from
+/// Spain"). This is what the Requirements Elicitor produces and the
+/// Requirements Interpreter consumes.
+struct InformationRequirement {
+  std::string id;    ///< e.g. "ir_revenue"; traces through all designs.
+  std::string name;  ///< Display name / fact name hint.
+  /// Focus concept of the analysis (e.g. "Lineitem"). May be empty: the
+  /// interpreter then derives it from the measures' property concepts.
+  std::string focus_concept;
+  std::vector<MeasureSpec> measures;
+  std::vector<DimensionSpec> dimensions;
+  std::vector<Slicer> slicers;
+  std::vector<AggregationSpec> aggregations;
+};
+
+/// xRQ serialization, following the paper's Figure 4 snippet:
+/// \code{.xml}
+/// <cube id="ir_revenue" name="revenue" focus="Lineitem">
+///   <dimensions><concept id="Part.p_name"/>...</dimensions>
+///   <measures><concept id="revenue">
+///     <function>Lineitem.l_extendedprice * (1 - Lineitem.l_discount)
+///     </function><aggregation>SUM</aggregation></concept></measures>
+///   <slicers><comparison><concept id="Nation.n_name"/>
+///     <operator>=</operator><value>Spain</value></comparison></slicers>
+///   <aggregations><aggregation order="1">
+///     <dimension refID="Part.p_name"/><measure refID="revenue"/>
+///     <function>AVERAGE</function></aggregation></aggregations>
+/// </cube>
+/// \endcode
+std::unique_ptr<xml::Element> ToXrq(const InformationRequirement& ir);
+
+/// Inverse of ToXrq.
+Result<InformationRequirement> FromXrq(const xml::Element& root);
+
+}  // namespace quarry::req
+
+#endif  // QUARRY_REQUIREMENTS_REQUIREMENT_H_

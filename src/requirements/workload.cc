@@ -1,0 +1,77 @@
+#include "requirements/workload.h"
+
+#include <array>
+#include <set>
+
+#include "common/prng.h"
+
+namespace quarry::req {
+
+namespace {
+
+// Dimension candidates: descriptive TPC-H properties, hot pool first.
+constexpr std::array<const char*, 3> kHotDimensions = {
+    "Part.p_name", "Supplier.s_name", "Orders.o_orderdate"};
+constexpr std::array<const char*, 6> kColdDimensions = {
+    "Part.p_brand",        "Part.p_type",          "Customer.c_mktsegment",
+    "Nation.n_name",       "Region.r_name",        "Lineitem.l_returnflag"};
+
+// Measure expression templates over Lineitem (all numeric, all valid).
+constexpr std::array<const char*, 5> kMeasureExprs = {
+    "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+    "Lineitem.l_quantity",
+    "Lineitem.l_extendedprice",
+    "Lineitem.l_extendedprice * Lineitem.l_tax",
+    "Lineitem.l_extendedprice * (1 - Lineitem.l_discount) * "
+    "(1 + Lineitem.l_tax)",
+};
+
+constexpr std::array<const char*, 3> kSlicerProps = {
+    "Lineitem.l_returnflag", "Orders.o_orderstatus", "Nation.n_name"};
+constexpr std::array<const char*, 3> kSlicerValues = {"R", "O", "SPAIN"};
+
+}  // namespace
+
+std::vector<InformationRequirement> GenerateTpchWorkload(
+    const WorkloadConfig& config) {
+  Prng rng(config.seed);
+  std::vector<InformationRequirement> out;
+  out.reserve(static_cast<size_t>(config.num_requirements));
+  for (int i = 0; i < config.num_requirements; ++i) {
+    InformationRequirement ir;
+    ir.id = "ir_wl_" + std::to_string(i);
+    ir.name = "wl_" + std::to_string(i);
+    ir.focus_concept = "Lineitem";
+    // Unique measure name per requirement so same-grain facts merge.
+    ir.measures.push_back(
+        {"m_" + std::to_string(i),
+         kMeasureExprs[static_cast<size_t>(
+             rng.Uniform(0, static_cast<int>(kMeasureExprs.size()) - 1))],
+         md::AggFunc::kSum});
+    std::set<std::string> chosen;
+    while (static_cast<int>(chosen.size()) <
+           config.dimensions_per_requirement) {
+      const char* pick;
+      if (rng.Chance(config.overlap)) {
+        pick = kHotDimensions[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int>(kHotDimensions.size()) - 1))];
+      } else {
+        pick = kColdDimensions[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int>(kColdDimensions.size()) - 1))];
+      }
+      chosen.insert(pick);
+    }
+    for (const std::string& property : chosen) {
+      ir.dimensions.push_back({property});
+    }
+    if (rng.Chance(config.slicer_probability)) {
+      size_t s = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int>(kSlicerProps.size()) - 1));
+      ir.slicers.push_back({kSlicerProps[s], "=", kSlicerValues[s]});
+    }
+    out.push_back(std::move(ir));
+  }
+  return out;
+}
+
+}  // namespace quarry::req

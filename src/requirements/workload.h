@@ -1,0 +1,33 @@
+#ifndef QUARRY_REQUIREMENTS_WORKLOAD_H_
+#define QUARRY_REQUIREMENTS_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "requirements/requirement.h"
+
+namespace quarry::req {
+
+/// Knobs for the synthetic requirement-stream generator used by the
+/// benchmark harness (EXPERIMENTS.md S1/S2a/S2b).
+struct WorkloadConfig {
+  int num_requirements = 5;
+  /// In [0,1]: probability that a requirement draws its dimensions from the
+  /// shared "hot" pool (Part/Supplier/Orders) instead of its own picks —
+  /// higher overlap means more conformed dimensions and more reusable ETL.
+  double overlap = 0.5;
+  int dimensions_per_requirement = 2;
+  /// Fraction of requirements carrying one slicer.
+  double slicer_probability = 0.5;
+  uint64_t seed = 42;
+};
+
+/// Generates a deterministic stream of valid information requirements over
+/// the TPC-H domain ontology (focus Lineitem, unique measure names so
+/// same-grain facts merge without definition conflicts).
+std::vector<InformationRequirement> GenerateTpchWorkload(
+    const WorkloadConfig& config);
+
+}  // namespace quarry::req
+
+#endif  // QUARRY_REQUIREMENTS_WORKLOAD_H_

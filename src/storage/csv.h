@@ -1,0 +1,33 @@
+#ifndef QUARRY_STORAGE_CSV_H_
+#define QUARRY_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace quarry::storage {
+
+/// Serializes a table to RFC-4180-style CSV with a header row. NULL cells
+/// become empty fields; fields containing the separator, quotes or newlines
+/// are quoted with `"` and embedded quotes doubled.
+std::string TableToCsv(const Table& table, char sep = ',');
+
+/// Parses CSV text (with header) into an existing empty table whose schema
+/// provides the column types. Empty fields load as NULL. Header names must
+/// match the schema's column names in order.
+Status LoadCsvInto(Table* table, const std::string& csv, char sep = ',');
+
+/// Writes a table to a CSV file on disk.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char sep = ',');
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes a string to a file (overwriting).
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace quarry::storage
+
+#endif  // QUARRY_STORAGE_CSV_H_

@@ -1,0 +1,134 @@
+#include "storage/database.h"
+
+#include <unordered_map>
+
+namespace quarry::storage {
+
+Result<Table*> Database::CreateTable(TableSchema schema) {
+  if (tables_.count(schema.name()) > 0) {
+    return Status::AlreadyExists("table '" + schema.name() + "'");
+  }
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    auto it = tables_.find(fk.referenced_table);
+    if (it == tables_.end()) {
+      return Status::NotFound("referenced table '" + fk.referenced_table +
+                              "' for foreign key of '" + schema.name() + "'");
+    }
+    for (const std::string& rc : fk.referenced_columns) {
+      if (!it->second->schema().ColumnIndex(rc).has_value()) {
+        return Status::NotFound("referenced column '" + rc + "' in table '" +
+                                fk.referenced_table + "'");
+      }
+    }
+  }
+  std::string name = schema.name();
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(std::move(name), std::move(table));
+  return raw;
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table '" + name + "'");
+  }
+  return Status::OK();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  return static_cast<const Table*>(it->second.get());
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->num_rows();
+  return total;
+}
+
+Status Database::CheckReferentialIntegrity() const {
+  for (const auto& [name, table] : tables_) {
+    for (const ForeignKey& fk : table->schema().foreign_keys()) {
+      auto ref_it = tables_.find(fk.referenced_table);
+      if (ref_it == tables_.end()) {
+        return Status::NotFound("referenced table '" + fk.referenced_table +
+                                "'");
+      }
+      const Table& ref = *ref_it->second;
+      // Build the set of referenced keys once.
+      std::vector<size_t> ref_positions;
+      for (const std::string& c : fk.referenced_columns) {
+        ref_positions.push_back(*ref.schema().ColumnIndex(c));
+      }
+      std::unordered_map<size_t, std::vector<Row>> ref_keys;
+      ref_keys.reserve(ref.num_rows());
+      auto same_row = [](const Row& a, const Row& b) {
+        if (a.size() != b.size()) return false;
+        for (size_t i = 0; i < a.size(); ++i) {
+          if (!a[i].SameAs(b[i])) return false;
+        }
+        return true;
+      };
+      for (const Row& row : ref.rows()) {
+        Row key;
+        for (size_t p : ref_positions) key.push_back(row[p]);
+        std::vector<Row>& bucket = ref_keys[HashRow(key)];
+        bool present = false;
+        for (const Row& existing : bucket) {
+          if (same_row(existing, key)) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) bucket.push_back(std::move(key));
+      }
+      std::vector<size_t> positions;
+      for (const std::string& c : fk.columns) {
+        positions.push_back(*table->schema().ColumnIndex(c));
+      }
+      for (const Row& row : table->rows()) {
+        Row key;
+        bool has_null = false;
+        for (size_t p : positions) {
+          if (row[p].is_null()) has_null = true;
+          key.push_back(row[p]);
+        }
+        if (has_null) continue;  // SQL: NULL FKs are not checked.
+        bool found = false;
+        auto it = ref_keys.find(HashRow(key));
+        if (it != ref_keys.end()) {
+          for (const Row& existing : it->second) {
+            if (same_row(existing, key)) {
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) {
+          std::string key_text;
+          for (const Value& v : key) key_text += v.ToString() + ",";
+          return Status::ValidationError(
+              "dangling foreign key (" + key_text + ") from '" + name +
+              "' to '" + fk.referenced_table + "'");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace quarry::storage

@@ -1,0 +1,58 @@
+#ifndef QUARRY_STORAGE_DATABASE_H_
+#define QUARRY_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace quarry::storage {
+
+/// \brief A catalog of tables — the embedded stand-in for the PostgreSQL
+/// instance the Quarry paper deploys MD schemas to.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Creates a table; referenced FK tables must already exist.
+  Result<Table*> CreateTable(TableSchema schema);
+
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Table names in lexicographic order.
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Total rows across all tables.
+  size_t TotalRows() const;
+
+  /// Verifies every foreign key: each referencing value combination must
+  /// exist in the referenced table. Returns the first violation.
+  Status CheckReferentialIntegrity() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace quarry::storage
+
+#endif  // QUARRY_STORAGE_DATABASE_H_

@@ -1,0 +1,64 @@
+#include "storage/schema.h"
+
+namespace quarry::storage {
+
+Status TableSchema::AddColumn(Column column) {
+  if (ColumnIndex(column.name).has_value()) {
+    return Status::AlreadyExists("column '" + column.name + "' in table '" +
+                                 name_ + "'");
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status TableSchema::SetPrimaryKey(std::vector<std::string> columns) {
+  for (const std::string& c : columns) {
+    if (!ColumnIndex(c).has_value()) {
+      return Status::NotFound("primary-key column '" + c + "' in table '" +
+                              name_ + "'");
+    }
+  }
+  primary_key_ = std::move(columns);
+  return Status::OK();
+}
+
+Status TableSchema::AddForeignKey(ForeignKey fk) {
+  for (const std::string& c : fk.columns) {
+    if (!ColumnIndex(c).has_value()) {
+      return Status::NotFound("foreign-key column '" + c + "' in table '" +
+                              name_ + "'");
+    }
+  }
+  if (fk.columns.size() != fk.referenced_columns.size()) {
+    return Status::InvalidArgument(
+        "foreign key arity mismatch in table '" + name_ + "'");
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+std::optional<size_t> TableSchema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<Column> TableSchema::GetColumn(const std::string& name) const {
+  auto idx = ColumnIndex(name);
+  if (!idx.has_value()) {
+    return Status::NotFound("column '" + name + "' in table '" + name_ + "'");
+  }
+  return columns_[*idx];
+}
+
+std::vector<size_t> TableSchema::PrimaryKeyIndexes() const {
+  std::vector<size_t> out;
+  out.reserve(primary_key_.size());
+  for (const std::string& c : primary_key_) {
+    out.push_back(*ColumnIndex(c));
+  }
+  return out;
+}
+
+}  // namespace quarry::storage

@@ -1,0 +1,74 @@
+#ifndef QUARRY_STORAGE_SCHEMA_H_
+#define QUARRY_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace quarry::storage {
+
+/// \brief A column definition.
+struct Column {
+  std::string name;
+  DataType type = DataType::kString;
+  bool nullable = true;
+};
+
+/// \brief A foreign-key constraint from this table to another.
+struct ForeignKey {
+  std::vector<std::string> columns;
+  std::string referenced_table;
+  std::vector<std::string> referenced_columns;
+};
+
+/// \brief A table definition: columns plus key constraints.
+///
+/// Deployed MD schemas are star schemas: dimension tables keyed by a BIGINT
+/// surrogate, fact tables keyed by the combination of their dimension
+/// references (the fact's *base*, in MD terminology).
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// Appends a column. Fails on duplicate names.
+  Status AddColumn(Column column);
+
+  /// Declares the primary key; every column must exist.
+  Status SetPrimaryKey(std::vector<std::string> columns);
+
+  /// Adds a foreign key; local columns must exist (the referenced table is
+  /// checked at database level).
+  Status AddForeignKey(ForeignKey fk);
+
+  /// Index of a column by name.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Column by name.
+  Result<Column> GetColumn(const std::string& name) const;
+
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Positions of the primary-key columns.
+  std::vector<size_t> PrimaryKeyIndexes() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::string> primary_key_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace quarry::storage
+
+#endif  // QUARRY_STORAGE_SCHEMA_H_

@@ -1,0 +1,429 @@
+#include "storage/sql.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace quarry::storage {
+
+namespace {
+
+enum class TokenKind { kIdentifier, kNumber, kString, kPunct, kEnd };
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // Identifiers are stored verbatim; matching is
+                     // case-insensitive for keywords.
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= input_.size()) break;
+      char c = input_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '"') {
+        out.push_back(LexIdentifier());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 ((c == '-' || c == '+') && pos_ + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+        out.push_back(LexNumber());
+      } else if (c == '\'') {
+        QUARRY_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+      } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '.' ||
+                 c == '*' || c == '=') {
+        out.push_back({TokenKind::kPunct, std::string(1, c)});
+        ++pos_;
+      } else {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' in SQL");
+      }
+    }
+    out.push_back({TokenKind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < input_.size() &&
+                 input_[pos_ + 1] == '-') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token LexIdentifier() {
+    if (input_[pos_] == '"') {  // Quoted identifier.
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != '"') ++pos_;
+      std::string text(input_.substr(start, pos_ - start));
+      if (pos_ < input_.size()) ++pos_;
+      return {TokenKind::kIdentifier, std::move(text)};
+    }
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    return {TokenKind::kIdentifier,
+            std::string(input_.substr(start, pos_ - start))};
+  }
+
+  Token LexNumber() {
+    size_t start = pos_;
+    if (input_[pos_] == '-' || input_[pos_] == '+') ++pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.' || input_[pos_] == 'e' ||
+            input_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return {TokenKind::kNumber, std::string(input_.substr(start, pos_ - start))};
+  }
+
+  Result<Token> LexString() {
+    ++pos_;  // opening quote
+    std::string text;
+    while (true) {
+      if (pos_ >= input_.size()) {
+        return Status::ParseError("unterminated string literal in SQL");
+      }
+      char c = input_[pos_];
+      ++pos_;
+      if (c == '\'') {
+        if (pos_ < input_.size() && input_[pos_] == '\'') {
+          text.push_back('\'');
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      text.push_back(c);
+    }
+    return Token{TokenKind::kString, std::move(text)};
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class SqlParser {
+ public:
+  SqlParser(Database* db, std::vector<Token> tokens)
+      : db_(db), tokens_(std::move(tokens)) {}
+
+  Result<SqlExecutionReport> Run() {
+    SqlExecutionReport report;
+    while (!AtEnd()) {
+      if (MatchPunct(";")) continue;  // Stray separators.
+      QUARRY_RETURN_NOT_OK(Statement(&report));
+      ++report.statements;
+      if (!AtEnd() && !MatchPunct(";")) {
+        return Status::ParseError("expected ';' after statement, got '" +
+                                  Peek().text + "'");
+      }
+    }
+    return report;
+  }
+
+ private:
+  bool AtEnd() const { return tokens_[pos_].kind == TokenKind::kEnd; }
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (Peek().kind == TokenKind::kIdentifier &&
+        EqualsIgnoreCase(Peek().text, kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchPunct(std::string_view p) {
+    if (Peek().kind == TokenKind::kPunct && Peek().text == p) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError("expected '" + std::string(kw) + "', got '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ExpectPunct(std::string_view p) {
+    if (!MatchPunct(p)) {
+      return Status::ParseError("expected '" + std::string(p) + "', got '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> Identifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected identifier, got '" + Peek().text +
+                                "'");
+    }
+    return tokens_[pos_++].text;
+  }
+
+  Result<std::vector<std::string>> ColumnList() {
+    QUARRY_RETURN_NOT_OK(ExpectPunct("("));
+    std::vector<std::string> cols;
+    while (true) {
+      QUARRY_ASSIGN_OR_RETURN(std::string c, Identifier());
+      cols.push_back(std::move(c));
+      if (MatchPunct(",")) continue;
+      QUARRY_RETURN_NOT_OK(ExpectPunct(")"));
+      break;
+    }
+    return cols;
+  }
+
+  Status Statement(SqlExecutionReport* report) {
+    if (MatchKeyword("CREATE")) {
+      if (MatchKeyword("DATABASE")) return CreateDatabase();
+      if (MatchKeyword("TABLE")) return CreateTable(report);
+      if (MatchKeyword("INDEX")) return CreateIndex(report);
+      return Status::ParseError("expected DATABASE, TABLE or INDEX");
+    }
+    if (MatchKeyword("DROP")) {
+      QUARRY_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+      return DropTable(report);
+    }
+    if (MatchKeyword("INSERT")) {
+      QUARRY_RETURN_NOT_OK(ExpectKeyword("INTO"));
+      return Insert(report);
+    }
+    return Status::ParseError("unsupported statement starting with '" +
+                              Peek().text + "'");
+  }
+
+  Status CreateDatabase() {
+    QUARRY_ASSIGN_OR_RETURN(std::string name, Identifier());
+    db_->set_name(name);
+    return Status::OK();
+  }
+
+  Result<DataType> ParseType() {
+    QUARRY_ASSIGN_OR_RETURN(std::string head, Identifier());
+    std::string upper = ToUpper(head);
+    auto skip_parens = [&]() -> Status {
+      if (MatchPunct("(")) {
+        // (p) or (p, s): consume numbers and commas.
+        while (!MatchPunct(")")) {
+          if (AtEnd()) return Status::ParseError("unterminated type args");
+          ++pos_;
+        }
+      }
+      return Status::OK();
+    };
+    if (upper == "BIGINT" || upper == "INT" || upper == "INTEGER" ||
+        upper == "SMALLINT") {
+      return DataType::kInt64;
+    }
+    if (upper == "DOUBLE") {
+      MatchKeyword("PRECISION");
+      return DataType::kDouble;
+    }
+    if (upper == "FLOAT" || upper == "REAL") return DataType::kDouble;
+    if (upper == "NUMERIC" || upper == "DECIMAL") {
+      QUARRY_RETURN_NOT_OK(skip_parens());
+      return DataType::kDouble;
+    }
+    if (upper == "VARCHAR" || upper == "CHAR" || upper == "CHARACTER") {
+      MatchKeyword("VARYING");
+      QUARRY_RETURN_NOT_OK(skip_parens());
+      return DataType::kString;
+    }
+    if (upper == "TEXT") return DataType::kString;
+    if (upper == "DATE") return DataType::kDate;
+    if (upper == "BOOLEAN" || upper == "BOOL") return DataType::kBool;
+    return Status::ParseError("unknown SQL type '" + head + "'");
+  }
+
+  Status CreateTable(SqlExecutionReport* report) {
+    QUARRY_ASSIGN_OR_RETURN(std::string name, Identifier());
+    TableSchema schema(name);
+    QUARRY_RETURN_NOT_OK(ExpectPunct("("));
+    while (true) {
+      if (MatchKeyword("PRIMARY")) {
+        QUARRY_RETURN_NOT_OK(ExpectKeyword("KEY"));
+        QUARRY_ASSIGN_OR_RETURN(auto cols, ColumnList());
+        QUARRY_RETURN_NOT_OK(schema.SetPrimaryKey(std::move(cols)));
+      } else if (MatchKeyword("FOREIGN")) {
+        QUARRY_RETURN_NOT_OK(ExpectKeyword("KEY"));
+        ForeignKey fk;
+        QUARRY_ASSIGN_OR_RETURN(fk.columns, ColumnList());
+        QUARRY_RETURN_NOT_OK(ExpectKeyword("REFERENCES"));
+        QUARRY_ASSIGN_OR_RETURN(fk.referenced_table, Identifier());
+        QUARRY_ASSIGN_OR_RETURN(fk.referenced_columns, ColumnList());
+        QUARRY_RETURN_NOT_OK(schema.AddForeignKey(std::move(fk)));
+      } else {
+        Column col;
+        QUARRY_ASSIGN_OR_RETURN(col.name, Identifier());
+        QUARRY_ASSIGN_OR_RETURN(col.type, ParseType());
+        if (MatchKeyword("NOT")) {
+          QUARRY_RETURN_NOT_OK(ExpectKeyword("NULL"));
+          col.nullable = false;
+        } else if (MatchKeyword("NULL")) {
+          col.nullable = true;
+        }
+        // Tolerate DEFAULT <literal>.
+        if (MatchKeyword("DEFAULT")) ++pos_;
+        QUARRY_RETURN_NOT_OK(schema.AddColumn(std::move(col)));
+      }
+      if (MatchPunct(",")) continue;
+      QUARRY_RETURN_NOT_OK(ExpectPunct(")"));
+      break;
+    }
+    QUARRY_RETURN_NOT_OK(db_->CreateTable(std::move(schema)).status());
+    ++report->tables_created;
+    return Status::OK();
+  }
+
+  Status CreateIndex(SqlExecutionReport* report) {
+    QUARRY_ASSIGN_OR_RETURN(std::string index_name, Identifier());
+    (void)index_name;  // Indexes are anonymous internally.
+    QUARRY_RETURN_NOT_OK(ExpectKeyword("ON"));
+    QUARRY_ASSIGN_OR_RETURN(std::string table_name, Identifier());
+    QUARRY_ASSIGN_OR_RETURN(auto cols, ColumnList());
+    QUARRY_ASSIGN_OR_RETURN(Table * table, db_->GetTable(table_name));
+    QUARRY_RETURN_NOT_OK(table->CreateIndex(cols));
+    ++report->indexes_created;
+    return Status::OK();
+  }
+
+  Status DropTable(SqlExecutionReport* report) {
+    bool if_exists = false;
+    if (MatchKeyword("IF")) {
+      QUARRY_RETURN_NOT_OK(ExpectKeyword("EXISTS"));
+      if_exists = true;
+    }
+    QUARRY_ASSIGN_OR_RETURN(std::string name, Identifier());
+    Status s = db_->DropTable(name);
+    if (!s.ok() && !(if_exists && s.IsNotFound())) return s;
+    if (s.ok()) ++report->tables_dropped;
+    return Status::OK();
+  }
+
+  Result<Value> Literal() {
+    if (Peek().kind == TokenKind::kNumber) {
+      std::string text = tokens_[pos_++].text;
+      if (text.find('.') != std::string::npos ||
+          text.find('e') != std::string::npos ||
+          text.find('E') != std::string::npos) {
+        return Value::Parse(text, DataType::kDouble);
+      }
+      return Value::Parse(text, DataType::kInt64);
+    }
+    if (Peek().kind == TokenKind::kString) {
+      return Value::String(tokens_[pos_++].text);
+    }
+    if (MatchKeyword("NULL")) return Value::Null();
+    if (MatchKeyword("TRUE")) return Value::Bool(true);
+    if (MatchKeyword("FALSE")) return Value::Bool(false);
+    if (MatchKeyword("DATE")) {
+      if (Peek().kind != TokenKind::kString) {
+        return Status::ParseError("DATE must be followed by a string literal");
+      }
+      return Value::Parse(tokens_[pos_++].text, DataType::kDate);
+    }
+    return Status::ParseError("expected literal, got '" + Peek().text + "'");
+  }
+
+  Status Insert(SqlExecutionReport* report) {
+    QUARRY_ASSIGN_OR_RETURN(std::string name, Identifier());
+    QUARRY_ASSIGN_OR_RETURN(Table * table, db_->GetTable(name));
+    QUARRY_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+    while (true) {
+      QUARRY_RETURN_NOT_OK(ExpectPunct("("));
+      Row row;
+      while (true) {
+        QUARRY_ASSIGN_OR_RETURN(Value v, Literal());
+        row.push_back(std::move(v));
+        if (MatchPunct(",")) continue;
+        QUARRY_RETURN_NOT_OK(ExpectPunct(")"));
+        break;
+      }
+      QUARRY_RETURN_NOT_OK(table->Insert(std::move(row)));
+      ++report->rows_inserted;
+      if (MatchPunct(",")) continue;
+      break;
+    }
+    return Status::OK();
+  }
+
+  Database* db_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlExecutionReport> ExecuteSql(Database* db, std::string_view script) {
+  Lexer lexer(script);
+  QUARRY_ASSIGN_OR_RETURN(auto tokens, lexer.Tokenize());
+  SqlParser parser(db, std::move(tokens));
+  return parser.Run();
+}
+
+std::string SchemaToDdl(const TableSchema& schema) {
+  std::string out = "CREATE TABLE " + schema.name() + " (\n";
+  std::vector<std::string> items;
+  for (const Column& col : schema.columns()) {
+    std::string item = "  " + col.name + " ";
+    switch (col.type) {
+      case DataType::kInt64:
+        item += "BIGINT";
+        break;
+      case DataType::kDouble:
+        item += "double precision";
+        break;
+      case DataType::kString:
+        item += "VARCHAR(255)";
+        break;
+      case DataType::kDate:
+        item += "DATE";
+        break;
+      case DataType::kBool:
+        item += "BOOLEAN";
+        break;
+    }
+    if (!col.nullable) item += " NOT NULL";
+    items.push_back(std::move(item));
+  }
+  if (!schema.primary_key().empty()) {
+    items.push_back("  PRIMARY KEY( " + Join(schema.primary_key(), ", ") +
+                    " )");
+  }
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    items.push_back("  FOREIGN KEY( " + Join(fk.columns, ", ") +
+                    " ) REFERENCES " + fk.referenced_table + "( " +
+                    Join(fk.referenced_columns, ", ") + " )");
+  }
+  out += Join(items, ",\n");
+  out += "\n);";
+  return out;
+}
+
+}  // namespace quarry::storage

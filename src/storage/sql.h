@@ -1,0 +1,49 @@
+#ifndef QUARRY_STORAGE_SQL_H_
+#define QUARRY_STORAGE_SQL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace quarry::storage {
+
+/// \brief Outcome of executing a SQL script.
+struct SqlExecutionReport {
+  int statements = 0;
+  int tables_created = 0;
+  int tables_dropped = 0;
+  int indexes_created = 0;
+  int64_t rows_inserted = 0;
+};
+
+/// \brief Executes a PostgreSQL-flavoured DDL/DML script against `db`.
+///
+/// Supported statements (the subset the Design Deployer emits, Fig. 3,
+/// plus INSERT for tests and examples):
+///
+///   CREATE DATABASE name;                      -- names the catalog
+///   CREATE TABLE name (col TYPE [NOT NULL], ...,
+///                      PRIMARY KEY (cols),
+///                      FOREIGN KEY (cols) REFERENCES t (cols));
+///   DROP TABLE [IF EXISTS] name;
+///   CREATE INDEX name ON table (cols);
+///   INSERT INTO table VALUES (lit, ...), (lit, ...);
+///
+/// Types: BIGINT, INT/INTEGER/SMALLINT, DOUBLE PRECISION, FLOAT, REAL,
+/// NUMERIC/DECIMAL(p,s), VARCHAR(n), CHAR(n), TEXT, DATE, BOOLEAN.
+/// Literals: numbers, 'strings' ('' escapes a quote), NULL, TRUE, FALSE,
+/// DATE 'YYYY-MM-DD'.
+///
+/// Statements run transactionally per statement (a failed statement leaves
+/// earlier statements applied and aborts the script).
+Result<SqlExecutionReport> ExecuteSql(Database* db, std::string_view script);
+
+/// Renders a TableSchema back to a CREATE TABLE statement (used by tests to
+/// check DDL round-trips and by the deployer for reporting).
+std::string SchemaToDdl(const TableSchema& schema);
+
+}  // namespace quarry::storage
+
+#endif  // QUARRY_STORAGE_SQL_H_

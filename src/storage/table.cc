@@ -1,0 +1,194 @@
+#include "storage/table.h"
+
+namespace quarry::storage {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  pk_positions_ = schema_.PrimaryKeyIndexes();
+}
+
+Status Table::ValidateAndCoerce(Row* row) const {
+  if (row->size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row->size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()) + " for table '" + name() +
+        "'");
+  }
+  for (size_t i = 0; i < row->size(); ++i) {
+    const Column& col = schema_.columns()[i];
+    Value& cell = (*row)[i];
+    if (cell.is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("NULL in NOT NULL column '" +
+                                       col.name + "' of '" + name() + "'");
+      }
+      continue;
+    }
+    QUARRY_ASSIGN_OR_RETURN(DataType actual, cell.type());
+    if (actual == col.type) continue;
+    // Lossless numeric widening / narrowing between INT and DOUBLE.
+    if ((actual == DataType::kInt64 && col.type == DataType::kDouble) ||
+        (actual == DataType::kDouble && col.type == DataType::kInt64)) {
+      QUARRY_ASSIGN_OR_RETURN(cell, cell.CastTo(col.type));
+      continue;
+    }
+    return Status::InvalidArgument(
+        std::string("type mismatch in column '") + col.name + "' of '" +
+        name() + "': expected " + DataTypeToString(col.type) + ", got " +
+        DataTypeToString(actual));
+  }
+  return Status::OK();
+}
+
+Row Table::ExtractKey(const Row& row,
+                      const std::vector<size_t>& positions) const {
+  Row key;
+  key.reserve(positions.size());
+  for (size_t p : positions) key.push_back(row[p]);
+  return key;
+}
+
+Status Table::Insert(Row row) {
+  QUARRY_RETURN_NOT_OK(ValidateAndCoerce(&row));
+  if (!pk_positions_.empty()) {
+    Row key = ExtractKey(row, pk_positions_);
+    auto [it, inserted] = pk_set_.try_emplace(std::move(key));
+    if (!inserted && !it->second.empty()) {
+      return Status::AlreadyExists("duplicate primary key in table '" +
+                                   name() + "'");
+    }
+    it->second.push_back(rows_.size());
+  }
+  for (Index& index : indexes_) {
+    index.map[ExtractKey(row, index.positions)].push_back(rows_.size());
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::InsertAll(std::vector<Row> rows) {
+  for (Row& row : rows) {
+    QUARRY_RETURN_NOT_OK(Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status Table::AddColumn(Column column) {
+  if (!column.nullable) {
+    return Status::InvalidArgument(
+        "cannot add NOT NULL column '" + column.name + "' to table '" +
+        name() + "' (existing rows would violate it)");
+  }
+  QUARRY_RETURN_NOT_OK(schema_.AddColumn(std::move(column)));
+  for (Row& row : rows_) {
+    row.push_back(Value::Null());
+  }
+  return Status::OK();
+}
+
+Status Table::CreateIndex(const std::vector<std::string>& columns) {
+  Index index;
+  index.columns = columns;
+  for (const std::string& c : columns) {
+    auto pos = schema_.ColumnIndex(c);
+    if (!pos.has_value()) {
+      return Status::NotFound("index column '" + c + "' in table '" + name() +
+                              "'");
+    }
+    index.positions.push_back(*pos);
+  }
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    index.map[ExtractKey(rows_[i], index.positions)].push_back(i);
+  }
+  // Replace an existing index over the same columns.
+  for (Index& existing : indexes_) {
+    if (existing.columns == columns) {
+      existing = std::move(index);
+      return Status::OK();
+    }
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+bool Table::HasIndex(const std::vector<std::string>& columns) const {
+  for (const Index& index : indexes_) {
+    if (index.columns == columns) return true;
+  }
+  return false;
+}
+
+Result<std::vector<size_t>> Table::IndexLookup(
+    const std::vector<std::string>& columns, const Row& key) const {
+  for (const Index& index : indexes_) {
+    if (index.columns != columns) continue;
+    auto it = index.map.find(key);
+    if (it == index.map.end()) return std::vector<size_t>{};
+    return it->second;
+  }
+  return Status::NotFound("no index over the requested columns in table '" +
+                          name() + "'");
+}
+
+std::vector<size_t> Table::ScanEquals(const std::string& column,
+                                      const Value& value) const {
+  std::vector<size_t> out;
+  auto pos = schema_.ColumnIndex(column);
+  if (!pos.has_value()) return out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i][*pos].SameAs(value)) out.push_back(i);
+  }
+  return out;
+}
+
+Status Table::SetCell(size_t row, size_t column, Value value) {
+  if (row >= rows_.size()) {
+    return Status::InvalidArgument("row index out of range in table '" +
+                                   name() + "'");
+  }
+  if (column >= schema_.num_columns()) {
+    return Status::InvalidArgument("column index out of range in table '" +
+                                   name() + "'");
+  }
+  for (size_t p : pk_positions_) {
+    if (p == column) {
+      return Status::InvalidArgument("cannot update primary-key column in '" +
+                                     name() + "'");
+    }
+  }
+  for (const Index& index : indexes_) {
+    for (size_t p : index.positions) {
+      if (p == column) {
+        return Status::InvalidArgument("cannot update indexed column in '" +
+                                       name() + "'");
+      }
+    }
+  }
+  const Column& col = schema_.columns()[column];
+  if (value.is_null()) {
+    if (!col.nullable) {
+      return Status::InvalidArgument("NULL in NOT NULL column '" + col.name +
+                                     "' of '" + name() + "'");
+    }
+  } else {
+    QUARRY_ASSIGN_OR_RETURN(DataType actual, value.type());
+    if (actual != col.type) {
+      if ((actual == DataType::kInt64 && col.type == DataType::kDouble) ||
+          (actual == DataType::kDouble && col.type == DataType::kInt64)) {
+        QUARRY_ASSIGN_OR_RETURN(value, value.CastTo(col.type));
+      } else {
+        return Status::InvalidArgument("type mismatch updating column '" +
+                                       col.name + "' of '" + name() + "'");
+      }
+    }
+  }
+  rows_[row][column] = std::move(value);
+  return Status::OK();
+}
+
+void Table::Truncate() {
+  rows_.clear();
+  pk_set_.clear();
+  for (Index& index : indexes_) index.map.clear();
+}
+
+}  // namespace quarry::storage

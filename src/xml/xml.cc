@@ -1,0 +1,444 @@
+#include "xml/xml.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace quarry::xml {
+
+void Element::SetAttr(const std::string& key, std::string value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(key, std::move(value));
+}
+
+bool Element::HasAttr(const std::string& key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string Element::AttrOr(const std::string& key,
+                            std::string fallback) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+Element* Element::AddChild(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return children_.back().get();
+}
+
+Element* Element::AddTextChild(std::string name, std::string text) {
+  Element* child = AddChild(std::move(name));
+  child->set_text(std::move(text));
+  return child;
+}
+
+Element* Element::Adopt(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+const Element* Element::FirstChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+Element* Element::FirstChild(std::string_view name) {
+  for (auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::Children(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& child : children_) {
+    if (child->name() == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::string Element::ChildText(std::string_view name) const {
+  const Element* child = FirstChild(name);
+  return child == nullptr ? "" : child->text();
+}
+
+size_t Element::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children_) n += child->SubtreeSize();
+  return n;
+}
+
+std::unique_ptr<Element> Element::Clone() const {
+  auto copy = std::make_unique<Element>(name_);
+  copy->text_ = text_;
+  copy->attributes_ = attributes_;
+  for (const auto& child : children_) copy->Adopt(child->Clone());
+  return copy;
+}
+
+namespace {
+
+/// Recursive-descent XML parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<std::unique_ptr<Element>> ParseDocument() {
+    SkipProlog();
+    if (AtEnd() || Peek() != '<') {
+      return Status::ParseError("expected root element");
+    }
+    QUARRY_ASSIGN_OR_RETURN(auto root, ParseElement());
+    SkipMisc();
+    if (!AtEnd()) {
+      return Status::ParseError("trailing content after root element at " +
+                                Where());
+    }
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+  void Advance() { ++pos_; }
+
+  std::string Where() const { return "offset " + std::to_string(pos_); }
+
+  bool Match(std::string_view token) {
+    if (input_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  // Skips declaration / DTD / comments / PIs before or after the root.
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (Match("<?")) {
+        SkipUntil("?>");
+      } else if (Match("<!--")) {
+        SkipUntil("-->");
+      } else if (Match("<!DOCTYPE")) {
+        SkipUntil(">");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (Match("<!--")) {
+        SkipUntil("-->");
+      } else if (Match("<?")) {
+        SkipUntil("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    size_t found = input_.find(terminator, pos_);
+    pos_ = found == std::string_view::npos ? input_.size()
+                                           : found + terminator.size();
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    if (pos_ == start) {
+      return Status::ParseError("expected name at " + Where());
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseAttrValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Status::ParseError("expected quoted attribute value at " +
+                                Where());
+    }
+    char quote = Peek();
+    Advance();
+    std::string raw;
+    while (!AtEnd() && Peek() != quote) {
+      raw.push_back(Peek());
+      Advance();
+    }
+    if (AtEnd()) {
+      return Status::ParseError("unterminated attribute value at " + Where());
+    }
+    Advance();  // closing quote
+    return DecodeEntities(raw);
+  }
+
+  Result<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        ++i;
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Status::ParseError("unterminated entity reference");
+      }
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else if (!entity.empty() && entity[0] == '#') {
+        int base = 10;
+        std::string_view digits = entity.substr(1);
+        if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+          base = 16;
+          digits = digits.substr(1);
+        }
+        long code = 0;
+        for (char c : digits) {
+          int digit;
+          if (c >= '0' && c <= '9') {
+            digit = c - '0';
+          } else if (base == 16 && c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+          } else if (base == 16 && c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+          } else {
+            return Status::ParseError("bad character reference &" +
+                                      std::string(entity) + ";");
+          }
+          code = code * base + digit;
+        }
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Status::ParseError("unknown entity &" + std::string(entity) +
+                                  ";");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<Element>> ParseElement() {
+    if (!Match("<")) {
+      return Status::ParseError("expected '<' at " + Where());
+    }
+    QUARRY_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto element = std::make_unique<Element>(name);
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) {
+        return Status::ParseError("unterminated start tag <" + name);
+      }
+      if (Peek() == '>' || Peek() == '/') break;
+      QUARRY_ASSIGN_OR_RETURN(std::string key, ParseName());
+      SkipWhitespace();
+      if (!Match("=")) {
+        return Status::ParseError("expected '=' after attribute " + key);
+      }
+      SkipWhitespace();
+      QUARRY_ASSIGN_OR_RETURN(std::string value, ParseAttrValue());
+      element->SetAttr(key, std::move(value));
+    }
+    if (Match("/>")) return element;
+    if (!Match(">")) {
+      return Status::ParseError("malformed start tag <" + name);
+    }
+    // Content.
+    std::string text;
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError("unterminated element <" + name + ">");
+      }
+      if (Peek() == '<') {
+        if (Match("</")) {
+          QUARRY_ASSIGN_OR_RETURN(std::string close, ParseName());
+          if (close != name) {
+            return Status::ParseError("mismatched close tag </" + close +
+                                      "> for <" + name + ">");
+          }
+          SkipWhitespace();
+          if (!Match(">")) {
+            return Status::ParseError("malformed close tag </" + close);
+          }
+          break;
+        }
+        if (Match("<!--")) {
+          SkipUntil("-->");
+          continue;
+        }
+        if (Match("<![CDATA[")) {
+          size_t end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) {
+            return Status::ParseError("unterminated CDATA section");
+          }
+          text.append(input_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+          continue;
+        }
+        if (Match("<?")) {
+          SkipUntil("?>");
+          continue;
+        }
+        QUARRY_ASSIGN_OR_RETURN(auto child, ParseElement());
+        element->Adopt(std::move(child));
+        continue;
+      }
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') Advance();
+      QUARRY_ASSIGN_OR_RETURN(
+          std::string decoded,
+          DecodeEntities(input_.substr(start, pos_ - start)));
+      text.append(decoded);
+    }
+    element->set_text(std::string(Trim(text)));
+    return element;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+void WriteElement(const Element& element, bool pretty, int depth,
+                  std::string* out) {
+  std::string indent = pretty ? std::string(2 * depth, ' ') : "";
+  out->append(indent);
+  out->push_back('<');
+  out->append(element.name());
+  for (const auto& [key, value] : element.attributes()) {
+    out->push_back(' ');
+    out->append(key);
+    out->append("=\"");
+    out->append(EscapeText(value));
+    out->push_back('"');
+  }
+  if (element.children().empty() && element.text().empty()) {
+    out->append("/>");
+    if (pretty) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (element.children().empty()) {
+    // Leaf with text: keep on one line.
+    out->append(EscapeText(element.text()));
+  } else {
+    if (pretty) out->push_back('\n');
+    if (!element.text().empty()) {
+      if (pretty) out->append(std::string(2 * (depth + 1), ' '));
+      out->append(EscapeText(element.text()));
+      if (pretty) out->push_back('\n');
+    }
+    for (const auto& child : element.children()) {
+      WriteElement(*child, pretty, depth + 1, out);
+    }
+    out->append(indent);
+  }
+  out->append("</");
+  out->append(element.name());
+  out->push_back('>');
+  if (pretty) out->push_back('\n');
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Element>> Parse(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+std::string Write(const Element& root, bool pretty) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  if (pretty) out.push_back('\n');
+  WriteElement(root, pretty, 0, &out);
+  return out;
+}
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '&':
+        out.append("&amp;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      case '\'':
+        out.append("&apos;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool DeepEqual(const Element& a, const Element& b) {
+  if (a.name() != b.name()) return false;
+  if (Trim(a.text()) != Trim(b.text())) return false;
+  if (a.attributes() != b.attributes()) return false;
+  if (a.children().size() != b.children().size()) return false;
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    if (!DeepEqual(*a.children()[i], *b.children()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace quarry::xml

@@ -1,0 +1,113 @@
+#ifndef QUARRY_XML_XML_H_
+#define QUARRY_XML_XML_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace quarry::xml {
+
+/// \brief A node of an XML document tree.
+///
+/// Quarry's interchange formats (xRQ, xMD, xLM, ktr, and the ontology
+/// serialization) are element-structured: character data only ever appears
+/// as the sole content of a leaf element. The DOM therefore stores, per
+/// element, an ordered list of child elements plus a single `text` string
+/// accumulating the character data (including CDATA) that appears directly
+/// inside the element.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+  Element(Element&&) = default;
+  Element& operator=(Element&&) = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  /// Attributes in document order.
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+
+  /// Sets (or overwrites) an attribute.
+  void SetAttr(const std::string& key, std::string value);
+
+  /// True if the attribute is present.
+  bool HasAttr(const std::string& key) const;
+
+  /// Attribute value, or `fallback` when absent.
+  std::string AttrOr(const std::string& key, std::string fallback = "") const;
+
+  /// Child elements in document order.
+  const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+
+  /// Appends a child element and returns a handle to it.
+  Element* AddChild(std::string name);
+
+  /// Appends a child leaf element carrying only text.
+  Element* AddTextChild(std::string name, std::string text);
+
+  /// Adopts an existing element as the last child.
+  Element* Adopt(std::unique_ptr<Element> child);
+
+  /// First child with the given tag name, or nullptr.
+  const Element* FirstChild(std::string_view name) const;
+  Element* FirstChild(std::string_view name);
+
+  /// All children with the given tag name, in document order.
+  std::vector<const Element*> Children(std::string_view name) const;
+
+  /// Text of the first child with the given tag name ("" when absent).
+  std::string ChildText(std::string_view name) const;
+
+  /// Number of elements in the subtree rooted here (including this one).
+  size_t SubtreeSize() const;
+
+  /// Deep copy.
+  std::unique_ptr<Element> Clone() const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// \brief Parses an XML document and returns its root element.
+///
+/// Supports: the XML declaration, comments, CDATA sections, the five
+/// predefined entities, and decimal/hex character references. DTDs and
+/// processing instructions are skipped. Namespaces are kept verbatim in
+/// tag/attribute names.
+Result<std::unique_ptr<Element>> Parse(std::string_view input);
+
+/// \brief Serializes a tree to text.
+///
+/// With `pretty` the output is indented two spaces per level; leaf elements
+/// holding only text are kept on one line so the output matches the style of
+/// the snippets in the Quarry paper.
+std::string Write(const Element& root, bool pretty = true);
+
+/// Escapes the five predefined XML entities in character data.
+std::string EscapeText(std::string_view text);
+
+/// True when the two trees are structurally identical (same names,
+/// attributes, trimmed text and child sequence).
+bool DeepEqual(const Element& a, const Element& b);
+
+}  // namespace quarry::xml
+
+#endif  // QUARRY_XML_XML_H_

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/prng.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace quarry {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status s = Status::NotFound("concept 'Part'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "concept 'Part'");
+  EXPECT_EQ(s.ToString(), "NotFound: concept 'Part'");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  std::set<std::string> names;
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kParseError,
+        StatusCode::kValidationError, StatusCode::kUnsatisfiable,
+        StatusCode::kExecutionError, StatusCode::kUnsupported,
+        StatusCode::kInternal}) {
+    names.insert(StatusCodeToString(code));
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(StatusTest, WithContextPrependsAndKeepsCode) {
+  Status s = Status::ParseError("bad tag").WithContext("xmd");
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_EQ(s.message(), "xmd: bad tag");
+  EXPECT_TRUE(Status::OK().WithContext("noop").ok());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() { return Status::Internal("boom"); };
+  auto outer = [&]() -> Status {
+    QUARRY_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, OkStatusIsNormalizedToInternal) {
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::NotFound("x");
+    return std::string("value");
+  };
+  auto use = [&](bool fail) -> Result<size_t> {
+    QUARRY_ASSIGN_OR_RETURN(std::string s, make(fail));
+    return s.size();
+  };
+  ASSERT_TRUE(use(false).ok());
+  EXPECT_EQ(*use(false), 5u);
+  EXPECT_TRUE(use(true).status().IsNotFound());
+}
+
+TEST(StrUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrUtilTest, JoinIsInverseOfSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("LineItem"), "lineitem");
+  EXPECT_EQ(ToUpper("LineItem"), "LINEITEM");
+  EXPECT_TRUE(EqualsIgnoreCase("Revenue", "REVENUE"));
+  EXPECT_FALSE(EqualsIgnoreCase("Revenue", "Revenues"));
+}
+
+TEST(StrUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("fact_table_revenue", "fact_"));
+  EXPECT_FALSE(StartsWith("fact", "fact_"));
+  EXPECT_TRUE(EndsWith("DATASTORE_Partsupp", "Partsupp"));
+  EXPECT_FALSE(EndsWith("x", "xx"));
+}
+
+TEST(StrUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a.b.c", ".", "_"), "a_b_c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("xyz", "q", "r"), "xyz");
+}
+
+TEST(StrUtilTest, NameSimilarityBasics) {
+  EXPECT_DOUBLE_EQ(NameSimilarity("revenue", "revenue"), 1.0);
+  EXPECT_DOUBLE_EQ(NameSimilarity("Revenue", "REVENUE"), 1.0);
+  EXPECT_GT(NameSimilarity("fact_table_revenue", "fact_table_netprofit"),
+            NameSimilarity("fact_table_revenue", "dim_customer"));
+  EXPECT_EQ(NameSimilarity("ab", "xy"), 0.0);
+}
+
+TEST(StrUtilTest, NameSimilarityIgnoresUnderscores) {
+  EXPECT_DOUBLE_EQ(NameSimilarity("order_date", "orderdate"), 1.0);
+}
+
+TEST(PrngTest, DeterministicAcrossInstances) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(PrngTest, UniformStaysInRange) {
+  Prng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(PrngTest, UniformDoubleInUnitInterval) {
+  Prng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(PrngTest, WeightedRespectsZeroWeight) {
+  Prng rng(5);
+  std::vector<double> weights{0.0, 1.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.Weighted(weights), 1u);
+}
+
+TEST(PrngTest, WordHasRequestedLength) {
+  Prng rng(1);
+  EXPECT_EQ(rng.Word(12).size(), 12u);
+  for (char c : rng.Word(64)) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace quarry

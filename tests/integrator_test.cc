@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include "datagen/tpch.h"
+#include "etl/exec/executor.h"
+#include "integrator/design_integrator.h"
+#include "integrator/etl_integrator.h"
+#include "integrator/md_integrator.h"
+#include "integrator/satisfiability.h"
+#include "interpreter/interpreter.h"
+#include "mdschema/validator.h"
+#include "ontology/tpch_ontology.h"
+
+namespace quarry::integrator {
+namespace {
+
+using interpreter::Interpreter;
+using interpreter::PartialDesign;
+using req::InformationRequirement;
+
+class IntegratorTest : public ::testing::Test {
+ protected:
+  IntegratorTest()
+      : onto_(ontology::BuildTpchOntology()),
+        mapping_(ontology::BuildTpchMappings()),
+        interpreter_(&onto_, &mapping_) {
+    EXPECT_TRUE(datagen::PopulateTpch(&src_, {0.005, 17}).ok());
+    for (const std::string& name : src_.TableNames()) {
+      std::vector<std::string> cols;
+      for (const auto& c : (*src_.GetTable(name))->schema().columns()) {
+        cols.push_back(c.name);
+      }
+      source_columns_[name] = cols;
+      table_rows_[name] =
+          static_cast<int64_t>((*src_.GetTable(name))->num_rows());
+    }
+  }
+
+  static InformationRequirement RevenueIr() {
+    InformationRequirement ir;
+    ir.id = "ir_revenue";
+    ir.name = "revenue";
+    ir.focus_concept = "Lineitem";
+    ir.measures.push_back(
+        {"revenue", "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+         md::AggFunc::kSum});
+    ir.dimensions.push_back({"Part.p_name"});
+    ir.dimensions.push_back({"Supplier.s_name"});
+    return ir;
+  }
+
+  // Same grain as revenue, different measure (merges into the same fact).
+  static InformationRequirement DiscountIr() {
+    InformationRequirement ir;
+    ir.id = "ir_discount";
+    ir.name = "revenue";  // same fact table name / focus / grain
+    ir.focus_concept = "Lineitem";
+    ir.measures.push_back(
+        {"avg_discount", "Lineitem.l_discount", md::AggFunc::kAvg});
+    ir.dimensions.push_back({"Part.p_name"});
+    ir.dimensions.push_back({"Supplier.s_name"});
+    return ir;
+  }
+
+  // Different grain (Part only) and an extra source (Partsupp).
+  static InformationRequirement NetprofitIr() {
+    InformationRequirement ir;
+    ir.id = "ir_netprofit";
+    ir.name = "netprofit";
+    ir.focus_concept = "Lineitem";
+    ir.measures.push_back(
+        {"netprofit",
+         "Lineitem.l_extendedprice * (1 - Lineitem.l_discount) - "
+         "Partsupp.ps_supplycost * Lineitem.l_quantity",
+         md::AggFunc::kSum});
+    ir.dimensions.push_back({"Part.p_name"});
+    return ir;
+  }
+
+  // Grain at Nation: its dimension can fold into Supplier's hierarchy.
+  static InformationRequirement NationIr() {
+    InformationRequirement ir;
+    ir.id = "ir_nation";
+    ir.name = "qty_by_nation";
+    ir.focus_concept = "Lineitem";
+    ir.measures.push_back(
+        {"qty", "Lineitem.l_quantity", md::AggFunc::kSum});
+    ir.dimensions.push_back({"Nation.n_name"});
+    return ir;
+  }
+
+  PartialDesign Interpret(const InformationRequirement& ir) {
+    auto design = interpreter_.Interpret(ir);
+    EXPECT_TRUE(design.ok()) << design.status();
+    return std::move(*design);
+  }
+
+  ontology::Ontology onto_;
+  ontology::SourceMapping mapping_;
+  Interpreter interpreter_;
+  storage::Database src_;
+  etl::TableColumns source_columns_;
+  std::map<std::string, int64_t> table_rows_;
+};
+
+// --- MD Schema Integrator ------------------------------------------------
+
+TEST_F(IntegratorTest, FirstPartialBecomesUnified) {
+  MdIntegrator integrator(&onto_);
+  md::MdSchema unified("unified");
+  auto report = integrator.Integrate(&unified, Interpret(RevenueIr()).schema);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->facts_added, 1);
+  EXPECT_EQ(report->dimensions_added, 2);
+  EXPECT_EQ(report->facts_merged, 0);
+  EXPECT_TRUE(md::CheckSound(unified, &onto_).ok());
+}
+
+TEST_F(IntegratorTest, SameGrainFactsMerge) {
+  MdIntegrator integrator(&onto_);
+  md::MdSchema unified("unified");
+  ASSERT_TRUE(
+      integrator.Integrate(&unified, Interpret(RevenueIr()).schema).ok());
+  auto report =
+      integrator.Integrate(&unified, Interpret(DiscountIr()).schema);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->facts_merged, 1);
+  EXPECT_EQ(report->facts_added, 0);
+  EXPECT_EQ(report->dimensions_conformed, 2);
+  EXPECT_EQ(report->measures_added, 1);
+  ASSERT_EQ(unified.facts().size(), 1u);
+  EXPECT_EQ(unified.facts()[0].measures.size(), 2u);
+  // Both requirements traced on the merged fact.
+  EXPECT_EQ(unified.facts()[0].requirement_ids.size(), 2u);
+}
+
+TEST_F(IntegratorTest, DifferentGrainKeepsSeparateFactsButConformsDims) {
+  MdIntegrator integrator(&onto_);
+  md::MdSchema unified("unified");
+  ASSERT_TRUE(
+      integrator.Integrate(&unified, Interpret(RevenueIr()).schema).ok());
+  auto report =
+      integrator.Integrate(&unified, Interpret(NetprofitIr()).schema);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->facts_added, 1);
+  EXPECT_EQ(report->dimensions_conformed, 1);  // Part reused
+  EXPECT_EQ(report->dimensions_added, 0);
+  EXPECT_EQ(unified.facts().size(), 2u);
+  EXPECT_EQ(unified.dimensions().size(), 2u);  // Part + Supplier, shared
+}
+
+TEST_F(IntegratorTest, ConflictingMeasureDefinitionRejected) {
+  MdIntegrator integrator(&onto_);
+  md::MdSchema unified("unified");
+  ASSERT_TRUE(
+      integrator.Integrate(&unified, Interpret(RevenueIr()).schema).ok());
+  InformationRequirement conflicting = DiscountIr();
+  conflicting.measures[0] = {"revenue", "Lineitem.l_extendedprice",
+                             md::AggFunc::kSum};  // same name, new def
+  auto report =
+      integrator.Integrate(&unified, Interpret(conflicting).schema);
+  EXPECT_TRUE(report.status().IsValidationError());
+  // Transactional: unified unchanged.
+  EXPECT_EQ(unified.facts()[0].measures.size(), 1u);
+}
+
+TEST_F(IntegratorTest, HierarchyFoldingReducesComplexity) {
+  MdIntegrator integrator(&onto_);
+  md::MdSchema unified("unified");
+  ASSERT_TRUE(
+      integrator.Integrate(&unified, Interpret(RevenueIr()).schema).ok());
+  auto report = integrator.Integrate(&unified, Interpret(NationIr()).schema);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->dimensions_folded, 1);
+  EXPECT_LT(report->complexity_after, report->complexity_naive_union);
+  // Nation is now an upper level of the Supplier dimension.
+  EXPECT_TRUE(unified.GetDimension("Nation").status().IsNotFound());
+  const md::Dimension& supplier = **unified.GetDimension("Supplier");
+  ASSERT_EQ(supplier.levels.size(), 2u);
+  EXPECT_EQ(supplier.levels[1].concept_id, "Nation");
+  // The nation-grain fact now references Supplier at the Nation level.
+  const md::Fact& nation_fact = **unified.GetFact("fact_table_qty_by_nation");
+  ASSERT_EQ(nation_fact.dimension_refs.size(), 1u);
+  EXPECT_EQ(nation_fact.dimension_refs[0].dimension, "Supplier");
+  EXPECT_EQ(nation_fact.dimension_refs[0].level, "Nation");
+  EXPECT_TRUE(md::CheckSound(unified, &onto_).ok());
+}
+
+TEST_F(IntegratorTest, FoldingCanBeDisabled) {
+  MdIntegrationOptions options;
+  options.allow_hierarchy_merge = false;
+  MdIntegrator integrator(&onto_, options);
+  md::MdSchema unified("unified");
+  ASSERT_TRUE(
+      integrator.Integrate(&unified, Interpret(RevenueIr()).schema).ok());
+  auto report = integrator.Integrate(&unified, Interpret(NationIr()).schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->dimensions_folded, 0);
+  EXPECT_TRUE(unified.GetDimension("Nation").ok());
+}
+
+TEST_F(IntegratorTest, IntegratedComplexityBeatsNaiveUnion) {
+  MdIntegrator integrator(&onto_);
+  md::MdSchema unified("unified");
+  ASSERT_TRUE(
+      integrator.Integrate(&unified, Interpret(RevenueIr()).schema).ok());
+  auto report =
+      integrator.Integrate(&unified, Interpret(NetprofitIr()).schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->complexity_after, report->complexity_naive_union);
+}
+
+TEST_F(IntegratorTest, ProposeAlternativesRanksByComplexity) {
+  MdIntegrator integrator(&onto_);
+  md::MdSchema unified("unified");
+  ASSERT_TRUE(
+      integrator.Integrate(&unified, Interpret(RevenueIr()).schema).ok());
+  auto alternatives =
+      integrator.ProposeAlternatives(unified, Interpret(NationIr()).schema);
+  ASSERT_TRUE(alternatives.ok()) << alternatives.status();
+  ASSERT_EQ(alternatives->size(), 3u);
+  // Sorted cheapest first; folding wins with default weights.
+  EXPECT_LE((*alternatives)[0].complexity, (*alternatives)[1].complexity);
+  EXPECT_LE((*alternatives)[1].complexity, (*alternatives)[2].complexity);
+  EXPECT_NE((*alternatives)[0].description.find("fold"), std::string::npos);
+  // Every alternative is sound.
+  for (const auto& alt : *alternatives) {
+    EXPECT_TRUE(md::CheckSound(alt.schema, &onto_).ok()) << alt.description;
+  }
+  // The cheapest alternative matches what Integrate() produces.
+  md::MdSchema integrated = unified;
+  ASSERT_TRUE(
+      integrator.Integrate(&integrated, Interpret(NationIr()).schema).ok());
+  EXPECT_DOUBLE_EQ((*alternatives)[0].complexity,
+                   md::StructuralComplexity(integrated).score);
+}
+
+TEST_F(IntegratorTest, SideBySideAlternativeRenamesCollisions) {
+  MdIntegrator integrator(&onto_);
+  md::MdSchema unified("unified");
+  ASSERT_TRUE(
+      integrator.Integrate(&unified, Interpret(RevenueIr()).schema).ok());
+  // Integrating the same requirement again side-by-side must rename the
+  // colliding fact and dimensions.
+  auto alternatives =
+      integrator.ProposeAlternatives(unified, Interpret(RevenueIr()).schema);
+  ASSERT_TRUE(alternatives.ok());
+  const MdAlternative* side_by_side = nullptr;
+  for (const auto& alt : *alternatives) {
+    if (alt.description.find("side by side") != std::string::npos) {
+      side_by_side = &alt;
+    }
+  }
+  ASSERT_NE(side_by_side, nullptr);
+  EXPECT_TRUE(side_by_side->schema.GetFact("fact_table_revenue_2").ok());
+  EXPECT_TRUE(side_by_side->schema.GetDimension("Part_2").ok());
+}
+
+// --- ETL Process Integrator ----------------------------------------------
+
+TEST_F(IntegratorTest, EtlIntegrationReusesSharedPrefix) {
+  EtlIntegrator integrator(source_columns_, table_rows_);
+  etl::Flow unified("unified");
+  auto r1 = integrator.Integrate(&unified, Interpret(RevenueIr()).flow);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(r1->nodes_reused, 0);
+  size_t after_first = unified.num_nodes();
+
+  auto r2 = integrator.Integrate(&unified, Interpret(NetprofitIr()).flow);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  // Shared: lineitem + part datastores/extractions, the lineitem-part
+  // join, and the whole dim_Part branch.
+  EXPECT_GE(r2->nodes_reused, 5);
+  EXPECT_GT(r2->nodes_added, 0);
+  EXPECT_GT(unified.num_nodes(), after_first);
+  EXPECT_TRUE(unified.Validate().ok());
+  // The unified flow is estimated cheaper than running both separately.
+  EXPECT_LT(r2->cost_unified, r2->cost_separate);
+}
+
+TEST_F(IntegratorTest, ReusedNodesCarryBothTraces) {
+  EtlIntegrator integrator(source_columns_, table_rows_);
+  etl::Flow unified("unified");
+  ASSERT_TRUE(integrator.Integrate(&unified, Interpret(RevenueIr()).flow).ok());
+  ASSERT_TRUE(
+      integrator.Integrate(&unified, Interpret(NetprofitIr()).flow).ok());
+  const etl::Node& ds = *unified.GetNode("DATASTORE_lineitem").value();
+  EXPECT_EQ(ds.requirement_ids,
+            (std::set<std::string>{"ir_netprofit", "ir_revenue"}));
+  const etl::Node& fact_loader =
+      *unified.GetNode("LOAD_fact_table_revenue").value();
+  EXPECT_EQ(fact_loader.requirement_ids,
+            (std::set<std::string>{"ir_revenue"}));
+}
+
+TEST_F(IntegratorTest, UnifiedFlowProducesSameResultsAsSeparateRuns) {
+  EtlIntegrator integrator(source_columns_, table_rows_);
+  etl::Flow unified("unified");
+  PartialDesign revenue = Interpret(RevenueIr());
+  PartialDesign netprofit = Interpret(NetprofitIr());
+  ASSERT_TRUE(integrator.Integrate(&unified, revenue.flow).ok());
+  ASSERT_TRUE(integrator.Integrate(&unified, netprofit.flow).ok());
+
+  storage::Database dw_separate("s"), dw_unified("u");
+  ASSERT_TRUE(etl::Executor(&src_, &dw_separate).Run(revenue.flow).ok());
+  ASSERT_TRUE(etl::Executor(&src_, &dw_separate).Run(netprofit.flow).ok());
+  auto unified_report = etl::Executor(&src_, &dw_unified).Run(unified);
+  ASSERT_TRUE(unified_report.ok()) << unified_report.status();
+
+  for (const char* table :
+       {"fact_table_revenue", "fact_table_netprofit", "dim_Part"}) {
+    const storage::Table& a = **dw_separate.GetTable(table);
+    const storage::Table& b = **dw_unified.GetTable(table);
+    EXPECT_EQ(a.num_rows(), b.num_rows()) << table;
+  }
+  // And processes measurably fewer rows than the two separate runs.
+  storage::Database scratch1("x"), scratch2("y");
+  auto rev_report = etl::Executor(&src_, &scratch1).Run(revenue.flow);
+  auto net_report = etl::Executor(&src_, &scratch2).Run(netprofit.flow);
+  ASSERT_TRUE(rev_report.ok());
+  ASSERT_TRUE(net_report.ok());
+  EXPECT_LT(unified_report->rows_processed,
+            rev_report->rows_processed + net_report->rows_processed);
+}
+
+TEST_F(IntegratorTest, SignaturesDistinguishJoinSides) {
+  etl::Flow flow("f");
+  etl::Node a{"a", etl::OpType::kDatastore, {{"table", "part"}}, {}};
+  etl::Node b{"b", etl::OpType::kDatastore, {{"table", "supplier"}}, {}};
+  etl::Node j{"j",
+              etl::OpType::kJoin,
+              {{"left", "x"}, {"right", "y"}},
+              {}};
+  ASSERT_TRUE(flow.AddNode(a).ok());
+  ASSERT_TRUE(flow.AddNode(b).ok());
+  ASSERT_TRUE(flow.AddNode(j).ok());
+  ASSERT_TRUE(flow.AddEdge("a", "j").ok());
+  ASSERT_TRUE(flow.AddEdge("b", "j").ok());
+  auto sigs1 = EtlIntegrator::ComputeSignatures(flow);
+  ASSERT_TRUE(sigs1.ok());
+
+  etl::Flow swapped("g");
+  ASSERT_TRUE(swapped.AddNode(a).ok());
+  ASSERT_TRUE(swapped.AddNode(b).ok());
+  ASSERT_TRUE(swapped.AddNode(j).ok());
+  ASSERT_TRUE(swapped.AddEdge("b", "j").ok());
+  ASSERT_TRUE(swapped.AddEdge("a", "j").ok());
+  auto sigs2 = EtlIntegrator::ComputeSignatures(swapped);
+  ASSERT_TRUE(sigs2.ok());
+  EXPECT_NE(sigs1->at("j"), sigs2->at("j"));
+}
+
+// --- Design Integrator (facade) --------------------------------------------
+
+TEST_F(IntegratorTest, AddRemoveChangeLifecycle) {
+  DesignIntegrator integrator(&onto_, source_columns_, table_rows_);
+  InformationRequirement revenue = RevenueIr();
+  InformationRequirement netprofit = NetprofitIr();
+  ASSERT_TRUE(
+      integrator.AddRequirement(revenue, Interpret(revenue)).ok());
+  ASSERT_TRUE(
+      integrator.AddRequirement(netprofit, Interpret(netprofit)).ok());
+  EXPECT_TRUE(integrator.VerifyAll().ok());
+  EXPECT_EQ(integrator.requirements().size(), 2u);
+  EXPECT_EQ(integrator.schema().facts().size(), 2u);
+
+  // Duplicate add rejected.
+  EXPECT_TRUE(integrator.AddRequirement(revenue, Interpret(revenue))
+                  .status()
+                  .IsAlreadyExists());
+
+  // Remove netprofit: its fact goes; shared dim Part stays (revenue uses it).
+  ASSERT_TRUE(integrator.RemoveRequirement("ir_netprofit").ok());
+  EXPECT_TRUE(integrator.schema().GetFact("fact_table_netprofit")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(integrator.schema().GetDimension("Part").ok());
+  EXPECT_TRUE(integrator.VerifyAll().ok());
+  // The unified flow shrank but still loads revenue.
+  EXPECT_TRUE(integrator.flow().HasNode("LOAD_fact_table_revenue"));
+  EXPECT_FALSE(integrator.flow().HasNode("LOAD_fact_table_netprofit"));
+
+  // Change revenue: drop the Supplier dimension from the requirement.
+  InformationRequirement changed = revenue;
+  changed.dimensions.pop_back();
+  ASSERT_TRUE(
+      integrator.ChangeRequirement(changed, Interpret(changed)).ok());
+  EXPECT_TRUE(integrator.VerifyAll().ok());
+  const md::Fact& fact = **integrator.schema().GetFact("fact_table_revenue");
+  EXPECT_EQ(fact.dimension_refs.size(), 1u);
+
+  // Removing the unknown fails cleanly.
+  EXPECT_TRUE(integrator.RemoveRequirement("ghost").IsNotFound());
+}
+
+TEST_F(IntegratorTest, RemoveLastRequirementEmptiesDesign) {
+  DesignIntegrator integrator(&onto_, source_columns_, table_rows_);
+  InformationRequirement revenue = RevenueIr();
+  ASSERT_TRUE(
+      integrator.AddRequirement(revenue, Interpret(revenue)).ok());
+  ASSERT_TRUE(integrator.RemoveRequirement("ir_revenue").ok());
+  EXPECT_TRUE(integrator.schema().facts().empty());
+  EXPECT_TRUE(integrator.schema().dimensions().empty());
+  EXPECT_EQ(integrator.flow().num_nodes(), 0u);
+}
+
+TEST_F(IntegratorTest, SatisfiabilityCheckerDetectsLostMeasure) {
+  DesignIntegrator integrator(&onto_, source_columns_, table_rows_);
+  InformationRequirement revenue = RevenueIr();
+  ASSERT_TRUE(
+      integrator.AddRequirement(revenue, Interpret(revenue)).ok());
+  // Corrupt a copy of the schema: drop the measure.
+  md::MdSchema corrupted = integrator.schema();
+  (*corrupted.GetMutableFact("fact_table_revenue"))->measures.clear();
+  EXPECT_TRUE(CheckSatisfies(corrupted, integrator.flow(), revenue)
+                  .IsUnsatisfiable());
+  // And a flow without the loader.
+  etl::Flow gutted = integrator.flow().Clone();
+  ASSERT_TRUE(gutted.RemoveNode("LOAD_fact_table_revenue").ok());
+  EXPECT_TRUE(CheckSatisfies(integrator.schema(), gutted, revenue)
+                  .IsUnsatisfiable());
+}
+
+}  // namespace
+}  // namespace quarry::integrator

@@ -1,0 +1,241 @@
+#include "interpreter/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/tpch.h"
+#include "etl/exec/executor.h"
+#include "mdschema/validator.h"
+#include "ontology/tpch_ontology.h"
+
+namespace quarry::interpreter {
+namespace {
+
+using req::InformationRequirement;
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  InterpreterTest()
+      : onto_(ontology::BuildTpchOntology()),
+        mapping_(ontology::BuildTpchMappings()),
+        interpreter_(&onto_, &mapping_) {}
+
+  static InformationRequirement RevenueIr() {
+    InformationRequirement ir;
+    ir.id = "ir_revenue";
+    ir.name = "revenue";
+    ir.focus_concept = "Lineitem";
+    ir.measures.push_back(
+        {"revenue", "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+         md::AggFunc::kSum});
+    ir.dimensions.push_back({"Part.p_name"});
+    ir.dimensions.push_back({"Supplier.s_name"});
+    ir.slicers.push_back({"Nation.n_name", "=", "SPAIN"});
+    return ir;
+  }
+
+  ontology::Ontology onto_;
+  ontology::SourceMapping mapping_;
+  Interpreter interpreter_;
+};
+
+TEST_F(InterpreterTest, RevenueRequirementProducesSoundSchema) {
+  auto design = interpreter_.Interpret(RevenueIr());
+  ASSERT_TRUE(design.ok()) << design.status();
+  const md::MdSchema& schema = design->schema;
+  EXPECT_TRUE(md::CheckSound(schema, &onto_).ok());
+  ASSERT_EQ(schema.facts().size(), 1u);
+  const md::Fact& fact = schema.facts()[0];
+  EXPECT_EQ(fact.name, "fact_table_revenue");
+  EXPECT_EQ(fact.concept_id, "Lineitem");
+  ASSERT_EQ(fact.measures.size(), 1u);
+  EXPECT_EQ(fact.measures[0].name, "revenue");
+  EXPECT_EQ(fact.dimension_refs.size(), 2u);
+  EXPECT_EQ(schema.dimensions().size(), 2u);
+  EXPECT_TRUE(schema.GetDimension("Part").ok());
+  EXPECT_TRUE(schema.GetDimension("Supplier").ok());
+  EXPECT_EQ(schema.RequirementIds(),
+            (std::set<std::string>{"ir_revenue"}));
+}
+
+TEST_F(InterpreterTest, RevenueFlowHasExpectedShape) {
+  auto design = interpreter_.Interpret(RevenueIr());
+  ASSERT_TRUE(design.ok()) << design.status();
+  const etl::Flow& flow = design->flow;
+  EXPECT_TRUE(flow.Validate().ok()) << flow.num_nodes();
+  // Datastores: lineitem, part, supplier, nation.
+  EXPECT_TRUE(flow.HasNode("DATASTORE_lineitem"));
+  EXPECT_TRUE(flow.HasNode("DATASTORE_part"));
+  EXPECT_TRUE(flow.HasNode("DATASTORE_supplier"));
+  EXPECT_TRUE(flow.HasNode("DATASTORE_nation"));
+  EXPECT_FALSE(flow.HasNode("DATASTORE_region"));
+  // Joins along the functional paths.
+  EXPECT_TRUE(flow.HasNode("JOIN_lineitem_part"));
+  EXPECT_TRUE(flow.HasNode("JOIN_lineitem_supplier"));
+  EXPECT_TRUE(flow.HasNode("JOIN_supplier_nation"));
+  // Slicer, measure, fact pipeline, dim loads.
+  EXPECT_TRUE(flow.HasNode("SELECTION_0_n_name"));
+  EXPECT_TRUE(flow.HasNode("FUNCTION_revenue"));
+  EXPECT_TRUE(flow.HasNode("AGG_fact_table_revenue"));
+  EXPECT_TRUE(flow.HasNode("LOAD_fact_table_revenue"));
+  EXPECT_TRUE(flow.HasNode("LOAD_dim_Part"));
+  EXPECT_TRUE(flow.HasNode("LOAD_dim_Supplier"));
+  // Every node is traced to the requirement.
+  for (const auto& [id, node] : flow.nodes()) {
+    EXPECT_EQ(node.requirement_ids, (std::set<std::string>{"ir_revenue"}))
+        << id;
+  }
+}
+
+TEST_F(InterpreterTest, GeneratedFlowExecutesOnTpchData) {
+  auto design = interpreter_.Interpret(RevenueIr());
+  ASSERT_TRUE(design.ok()) << design.status();
+  storage::Database src;
+  ASSERT_TRUE(datagen::PopulateTpch(&src, {0.01, 11}).ok());
+  storage::Database dw("dw");
+  etl::Executor executor(&src, &dw);
+  auto report = executor.Run(design->flow);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(dw.HasTable("fact_table_revenue"));
+  ASSERT_TRUE(dw.HasTable("dim_Part"));
+  ASSERT_TRUE(dw.HasTable("dim_Supplier"));
+  const storage::Table& fact = **dw.GetTable("fact_table_revenue");
+  // Grain: (p_partkey, s_suppkey); every measure non-null and
+  // consistent with the slicer (only Spanish suppliers contribute).
+  EXPECT_GT(fact.num_rows(), 0u);
+  auto rev_idx = fact.schema().ColumnIndex("revenue");
+  ASSERT_TRUE(rev_idx.has_value());
+  for (const storage::Row& row : fact.rows()) {
+    EXPECT_FALSE(row[*rev_idx].is_null());
+    EXPECT_GE(row[*rev_idx].as_double(), 0.0);
+  }
+  // Dimension tables deduplicate on their natural keys.
+  const storage::Table& dim_part = **dw.GetTable("dim_Part");
+  EXPECT_EQ(dim_part.num_rows(), (*src.GetTable("part"))->num_rows());
+}
+
+TEST_F(InterpreterTest, FocusDerivedFromMeasureWhenOmitted) {
+  InformationRequirement ir = RevenueIr();
+  ir.focus_concept.clear();
+  auto design = interpreter_.Interpret(ir);
+  ASSERT_TRUE(design.ok()) << design.status();
+  EXPECT_EQ(design->schema.facts()[0].concept_id, "Lineitem");
+}
+
+TEST_F(InterpreterTest, MultiHopDimensionJoinsIntermediateConcepts) {
+  InformationRequirement ir;
+  ir.id = "ir_region";
+  ir.name = "by_region";
+  ir.focus_concept = "Lineitem";
+  ir.measures.push_back(
+      {"qty", "Lineitem.l_quantity", md::AggFunc::kSum});
+  ir.dimensions.push_back({"Region.r_name"});
+  auto design = interpreter_.Interpret(ir);
+  ASSERT_TRUE(design.ok()) << design.status();
+  // Lineitem -> Supplier -> Nation -> Region: all three joins appear.
+  EXPECT_TRUE(design->flow.HasNode("JOIN_lineitem_supplier"));
+  EXPECT_TRUE(design->flow.HasNode("JOIN_supplier_nation"));
+  EXPECT_TRUE(design->flow.HasNode("JOIN_nation_region"));
+}
+
+TEST_F(InterpreterTest, MeasureOnReachableConceptJoins) {
+  // netprofit uses ps_supplycost from Partsupp (paper Fig. 3's second IR).
+  InformationRequirement ir;
+  ir.id = "ir_netprofit";
+  ir.name = "netprofit";
+  ir.focus_concept = "Lineitem";
+  ir.measures.push_back(
+      {"netprofit",
+       "Lineitem.l_extendedprice * (1 - Lineitem.l_discount) - "
+       "Partsupp.ps_supplycost * Lineitem.l_quantity",
+       md::AggFunc::kSum});
+  ir.dimensions.push_back({"Part.p_name"});
+  auto design = interpreter_.Interpret(ir);
+  ASSERT_TRUE(design.ok()) << design.status();
+  EXPECT_TRUE(design->flow.HasNode("JOIN_lineitem_partsupp"));
+  // And it runs.
+  storage::Database src;
+  ASSERT_TRUE(datagen::PopulateTpch(&src, {0.002, 11}).ok());
+  storage::Database dw("dw");
+  auto report = etl::Executor(&src, &dw).Run(design->flow);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT((*dw.GetTable("fact_table_netprofit"))->num_rows(), 0u);
+}
+
+TEST_F(InterpreterTest, DegenerateDimensionOnFocusConcept) {
+  InformationRequirement ir;
+  ir.id = "ir_flag";
+  ir.name = "by_flag";
+  ir.focus_concept = "Lineitem";
+  ir.measures.push_back({"qty", "Lineitem.l_quantity", md::AggFunc::kSum});
+  ir.dimensions.push_back({"Lineitem.l_returnflag"});
+  auto design = interpreter_.Interpret(ir);
+  ASSERT_TRUE(design.ok()) << design.status();
+  EXPECT_TRUE(design->flow.HasNode("LOAD_dim_Lineitem"));
+  EXPECT_TRUE(md::CheckSound(design->schema, &onto_).ok());
+}
+
+TEST_F(InterpreterTest, RejectsUnreachableDimension) {
+  InformationRequirement ir;
+  ir.id = "ir_bad";
+  ir.name = "bad";
+  ir.focus_concept = "Partsupp";
+  ir.measures.push_back(
+      {"cost", "Partsupp.ps_supplycost", md::AggFunc::kSum});
+  ir.dimensions.push_back({"Customer.c_name"});
+  EXPECT_TRUE(interpreter_.Interpret(ir).status().IsUnsatisfiable());
+}
+
+TEST_F(InterpreterTest, RejectsNonNumericMeasure) {
+  InformationRequirement ir;
+  ir.id = "ir_bad";
+  ir.name = "bad";
+  ir.focus_concept = "Lineitem";
+  ir.measures.push_back(
+      {"m", "Lineitem.l_returnflag", md::AggFunc::kSum});
+  ir.dimensions.push_back({"Part.p_name"});
+  EXPECT_TRUE(interpreter_.Interpret(ir).status().IsValidationError());
+}
+
+TEST_F(InterpreterTest, RejectsEmptyRequirements) {
+  InformationRequirement ir = RevenueIr();
+  ir.measures.clear();
+  EXPECT_TRUE(interpreter_.Interpret(ir).status().IsUnsatisfiable());
+  ir = RevenueIr();
+  ir.dimensions.clear();
+  EXPECT_TRUE(interpreter_.Interpret(ir).status().IsUnsatisfiable());
+  ir = RevenueIr();
+  ir.id.clear();
+  EXPECT_TRUE(interpreter_.Interpret(ir).status().IsInvalidArgument());
+}
+
+TEST_F(InterpreterTest, RejectsDuplicateMeasureIds) {
+  InformationRequirement ir = RevenueIr();
+  ir.measures.push_back(ir.measures[0]);
+  EXPECT_TRUE(interpreter_.Interpret(ir).status().IsInvalidArgument());
+}
+
+TEST_F(InterpreterTest, SlicerLiteralTypedByProperty) {
+  InformationRequirement ir = RevenueIr();
+  ir.slicers.push_back({"Orders.o_orderdate", ">=", "1995-01-01"});
+  auto design = interpreter_.Interpret(ir);
+  ASSERT_TRUE(design.ok()) << design.status();
+  const etl::Node* sel =
+      *design->flow.GetNode("SELECTION_1_o_orderdate");
+  EXPECT_NE(sel->params.at("predicate").find("DATE '1995-01-01'"),
+            std::string::npos);
+  // Bad literal for the property type fails.
+  ir.slicers.back().value = "not-a-date";
+  EXPECT_TRUE(interpreter_.Interpret(ir).status().IsParseError());
+}
+
+TEST_F(InterpreterTest, FactTableNaming) {
+  InformationRequirement ir = RevenueIr();
+  EXPECT_EQ(Interpreter::FactTableName(ir), "fact_table_revenue");
+  ir.name = "fact_sales";
+  EXPECT_EQ(Interpreter::FactTableName(ir), "fact_sales");
+  ir.name.clear();
+  EXPECT_EQ(Interpreter::FactTableName(ir), "fact_table_ir_revenue");
+}
+
+}  // namespace
+}  // namespace quarry::interpreter

@@ -1,0 +1,215 @@
+#include "ontology/ontology.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/mapping.h"
+#include "ontology/tpch_ontology.h"
+#include "xml/xml.h"
+
+namespace quarry::ontology {
+namespace {
+
+using storage::DataType;
+
+TEST(OntologyTest, AddAndLookupConcepts) {
+  Ontology onto("o");
+  ASSERT_TRUE(onto.AddConcept("A").ok());
+  ASSERT_TRUE(onto.AddConcept("B", "A").ok());
+  EXPECT_TRUE(onto.HasConcept("A"));
+  EXPECT_TRUE(onto.AddConcept("A").IsAlreadyExists());
+  EXPECT_TRUE(onto.AddConcept("C", "nope").IsNotFound());
+  EXPECT_EQ(onto.GetConcept("B")->parent_id, "A");
+  EXPECT_TRUE(onto.GetConcept("zzz").status().IsNotFound());
+}
+
+TEST(OntologyTest, SubclassTransitivity) {
+  Ontology onto("o");
+  ASSERT_TRUE(onto.AddConcept("Thing").ok());
+  ASSERT_TRUE(onto.AddConcept("Agent", "Thing").ok());
+  ASSERT_TRUE(onto.AddConcept("Person", "Agent").ok());
+  EXPECT_TRUE(onto.IsSubclassOf("Person", "Thing"));
+  EXPECT_TRUE(onto.IsSubclassOf("Person", "Person"));
+  EXPECT_FALSE(onto.IsSubclassOf("Thing", "Person"));
+}
+
+TEST(OntologyTest, PropertiesIncludeInherited) {
+  Ontology onto("o");
+  ASSERT_TRUE(onto.AddConcept("Base").ok());
+  ASSERT_TRUE(onto.AddConcept("Derived", "Base").ok());
+  ASSERT_TRUE(onto.AddDataProperty("Base", "name", DataType::kString).ok());
+  ASSERT_TRUE(onto.AddDataProperty("Derived", "extra", DataType::kInt64).ok());
+  auto props = onto.PropertiesOf("Derived");
+  ASSERT_EQ(props.size(), 2u);
+  EXPECT_EQ(props[0].id, "Derived.extra");
+  EXPECT_EQ(props[1].id, "Base.name");
+}
+
+TEST(OntologyTest, PropertyRequiresConcept) {
+  Ontology onto("o");
+  EXPECT_TRUE(
+      onto.AddDataProperty("nope", "x", DataType::kString).IsNotFound());
+}
+
+TEST(OntologyTest, AssociationEndpointsChecked) {
+  Ontology onto("o");
+  ASSERT_TRUE(onto.AddConcept("A").ok());
+  EXPECT_TRUE(onto.AddAssociation("a1", "A", "B", Multiplicity::kManyToOne)
+                  .IsNotFound());
+  ASSERT_TRUE(onto.AddConcept("B").ok());
+  EXPECT_TRUE(
+      onto.AddAssociation("a1", "A", "B", Multiplicity::kManyToOne).ok());
+  EXPECT_TRUE(onto.AddAssociation("a1", "A", "B", Multiplicity::kManyToOne)
+                  .IsAlreadyExists());
+}
+
+TEST(OntologyTest, FunctionalStepRespectsMultiplicity) {
+  Ontology onto("o");
+  for (const char* c : {"A", "B", "C", "D", "E"}) {
+    ASSERT_TRUE(onto.AddConcept(c).ok());
+  }
+  ASSERT_TRUE(
+      onto.AddAssociation("ab", "A", "B", Multiplicity::kManyToOne).ok());
+  ASSERT_TRUE(
+      onto.AddAssociation("ac", "A", "C", Multiplicity::kOneToMany).ok());
+  ASSERT_TRUE(
+      onto.AddAssociation("ad", "A", "D", Multiplicity::kManyToMany).ok());
+  ASSERT_TRUE(
+      onto.AddAssociation("ae", "A", "E", Multiplicity::kOneToOne).ok());
+  EXPECT_TRUE(onto.HasFunctionalStep("A", "B"));
+  EXPECT_FALSE(onto.HasFunctionalStep("B", "A"));
+  EXPECT_FALSE(onto.HasFunctionalStep("A", "C"));
+  EXPECT_TRUE(onto.HasFunctionalStep("C", "A"));  // inverse of one-to-many
+  EXPECT_FALSE(onto.HasFunctionalStep("A", "D"));
+  EXPECT_FALSE(onto.HasFunctionalStep("D", "A"));
+  EXPECT_TRUE(onto.HasFunctionalStep("A", "E"));
+  EXPECT_TRUE(onto.HasFunctionalStep("E", "A"));
+}
+
+TEST(OntologyTest, FindFunctionalPathMultiHop) {
+  Ontology onto = BuildTpchOntology();
+  auto path = onto.FindFunctionalPath("Lineitem", "Region");
+  ASSERT_TRUE(path.ok()) << path.status();
+  // Lineitem -> Supplier|Orders... shortest to Region is 3 hops
+  // (Lineitem->Supplier->Nation->Region).
+  EXPECT_EQ(path->size(), 3u);
+  EXPECT_EQ(path->front().from_concept, "Lineitem");
+  EXPECT_EQ(path->back().to_concept, "Region");
+  for (const PathStep& step : *path) EXPECT_TRUE(step.forward);
+}
+
+TEST(OntologyTest, NoFunctionalPathAgainstArrows) {
+  Ontology onto = BuildTpchOntology();
+  // Region is the "one" side everywhere: nothing is functionally reachable
+  // from it.
+  auto path = onto.FindFunctionalPath("Region", "Lineitem");
+  EXPECT_TRUE(path.status().IsUnsatisfiable());
+  EXPECT_TRUE(onto.FunctionallyReachable("Region").empty());
+}
+
+TEST(OntologyTest, PathToSelfIsEmpty) {
+  Ontology onto = BuildTpchOntology();
+  auto path = onto.FindFunctionalPath("Part", "Part");
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST(OntologyTest, FunctionallyReachableFromLineitemCoversStarDimensions) {
+  Ontology onto = BuildTpchOntology();
+  auto reachable = onto.FunctionallyReachable("Lineitem");
+  std::map<std::string, int> hops;
+  for (const auto& [id, h] : reachable) hops[id] = h;
+  EXPECT_EQ(hops["Orders"], 1);
+  EXPECT_EQ(hops["Part"], 1);
+  EXPECT_EQ(hops["Supplier"], 1);
+  EXPECT_EQ(hops["Partsupp"], 1);
+  EXPECT_EQ(hops["Customer"], 2);
+  EXPECT_EQ(hops["Nation"], 2);
+  EXPECT_EQ(hops["Region"], 3);
+  EXPECT_EQ(reachable.size(), 7u);
+}
+
+TEST(OntologyTest, XmlRoundtrip) {
+  Ontology onto = BuildTpchOntology();
+  auto xml_form = onto.ToXml();
+  auto parsed = Ontology::FromXml(*xml_form);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_concepts(), onto.num_concepts());
+  EXPECT_EQ(parsed->num_properties(), onto.num_properties());
+  EXPECT_EQ(parsed->num_associations(), onto.num_associations());
+  EXPECT_TRUE(xml::DeepEqual(*xml_form, *parsed->ToXml()));
+  // Graph semantics survive the roundtrip.
+  EXPECT_TRUE(parsed->HasFunctionalStep("Lineitem", "Orders"));
+  EXPECT_EQ(parsed->GetProperty("Lineitem.l_discount")->type,
+            DataType::kDouble);
+}
+
+TEST(OntologyTest, XmlRoundtripThroughText) {
+  Ontology onto = BuildTpchOntology();
+  std::string text = xml::Write(*onto.ToXml());
+  auto doc = xml::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  auto parsed = Ontology::FromXml(**doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_associations(), onto.num_associations());
+}
+
+TEST(OntologyTest, FromXmlRejectsBadDocuments) {
+  auto bad_root = xml::Parse("<notOntology/>");
+  ASSERT_TRUE(bad_root.ok());
+  EXPECT_TRUE(Ontology::FromXml(**bad_root).status().IsParseError());
+  auto bad_mult = xml::Parse(
+      "<ontology name=\"x\"><concept id=\"A\"/><concept id=\"B\"/>"
+      "<association id=\"ab\" from=\"A\" to=\"B\" multiplicity=\"WAT\"/>"
+      "</ontology>");
+  ASSERT_TRUE(bad_mult.ok());
+  EXPECT_TRUE(Ontology::FromXml(**bad_mult).status().IsParseError());
+}
+
+TEST(MappingTest, TpchMappingsValidateAgainstOntology) {
+  Ontology onto = BuildTpchOntology();
+  SourceMapping mapping = BuildTpchMappings();
+  EXPECT_TRUE(mapping.Validate(onto).ok());
+  auto cm = mapping.ForConcept("Lineitem");
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->table, "lineitem");
+  EXPECT_EQ(cm->key_columns.size(), 2u);
+  auto am = mapping.ForAssociation("lineitem_partsupp");
+  ASSERT_TRUE(am.ok());
+  EXPECT_EQ(am->from_columns.size(), 2u);
+}
+
+TEST(MappingTest, ValidateCatchesUnknownConcept) {
+  Ontology onto("o");
+  ASSERT_TRUE(onto.AddConcept("A").ok());
+  SourceMapping mapping;
+  ASSERT_TRUE(mapping.MapConcept("Ghost", "t", {"k"}).ok());
+  EXPECT_TRUE(mapping.Validate(onto).IsValidationError());
+}
+
+TEST(MappingTest, ValidateCatchesUnmappedConceptOfMappedProperty) {
+  Ontology onto("o");
+  ASSERT_TRUE(onto.AddConcept("A").ok());
+  ASSERT_TRUE(onto.AddDataProperty("A", "x", DataType::kInt64).ok());
+  SourceMapping mapping;
+  ASSERT_TRUE(mapping.MapProperty("A.x", "t", "x").ok());
+  EXPECT_TRUE(mapping.Validate(onto).IsValidationError());
+}
+
+TEST(MappingTest, XmlRoundtrip) {
+  SourceMapping mapping = BuildTpchMappings();
+  auto xml_form = mapping.ToXml();
+  auto parsed = SourceMapping::FromXml(*xml_form);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(xml::DeepEqual(*xml_form, *parsed->ToXml()));
+  EXPECT_EQ(parsed->ForProperty("Part.p_name")->column, "p_name");
+}
+
+TEST(MappingTest, ArityChecks) {
+  SourceMapping mapping;
+  EXPECT_TRUE(mapping.MapConcept("A", "t", {}).IsInvalidArgument());
+  EXPECT_TRUE(mapping.MapAssociation("a", {"x"}, {"y", "z"})
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace quarry::ontology

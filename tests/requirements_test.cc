@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "ontology/tpch_ontology.h"
+#include "requirements/elicitor.h"
+#include "requirements/requirement.h"
+#include "requirements/workload.h"
+#include "xml/xml.h"
+
+namespace quarry::req {
+namespace {
+
+InformationRequirement MakeRevenueIr() {
+  InformationRequirement ir;
+  ir.id = "ir_revenue";
+  ir.name = "revenue";
+  ir.focus_concept = "Lineitem";
+  ir.measures.push_back(
+      {"revenue", "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+       md::AggFunc::kSum});
+  ir.dimensions.push_back({"Part.p_name"});
+  ir.dimensions.push_back({"Supplier.s_name"});
+  ir.slicers.push_back({"Nation.n_name", "=", "SPAIN"});
+  ir.aggregations.push_back(
+      {"Part.p_name", "revenue", md::AggFunc::kAvg, 1});
+  return ir;
+}
+
+TEST(XrqTest, RoundtripPreservesRequirement) {
+  InformationRequirement ir = MakeRevenueIr();
+  auto doc = ToXrq(ir);
+  auto parsed = FromXrq(*doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->id, "ir_revenue");
+  EXPECT_EQ(parsed->focus_concept, "Lineitem");
+  ASSERT_EQ(parsed->measures.size(), 1u);
+  EXPECT_EQ(parsed->measures[0].expression,
+            "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)");
+  ASSERT_EQ(parsed->dimensions.size(), 2u);
+  ASSERT_EQ(parsed->slicers.size(), 1u);
+  EXPECT_EQ(parsed->slicers[0].value, "SPAIN");
+  ASSERT_EQ(parsed->aggregations.size(), 1u);
+  EXPECT_EQ(parsed->aggregations[0].function, md::AggFunc::kAvg);
+  EXPECT_TRUE(xml::DeepEqual(*doc, *ToXrq(*parsed)));
+}
+
+TEST(XrqTest, MatchesPaperStructure) {
+  std::string text = xml::Write(*ToXrq(MakeRevenueIr()));
+  EXPECT_NE(text.find("<cube"), std::string::npos);
+  EXPECT_NE(text.find("<slicers>"), std::string::npos);
+  EXPECT_NE(text.find("<operator>=</operator>"), std::string::npos);
+  EXPECT_NE(text.find("<value>SPAIN</value>"), std::string::npos);
+  EXPECT_NE(text.find("refID=\"Part.p_name\""), std::string::npos);
+}
+
+TEST(XrqTest, ParseFromHandWrittenText) {
+  const char* doc = R"(
+<cube id="ir1" name="q">
+  <dimensions><concept id="Part.p_name"/></dimensions>
+  <measures><concept id="rev"><function>Lineitem.l_quantity</function>
+  </concept></measures>
+</cube>)";
+  auto root = xml::Parse(doc);
+  ASSERT_TRUE(root.ok());
+  auto ir = FromXrq(**root);
+  ASSERT_TRUE(ir.ok()) << ir.status();
+  EXPECT_EQ(ir->measures[0].aggregation, md::AggFunc::kSum);  // default
+  EXPECT_TRUE(ir->focus_concept.empty());
+}
+
+TEST(XrqTest, RejectsMalformedCubes) {
+  auto no_id = xml::Parse("<cube name=\"x\"/>");
+  ASSERT_TRUE(no_id.ok());
+  EXPECT_TRUE(FromXrq(**no_id).status().IsParseError());
+  auto wrong_tag = xml::Parse("<query id=\"x\"/>");
+  ASSERT_TRUE(wrong_tag.ok());
+  EXPECT_TRUE(FromXrq(**wrong_tag).status().IsParseError());
+  auto measure_without_fn = xml::Parse(
+      "<cube id=\"x\"><measures><concept id=\"m\"/></measures></cube>");
+  ASSERT_TRUE(measure_without_fn.ok());
+  EXPECT_TRUE(FromXrq(**measure_without_fn).status().IsParseError());
+}
+
+// --- elicitor ----------------------------------------------------------------
+
+class ElicitorTest : public ::testing::Test {
+ protected:
+  ElicitorTest() : onto_(ontology::BuildTpchOntology()), elicitor_(&onto_) {}
+  ontology::Ontology onto_;
+  Elicitor elicitor_;
+};
+
+TEST_F(ElicitorTest, LineitemIsTopFactCandidate) {
+  auto facts = elicitor_.SuggestFacts();
+  ASSERT_FALSE(facts.empty());
+  EXPECT_EQ(facts[0].concept_id, "Lineitem");
+  EXPECT_GE(facts[0].numeric_properties, 4);
+  EXPECT_GE(facts[0].functional_out_degree, 4);
+  // Region is a pure rollup target: near the bottom.
+  EXPECT_EQ(facts.back().concept_id, "Region");
+}
+
+TEST_F(ElicitorTest, SuggestDimensionsMatchesPaperExample) {
+  // Paper §2.1: focus Lineitem -> the system suggests Supplier, Nation,
+  // Part (among others).
+  auto dims = elicitor_.SuggestDimensions("Lineitem");
+  ASSERT_TRUE(dims.ok()) << dims.status();
+  std::set<std::string> suggested;
+  for (const auto& d : *dims) suggested.insert(d.concept_id);
+  EXPECT_TRUE(suggested.count("Supplier") > 0);
+  EXPECT_TRUE(suggested.count("Nation") > 0);
+  EXPECT_TRUE(suggested.count("Part") > 0);
+  // One-hop suggestions come before three-hop ones.
+  EXPECT_LT((*dims)[0].hops, dims->back().hops);
+  // Descriptive properties accompany each suggestion.
+  for (const auto& d : *dims) {
+    if (d.concept_id == "Part") {
+      EXPECT_GE(d.descriptive_properties.size(), 3u);
+    }
+  }
+}
+
+TEST_F(ElicitorTest, NothingSuggestedFromRegion) {
+  auto dims = elicitor_.SuggestDimensions("Region");
+  ASSERT_TRUE(dims.ok());
+  EXPECT_TRUE(dims->empty());
+}
+
+TEST_F(ElicitorTest, SuggestMeasuresRanksDoublesFirst) {
+  auto measures = elicitor_.SuggestMeasures("Lineitem");
+  ASSERT_TRUE(measures.ok());
+  ASSERT_GE(measures->size(), 4u);
+  // Doubles (extendedprice, discount, tax) rank above the int quantity.
+  EXPECT_EQ((*measures)[0].score, 1.0);
+  bool quantity_seen = false;
+  for (const auto& m : *measures) {
+    if (m.property_id == "Lineitem.l_quantity") {
+      quantity_seen = true;
+      EXPECT_EQ(m.score, 0.5);
+    }
+  }
+  EXPECT_TRUE(quantity_seen);
+}
+
+TEST_F(ElicitorTest, UnknownFocusFails) {
+  EXPECT_TRUE(elicitor_.SuggestMeasures("Ghost").status().IsNotFound());
+  EXPECT_TRUE(elicitor_.SuggestDimensions("Ghost").status().IsNotFound());
+}
+
+TEST_F(ElicitorTest, BuildRequirementValidates) {
+  auto ir = elicitor_.BuildRequirement(
+      "ir_revenue", "revenue", "Lineitem",
+      {{"revenue", "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+        md::AggFunc::kSum}},
+      {{"Part.p_name"}, {"Supplier.s_name"}},
+      {{"Nation.n_name", "=", "SPAIN"}});
+  ASSERT_TRUE(ir.ok()) << ir.status();
+  EXPECT_EQ(ir->focus_concept, "Lineitem");
+  // Default aggregation plan: 1 measure x 2 dimensions.
+  EXPECT_EQ(ir->aggregations.size(), 2u);
+}
+
+TEST_F(ElicitorTest, BuildRequirementRejectsUnreachableDimension) {
+  // Customer is NOT functionally reachable from Partsupp.
+  auto ir = elicitor_.BuildRequirement(
+      "ir_bad", "bad", "Partsupp",
+      {{"cost", "Partsupp.ps_supplycost", md::AggFunc::kSum}},
+      {{"Customer.c_name"}}, {});
+  EXPECT_TRUE(ir.status().IsUnsatisfiable());
+}
+
+TEST_F(ElicitorTest, BuildRequirementRejectsBadInputs) {
+  EXPECT_TRUE(elicitor_
+                  .BuildRequirement("", "x", "Lineitem",
+                                    {{"m", "Lineitem.l_quantity",
+                                      md::AggFunc::kSum}},
+                                    {{"Part.p_name"}}, {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(elicitor_
+                  .BuildRequirement("ir", "x", "Lineitem", {},
+                                    {{"Part.p_name"}}, {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(elicitor_
+                  .BuildRequirement("ir", "x", "Lineitem",
+                                    {{"m", "Lineitem.l_quantity",
+                                      md::AggFunc::kSum}},
+                                    {}, {})
+                  .status()
+                  .IsInvalidArgument());
+  // Unknown property in a measure.
+  EXPECT_TRUE(elicitor_
+                  .BuildRequirement("ir", "x", "Lineitem",
+                                    {{"m", "Lineitem.ghost",
+                                      md::AggFunc::kSum}},
+                                    {{"Part.p_name"}}, {})
+                  .status()
+                  .IsNotFound());
+  // Bad slicer operator.
+  EXPECT_TRUE(elicitor_
+                  .BuildRequirement("ir", "x", "Lineitem",
+                                    {{"m", "Lineitem.l_quantity",
+                                      md::AggFunc::kSum}},
+                                    {{"Part.p_name"}},
+                                    {{"Part.p_name", "LIKE", "x"}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// --- workload generator -------------------------------------------------
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  WorkloadConfig config;
+  config.num_requirements = 6;
+  config.seed = 77;
+  auto a = GenerateTpchWorkload(config);
+  auto b = GenerateTpchWorkload(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].measures[0].expression, b[i].measures[0].expression);
+    ASSERT_EQ(a[i].dimensions.size(), b[i].dimensions.size());
+    for (size_t d = 0; d < a[i].dimensions.size(); ++d) {
+      EXPECT_EQ(a[i].dimensions[d].property_id,
+                b[i].dimensions[d].property_id);
+    }
+  }
+}
+
+TEST(WorkloadTest, RespectsCounts) {
+  WorkloadConfig config;
+  config.num_requirements = 9;
+  config.dimensions_per_requirement = 3;
+  config.slicer_probability = 0.0;
+  auto workload = GenerateTpchWorkload(config);
+  ASSERT_EQ(workload.size(), 9u);
+  std::set<std::string> ids;
+  for (const auto& ir : workload) {
+    ids.insert(ir.id);
+    EXPECT_EQ(ir.dimensions.size(), 3u);
+    EXPECT_TRUE(ir.slicers.empty());
+    EXPECT_EQ(ir.focus_concept, "Lineitem");
+    EXPECT_EQ(ir.measures.size(), 1u);
+  }
+  EXPECT_EQ(ids.size(), 9u);  // unique ids -> unique measure names
+}
+
+TEST(WorkloadTest, HighOverlapDrawsFromHotPool) {
+  WorkloadConfig config;
+  config.num_requirements = 20;
+  config.overlap = 1.0;
+  config.dimensions_per_requirement = 2;
+  auto workload = GenerateTpchWorkload(config);
+  std::set<std::string> hot{"Part.p_name", "Supplier.s_name",
+                            "Orders.o_orderdate"};
+  for (const auto& ir : workload) {
+    for (const auto& d : ir.dimensions) {
+      EXPECT_TRUE(hot.count(d.property_id) > 0) << d.property_id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quarry::req

@@ -1,0 +1,466 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "storage/csv.h"
+#include "storage/database.h"
+#include "storage/schema.h"
+#include "storage/sql.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace quarry::storage {
+namespace {
+
+TEST(ValueTest, NullBehaviour) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.SqlEquals(Value::Null()));
+  EXPECT_TRUE(v.SameAs(Value::Null()));
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_FALSE(v.type().ok());
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Double(1.0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int(2)), 0);
+  EXPECT_TRUE(Value::Int(3).SqlEquals(Value::Double(3.0)));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, DateRoundtrip) {
+  Value d = Value::DateYmd(1995, 3, 15);
+  EXPECT_TRUE(d.is_date());
+  EXPECT_EQ(d.ToString(), "1995-03-15");
+  auto parsed = Value::Parse("1995-03-15", DataType::kDate);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(d.SameAs(*parsed));
+}
+
+TEST(ValueTest, CivilDateMath) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  int y, m, d;
+  CivilFromDays(DaysFromCivil(2000, 2, 29), &y, &m, &d);
+  EXPECT_EQ(y, 2000);
+  EXPECT_EQ(m, 2);
+  EXPECT_EQ(d, 29);
+}
+
+TEST(ValueTest, ParseByType) {
+  EXPECT_EQ(Value::Parse("42", DataType::kInt64)->as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value::Parse("2.5", DataType::kDouble)->as_double(), 2.5);
+  EXPECT_TRUE(Value::Parse("true", DataType::kBool)->as_bool());
+  EXPECT_EQ(Value::Parse("hi", DataType::kString)->as_string(), "hi");
+  EXPECT_FALSE(Value::Parse("x", DataType::kInt64).ok());
+  EXPECT_FALSE(Value::Parse("2020-13-01", DataType::kDate).ok());
+}
+
+TEST(ValueTest, CastBetweenTypes) {
+  EXPECT_DOUBLE_EQ(Value::Int(4).CastTo(DataType::kDouble)->as_double(), 4.0);
+  EXPECT_EQ(Value::Double(4.9).CastTo(DataType::kInt64)->as_int(), 4);
+  EXPECT_EQ(Value::Int(4).CastTo(DataType::kString)->as_string(), "4");
+  EXPECT_TRUE(Value::Null().CastTo(DataType::kInt64)->is_null());
+  EXPECT_FALSE(Value::DateYmd(2020, 1, 1).CastTo(DataType::kDouble).ok());
+}
+
+TableSchema MakePartSchema() {
+  TableSchema schema("part");
+  EXPECT_TRUE(schema.AddColumn({"p_partkey", DataType::kInt64, false}).ok());
+  EXPECT_TRUE(schema.AddColumn({"p_name", DataType::kString, true}).ok());
+  EXPECT_TRUE(
+      schema.AddColumn({"p_retailprice", DataType::kDouble, true}).ok());
+  EXPECT_TRUE(schema.SetPrimaryKey({"p_partkey"}).ok());
+  return schema;
+}
+
+TEST(SchemaTest, DuplicateColumnRejected) {
+  TableSchema schema("t");
+  ASSERT_TRUE(schema.AddColumn({"a", DataType::kInt64, true}).ok());
+  EXPECT_TRUE(schema.AddColumn({"a", DataType::kInt64, true})
+                  .IsAlreadyExists());
+}
+
+TEST(SchemaTest, PrimaryKeyMustExist) {
+  TableSchema schema("t");
+  ASSERT_TRUE(schema.AddColumn({"a", DataType::kInt64, true}).ok());
+  EXPECT_TRUE(schema.SetPrimaryKey({"zzz"}).IsNotFound());
+}
+
+TEST(SchemaTest, ForeignKeyArityChecked) {
+  TableSchema schema("t");
+  ASSERT_TRUE(schema.AddColumn({"a", DataType::kInt64, true}).ok());
+  ForeignKey fk{{"a"}, "other", {"x", "y"}};
+  EXPECT_TRUE(schema.AddForeignKey(fk).IsInvalidArgument());
+}
+
+TEST(TableTest, InsertValidatesArityAndTypes) {
+  Table t(MakePartSchema());
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::String("bolt"),
+                        Value::Double(9.99)})
+                  .ok());
+  EXPECT_TRUE(t.Insert({Value::Int(2)}).IsInvalidArgument());
+  EXPECT_TRUE(t.Insert({Value::String("x"), Value::String("y"),
+                        Value::Double(1)})
+                  .IsInvalidArgument());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, NotNullEnforced) {
+  Table t(MakePartSchema());
+  EXPECT_TRUE(
+      t.Insert({Value::Null(), Value::String("x"), Value::Double(1)})
+          .IsInvalidArgument());
+}
+
+TEST(TableTest, PrimaryKeyUniquenessEnforced) {
+  Table t(MakePartSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Int(1), Value::String("a"), Value::Double(1)}).ok());
+  EXPECT_TRUE(
+      t.Insert({Value::Int(1), Value::String("b"), Value::Double(2)})
+          .IsAlreadyExists());
+}
+
+TEST(TableTest, NumericWideningOnInsert) {
+  Table t(MakePartSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Int(1), Value::String("a"), Value::Int(5)}).ok());
+  EXPECT_TRUE(t.rows()[0][2].is_double());
+  EXPECT_DOUBLE_EQ(t.rows()[0][2].as_double(), 5.0);
+}
+
+TEST(TableTest, IndexLookup) {
+  Table t(MakePartSchema());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::String("p" + std::to_string(i % 10)),
+                          Value::Double(i * 1.5)})
+                    .ok());
+  }
+  ASSERT_TRUE(t.CreateIndex({"p_name"}).ok());
+  EXPECT_TRUE(t.HasIndex({"p_name"}));
+  auto hits = t.IndexLookup({"p_name"}, {Value::String("p3")});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 10u);
+  auto missing = t.IndexLookup({"p_name"}, {Value::String("nope")});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->empty());
+  EXPECT_TRUE(t.IndexLookup({"p_retailprice"}, {Value::Double(1.5)})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(TableTest, IndexBuiltAfterInsertSeesExistingRows) {
+  Table t(MakePartSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Int(1), Value::String("a"), Value::Double(1)}).ok());
+  ASSERT_TRUE(t.CreateIndex({"p_partkey"}).ok());
+  ASSERT_TRUE(
+      t.Insert({Value::Int(2), Value::String("b"), Value::Double(2)}).ok());
+  EXPECT_EQ(t.IndexLookup({"p_partkey"}, {Value::Int(1)})->size(), 1u);
+  EXPECT_EQ(t.IndexLookup({"p_partkey"}, {Value::Int(2)})->size(), 1u);
+}
+
+TEST(TableTest, ScanEquals) {
+  Table t(MakePartSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Int(1), Value::String("a"), Value::Double(1)}).ok());
+  ASSERT_TRUE(
+      t.Insert({Value::Int(2), Value::String("a"), Value::Double(2)}).ok());
+  EXPECT_EQ(t.ScanEquals("p_name", Value::String("a")).size(), 2u);
+  EXPECT_TRUE(t.ScanEquals("bogus", Value::Int(0)).empty());
+}
+
+TEST(TableTest, SetCellUpdatesInPlace) {
+  Table t(MakePartSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Int(1), Value::String("a"), Value::Null()}).ok());
+  ASSERT_TRUE(t.SetCell(0, 2, Value::Double(3.5)).ok());
+  EXPECT_DOUBLE_EQ(t.rows()[0][2].as_double(), 3.5);
+  // Int widens to the double column.
+  ASSERT_TRUE(t.SetCell(0, 2, Value::Int(4)).ok());
+  EXPECT_DOUBLE_EQ(t.rows()[0][2].as_double(), 4.0);
+  // Primary-key column refuses updates; so do bad indexes and bad types.
+  EXPECT_TRUE(t.SetCell(0, 0, Value::Int(9)).IsInvalidArgument());
+  EXPECT_TRUE(t.SetCell(5, 2, Value::Double(1)).IsInvalidArgument());
+  EXPECT_TRUE(t.SetCell(0, 9, Value::Double(1)).IsInvalidArgument());
+  EXPECT_TRUE(t.SetCell(0, 2, Value::String("x")).IsInvalidArgument());
+  // Indexed columns refuse updates too.
+  ASSERT_TRUE(t.CreateIndex({"p_name"}).ok());
+  EXPECT_TRUE(t.SetCell(0, 1, Value::String("b")).IsInvalidArgument());
+}
+
+TEST(TableTest, AddColumnExtendsExistingRowsWithNull) {
+  Table t(MakePartSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Int(1), Value::String("a"), Value::Double(1)}).ok());
+  ASSERT_TRUE(t.AddColumn({"p_comment", DataType::kString, true}).ok());
+  EXPECT_EQ(t.schema().num_columns(), 4u);
+  EXPECT_TRUE(t.rows()[0][3].is_null());
+  // New inserts must carry the new column.
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::String("b"), Value::Double(2),
+                        Value::String("note")})
+                  .ok());
+  // NOT NULL columns cannot be added to a table (existing rows violate).
+  EXPECT_TRUE(
+      t.AddColumn({"p_extra", DataType::kInt64, false}).IsInvalidArgument());
+  EXPECT_TRUE(
+      t.AddColumn({"p_comment", DataType::kString, true}).IsAlreadyExists());
+}
+
+TEST(TableTest, TruncateClearsRowsAndIndexes) {
+  Table t(MakePartSchema());
+  ASSERT_TRUE(t.CreateIndex({"p_name"}).ok());
+  ASSERT_TRUE(
+      t.Insert({Value::Int(1), Value::String("a"), Value::Double(1)}).ok());
+  t.Truncate();
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_TRUE(t.IndexLookup({"p_name"}, {Value::String("a")})->empty());
+  // PK slot is free again after truncate.
+  EXPECT_TRUE(
+      t.Insert({Value::Int(1), Value::String("a"), Value::Double(1)}).ok());
+}
+
+TEST(DatabaseTest, CreateGetDrop) {
+  Database db("demo");
+  ASSERT_TRUE(db.CreateTable(MakePartSchema()).ok());
+  EXPECT_TRUE(db.HasTable("part"));
+  EXPECT_TRUE(db.CreateTable(MakePartSchema()).status().IsAlreadyExists());
+  EXPECT_TRUE(db.GetTable("part").ok());
+  EXPECT_TRUE(db.GetTable("nope").status().IsNotFound());
+  EXPECT_TRUE(db.DropTable("part").ok());
+  EXPECT_FALSE(db.HasTable("part"));
+  EXPECT_TRUE(db.DropTable("part").IsNotFound());
+}
+
+TEST(DatabaseTest, ForeignKeyRequiresReferencedTable) {
+  Database db;
+  TableSchema orders("orders");
+  ASSERT_TRUE(orders.AddColumn({"o_id", DataType::kInt64, false}).ok());
+  ASSERT_TRUE(orders.AddColumn({"o_custkey", DataType::kInt64, true}).ok());
+  ASSERT_TRUE(
+      orders.AddForeignKey({{"o_custkey"}, "customer", {"c_id"}}).ok());
+  EXPECT_TRUE(db.CreateTable(orders).status().IsNotFound());
+}
+
+TEST(DatabaseTest, ReferentialIntegrityCheck) {
+  Database db;
+  TableSchema customer("customer");
+  ASSERT_TRUE(customer.AddColumn({"c_id", DataType::kInt64, false}).ok());
+  ASSERT_TRUE(customer.SetPrimaryKey({"c_id"}).ok());
+  auto ct = db.CreateTable(customer);
+  ASSERT_TRUE(ct.ok());
+  ASSERT_TRUE((*ct)->Insert({Value::Int(1)}).ok());
+
+  TableSchema orders("orders");
+  ASSERT_TRUE(orders.AddColumn({"o_id", DataType::kInt64, false}).ok());
+  ASSERT_TRUE(orders.AddColumn({"o_custkey", DataType::kInt64, true}).ok());
+  ASSERT_TRUE(
+      orders.AddForeignKey({{"o_custkey"}, "customer", {"c_id"}}).ok());
+  auto ot = db.CreateTable(orders);
+  ASSERT_TRUE(ot.ok());
+  ASSERT_TRUE((*ot)->Insert({Value::Int(10), Value::Int(1)}).ok());
+  EXPECT_TRUE(db.CheckReferentialIntegrity().ok());
+
+  // NULL FK is allowed.
+  ASSERT_TRUE((*ot)->Insert({Value::Int(11), Value::Null()}).ok());
+  EXPECT_TRUE(db.CheckReferentialIntegrity().ok());
+
+  // Dangling FK detected.
+  ASSERT_TRUE((*ot)->Insert({Value::Int(12), Value::Int(99)}).ok());
+  EXPECT_TRUE(db.CheckReferentialIntegrity().IsValidationError());
+}
+
+// --- SQL front end -------------------------------------------------------
+
+TEST(SqlTest, CreateTableLikePaperFigure3) {
+  Database db;
+  const char* ddl = R"sql(
+CREATE DATABASE demo;
+CREATE TABLE fact_table_revenue (
+  Partsupp_PartsuppID BIGINT NOT NULL,
+  Orders_OrdersID BIGINT NOT NULL,
+  revenue double precision,
+  PRIMARY KEY( Partsupp_PartsuppID, Orders_OrdersID )
+);
+)sql";
+  auto report = ExecuteSql(&db, ddl);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->statements, 2);
+  EXPECT_EQ(report->tables_created, 1);
+  EXPECT_EQ(db.name(), "demo");
+  auto table = db.GetTable("fact_table_revenue");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->schema().num_columns(), 3u);
+  EXPECT_EQ((*table)->schema().primary_key().size(), 2u);
+  EXPECT_EQ((*table)->schema().columns()[2].type, DataType::kDouble);
+}
+
+TEST(SqlTest, ForeignKeysAndIndexes) {
+  Database db;
+  const char* ddl = R"sql(
+CREATE TABLE dim_part ( partID BIGINT NOT NULL, p_name VARCHAR(55),
+                        PRIMARY KEY(partID) );
+CREATE TABLE fact_rev ( partID BIGINT, revenue DOUBLE PRECISION,
+  FOREIGN KEY (partID) REFERENCES dim_part (partID) );
+CREATE INDEX idx_part ON fact_rev (partID);
+)sql";
+  auto report = ExecuteSql(&db, ddl);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->tables_created, 2);
+  EXPECT_EQ(report->indexes_created, 1);
+  EXPECT_TRUE((*db.GetTable("fact_rev"))->HasIndex({"partID"}));
+}
+
+TEST(SqlTest, InsertLiterals) {
+  Database db;
+  const char* script = R"sql(
+CREATE TABLE t ( i BIGINT, d DOUBLE PRECISION, s VARCHAR(10), b BOOLEAN,
+                 dt DATE );
+INSERT INTO t VALUES (1, 2.5, 'it''s', TRUE, DATE '1995-03-15'),
+                     (NULL, NULL, NULL, NULL, NULL);
+)sql";
+  auto report = ExecuteSql(&db, script);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->rows_inserted, 2);
+  const Table& t = **db.GetTable("t");
+  EXPECT_EQ(t.rows()[0][2].as_string(), "it's");
+  EXPECT_EQ(t.rows()[0][4].ToString(), "1995-03-15");
+  EXPECT_TRUE(t.rows()[1][0].is_null());
+}
+
+TEST(SqlTest, DropTableIfExists) {
+  Database db;
+  ASSERT_TRUE(ExecuteSql(&db, "CREATE TABLE t (a INT);").ok());
+  EXPECT_TRUE(ExecuteSql(&db, "DROP TABLE IF EXISTS t;").ok());
+  EXPECT_TRUE(ExecuteSql(&db, "DROP TABLE IF EXISTS t;").ok());
+  EXPECT_TRUE(ExecuteSql(&db, "DROP TABLE t;").status().IsNotFound());
+}
+
+TEST(SqlTest, CommentsAndCaseInsensitivity) {
+  Database db;
+  const char* ddl =
+      "-- a star schema\n"
+      "create table T1 ( A bigint not null, primary key (A) );\n";
+  EXPECT_TRUE(ExecuteSql(&db, ddl).ok());
+  EXPECT_FALSE((*db.GetTable("T1"))->schema().columns()[0].nullable);
+}
+
+TEST(SqlTest, ParseErrors) {
+  Database db;
+  EXPECT_TRUE(ExecuteSql(&db, "CREATE TABLE (").status().IsParseError());
+  EXPECT_TRUE(ExecuteSql(&db, "SELECT 1;").status().IsParseError());
+  EXPECT_TRUE(
+      ExecuteSql(&db, "CREATE TABLE t (a FANCYTYPE);").status().IsParseError());
+  EXPECT_TRUE(ExecuteSql(&db, "CREATE TABLE t (a INT) garbage")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(SqlTest, SchemaToDdlRoundtrips) {
+  Database db;
+  TableSchema dim("dim_part");
+  ASSERT_TRUE(dim.AddColumn({"partID", DataType::kInt64, false}).ok());
+  ASSERT_TRUE(dim.AddColumn({"p_name", DataType::kString, true}).ok());
+  ASSERT_TRUE(dim.SetPrimaryKey({"partID"}).ok());
+  ASSERT_TRUE(db.CreateTable(dim).ok());
+
+  TableSchema schema("fact");
+  ASSERT_TRUE(schema.AddColumn({"partID", DataType::kInt64, false}).ok());
+  ASSERT_TRUE(schema.AddColumn({"revenue", DataType::kDouble, true}).ok());
+  ASSERT_TRUE(schema.AddColumn({"ship", DataType::kDate, true}).ok());
+  ASSERT_TRUE(schema.AddColumn({"flag", DataType::kBool, true}).ok());
+  ASSERT_TRUE(schema.SetPrimaryKey({"partID"}).ok());
+  ASSERT_TRUE(
+      schema.AddForeignKey({{"partID"}, "dim_part", {"partID"}}).ok());
+
+  std::string ddl = SchemaToDdl(schema);
+  auto report = ExecuteSql(&db, ddl);
+  ASSERT_TRUE(report.ok()) << report.status() << "\n" << ddl;
+  const TableSchema& round = (*db.GetTable("fact"))->schema();
+  EXPECT_EQ(round.num_columns(), 4u);
+  EXPECT_EQ(round.primary_key(), schema.primary_key());
+  ASSERT_EQ(round.foreign_keys().size(), 1u);
+  EXPECT_EQ(round.foreign_keys()[0].referenced_table, "dim_part");
+  EXPECT_EQ(round.columns()[2].type, DataType::kDate);
+}
+
+// --- CSV -----------------------------------------------------------------
+
+TEST(CsvTest, RoundtripWithNullsAndQuoting) {
+  Table t(MakePartSchema());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a,b \"q\"\nline"),
+                        Value::Double(1.5)})
+                  .ok());
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::Null(), Value::Null()}).ok());
+  std::string csv = TableToCsv(t);
+  Table t2(MakePartSchema());
+  ASSERT_TRUE(LoadCsvInto(&t2, csv).ok());
+  ASSERT_EQ(t2.num_rows(), 2u);
+  EXPECT_EQ(t2.rows()[0][1].as_string(), "a,b \"q\"\nline");
+  EXPECT_TRUE(t2.rows()[1][1].is_null());
+  EXPECT_DOUBLE_EQ(t2.rows()[0][2].as_double(), 1.5);
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  Table t(MakePartSchema());
+  EXPECT_TRUE(LoadCsvInto(&t, "x,y,z\n").IsParseError());
+  EXPECT_TRUE(LoadCsvInto(&t, "p_partkey,p_name\n").IsParseError());
+}
+
+TEST(CsvTest, TypeErrorsCarryLineNumbers) {
+  Table t(MakePartSchema());
+  Status s = LoadCsvInto(&t, "p_partkey,p_name,p_retailprice\nnotanint,a,1\n");
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+// Property: random tables survive the CSV roundtrip.
+class CsvRoundtripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundtripProperty, RandomTableRoundtrips) {
+  Prng rng(GetParam() * 31 + 1);
+  TableSchema schema("r");
+  ASSERT_TRUE(schema.AddColumn({"i", DataType::kInt64, true}).ok());
+  ASSERT_TRUE(schema.AddColumn({"d", DataType::kDouble, true}).ok());
+  ASSERT_TRUE(schema.AddColumn({"s", DataType::kString, true}).ok());
+  ASSERT_TRUE(schema.AddColumn({"dt", DataType::kDate, true}).ok());
+  Table t(schema);
+  for (int r = 0; r < 50; ++r) {
+    Row row;
+    row.push_back(rng.Chance(0.1) ? Value::Null()
+                                  : Value::Int(rng.Uniform(-1000, 1000)));
+    row.push_back(rng.Chance(0.1)
+                      ? Value::Null()
+                      : Value::Double(rng.Uniform(0, 1000) * 0.25));
+    row.push_back(rng.Chance(0.1)
+                      ? Value::Null()
+                      : Value::String(rng.Word(6) + ",\"" + rng.Word(2)));
+    row.push_back(rng.Chance(0.1)
+                      ? Value::Null()
+                      : Value::Date(static_cast<int32_t>(
+                            rng.Uniform(0, 20000))));
+    ASSERT_TRUE(t.Insert(std::move(row)).ok());
+  }
+  Table t2(schema);
+  ASSERT_TRUE(LoadCsvInto(&t2, TableToCsv(t)).ok());
+  ASSERT_EQ(t2.num_rows(), t.num_rows());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_TRUE(t.rows()[i][c].SameAs(t2.rows()[i][c]))
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundtripProperty,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace quarry::storage
