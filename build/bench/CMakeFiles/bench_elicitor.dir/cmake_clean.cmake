@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elicitor.dir/bench_elicitor.cc.o"
+  "CMakeFiles/bench_elicitor.dir/bench_elicitor.cc.o.d"
+  "bench_elicitor"
+  "bench_elicitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elicitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

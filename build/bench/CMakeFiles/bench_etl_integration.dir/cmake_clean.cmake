@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_etl_integration.dir/bench_etl_integration.cc.o"
+  "CMakeFiles/bench_etl_integration.dir/bench_etl_integration.cc.o.d"
+  "bench_etl_integration"
+  "bench_etl_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_etl_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

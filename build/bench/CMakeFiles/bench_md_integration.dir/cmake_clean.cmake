@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_md_integration.dir/bench_md_integration.cc.o"
+  "CMakeFiles/bench_md_integration.dir/bench_md_integration.cc.o.d"
+  "bench_md_integration"
+  "bench_md_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_md_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

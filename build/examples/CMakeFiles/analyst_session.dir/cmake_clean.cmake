@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyst_session.dir/analyst_session.cpp.o"
+  "CMakeFiles/analyst_session.dir/analyst_session.cpp.o.d"
+  "analyst_session"
+  "analyst_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyst_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_targets.dir/deployment_targets.cpp.o"
+  "CMakeFiles/deployment_targets.dir/deployment_targets.cpp.o.d"
+  "deployment_targets"
+  "deployment_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

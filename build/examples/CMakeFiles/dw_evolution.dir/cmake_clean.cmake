@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dw_evolution.dir/dw_evolution.cpp.o"
+  "CMakeFiles/dw_evolution.dir/dw_evolution.cpp.o.d"
+  "dw_evolution"
+  "dw_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dw_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

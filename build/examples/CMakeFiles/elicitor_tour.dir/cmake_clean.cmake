@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elicitor_tour.dir/elicitor_tour.cpp.o"
+  "CMakeFiles/elicitor_tour.dir/elicitor_tour.cpp.o.d"
+  "elicitor_tour"
+  "elicitor_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elicitor_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarryctl.dir/quarryctl.cpp.o"
+  "CMakeFiles/quarryctl.dir/quarryctl.cpp.o.d"
+  "quarryctl"
+  "quarryctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarryctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_common.dir/common/status.cc.o"
+  "CMakeFiles/quarry_common.dir/common/status.cc.o.d"
+  "CMakeFiles/quarry_common.dir/common/str_util.cc.o"
+  "CMakeFiles/quarry_common.dir/common/str_util.cc.o.d"
+  "libquarry_common.a"
+  "libquarry_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_core.dir/core/metadata_repository.cc.o"
+  "CMakeFiles/quarry_core.dir/core/metadata_repository.cc.o.d"
+  "CMakeFiles/quarry_core.dir/core/quarry.cc.o"
+  "CMakeFiles/quarry_core.dir/core/quarry.cc.o.d"
+  "CMakeFiles/quarry_core.dir/core/session.cc.o"
+  "CMakeFiles/quarry_core.dir/core/session.cc.o.d"
+  "libquarry_core.a"
+  "libquarry_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

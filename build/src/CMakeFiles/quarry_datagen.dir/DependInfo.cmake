@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/retail.cc" "src/CMakeFiles/quarry_datagen.dir/datagen/retail.cc.o" "gcc" "src/CMakeFiles/quarry_datagen.dir/datagen/retail.cc.o.d"
+  "/root/repo/src/datagen/tpch.cc" "src/CMakeFiles/quarry_datagen.dir/datagen/tpch.cc.o" "gcc" "src/CMakeFiles/quarry_datagen.dir/datagen/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quarry_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_datagen.dir/datagen/retail.cc.o"
+  "CMakeFiles/quarry_datagen.dir/datagen/retail.cc.o.d"
+  "CMakeFiles/quarry_datagen.dir/datagen/tpch.cc.o"
+  "CMakeFiles/quarry_datagen.dir/datagen/tpch.cc.o.d"
+  "libquarry_datagen.a"
+  "libquarry_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_deployer.dir/deployer/deployer.cc.o"
+  "CMakeFiles/quarry_deployer.dir/deployer/deployer.cc.o.d"
+  "CMakeFiles/quarry_deployer.dir/deployer/pdi_generator.cc.o"
+  "CMakeFiles/quarry_deployer.dir/deployer/pdi_generator.cc.o.d"
+  "CMakeFiles/quarry_deployer.dir/deployer/sql_generator.cc.o"
+  "CMakeFiles/quarry_deployer.dir/deployer/sql_generator.cc.o.d"
+  "libquarry_deployer.a"
+  "libquarry_deployer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_deployer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quarry_deployer.
+# This may be replaced when dependencies are built.

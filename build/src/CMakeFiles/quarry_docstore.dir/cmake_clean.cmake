@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_docstore.dir/docstore/document_store.cc.o"
+  "CMakeFiles/quarry_docstore.dir/docstore/document_store.cc.o.d"
+  "libquarry_docstore.a"
+  "libquarry_docstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_docstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

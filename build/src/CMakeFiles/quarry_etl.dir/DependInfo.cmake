@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/etl/cost_model.cc" "src/CMakeFiles/quarry_etl.dir/etl/cost_model.cc.o" "gcc" "src/CMakeFiles/quarry_etl.dir/etl/cost_model.cc.o.d"
+  "/root/repo/src/etl/equivalence.cc" "src/CMakeFiles/quarry_etl.dir/etl/equivalence.cc.o" "gcc" "src/CMakeFiles/quarry_etl.dir/etl/equivalence.cc.o.d"
+  "/root/repo/src/etl/exec/executor.cc" "src/CMakeFiles/quarry_etl.dir/etl/exec/executor.cc.o" "gcc" "src/CMakeFiles/quarry_etl.dir/etl/exec/executor.cc.o.d"
+  "/root/repo/src/etl/expr.cc" "src/CMakeFiles/quarry_etl.dir/etl/expr.cc.o" "gcc" "src/CMakeFiles/quarry_etl.dir/etl/expr.cc.o.d"
+  "/root/repo/src/etl/flow.cc" "src/CMakeFiles/quarry_etl.dir/etl/flow.cc.o" "gcc" "src/CMakeFiles/quarry_etl.dir/etl/flow.cc.o.d"
+  "/root/repo/src/etl/schema_inference.cc" "src/CMakeFiles/quarry_etl.dir/etl/schema_inference.cc.o" "gcc" "src/CMakeFiles/quarry_etl.dir/etl/schema_inference.cc.o.d"
+  "/root/repo/src/etl/xlm.cc" "src/CMakeFiles/quarry_etl.dir/etl/xlm.cc.o" "gcc" "src/CMakeFiles/quarry_etl.dir/etl/xlm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quarry_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

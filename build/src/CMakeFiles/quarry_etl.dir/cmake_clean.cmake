@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_etl.dir/etl/cost_model.cc.o"
+  "CMakeFiles/quarry_etl.dir/etl/cost_model.cc.o.d"
+  "CMakeFiles/quarry_etl.dir/etl/equivalence.cc.o"
+  "CMakeFiles/quarry_etl.dir/etl/equivalence.cc.o.d"
+  "CMakeFiles/quarry_etl.dir/etl/exec/executor.cc.o"
+  "CMakeFiles/quarry_etl.dir/etl/exec/executor.cc.o.d"
+  "CMakeFiles/quarry_etl.dir/etl/expr.cc.o"
+  "CMakeFiles/quarry_etl.dir/etl/expr.cc.o.d"
+  "CMakeFiles/quarry_etl.dir/etl/flow.cc.o"
+  "CMakeFiles/quarry_etl.dir/etl/flow.cc.o.d"
+  "CMakeFiles/quarry_etl.dir/etl/schema_inference.cc.o"
+  "CMakeFiles/quarry_etl.dir/etl/schema_inference.cc.o.d"
+  "CMakeFiles/quarry_etl.dir/etl/xlm.cc.o"
+  "CMakeFiles/quarry_etl.dir/etl/xlm.cc.o.d"
+  "libquarry_etl.a"
+  "libquarry_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_integrator.dir/integrator/design_integrator.cc.o"
+  "CMakeFiles/quarry_integrator.dir/integrator/design_integrator.cc.o.d"
+  "CMakeFiles/quarry_integrator.dir/integrator/etl_integrator.cc.o"
+  "CMakeFiles/quarry_integrator.dir/integrator/etl_integrator.cc.o.d"
+  "CMakeFiles/quarry_integrator.dir/integrator/md_integrator.cc.o"
+  "CMakeFiles/quarry_integrator.dir/integrator/md_integrator.cc.o.d"
+  "CMakeFiles/quarry_integrator.dir/integrator/satisfiability.cc.o"
+  "CMakeFiles/quarry_integrator.dir/integrator/satisfiability.cc.o.d"
+  "libquarry_integrator.a"
+  "libquarry_integrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_integrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_interpreter.dir/interpreter/interpreter.cc.o"
+  "CMakeFiles/quarry_interpreter.dir/interpreter/interpreter.cc.o.d"
+  "libquarry_interpreter.a"
+  "libquarry_interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_json.dir/json/json.cc.o"
+  "CMakeFiles/quarry_json.dir/json/json.cc.o.d"
+  "CMakeFiles/quarry_json.dir/json/xml_json.cc.o"
+  "CMakeFiles/quarry_json.dir/json/xml_json.cc.o.d"
+  "libquarry_json.a"
+  "libquarry_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_mdschema.dir/mdschema/complexity.cc.o"
+  "CMakeFiles/quarry_mdschema.dir/mdschema/complexity.cc.o.d"
+  "CMakeFiles/quarry_mdschema.dir/mdschema/md_schema.cc.o"
+  "CMakeFiles/quarry_mdschema.dir/mdschema/md_schema.cc.o.d"
+  "CMakeFiles/quarry_mdschema.dir/mdschema/validator.cc.o"
+  "CMakeFiles/quarry_mdschema.dir/mdschema/validator.cc.o.d"
+  "libquarry_mdschema.a"
+  "libquarry_mdschema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_mdschema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_olap.dir/olap/cube_query.cc.o"
+  "CMakeFiles/quarry_olap.dir/olap/cube_query.cc.o.d"
+  "libquarry_olap.a"
+  "libquarry_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_ontology.dir/ontology/mapping.cc.o"
+  "CMakeFiles/quarry_ontology.dir/ontology/mapping.cc.o.d"
+  "CMakeFiles/quarry_ontology.dir/ontology/ontology.cc.o"
+  "CMakeFiles/quarry_ontology.dir/ontology/ontology.cc.o.d"
+  "CMakeFiles/quarry_ontology.dir/ontology/tpch_ontology.cc.o"
+  "CMakeFiles/quarry_ontology.dir/ontology/tpch_ontology.cc.o.d"
+  "libquarry_ontology.a"
+  "libquarry_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

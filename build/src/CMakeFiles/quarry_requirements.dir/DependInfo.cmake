@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/requirements/elicitor.cc" "src/CMakeFiles/quarry_requirements.dir/requirements/elicitor.cc.o" "gcc" "src/CMakeFiles/quarry_requirements.dir/requirements/elicitor.cc.o.d"
+  "/root/repo/src/requirements/query_parser.cc" "src/CMakeFiles/quarry_requirements.dir/requirements/query_parser.cc.o" "gcc" "src/CMakeFiles/quarry_requirements.dir/requirements/query_parser.cc.o.d"
+  "/root/repo/src/requirements/requirement.cc" "src/CMakeFiles/quarry_requirements.dir/requirements/requirement.cc.o" "gcc" "src/CMakeFiles/quarry_requirements.dir/requirements/requirement.cc.o.d"
+  "/root/repo/src/requirements/workload.cc" "src/CMakeFiles/quarry_requirements.dir/requirements/workload.cc.o" "gcc" "src/CMakeFiles/quarry_requirements.dir/requirements/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quarry_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_mdschema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_etl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_requirements.dir/requirements/elicitor.cc.o"
+  "CMakeFiles/quarry_requirements.dir/requirements/elicitor.cc.o.d"
+  "CMakeFiles/quarry_requirements.dir/requirements/query_parser.cc.o"
+  "CMakeFiles/quarry_requirements.dir/requirements/query_parser.cc.o.d"
+  "CMakeFiles/quarry_requirements.dir/requirements/requirement.cc.o"
+  "CMakeFiles/quarry_requirements.dir/requirements/requirement.cc.o.d"
+  "CMakeFiles/quarry_requirements.dir/requirements/workload.cc.o"
+  "CMakeFiles/quarry_requirements.dir/requirements/workload.cc.o.d"
+  "libquarry_requirements.a"
+  "libquarry_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

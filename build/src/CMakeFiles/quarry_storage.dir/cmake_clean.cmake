@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_storage.dir/storage/csv.cc.o"
+  "CMakeFiles/quarry_storage.dir/storage/csv.cc.o.d"
+  "CMakeFiles/quarry_storage.dir/storage/database.cc.o"
+  "CMakeFiles/quarry_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/quarry_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/quarry_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/quarry_storage.dir/storage/sql.cc.o"
+  "CMakeFiles/quarry_storage.dir/storage/sql.cc.o.d"
+  "CMakeFiles/quarry_storage.dir/storage/table.cc.o"
+  "CMakeFiles/quarry_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/quarry_storage.dir/storage/value.cc.o"
+  "CMakeFiles/quarry_storage.dir/storage/value.cc.o.d"
+  "libquarry_storage.a"
+  "libquarry_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquarry_storage.a"
+)

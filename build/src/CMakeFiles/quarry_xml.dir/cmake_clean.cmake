@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarry_xml.dir/xml/xml.cc.o"
+  "CMakeFiles/quarry_xml.dir/xml/xml.cc.o.d"
+  "libquarry_xml.a"
+  "libquarry_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarry_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

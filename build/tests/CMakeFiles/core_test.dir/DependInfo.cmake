@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quarry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_deployer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_integrator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_interpreter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_requirements.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_docstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_etl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_mdschema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quarry_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

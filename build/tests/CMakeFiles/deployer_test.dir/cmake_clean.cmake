@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployer_test.dir/deployer_test.cc.o"
+  "CMakeFiles/deployer_test.dir/deployer_test.cc.o.d"
+  "deployer_test"
+  "deployer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etl_exec_test.dir/etl_exec_test.cc.o"
+  "CMakeFiles/etl_exec_test.dir/etl_exec_test.cc.o.d"
+  "etl_exec_test"
+  "etl_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etl_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

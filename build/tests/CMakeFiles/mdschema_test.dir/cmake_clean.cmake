@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdschema_test.dir/mdschema_test.cc.o"
+  "CMakeFiles/mdschema_test.dir/mdschema_test.cc.o.d"
+  "mdschema_test"
+  "mdschema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdschema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
