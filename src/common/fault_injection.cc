@@ -1,0 +1,93 @@
+#include "common/fault_injection.h"
+
+namespace quarry::fault {
+
+Injector& Injector::Instance() {
+  static Injector* injector = new Injector();
+  return *injector;
+}
+
+void Injector::Enable(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prng_ = Prng(seed);
+  states_.clear();
+  failure_log_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Injector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Injector::Configure(const std::string& site, SiteConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  configs_[site] = config;
+}
+
+void Injector::ClearConfigs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  configs_.clear();
+}
+
+Status Injector::Check(std::string_view site) {
+  if (!enabled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key(site);
+  SiteState& state = states_[key];
+  ++state.hits;
+  auto it = configs_.find(key);
+  if (it == configs_.end()) return Status::OK();
+  const SiteConfig& config = it->second;
+  if (config.max_failures >= 0 && state.failures >= config.max_failures) {
+    return Status::OK();
+  }
+  bool fire = false;
+  if (config.trigger_on_hit > 0 && state.hits == config.trigger_on_hit) {
+    fire = true;
+  }
+  if (config.fail_from_hit > 0 && state.hits >= config.fail_from_hit) {
+    fire = true;
+  }
+  // The draw happens even when a hit trigger already fired so that the
+  // PRNG consumption (and thus the failure sequence of *other* sites) does
+  // not depend on which trigger matched here.
+  if (config.probability > 0.0 && prng_.Chance(config.probability)) {
+    fire = true;
+  }
+  if (!fire) return Status::OK();
+  ++state.failures;
+  failure_log_.push_back(key + "@" + std::to_string(state.hits));
+  return Status::ExecutionError("injected fault at '" + key + "' (hit " +
+                                std::to_string(state.hits) + ")");
+}
+
+std::vector<std::string> Injector::HitSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(states_.size());
+  for (const auto& [site, state] : states_) out.push_back(site);
+  return out;
+}
+
+int64_t Injector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(site);
+  return it == states_.end() ? 0 : it->second.hits;
+}
+
+int64_t Injector::FailureCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(site);
+  return it == states_.end() ? 0 : it->second.failures;
+}
+
+std::vector<std::string> Injector::FailureLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failure_log_;
+}
+
+Status Check(std::string_view site) {
+  return Injector::Instance().Check(site);
+}
+
+}  // namespace quarry::fault

@@ -1,0 +1,128 @@
+#ifndef QUARRY_COMMON_FAULT_INJECTION_H_
+#define QUARRY_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/prng.h"
+#include "common/status.h"
+
+namespace quarry::fault {
+
+/// \brief When and how often a fault site fires (see docs/ROBUSTNESS.md).
+///
+/// A site fires when ANY of the enabled triggers matches the current hit:
+///   - `probability`: an independent Bernoulli draw per hit from the
+///     injector's seeded PRNG (deterministic across runs for a fixed seed
+///     and a fixed single-threaded hit sequence);
+///   - `trigger_on_hit`: fires exactly on the Nth hit of the site (1-based)
+///     — the canonical "one transient fault, then healthy" setup;
+///   - `fail_from_hit`: fires on every hit >= N — the canonical
+///     "unrecoverable from this point on" setup (N = 1 kills every hit).
+/// `max_failures` caps the total number of failures a site produces.
+struct SiteConfig {
+  double probability = 0.0;
+  int64_t trigger_on_hit = 0;  ///< 0 disables the exact-hit trigger.
+  int64_t fail_from_hit = 0;   ///< 0 disables the from-hit trigger.
+  int64_t max_failures = -1;   ///< -1 = unlimited.
+};
+
+/// \brief Deterministic, site-named fault injector (process-wide singleton).
+///
+/// Components mark fallible spots with QUARRY_FAULT_POINT("layer.site");
+/// when the injector is disabled (the default, and always in production
+/// paths) the macro is a single relaxed atomic load. Tests and benches
+/// enable it with a seed, configure sites, run a scenario, and read back
+/// the hit/failure bookkeeping. The same seed plus the same site
+/// configuration yields the identical failure sequence on every run — the
+/// fault matrix is a repeatable test surface, not a flaky one.
+///
+/// Thread-safety: Check() takes a lock; the enabled flag is lock-free. The
+/// engine itself is single-threaded today, so determinism of the draw
+/// sequence is guaranteed by construction.
+class Injector {
+ public:
+  /// The process-wide injector used by QUARRY_FAULT_POINT.
+  static Injector& Instance();
+
+  /// Turns injection on, reseeds the PRNG, and clears hit counters and the
+  /// failure log. Site configurations are kept, so calling Enable(seed)
+  /// again replays the exact same failure sequence.
+  void Enable(uint64_t seed);
+
+  /// Turns injection off (fault points become no-ops again). Counters,
+  /// configs and the log are kept for post-mortem inspection.
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Installs (or replaces) the configuration of one site.
+  void Configure(const std::string& site, SiteConfig config);
+
+  /// Drops every site configuration (counters are kept).
+  void ClearConfigs();
+
+  /// Called by QUARRY_FAULT_POINT. Records the hit and returns a non-OK
+  /// ExecutionError when the site's configuration says this hit fails.
+  Status Check(std::string_view site);
+
+  /// Sites hit at least once since the last Enable() — running a scenario
+  /// once with injection enabled and no configs enumerates its fault
+  /// surface (the "registered sites" of the fault matrix).
+  std::vector<std::string> HitSites() const;
+
+  int64_t HitCount(const std::string& site) const;
+  int64_t FailureCount(const std::string& site) const;
+
+  /// Every injected failure in order, as "site@hit" — the determinism
+  /// tests assert two equally-seeded runs produce identical logs.
+  std::vector<std::string> FailureLog() const;
+
+ private:
+  Injector() = default;
+
+  struct SiteState {
+    int64_t hits = 0;
+    int64_t failures = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, SiteConfig> configs_;
+  std::map<std::string, SiteState> states_;
+  Prng prng_{0};
+  std::vector<std::string> failure_log_;
+};
+
+/// Lock-free fast path for QUARRY_FAULT_POINT.
+inline bool Enabled() { return Injector::Instance().enabled(); }
+
+/// Convenience forwarding to the singleton.
+Status Check(std::string_view site);
+
+}  // namespace quarry::fault
+
+/// Marks a named fault site inside a function returning Status or
+/// Result<T>. Disabled injector: one relaxed atomic load. Defining
+/// QUARRY_DISABLE_FAULT_INJECTION compiles every site away entirely.
+#ifdef QUARRY_DISABLE_FAULT_INJECTION
+#define QUARRY_FAULT_POINT(site) \
+  do {                           \
+  } while (false)
+#else
+#define QUARRY_FAULT_POINT(site)                                \
+  do {                                                          \
+    if (::quarry::fault::Enabled()) {                           \
+      ::quarry::Status _quarry_fault =                          \
+          ::quarry::fault::Check(site);                         \
+      if (!_quarry_fault.ok()) return _quarry_fault;            \
+    }                                                           \
+  } while (false)
+#endif
+
+#endif  // QUARRY_COMMON_FAULT_INJECTION_H_

@@ -148,6 +148,18 @@ Result<deployer::DeploymentReport> Quarry::Deploy(storage::Database* target) {
                     config_.database_name);
 }
 
+Result<deployer::DeploymentOutcome> Quarry::DeployResilient(
+    storage::Database* target, deployer::DeployOptions options) {
+  if (target == nullptr) {
+    return Status::InvalidArgument("target database is null");
+  }
+  options.database_name = config_.database_name;
+  options.metadata = &repository_.store();
+  deployer::Deployer dep(source_, target);
+  return dep.DeployTransactional(design_->schema(), design_->flow(),
+                                 *mapping_, options);
+}
+
 Result<etl::ExecutionReport> Quarry::Refresh(storage::Database* target) {
   if (target == nullptr) {
     return Status::InvalidArgument("target database is null");

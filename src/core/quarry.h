@@ -81,6 +81,14 @@ class Quarry {
   /// Deploys the unified design into `target`.
   Result<deployer::DeploymentReport> Deploy(storage::Database* target);
 
+  /// Transactional deployment of the unified design into `target`
+  /// (docs/ROBUSTNESS.md): per-node ETL retries, rollback (or best-effort
+  /// partial keep) on failure, and a deployment record in the metadata
+  /// repository. `options.database_name` and `options.metadata` are
+  /// overridden with this instance's configuration and repository store.
+  Result<deployer::DeploymentOutcome> DeployResilient(
+      storage::Database* target, deployer::DeployOptions options = {});
+
   /// Incrementally refreshes an already-deployed `target` with whatever
   /// changed in the source since the last Deploy/Refresh (idempotent
   /// loaders skip known keys).

@@ -1,8 +1,16 @@
 #include "deployer/deployer.h"
 
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <set>
+#include <thread>
+
 #include "deployer/pdi_generator.h"
 #include "deployer/sql_generator.h"
 #include "etl/equivalence.h"
+#include "json/json.h"
 #include "storage/sql.h"
 
 namespace quarry::deployer {
@@ -29,40 +37,217 @@ Result<etl::Flow> OptimizeForExecution(const etl::Flow& flow,
   return optimized;
 }
 
+void BackoffSleep(const etl::RetryPolicy& policy, int failed_attempts,
+                  Prng* prng) {
+  double sleep_ms = etl::RetryBackoffMillis(policy, failed_attempts, prng);
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+}
+
+/// The deployment record written to the metadata store's "deployments"
+/// collection (paper §2.5: the repository tracks every design artifact —
+/// deployments included, so evolution steps can see what is live).
+json::Value DeploymentRecord(const DeployOptions& options,
+                             const std::string& status,
+                             const DeploymentReport& report,
+                             const std::vector<std::string>& kept_tables) {
+  json::Object doc;
+  doc.emplace_back("_id", json::Value(options.deployment_id));
+  doc.emplace_back("status", json::Value(status));
+  doc.emplace_back("database", json::Value(options.database_name));
+  doc.emplace_back("tables_created",
+                   json::Value(static_cast<int64_t>(report.tables_created)));
+  json::Object rows;
+  for (const auto& [table, n] : report.etl.loaded) {
+    rows.emplace_back(table, json::Value(n));
+  }
+  doc.emplace_back("rows_loaded", json::Value(std::move(rows)));
+  doc.emplace_back("recovered", json::Value(report.etl.recovered));
+  if (!kept_tables.empty()) {
+    json::Array kept;
+    for (const std::string& t : kept_tables) kept.push_back(json::Value(t));
+    doc.emplace_back("kept_tables", json::Value(std::move(kept)));
+  }
+  return json::Value(std::move(doc));
+}
+
 }  // namespace
 
 Result<DeploymentReport> Deployer::Deploy(
     const md::MdSchema& schema, const etl::Flow& flow,
     const ontology::SourceMapping& mapping,
     const std::string& database_name) {
-  DeploymentReport report;
+  DeployOptions options;
+  options.database_name = database_name;
   QUARRY_ASSIGN_OR_RETURN(
-      report.ddl, GenerateSql(schema, mapping, *source_, database_name));
-  report.pdi_ktr = GeneratePdiText(flow, database_name);
+      DeploymentOutcome outcome,
+      DeployTransactional(schema, flow, mapping, options));
+  if (!outcome.success) {
+    const DeploymentFailure& failure = *outcome.failure;
+    return failure.cause.WithContext("deployment stage '" + failure.stage +
+                                     "'");
+  }
+  return std::move(outcome.report);
+}
 
-  QUARRY_ASSIGN_OR_RETURN(auto sql_report,
-                          storage::ExecuteSql(target_, report.ddl));
-  report.tables_created = sql_report.tables_created;
+Result<DeploymentOutcome> Deployer::DeployTransactional(
+    const md::MdSchema& schema, const etl::Flow& flow,
+    const ontology::SourceMapping& mapping, const DeployOptions& options) {
+  DeploymentOutcome outcome;
+  DeploymentReport& report = outcome.report;
+  const int max_attempts = std::max(1, options.retry.max_attempts);
+  // Distinct jitter stream from the executor's so deploy-level retries do
+  // not perturb the per-node backoff sequence.
+  Prng backoff_prng(options.retry.jitter_seed ^ 0xD3B07384D113EDECULL);
 
-  QUARRY_ASSIGN_OR_RETURN(etl::Flow optimized,
-                          OptimizeForExecution(flow, *source_));
+  // Pre-deploy snapshots: any mid-deploy failure restores both stores
+  // byte-identically (docs/ROBUSTNESS.md).
+  std::unique_ptr<storage::Database> db_snapshot = target_->Clone();
+  std::optional<docstore::DocumentStore> meta_snapshot;
+  if (options.metadata != nullptr) {
+    meta_snapshot = options.metadata->Clone();
+  }
+
+  auto roll_back = [&]() {
+    target_->RestoreFrom(*db_snapshot);
+    if (options.metadata != nullptr) {
+      options.metadata->RestoreFrom(*meta_snapshot);
+    }
+  };
+  auto fail = [&](std::string stage, Status cause) -> DeploymentOutcome {
+    DeploymentFailure failure;
+    failure.stage = std::move(stage);
+    failure.cause = std::move(cause);
+    failure.rolled_back = true;
+    outcome.failure = std::move(failure);
+    outcome.success = false;
+    return std::move(outcome);
+  };
+
+  // Stage 1: generate the executables. Nothing is mutated yet.
+  auto sql = GenerateSql(schema, mapping, *source_, options.database_name);
+  if (!sql.ok()) return fail("generate", sql.status());
+  report.ddl = std::move(*sql);
+  report.pdi_ktr = GeneratePdiText(flow, options.database_name);
+  auto optimized = OptimizeForExecution(flow, *source_);
+  if (!optimized.ok()) return fail("generate", optimized.status());
+
+  // Stage 2: execute the DDL. A failed script leaves earlier statements
+  // applied, so every retry starts from the restored snapshot.
+  Status ddl_status;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    auto sql_report = storage::ExecuteSql(target_, report.ddl);
+    if (sql_report.ok()) {
+      report.tables_created = sql_report->tables_created;
+      ddl_status = Status::OK();
+      break;
+    }
+    ddl_status = sql_report.status();
+    target_->RestoreFrom(*db_snapshot);
+    if (attempt < max_attempts) {
+      BackoffSleep(options.retry, attempt, &backoff_prng);
+    }
+  }
+  if (!ddl_status.ok()) {
+    roll_back();
+    return fail("ddl", ddl_status);
+  }
+
+  // Stage 3: run the unified ETL flow with per-node retries and a
+  // checkpoint, so the failure report can say how far the load got.
   etl::Executor executor(source_, target_);
-  QUARRY_ASSIGN_OR_RETURN(report.etl, executor.Run(optimized));
+  etl::Checkpoint checkpoint;
+  auto etl_report = executor.Run(*optimized, options.retry, &checkpoint);
+  if (!etl_report.ok()) {
+    if (options.best_effort) {
+      // Keep only tables whose every loader completed; restore the rest.
+      std::set<std::string> keep;
+      for (const auto& [table, n] : checkpoint.loaded) keep.insert(table);
+      std::set<std::string> completed(checkpoint.completed.begin(),
+                                      checkpoint.completed.end());
+      for (const auto& [id, node] : optimized->nodes()) {
+        if (node.type != etl::OpType::kLoader || completed.count(id) > 0) {
+          continue;
+        }
+        auto it = node.params.find("table");
+        if (it != node.params.end()) keep.erase(it->second);
+      }
+      for (const std::string& name : target_->TableNames()) {
+        if (keep.count(name) > 0) continue;
+        if (db_snapshot->HasTable(name)) {
+          target_->RestoreTable((*db_snapshot->GetTable(name))->Clone());
+        } else {
+          target_->EraseTable(name);
+        }
+      }
+      DeploymentFailure failure;
+      failure.stage = "etl";
+      failure.failed_node = checkpoint.failed_node;
+      failure.rows_loaded = checkpoint.loaded;
+      failure.cause = etl_report.status();
+      failure.rolled_back = keep.empty();
+      failure.kept_tables.assign(keep.begin(), keep.end());
+      outcome.partial = !keep.empty();
+      outcome.failure = std::move(failure);
+      if (options.metadata != nullptr && outcome.partial) {
+        // Best effort all the way down: a failed record write is ignored.
+        (void)options.metadata->GetOrCreate("deployments")
+            ->Upsert(options.deployment_id,
+                     DeploymentRecord(options, "partial", report,
+                                      outcome.failure->kept_tables));
+      }
+      return std::move(outcome);
+    }
+    roll_back();
+    DeploymentOutcome failed =
+        fail("etl", etl_report.status());
+    failed.failure->failed_node = checkpoint.failed_node;
+    failed.failure->rows_loaded = checkpoint.loaded;
+    return failed;
+  }
+  report.etl = std::move(*etl_report);
 
+  // Stage 4: verify referential integrity. Broken data is never kept, not
+  // even in best-effort mode.
   Status integrity = target_->CheckReferentialIntegrity();
   report.referential_integrity_ok = integrity.ok();
   if (!integrity.ok()) {
-    return integrity.WithContext("post-deployment integrity check");
+    roll_back();
+    return fail("integrity",
+                integrity.WithContext("post-deployment integrity check"));
   }
-  return report;
+
+  // Stage 5: record the deployment in the metadata store.
+  if (options.metadata != nullptr) {
+    Status record_status;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      record_status =
+          options.metadata->GetOrCreate("deployments")
+              ->Upsert(options.deployment_id,
+                       DeploymentRecord(options, "complete", report, {}));
+      if (record_status.ok()) break;
+      if (attempt < max_attempts) {
+        BackoffSleep(options.retry, attempt, &backoff_prng);
+      }
+    }
+    if (!record_status.ok()) {
+      roll_back();
+      return fail("metadata", record_status);
+    }
+  }
+  outcome.success = true;
+  return std::move(outcome);
 }
 
-Result<etl::ExecutionReport> Deployer::Refresh(const etl::Flow& flow) {
+Result<etl::ExecutionReport> Deployer::Refresh(const etl::Flow& flow,
+                                               const etl::RetryPolicy& retry) {
   QUARRY_ASSIGN_OR_RETURN(etl::Flow optimized,
                           OptimizeForExecution(flow, *source_));
   etl::Executor executor(source_, target_);
   QUARRY_ASSIGN_OR_RETURN(etl::ExecutionReport report,
-                          executor.Run(optimized));
+                          executor.Run(optimized, retry));
   QUARRY_RETURN_NOT_OK(
       target_->CheckReferentialIntegrity().WithContext("post-refresh "
                                                        "integrity check"));

@@ -1,9 +1,13 @@
 #ifndef QUARRY_DEPLOYER_DEPLOYER_H_
 #define QUARRY_DEPLOYER_DEPLOYER_H_
 
+#include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "docstore/document_store.h"
 #include "etl/exec/executor.h"
 #include "etl/flow.h"
 #include "mdschema/md_schema.h"
@@ -21,11 +25,56 @@ struct DeploymentReport {
   bool referential_integrity_ok = false;
 };
 
+/// \brief Knobs of the transactional deployment path.
+struct DeployOptions {
+  std::string database_name = "demo";
+  /// Applied per ETL node, and as the attempt count for DDL execution and
+  /// the metadata record write.
+  etl::RetryPolicy retry;
+  /// Degraded mode: on an unrecoverable ETL fault, keep the tables whose
+  /// loaders completed (typically the dimensions), roll back only the
+  /// unfinished ones, and mark the deployment "partial" in the metadata
+  /// store instead of rolling everything back.
+  bool best_effort = false;
+  /// Snapshot/rolled back together with the target; receives the
+  /// deployment record in its "deployments" collection. Usually the
+  /// metadata repository's underlying store. May be null.
+  docstore::DocumentStore* metadata = nullptr;
+  /// Id of the deployment record document.
+  std::string deployment_id = "deployment";
+};
+
+/// \brief Structured description of a failed (or degraded) deployment.
+struct DeploymentFailure {
+  std::string stage;        ///< "generate" | "ddl" | "etl" | "integrity" | "metadata"
+  std::string failed_node;  ///< ETL node id (etl stage only).
+  std::map<std::string, int64_t> rows_loaded;  ///< Completed loader progress.
+  bool rolled_back = false;  ///< Target + metadata restored to pre-deploy state.
+  std::vector<std::string> kept_tables;  ///< Best-effort survivors.
+  Status cause;              ///< The underlying error.
+};
+
+/// \brief Result of the transactional deployment path: either a complete
+/// success, or a structured failure that is either fully rolled back or
+/// (best-effort) partially kept.
+struct DeploymentOutcome {
+  bool success = false;
+  bool partial = false;      ///< Best-effort kept some loaded tables.
+  DeploymentReport report;   ///< Valid on success; partially filled otherwise.
+  std::optional<DeploymentFailure> failure;
+};
+
 /// \brief The Design Deployer (paper §2.4): turns the unified design
 /// solutions into executables for the target platforms and performs the
 /// initial deployment — CREATE TABLE script executed on the embedded
 /// relational engine (the PostgreSQL stand-in) and the unified ETL flow run
 /// on the embedded ETL engine (the Pentaho stand-in) to populate it.
+///
+/// Deployment is transactional (docs/ROBUSTNESS.md): the target database
+/// and the metadata store are snapshotted up front; any mid-deploy failure
+/// restores both byte-identically and reports a DeploymentFailure, unless
+/// best-effort mode keeps the fully-loaded tables and marks the deployment
+/// partial.
 class Deployer {
  public:
   /// Both databases must outlive the deployer. `source` holds the
@@ -34,17 +83,28 @@ class Deployer {
       : source_(source), target_(target) {}
 
   /// Generates DDL + ktr, executes the DDL against the target, runs the
-  /// flow to populate it, and verifies referential integrity.
+  /// flow to populate it, and verifies referential integrity. Thin wrapper
+  /// over DeployTransactional: on failure the target is already rolled
+  /// back and the structured failure's cause is returned as the Status.
   Result<DeploymentReport> Deploy(const md::MdSchema& schema,
                                   const etl::Flow& flow,
                                   const ontology::SourceMapping& mapping,
                                   const std::string& database_name = "demo");
 
+  /// The full-control deployment path. Only infrastructure misuse (e.g. a
+  /// cyclic flow) yields a non-OK Result; a deployment that failed and was
+  /// rolled back (or degraded to partial) comes back as an OK Result whose
+  /// outcome carries the DeploymentFailure.
+  Result<DeploymentOutcome> DeployTransactional(
+      const md::MdSchema& schema, const etl::Flow& flow,
+      const ontology::SourceMapping& mapping, const DeployOptions& options);
+
   /// Incremental refresh of an already-deployed warehouse: re-runs the ETL
   /// flow without touching the schema. Keyed loaders skip rows already
   /// present and merge-fill new measure columns, so only source changes
   /// since the last run land in the target. Verifies integrity afterwards.
-  Result<etl::ExecutionReport> Refresh(const etl::Flow& flow);
+  Result<etl::ExecutionReport> Refresh(const etl::Flow& flow,
+                                       const etl::RetryPolicy& retry = {});
 
  private:
   const storage::Database* source_;

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
+
+#include "common/fault_injection.h"
 
 namespace quarry::docstore {
 
 Result<std::string> Collection::Insert(json::Value document) {
+  QUARRY_FAULT_POINT("docstore.collection.insert");
   if (!document.is_object()) {
     return Status::InvalidArgument("documents must be JSON objects");
   }
@@ -35,6 +39,7 @@ Result<json::Value> Collection::Get(const std::string& id) const {
 }
 
 Status Collection::Upsert(const std::string& id, json::Value document) {
+  QUARRY_FAULT_POINT("docstore.collection.upsert");
   if (!document.is_object()) {
     return Status::InvalidArgument("documents must be JSON objects");
   }
@@ -50,6 +55,7 @@ Status Collection::Upsert(const std::string& id, json::Value document) {
 }
 
 Status Collection::Remove(const std::string& id) {
+  QUARRY_FAULT_POINT("docstore.collection.remove");
   if (docs_.erase(id) == 0) {
     return Status::NotFound("document '" + id + "' in collection '" + name_ +
                             "'");
@@ -108,6 +114,7 @@ std::vector<std::string> DocumentStore::CollectionNames() const {
 }
 
 Status DocumentStore::SaveToDirectory(const std::string& dir) const {
+  QUARRY_FAULT_POINT("docstore.save");
   std::error_code ec;
   if (!std::filesystem::is_directory(dir, ec)) {
     return Status::NotFound("directory '" + dir + "'");
@@ -126,6 +133,38 @@ Status DocumentStore::SaveToDirectory(const std::string& dir) const {
     out << json::Write(json::Value(std::move(docs)), /*pretty=*/true);
   }
   return Status::OK();
+}
+
+DocumentStore DocumentStore::Clone() const {
+  DocumentStore copy;
+  for (const auto& [name, collection] : collections_) {
+    copy.collections_.emplace(name,
+                              std::make_unique<Collection>(*collection));
+  }
+  return copy;
+}
+
+void DocumentStore::RestoreFrom(const DocumentStore& snapshot) {
+  collections_.clear();
+  for (const auto& [name, collection] : snapshot.collections_) {
+    collections_.emplace(name, std::make_unique<Collection>(*collection));
+  }
+}
+
+uint64_t DocumentStore::Fingerprint() const {
+  std::hash<std::string> hash;
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  for (const auto& [name, collection] : collections_) {
+    mix(hash(name));
+    for (const std::string& id : collection->Ids()) {
+      mix(hash(id));
+      mix(hash(json::Write(*collection->Get(id))));
+    }
+  }
+  return h;
 }
 
 Result<DocumentStore> DocumentStore::LoadFromDirectory(

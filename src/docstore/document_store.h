@@ -80,6 +80,20 @@ class DocumentStore {
   /// Loads every `*.json` file of `dir` as a collection.
   static Result<DocumentStore> LoadFromDirectory(const std::string& dir);
 
+  // -- recovery support (see docs/ROBUSTNESS.md) ----------------------------
+
+  /// Deep copy of every collection. Transactional deployment snapshots the
+  /// metadata store alongside the target database.
+  DocumentStore Clone() const;
+
+  /// Resets this store to the snapshot's state.
+  void RestoreFrom(const DocumentStore& snapshot);
+
+  /// Deterministic content hash over collection names, document order and
+  /// serialized documents (rollback tests assert the restored store is
+  /// bit-identical to its pre-deploy snapshot).
+  uint64_t Fingerprint() const;
+
  private:
   std::map<std::string, std::unique_ptr<Collection>> collections_;
 };

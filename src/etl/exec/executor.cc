@@ -1,8 +1,14 @@
 #include "etl/exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <thread>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "etl/expr.h"
@@ -217,10 +223,21 @@ Result<DataType> InferColumnType(const Dataset& data, size_t column) {
 
 }  // namespace
 
+double RetryBackoffMillis(const RetryPolicy& policy, int failed_attempts,
+                          Prng* prng) {
+  double exp = policy.base_backoff_millis *
+               std::pow(2.0, std::max(0, failed_attempts - 1));
+  exp = std::min(exp, policy.max_backoff_millis);
+  // Always consume one draw so the jitter sequence stays aligned with the
+  // retry sequence regardless of the base backoff.
+  double u = prng != nullptr ? prng->UniformDouble() : 0.0;
+  return exp * ((1.0 - policy.jitter_fraction) + policy.jitter_fraction * u);
+}
+
 Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
                                   const std::map<std::string, Dataset>& done,
                                   ExecutionReport* report) {
-  (void)report;
+  QUARRY_FAULT_POINT(std::string("etl.exec.") + OpTypeToString(node.type));
   std::vector<std::string> inputs = flow.Predecessors(node.id);
   auto input = [&](size_t i) -> const Dataset& {
     return done.at(inputs[i]);
@@ -459,6 +476,10 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
         QUARRY_RETURN_NOT_OK(table->Insert(std::move(out)));
         ++written;
       }
+      // Mid-write fault site: fires after the rows above landed in the
+      // target, leaving exactly the half-written state the loader snapshot
+      // in RunInternal must roll back before a retry.
+      QUARRY_FAULT_POINT("etl.exec.Loader.write");
       report->loaded[table_name] += written;
       Dataset out;
       out.columns = data.columns;
@@ -469,46 +490,154 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
 }
 
 Result<ExecutionReport> Executor::Run(const Flow& flow) {
+  return RunInternal(flow, RetryPolicy{}, nullptr, /*resume=*/false);
+}
+
+Result<ExecutionReport> Executor::Run(const Flow& flow,
+                                      const RetryPolicy& retry,
+                                      Checkpoint* checkpoint) {
+  return RunInternal(flow, retry, checkpoint, /*resume=*/false);
+}
+
+Result<ExecutionReport> Executor::Resume(const Flow& flow,
+                                         Checkpoint* checkpoint,
+                                         const RetryPolicy& retry) {
+  return RunInternal(flow, retry, checkpoint, /*resume=*/true);
+}
+
+Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
+                                              const RetryPolicy& retry,
+                                              Checkpoint* checkpoint,
+                                              bool resume) {
   QUARRY_ASSIGN_OR_RETURN(auto order, flow.TopologicalOrder());
   ExecutionReport report;
   Timer total;
+  Prng backoff_prng(retry.jitter_seed);
+  const int max_attempts = std::max(1, retry.max_attempts);
+
+  std::set<std::string> completed;
+  std::map<std::string, Dataset> done;
+  bool resumed_any = false;
+  if (resume) {
+    if (checkpoint == nullptr || !checkpoint->valid) {
+      return Status::InvalidArgument("Resume requires a valid checkpoint");
+    }
+    if (checkpoint->flow_name != flow.name()) {
+      return Status::InvalidArgument("checkpoint belongs to flow '" +
+                                     checkpoint->flow_name + "', not '" +
+                                     flow.name() + "'");
+    }
+    completed.insert(checkpoint->completed.begin(),
+                     checkpoint->completed.end());
+    done = std::move(checkpoint->datasets);
+    checkpoint->datasets.clear();
+    report.loaded = checkpoint->loaded;
+    resumed_any = !completed.empty();
+  } else if (checkpoint != nullptr) {
+    *checkpoint = Checkpoint{};
+    checkpoint->flow_name = flow.name();
+  }
+  if (checkpoint != nullptr) {
+    checkpoint->failed_node.clear();
+    checkpoint->valid = true;
+  }
+
   // Reference counts so each materialized dataset is freed as soon as its
   // last consumer has run — integrated flows would otherwise hold every
   // intermediate at once and lose their execution-time advantage to memory
-  // pressure.
+  // pressure. On resume, consumers that already ran don't count.
   std::map<std::string, size_t> remaining_consumers;
   for (const auto& [id, node] : flow.nodes()) {
-    remaining_consumers[id] = flow.Successors(id).size();
+    size_t pending = 0;
+    for (const std::string& succ : flow.Successors(id)) {
+      if (completed.count(succ) == 0) ++pending;
+    }
+    remaining_consumers[id] = pending;
   }
-  std::map<std::string, Dataset> done;
+
   for (const std::string& id : order) {
+    if (completed.count(id) > 0) continue;  // Resumed from checkpoint.
     const Node& node = *flow.GetNode(id).value();
     Timer node_timer;
     int64_t rows_in = 0;
     for (const std::string& pred : flow.Predecessors(id)) {
       rows_in += static_cast<int64_t>(done.at(pred).rows.size());
     }
-    auto result = RunNode(node, flow, done, &report);
-    if (!result.ok()) {
-      return result.status().WithContext("node '" + id + "'");
+
+    // Loader attempts mutate the target; snapshot the table so a failed
+    // attempt rolls back before the retry (or a later Resume). Skipped on
+    // the plain fail-fast path, which stays zero-overhead.
+    const bool protect_loader =
+        node.type == OpType::kLoader &&
+        (max_attempts > 1 || checkpoint != nullptr || fault::Enabled());
+    const std::string loader_table =
+        protect_loader ? Param(node, "table") : std::string();
+
+    int attempts_used = 0;
+    Result<Dataset> result = Status::Internal("node never attempted");
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      attempts_used = attempt;
+      std::unique_ptr<storage::Table> table_snapshot;
+      if (protect_loader && target_->HasTable(loader_table)) {
+        table_snapshot = (*target_->GetTable(loader_table))->Clone();
+      }
+      result = RunNode(node, flow, done, &report);
+      if (result.ok()) break;
+      if (protect_loader && !loader_table.empty()) {
+        if (table_snapshot != nullptr) {
+          target_->RestoreTable(std::move(table_snapshot));
+        } else {
+          target_->EraseTable(loader_table);  // Created by this attempt.
+        }
+      }
+      if (attempt < max_attempts) {
+        double sleep_ms = RetryBackoffMillis(retry, attempt, &backoff_prng);
+        if (sleep_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(sleep_ms));
+        }
+      }
     }
+    if (!result.ok()) {
+      if (checkpoint != nullptr) {
+        checkpoint->failed_node = id;
+        // The run is abandoned, so the live intermediates move into the
+        // checkpoint wholesale — the success path never copies a dataset.
+        checkpoint->datasets = std::move(done);
+      }
+      std::string context = "node '" + id + "' (" +
+                            OpTypeToString(node.type) + ")";
+      if (attempts_used > 1) {
+        context += " after " + std::to_string(attempts_used) + " attempts";
+      }
+      return result.status().WithContext(context);
+    }
+
     NodeStats stats;
     stats.node_id = id;
     stats.type = node.type;
     stats.rows_in = rows_in;
     stats.rows_out = static_cast<int64_t>(result->rows.size());
     stats.millis = node_timer.ElapsedMillis();
+    stats.attempts = attempts_used;
     report.rows_processed += rows_in;
+    report.attempts += attempts_used;
+    if (attempts_used > 1) report.retried_nodes.push_back(id);
     report.nodes.push_back(stats);
+    completed.insert(id);
     for (const std::string& pred : flow.Predecessors(id)) {
       if (--remaining_consumers[pred] == 0) done.erase(pred);
     }
-    if (remaining_consumers[id] == 0) {
-      continue;  // Sink (loader): no one reads its output.
+    if (remaining_consumers[id] > 0) {
+      done.emplace(id, std::move(*result));
     }
-    done.emplace(id, std::move(*result));
+    if (checkpoint != nullptr) {
+      checkpoint->completed.push_back(id);
+      checkpoint->loaded = report.loaded;
+    }
   }
   report.total_millis = total.ElapsedMillis();
+  report.recovered = resumed_any || !report.retried_nodes.empty();
   return report;
 }
 

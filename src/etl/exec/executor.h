@@ -1,10 +1,12 @@
 #ifndef QUARRY_ETL_EXEC_EXECUTOR_H_
 #define QUARRY_ETL_EXEC_EXECUTOR_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/prng.h"
 #include "common/result.h"
 #include "etl/flow.h"
 #include "storage/database.h"
@@ -17,6 +19,45 @@ struct Dataset {
   std::vector<storage::Row> rows;
 };
 
+/// \brief How the executor retries a failed operator (docs/ROBUSTNESS.md).
+///
+/// Backoff before the Nth retry is exponential with deterministic jitter:
+///   exp    = min(base_backoff_millis * 2^(N-1), max_backoff_millis)
+///   sleep  = exp * ((1 - jitter_fraction) + jitter_fraction * U)
+/// where U is a uniform draw from a Prng seeded with `jitter_seed` — the
+/// same policy yields the same sleep sequence on every run. The default
+/// base of 0 disables sleeping entirely (tests and benches retry
+/// instantly).
+struct RetryPolicy {
+  int max_attempts = 1;  ///< 1 = fail fast (no retry).
+  double base_backoff_millis = 0.0;
+  double max_backoff_millis = 64.0;
+  double jitter_fraction = 0.5;  ///< Share of the backoff that jitters.
+  uint64_t jitter_seed = 0x51;
+};
+
+/// Backoff before the retry following `failed_attempts` failures (>= 1),
+/// consuming one draw from `prng`. Exposed for determinism tests.
+double RetryBackoffMillis(const RetryPolicy& policy, int failed_attempts,
+                          Prng* prng);
+
+/// \brief Resumable execution state: everything a re-run needs to continue
+/// from the last completed operator instead of re-running extraction.
+///
+/// `Run` keeps `completed`/`loaded` current as nodes finish; `datasets` is
+/// filled only when a run fails (the abandoned run's live intermediates
+/// move in wholesale), so the success path never copies a dataset and the
+/// checkpoint never holds more intermediates than the executor itself did.
+/// `Resume` picks up from the completed prefix.
+struct Checkpoint {
+  std::string flow_name;
+  std::vector<std::string> completed;      ///< Node ids, in execution order.
+  std::map<std::string, Dataset> datasets; ///< Failure-time intermediates.
+  std::map<std::string, int64_t> loaded;   ///< Rows written by completed loaders.
+  std::string failed_node;                 ///< Set when the producing run failed.
+  bool valid = false;                      ///< A run has populated this.
+};
+
 /// Per-node execution statistics.
 struct NodeStats {
   std::string node_id;
@@ -24,6 +65,7 @@ struct NodeStats {
   int64_t rows_in = 0;
   int64_t rows_out = 0;
   double millis = 0;
+  int attempts = 1;  ///< 1 = first attempt succeeded.
 };
 
 /// \brief Outcome of executing a flow.
@@ -37,6 +79,9 @@ struct ExecutionReport {
   int64_t rows_processed = 0;
   std::vector<NodeStats> nodes;
   std::map<std::string, int64_t> loaded;  ///< target table -> rows written
+  int64_t attempts = 0;  ///< Total operator attempts (>= nodes run).
+  std::vector<std::string> retried_nodes;  ///< Nodes that needed > 1 attempt.
+  bool recovered = false;  ///< Completed only thanks to retries or a resume.
 };
 
 /// \brief Executes logical ETL flows (xLM) — the repo's stand-in for
@@ -51,6 +96,12 @@ struct ExecutionReport {
 /// idempotent and lets several partial loaders of one integrated flow
 /// converge on the same table (e.g. two requirements contributing different
 /// measures of a merged fact).
+///
+/// Resilience: each node runs under the given RetryPolicy. Loader attempts
+/// snapshot their target table first and restore it on failure, so a retry
+/// (or a later Resume) never observes a half-written table. With a
+/// Checkpoint attached, a failed Run leaves enough state behind for
+/// Resume() to continue from the last completed operator.
 class Executor {
  public:
   /// `source` provides Datastore tables; `target` receives Loader output.
@@ -61,7 +112,22 @@ class Executor {
   /// Runs the flow; fails fast on the first operator error.
   Result<ExecutionReport> Run(const Flow& flow);
 
+  /// Runs the flow with per-node retries. When `checkpoint` is non-null it
+  /// is (re)initialized and kept current, so a failed run can be resumed.
+  Result<ExecutionReport> Run(const Flow& flow, const RetryPolicy& retry,
+                              Checkpoint* checkpoint = nullptr);
+
+  /// Continues a failed run from `checkpoint`: completed operators are
+  /// skipped (their checkpointed outputs feed the remaining ones) and the
+  /// checkpoint keeps advancing, so Resume can itself be resumed.
+  Result<ExecutionReport> Resume(const Flow& flow, Checkpoint* checkpoint,
+                                 const RetryPolicy& retry = {});
+
  private:
+  Result<ExecutionReport> RunInternal(const Flow& flow,
+                                      const RetryPolicy& retry,
+                                      Checkpoint* checkpoint, bool resume);
+
   Result<Dataset> RunNode(const Node& node, const Flow& flow,
                           const std::map<std::string, Dataset>& done,
                           ExecutionReport* report);

@@ -1,10 +1,14 @@
 #include "storage/database.h"
 
+#include <functional>
 #include <unordered_map>
+
+#include "common/fault_injection.h"
 
 namespace quarry::storage {
 
 Result<Table*> Database::CreateTable(TableSchema schema) {
+  QUARRY_FAULT_POINT("storage.database.create_table");
   if (tables_.count(schema.name()) > 0) {
     return Status::AlreadyExists("table '" + schema.name() + "'");
   }
@@ -29,6 +33,7 @@ Result<Table*> Database::CreateTable(TableSchema schema) {
 }
 
 Status Database::DropTable(const std::string& name) {
+  QUARRY_FAULT_POINT("storage.database.drop_table");
   if (tables_.erase(name) == 0) {
     return Status::NotFound("table '" + name + "'");
   }
@@ -58,6 +63,35 @@ size_t Database::TotalRows() const {
   size_t total = 0;
   for (const auto& [name, table] : tables_) total += table->num_rows();
   return total;
+}
+
+std::unique_ptr<Database> Database::Clone() const {
+  auto copy = std::make_unique<Database>(name_);
+  for (const auto& [name, table] : tables_) {
+    copy->tables_.emplace(name, table->Clone());
+  }
+  return copy;
+}
+
+void Database::RestoreFrom(const Database& snapshot) {
+  name_ = snapshot.name_;
+  tables_.clear();
+  for (const auto& [name, table] : snapshot.tables_) {
+    tables_.emplace(name, table->Clone());
+  }
+}
+
+void Database::RestoreTable(std::unique_ptr<Table> table) {
+  std::string name = table->name();
+  tables_[std::move(name)] = std::move(table);
+}
+
+uint64_t Database::Fingerprint() const {
+  uint64_t h = std::hash<std::string>{}(name_);
+  for (const auto& [name, table] : tables_) {
+    h ^= 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2) + table->Fingerprint();
+  }
+  return h;
 }
 
 Status Database::CheckReferentialIntegrity() const {

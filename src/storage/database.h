@@ -48,6 +48,29 @@ class Database {
   /// exist in the referenced table. Returns the first violation.
   Status CheckReferentialIntegrity() const;
 
+  // -- recovery support (see docs/ROBUSTNESS.md) ----------------------------
+
+  /// Deep copy of the whole catalog (schemas, rows, indexes). Transactional
+  /// deployment snapshots the target before mutating it.
+  std::unique_ptr<Database> Clone() const;
+
+  /// Resets this database to the snapshot's state (name and tables).
+  void RestoreFrom(const Database& snapshot);
+
+  /// Replaces (or inserts) one table wholesale, bypassing FK admission
+  /// checks — only for restoring a Clone()d snapshot of this database.
+  void RestoreTable(std::unique_ptr<Table> table);
+
+  /// Removes a table without status or fault-injection accounting — only
+  /// for recovery paths undoing a partially-applied mutation (a regular
+  /// DropTable could itself draw an injected fault mid-rollback).
+  void EraseTable(const std::string& name) { tables_.erase(name); }
+
+  /// Deterministic content hash over every table's schema and rows. Equal
+  /// state yields equal fingerprints, so rollback tests can assert the
+  /// target is bit-identical to its pre-deploy snapshot.
+  uint64_t Fingerprint() const;
+
  private:
   std::string name_;
   std::map<std::string, std::unique_ptr<Table>> tables_;

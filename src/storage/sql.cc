@@ -3,6 +3,7 @@
 #include <cctype>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 
 namespace quarry::storage {
@@ -200,6 +201,7 @@ class SqlParser {
   }
 
   Status Statement(SqlExecutionReport* report) {
+    QUARRY_FAULT_POINT("storage.sql.statement");
     if (MatchKeyword("CREATE")) {
       if (MatchKeyword("DATABASE")) return CreateDatabase();
       if (MatchKeyword("TABLE")) return CreateTable(report);

@@ -1,9 +1,51 @@
 #include "storage/table.h"
 
+#include <functional>
+
 namespace quarry::storage {
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t MixString(uint64_t h, const std::string& s) {
+  return Mix(h, std::hash<std::string>{}(s));
+}
+
+}  // namespace
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   pk_positions_ = schema_.PrimaryKeyIndexes();
+}
+
+std::unique_ptr<Table> Table::Clone() const {
+  auto copy = std::make_unique<Table>(schema_);
+  copy->rows_ = rows_;
+  copy->indexes_ = indexes_;
+  copy->pk_set_ = pk_set_;
+  copy->pk_positions_ = pk_positions_;
+  return copy;
+}
+
+uint64_t Table::Fingerprint() const {
+  uint64_t h = MixString(1469598103934665603ULL, schema_.name());
+  for (const Column& c : schema_.columns()) {
+    h = MixString(h, c.name);
+    h = Mix(h, static_cast<uint64_t>(c.type));
+    h = Mix(h, c.nullable ? 1 : 0);
+  }
+  for (const std::string& k : schema_.primary_key()) h = MixString(h, k);
+  for (const ForeignKey& fk : schema_.foreign_keys()) {
+    for (const std::string& c : fk.columns) h = MixString(h, c);
+    h = MixString(h, fk.referenced_table);
+    for (const std::string& c : fk.referenced_columns) h = MixString(h, c);
+  }
+  h = Mix(h, rows_.size());
+  for (const Row& row : rows_) h = Mix(h, HashRow(row));
+  return h;
 }
 
 Status Table::ValidateAndCoerce(Row* row) const {

@@ -1,6 +1,7 @@
 #ifndef QUARRY_STORAGE_TABLE_H_
 #define QUARRY_STORAGE_TABLE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,15 @@ class Table {
   Table& operator=(const Table&) = delete;
   Table(Table&&) = default;
   Table& operator=(Table&&) = default;
+
+  /// Deep copy (schema, rows, indexes, PK bookkeeping). Recovery paths
+  /// snapshot a table before a risky mutation and restore it on failure.
+  std::unique_ptr<Table> Clone() const;
+
+  /// Deterministic content hash over schema and rows; equal state yields
+  /// equal fingerprints across runs (used by rollback tests to assert a
+  /// restored table is bit-identical to its snapshot).
+  uint64_t Fingerprint() const;
 
   const TableSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name(); }
