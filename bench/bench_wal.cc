@@ -1,0 +1,159 @@
+// Durability-layer benchmarks (docs/ROBUSTNESS.md §6, BENCH_durability.json):
+// WAL append throughput with and without the per-record fsync, snapshot
+// (checkpoint) cost as the collection grows, and cold-start recovery time as
+// a function of the WAL length replayed over the last snapshot.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/wal.h"
+#include "docstore/document_store.h"
+#include "json/json.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using quarry::docstore::DocumentStore;
+using quarry::docstore::RecoveryStats;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+quarry::json::Value Doc(int64_t n, size_t payload_bytes) {
+  quarry::json::Object doc;
+  doc.emplace_back("n", quarry::json::Value(n));
+  doc.emplace_back("payload",
+                   quarry::json::Value(std::string(payload_bytes, 'x')));
+  return quarry::json::Value(std::move(doc));
+}
+
+/// Append throughput without fsync: the raw framing + write(2) cost.
+void BM_WalAppend(benchmark::State& state) {
+  const size_t payload_size = static_cast<size_t>(state.range(0));
+  std::string dir = FreshDir("quarry_bench_wal_append");
+  auto writer = quarry::wal::Writer::Open(dir + "/bench.log");
+  if (!writer.ok()) std::abort();
+  const std::string payload(payload_size, 'q');
+  for (auto _ : state) {
+    if (!(*writer)->Append(payload).ok()) std::abort();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload_size));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend)->Arg(64)->Arg(1024)->Arg(8192);
+
+/// The durable-acknowledgment path: one Append + one fsync per record, as
+/// every DocumentStore mutation pays it.
+void BM_WalAppendSync(benchmark::State& state) {
+  const size_t payload_size = static_cast<size_t>(state.range(0));
+  std::string dir = FreshDir("quarry_bench_wal_sync");
+  auto writer = quarry::wal::Writer::Open(dir + "/bench.log");
+  if (!writer.ok()) std::abort();
+  const std::string payload(payload_size, 'q');
+  for (auto _ : state) {
+    if (!(*writer)->Append(payload).ok()) std::abort();
+    if (!(*writer)->Sync().ok()) std::abort();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload_size));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppendSync)->Arg(64)->Arg(1024)->Arg(8192);
+
+/// Checkpoint (atomic snapshot + WAL rotation) cost vs collection size.
+void BM_SnapshotCheckpoint(benchmark::State& state) {
+  const int64_t docs = state.range(0);
+  std::string dir = FreshDir("quarry_bench_snapshot");
+  auto store = DocumentStore::Open(dir);
+  if (!store.ok()) std::abort();
+  for (int64_t i = 0; i < docs; ++i) {
+    if (!store->GetOrCreate("bench")
+             ->Upsert("doc-" + std::to_string(i), Doc(i, 128))
+             .ok()) {
+      std::abort();
+    }
+  }
+  for (auto _ : state) {
+    if (!store->SaveToDirectory(dir).ok()) std::abort();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * docs);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotCheckpoint)->Arg(100)->Arg(1000)->Arg(5000);
+
+/// Cold-start recovery: reopen a durable directory whose WAL holds
+/// `range(0)` unsnapshotted mutations; recovery replays them all.
+void BM_ColdStartRecovery(benchmark::State& state) {
+  const int64_t wal_records = state.range(0);
+  std::string dir = FreshDir("quarry_bench_recovery");
+  {
+    auto store = DocumentStore::Open(dir);
+    if (!store.ok()) std::abort();
+    for (int64_t i = 0; i < wal_records; ++i) {
+      if (!store->GetOrCreate("bench")
+               ->Upsert("doc-" + std::to_string(i), Doc(i, 128))
+               .ok()) {
+        std::abort();
+      }
+    }
+  }  // dies without a checkpoint: everything must come back from the WAL
+  RecoveryStats stats;
+  for (auto _ : state) {
+    auto recovered = DocumentStore::LoadFromDirectory(dir, &stats);
+    if (!recovered.ok()) std::abort();
+    if (stats.wal_records_replayed < wal_records) std::abort();
+    benchmark::DoNotOptimize(recovered->Fingerprint());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          stats.wal_records_replayed);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_ColdStartRecovery)->Arg(100)->Arg(1000)->Arg(5000);
+
+/// Recovery from a snapshot (rotated, empty WAL) for the same data volume —
+/// the payoff of checkpointing, compared against BM_ColdStartRecovery.
+void BM_ColdStartFromSnapshot(benchmark::State& state) {
+  const int64_t docs = state.range(0);
+  std::string dir = FreshDir("quarry_bench_recovery_snapshot");
+  {
+    auto store = DocumentStore::Open(dir);
+    if (!store.ok()) std::abort();
+    for (int64_t i = 0; i < docs; ++i) {
+      if (!store->GetOrCreate("bench")
+               ->Upsert("doc-" + std::to_string(i), Doc(i, 128))
+               .ok()) {
+        std::abort();
+      }
+    }
+    if (!store->SaveToDirectory(dir).ok()) std::abort();
+  }
+  RecoveryStats stats;
+  for (auto _ : state) {
+    auto recovered = DocumentStore::LoadFromDirectory(dir, &stats);
+    if (!recovered.ok()) std::abort();
+    if (stats.wal_records_replayed != 0) std::abort();
+    benchmark::DoNotOptimize(recovered->Fingerprint());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * docs);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_ColdStartFromSnapshot)->Arg(100)->Arg(1000)->Arg(5000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Durability layer: WAL append/sync, checkpoint, recovery "
+              "(docs/ROBUSTNESS.md §6)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

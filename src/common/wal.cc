@@ -1,0 +1,276 @@
+#include "common/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/fault_injection.h"
+
+namespace quarry::wal {
+
+namespace {
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256>* table = [] {
+    auto* t = new std::array<uint32_t, 256>();
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      (*t)[i] = c;
+    }
+    return t;
+  }();
+  return *table;
+}
+
+void PutU32(char* out, uint32_t v) {
+  out[0] = static_cast<char>(v & 0xFF);
+  out[1] = static_cast<char>((v >> 8) & 0xFF);
+  out[2] = static_cast<char>((v >> 16) & 0xFF);
+  out[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+uint32_t GetU32(const char* in) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+/// write(2) the whole buffer, retrying short writes and EINTR.
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecutionError("write failed on '" + path +
+                                    "': " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) {
+    return Status::ExecutionError("fsync failed on '" + path +
+                                  "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string FrameRecord(std::string_view payload) {
+  std::string frame(kWalFrameOverhead + payload.size(), '\0');
+  PutU32(frame.data(), static_cast<uint32_t>(payload.size()));
+  PutU32(frame.data() + 4, Crc32(payload.data(), payload.size()));
+  std::memcpy(frame.data() + kWalFrameOverhead, payload.data(),
+              payload.size());
+  return frame;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const auto& table = Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Result<std::unique_ptr<Writer>> Writer::Open(const std::string& path) {
+  QUARRY_FAULT_POINT("wal.open");
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::ExecutionError("cannot open WAL '" + path +
+                                  "': " + std::strerror(errno));
+  }
+  auto writer = std::unique_ptr<Writer>(new Writer(path, fd));
+  char header[kWalHeaderSize];
+  std::memcpy(header, kWalMagic, 4);
+  PutU32(header + 4, kWalVersion);
+  QUARRY_RETURN_NOT_OK(WriteAll(fd, header, kWalHeaderSize, path));
+  QUARRY_RETURN_NOT_OK(FsyncFd(fd, path));
+  return writer;
+}
+
+Writer::~Writer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Writer::Append(std::string_view payload) {
+  if (failed_) {
+    return Status::ExecutionError("WAL '" + path_ +
+                                  "' is fail-stopped after a write error");
+  }
+  QUARRY_FAULT_POINT("wal.append");
+  std::string frame = FrameRecord(payload);
+#ifndef QUARRY_DISABLE_FAULT_INJECTION
+  if (fault::Enabled()) {
+    Status torn = fault::Check("wal.append.torn");
+    if (!torn.ok()) {
+      // Simulate a crash mid-write: a prefix of the frame reaches the file
+      // (flushed, so recovery really sees it), then the process "dies".
+      // The torn tail makes any later frame unreadable, so the writer
+      // fail-stops rather than append acknowledged records behind it.
+      size_t cut = frame.size() / 2;
+      if (cut == 0) cut = 1;
+      (void)WriteAll(fd_, frame.data(), cut, path_);
+      (void)FsyncFd(fd_, path_);
+      bytes_written_ += cut;
+      failed_ = true;
+      return torn;
+    }
+  }
+#endif
+  Status written = WriteAll(fd_, frame.data(), frame.size(), path_);
+  if (!written.ok()) {
+    failed_ = true;  // an unknown prefix of the frame may be on disk
+    return written;
+  }
+  bytes_written_ += frame.size();
+  ++records_appended_;
+  return Status::OK();
+}
+
+Status Writer::Sync() {
+  if (failed_) {
+    return Status::ExecutionError("WAL '" + path_ +
+                                  "' is fail-stopped after a write error");
+  }
+  QUARRY_FAULT_POINT("wal.sync");
+  Status synced = FsyncFd(fd_, path_);
+  // A failed fsync leaves the kernel's view of the file unknowable
+  // (pages may have been dropped), so the log also fail-stops here.
+  if (!synced.ok()) failed_ = true;
+  return synced;
+}
+
+Result<ReadResult> ReadLog(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("WAL '" + path + "': " + std::strerror(errno));
+  }
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::ExecutionError("read failed on '" + path +
+                                    "': " + std::strerror(err));
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  ReadResult out;
+  if (data.size() < kWalHeaderSize) {
+    // A crash during Writer::Open can leave a short header; the log simply
+    // holds no records yet.
+    out.torn_tail = !data.empty();
+    out.tail_bytes_discarded = data.size();
+    return out;
+  }
+  if (std::memcmp(data.data(), kWalMagic, 4) != 0) {
+    return Status::ParseError("'" + path + "' is not a Quarry WAL file");
+  }
+  if (GetU32(data.data() + 4) != kWalVersion) {
+    return Status::ParseError("WAL '" + path + "' has unsupported version " +
+                              std::to_string(GetU32(data.data() + 4)));
+  }
+  size_t pos = kWalHeaderSize;
+  out.valid_bytes = pos;
+  while (pos + kWalFrameOverhead <= data.size()) {
+    uint32_t len = GetU32(data.data() + pos);
+    uint32_t crc = GetU32(data.data() + pos + 4);
+    if (pos + kWalFrameOverhead + len > data.size()) break;  // torn frame
+    const char* payload = data.data() + pos + kWalFrameOverhead;
+    if (Crc32(payload, len) != crc) break;  // torn or corrupt frame
+    out.records.emplace_back(payload, len);
+    pos += kWalFrameOverhead + len;
+    out.valid_bytes = pos;
+  }
+  out.tail_bytes_discarded = data.size() - out.valid_bytes;
+  out.torn_tail = out.tail_bytes_discarded > 0;
+  return out;
+}
+
+Status SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::ExecutionError("cannot open directory '" + dir +
+                                  "': " + std::strerror(errno));
+  }
+  // Some filesystems reject fsync on a directory fd; that is not a
+  // durability bug we can fix, so only real I/O errors surface.
+  int rc = ::fsync(fd);
+  int err = errno;
+  ::close(fd);
+  if (rc != 0 && err != EINVAL && err != EBADF) {
+    return Status::ExecutionError("fsync failed on directory '" + dir +
+                                  "': " + std::strerror(err));
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  QUARRY_FAULT_POINT("wal.file.write");
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::ExecutionError("cannot open '" + tmp +
+                                  "': " + std::strerror(errno));
+  }
+#ifndef QUARRY_DISABLE_FAULT_INJECTION
+  if (fault::Enabled()) {
+    Status torn = fault::Check("wal.file.write.torn");
+    if (!torn.ok()) {
+      // Crash mid-write: a partial tmp file is left behind. It is invisible
+      // under the target name, so recovery ignores it.
+      (void)WriteAll(fd, data.data(), data.size() / 2, tmp);
+      ::close(fd);
+      return torn;
+    }
+  }
+#endif
+  Status write_status = WriteAll(fd, data.data(), data.size(), tmp);
+  if (write_status.ok()) {
+#ifndef QUARRY_DISABLE_FAULT_INJECTION
+    if (fault::Enabled()) {
+      write_status = fault::Check("wal.file.sync");
+    }
+    if (write_status.ok())
+#endif
+      write_status = FsyncFd(fd, tmp);
+  }
+  if (::close(fd) != 0 && write_status.ok()) {
+    write_status = Status::ExecutionError("close failed on '" + tmp +
+                                          "': " + std::strerror(errno));
+  }
+  if (!write_status.ok()) return write_status;
+
+  QUARRY_FAULT_POINT("wal.file.rename");
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::ExecutionError("rename '" + tmp + "' -> '" + path +
+                                  "' failed: " + ec.message());
+  }
+  return SyncDirectory(std::filesystem::path(path).parent_path().string());
+}
+
+}  // namespace quarry::wal

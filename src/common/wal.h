@@ -1,0 +1,111 @@
+#ifndef QUARRY_COMMON_WAL_H_
+#define QUARRY_COMMON_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace quarry::wal {
+
+/// CRC-32 (reflected, polynomial 0xEDB88320 — the zlib/IEEE 802.3 CRC).
+/// Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t size);
+
+/// \brief Write-ahead log file format (docs/ROBUSTNESS.md §6).
+///
+/// A log is an 8-byte header ("QWAL" magic + format version) followed by
+/// length-prefixed, CRC-framed records:
+///
+///   [u32 payload_len | u32 crc32(payload) | payload bytes]   (little-endian)
+///
+/// Appends go to the file in frame order; Sync() is the explicit durability
+/// point (fsync). A crash mid-append leaves a torn final frame that readers
+/// detect via the length prefix / CRC and discard — earlier frames stay
+/// intact because frames are only ever appended.
+constexpr char kWalMagic[4] = {'Q', 'W', 'A', 'L'};
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kWalHeaderSize = 8;
+constexpr size_t kWalFrameOverhead = 8;  ///< length + crc prefix per record.
+
+/// Result of scanning a log file.
+struct ReadResult {
+  std::vector<std::string> records;   ///< Intact payloads, in append order.
+  uint64_t valid_bytes = 0;           ///< Header + intact frames.
+  uint64_t tail_bytes_discarded = 0;  ///< Torn / CRC-failing tail bytes.
+  bool torn_tail = false;             ///< A torn tail was found and dropped.
+};
+
+/// \brief Appends CRC-framed records to a log file.
+///
+/// Open() creates (or truncates) the file and makes the header durable, so
+/// a log referenced by a just-committed snapshot manifest is guaranteed
+/// readable. The writer owns the file descriptor; it is move-only.
+class Writer {
+ public:
+  /// Creates (or truncates) `path` and writes + fsyncs the header.
+  static Result<std::unique_ptr<Writer>> Open(const std::string& path);
+
+  ~Writer();
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Appends one framed record. Does NOT sync — call Sync() to make it
+  /// durable. Fault sites: "wal.append" fails before any byte is written
+  /// (a clean crash); "wal.append.torn" writes a partial frame and then
+  /// fails (a genuine torn write for recovery to discard).
+  ///
+  /// Fail-stop: after a partial write (real or injected) or a failed fsync
+  /// the on-disk tail is in an unknown state, so appending more records
+  /// behind it could make acknowledged data unreadable. The writer
+  /// therefore poisons itself and rejects every further Append/Sync; the
+  /// next successful checkpoint rotates in a fresh log and heals it.
+  Status Append(std::string_view payload);
+
+  /// fsyncs everything appended so far (fault site "wal.sync" fires before
+  /// the fsync — the crash-before-fsync case: the bytes may or may not
+  /// survive, and callers must treat the record as unacknowledged).
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  int64_t records_appended() const { return records_appended_; }
+  bool failed() const { return failed_; }
+
+ private:
+  Writer(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd), bytes_written_(kWalHeaderSize) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t bytes_written_;
+  int64_t records_appended_ = 0;
+  bool failed_ = false;  ///< Tail state unknown; see Append's fail-stop note.
+};
+
+/// Scans a log file, returning every intact record and discarding a torn
+/// or CRC-failing tail (the normal artifact of a crash mid-append). A
+/// missing file is NotFound; a file whose header is complete but wrong
+/// (bad magic / unknown version) is a ParseError — that is corruption, not
+/// a crash artifact. A file shorter than the header reads as an empty log
+/// with a torn tail.
+Result<ReadResult> ReadLog(const std::string& path);
+
+/// Writes `data` to `path` atomically: `<path>.tmp` + fsync + rename +
+/// parent-directory fsync. Readers see either the old file or the complete
+/// new one, never a prefix. Fault sites: "wal.file.write" (crash before
+/// writing), "wal.file.write.torn" (partial tmp write — harmless, the tmp
+/// is never visible under the target name), "wal.file.sync",
+/// "wal.file.rename".
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+/// fsyncs a directory so a rename/creation inside it is durable. Best
+/// effort on filesystems that reject directory fsync.
+Status SyncDirectory(const std::string& dir);
+
+}  // namespace quarry::wal
+
+#endif  // QUARRY_COMMON_WAL_H_

@@ -40,6 +40,10 @@ std::vector<std::string> MetadataRepository::Ids(
   return (*c)->Ids();
 }
 
+Status MetadataRepository::EnableDurability(const std::string& dir) {
+  return store_.EnableDurability(dir).WithContext("metadata repository");
+}
+
 Status MetadataRepository::RegisterExporter(const std::string& name,
                                             Exporter exporter) {
   if (exporters_.count(name) > 0) {

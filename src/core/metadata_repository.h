@@ -70,6 +70,14 @@ class MetadataRepository {
 
   std::vector<std::string> ImporterNames() const;
 
+  /// Makes the repository crash-safe on `dir`: checkpoints the current
+  /// state and routes every subsequent artifact write through a fsynced
+  /// write-ahead log (docs/ROBUSTNESS.md §6).
+  Status EnableDurability(const std::string& dir);
+
+  /// True when artifact writes ride the durable (WAL-backed) path.
+  bool durable() const { return store_.durable(); }
+
   /// Direct access to the underlying document store (persistence, tests).
   docstore::DocumentStore& store() { return store_; }
   const docstore::DocumentStore& store() const { return store_; }

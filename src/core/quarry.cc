@@ -92,6 +92,10 @@ Result<std::unique_ptr<Quarry>> Quarry::Create(
   return quarry;
 }
 
+Status Quarry::EnableDurability(const std::string& dir) {
+  return repository_.EnableDurability(dir);
+}
+
 Status Quarry::RefreshUnifiedArtifacts() {
   QUARRY_RETURN_NOT_OK(repository_.StoreXml("unified_xmd", "unified",
                                             *design_->schema().ToXml()));

@@ -54,6 +54,21 @@ class Quarry {
   MetadataRepository& repository() { return repository_; }
   const MetadataRepository& repository() const { return repository_; }
 
+  /// Makes the metadata repository crash-safe on `dir`
+  /// (docs/ROBUSTNESS.md §6): the current state is checkpointed and every
+  /// subsequent artifact write (AddRequirement, deployment records, ...)
+  /// is WAL-logged with an fsync before it is acknowledged.
+  Status EnableDurability(const std::string& dir);
+
+  /// What startup recovery did when this instance was restored from a
+  /// durable session directory (all-zero for fresh instances).
+  const docstore::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+  void set_recovery_stats(docstore::RecoveryStats stats) {
+    recovery_stats_ = std::move(stats);
+  }
+
   const md::MdSchema& schema() const { return design_->schema(); }
   const etl::Flow& flow() const { return design_->flow(); }
   const std::map<std::string, req::InformationRequirement>& requirements()
@@ -114,6 +129,7 @@ class Quarry {
   std::unique_ptr<interpreter::Interpreter> interpreter_;
   std::unique_ptr<integrator::DesignIntegrator> design_;
   MetadataRepository repository_;
+  docstore::RecoveryStats recovery_stats_;
 };
 
 }  // namespace quarry::core

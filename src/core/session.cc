@@ -40,9 +40,12 @@ Status SaveSession(const Quarry& quarry, const std::string& dir) {
 
 Result<std::unique_ptr<Quarry>> LoadSession(const std::string& dir,
                                             const storage::Database* source,
-                                            QuarryConfig config) {
-  QUARRY_ASSIGN_OR_RETURN(docstore::DocumentStore store,
-                          docstore::DocumentStore::LoadFromDirectory(dir));
+                                            QuarryConfig config,
+                                            docstore::RecoveryStats* stats) {
+  docstore::RecoveryStats recovery;
+  QUARRY_ASSIGN_OR_RETURN(
+      docstore::DocumentStore store,
+      docstore::DocumentStore::LoadFromDirectory(dir, &recovery));
   QUARRY_ASSIGN_OR_RETURN(auto onto_doc, SingleDoc(store, "ontologies"));
   QUARRY_ASSIGN_OR_RETURN(ontology::Ontology onto,
                           ontology::Ontology::FromXml(*onto_doc));
@@ -81,6 +84,17 @@ Result<std::unique_ptr<Quarry>> LoadSession(const std::string& dir,
           dir + "' (source data or code version changed?)");
     }
   }
+  quarry->set_recovery_stats(recovery);
+  if (stats != nullptr) *stats = std::move(recovery);
+  return quarry;
+}
+
+Result<std::unique_ptr<Quarry>> OpenDurableSession(
+    const std::string& dir, const storage::Database* source,
+    QuarryConfig config, docstore::RecoveryStats* stats) {
+  QUARRY_ASSIGN_OR_RETURN(auto quarry,
+                          LoadSession(dir, source, std::move(config), stats));
+  QUARRY_RETURN_NOT_OK(quarry->EnableDurability(dir));
   return quarry;
 }
 

@@ -19,7 +19,8 @@ namespace quarry::core {
 
 /// Dumps the instance's metadata repository (ontology, mappings, xRQ
 /// stream, partial + unified designs) as JSON collections under `dir`
-/// (which must exist).
+/// (which must exist). The snapshot is atomic (docs/ROBUSTNESS.md §6): a
+/// crash mid-save leaves the previous session state fully loadable.
 Status SaveSession(const Quarry& quarry, const std::string& dir);
 
 /// Restores a session saved with SaveSession: re-creates the Quarry over
@@ -27,10 +28,20 @@ Status SaveSession(const Quarry& quarry, const std::string& dir);
 /// re-integrates the stored requirements in their original order. The
 /// resulting unified design is byte-identical to the saved one (the whole
 /// pipeline is deterministic), which Load verifies against the stored
-/// unified xMD.
-Result<std::unique_ptr<Quarry>> LoadSession(const std::string& dir,
-                                            const storage::Database* source,
-                                            QuarryConfig config = {});
+/// unified xMD. Loading performs startup recovery — WAL replay over the
+/// last committed snapshot, torn-tail discard, quarantine of corrupt
+/// collection files — and reports it via `stats` (also surfaced as
+/// Quarry::recovery_stats() on the returned instance).
+Result<std::unique_ptr<Quarry>> LoadSession(
+    const std::string& dir, const storage::Database* source,
+    QuarryConfig config = {}, docstore::RecoveryStats* stats = nullptr);
+
+/// LoadSession + Quarry::EnableDurability(dir): restores the session and
+/// keeps it crash-safe on the same directory, so every subsequent design
+/// step is WAL-logged and the session survives a kill at any point.
+Result<std::unique_ptr<Quarry>> OpenDurableSession(
+    const std::string& dir, const storage::Database* source,
+    QuarryConfig config = {}, docstore::RecoveryStats* stats = nullptr);
 
 }  // namespace quarry::core
 

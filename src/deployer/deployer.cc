@@ -57,6 +57,12 @@ json::Value DeploymentRecord(const DeployOptions& options,
   doc.emplace_back("_id", json::Value(options.deployment_id));
   doc.emplace_back("status", json::Value(status));
   doc.emplace_back("database", json::Value(options.database_name));
+  // Whether this record itself rode the crash-safe (WAL-backed) path —
+  // operators auditing a recovery need to know if the record can be trusted
+  // to have survived a kill (docs/ROBUSTNESS.md §6).
+  doc.emplace_back("metadata_durable",
+                   json::Value(options.metadata != nullptr &&
+                               options.metadata->durable()));
   doc.emplace_back("tables_created",
                    json::Value(static_cast<int64_t>(report.tables_created)));
   json::Object rows;

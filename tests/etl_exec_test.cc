@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <vector>
 
 #include "datagen/tpch.h"
 #include "etl/cost_model.h"
@@ -645,6 +647,59 @@ TEST(EquivalenceTest, PushSkippedWhenJoinHasOtherConsumers) {
   auto pushed = PushSelectionDown(&flow, ColumnsOf(src));
   ASSERT_TRUE(pushed.ok()) << pushed.status();
   EXPECT_FALSE(*pushed);
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff determinism (docs/ROBUSTNESS.md: retries must be replayable).
+
+TEST(RetryBackoffTest, SameSeedYieldsTheIdenticalDelaySequence) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_backoff_millis = 2.0;
+  policy.max_backoff_millis = 50.0;
+  policy.jitter_fraction = 0.4;
+  policy.jitter_seed = 42;
+
+  auto sequence = [&policy]() {
+    Prng prng(policy.jitter_seed);
+    std::vector<double> delays;
+    for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+      delays.push_back(RetryBackoffMillis(policy, attempt, &prng));
+    }
+    return delays;
+  };
+  std::vector<double> first = sequence();
+  ASSERT_EQ(first.size(), 9u);
+  EXPECT_EQ(sequence(), first);  // bitwise-identical replay, not just close
+
+  // A different seed must actually change the jittered delays.
+  policy.jitter_seed = 43;
+  EXPECT_NE(sequence(), first);
+}
+
+TEST(RetryBackoffTest, BoundsHoldThroughMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.base_backoff_millis = 3.0;
+  policy.max_backoff_millis = 48.0;
+  policy.jitter_fraction = 0.5;
+  policy.jitter_seed = 7;
+
+  Prng prng(policy.jitter_seed);
+  double previous_cap = 0.0;
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    double delay = RetryBackoffMillis(policy, attempt, &prng);
+    double cap = std::min(3.0 * std::pow(2.0, attempt - 1), 48.0);
+    EXPECT_GE(delay, (1.0 - policy.jitter_fraction) * cap) << attempt;
+    EXPECT_LE(delay, cap) << attempt;
+    EXPECT_GE(cap, previous_cap);  // schedule never shrinks
+    previous_cap = cap;
+  }
+  // Deep into the schedule the cap has saturated at max_backoff_millis.
+  Prng tail(policy.jitter_seed);
+  for (int attempt = 20; attempt < 24; ++attempt) {
+    EXPECT_LE(RetryBackoffMillis(policy, attempt, &tail), 48.0);
+  }
 }
 
 }  // namespace

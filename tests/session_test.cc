@@ -95,5 +95,31 @@ TEST_F(SessionTest, SessionRoundtripAfterEvolution) {
                              *(*restored)->schema().ToXml()));
 }
 
+TEST_F(SessionTest, DurableSessionSurvivesKillWithoutASave) {
+  // A durable session WAL-logs every design step, so a kill after
+  // EnableDurability loses nothing even though SaveSession never ran again.
+  {
+    auto original = MakeQuarryWithRequirements();
+    ASSERT_TRUE(SaveSession(*original, dir_).ok());
+    ASSERT_TRUE(original->EnableDurability(dir_.string()).ok());
+    ASSERT_TRUE(original
+                    ->AddRequirementFromQuery(
+                        "ANALYZE tax ON Lineitem MEASURE avg_tax = "
+                        "Lineitem.l_tax AVG BY Part.p_brand")
+                    .ok());
+  }  // no SaveSession: the "tax" artifacts exist only in the WAL
+
+  docstore::RecoveryStats stats;
+  auto restored = OpenDurableSession(dir_.string(), &src_, {}, &stats);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ((*restored)->requirements().size(), 3u);
+  EXPECT_TRUE((*restored)->requirements().count("tax") > 0);
+  EXPECT_TRUE(stats.manifest_found);
+  EXPECT_GT(stats.wal_records_replayed, 0);
+  EXPECT_EQ((*restored)->recovery_stats().wal_records_replayed,
+            stats.wal_records_replayed);
+  EXPECT_TRUE((*restored)->repository().store().durable());
+}
+
 }  // namespace
 }  // namespace quarry::core

@@ -1,0 +1,584 @@
+#include "common/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "docstore/document_store.h"
+#include "json/json.h"
+
+namespace quarry {
+namespace {
+
+namespace fs = std::filesystem;
+
+using fault::Injector;
+using fault::SiteConfig;
+
+std::string TempDir(const std::string& name) {
+  std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void AppendRawBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << bytes;
+}
+
+json::Value Doc(const std::string& kind, int64_t n) {
+  json::Object doc;
+  doc.emplace_back("kind", json::Value(kind));
+  doc.emplace_back("n", json::Value(n));
+  return json::Value(std::move(doc));
+}
+
+class WalCrashTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Injector::Instance().Disable();
+    Injector::Instance().ClearConfigs();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// WAL file format.
+
+TEST_F(WalCrashTest, Crc32MatchesTheIeeeCheckValue) {
+  EXPECT_EQ(wal::Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(wal::Crc32("", 0), 0u);
+  // Sensitivity: one flipped bit changes the checksum.
+  EXPECT_NE(wal::Crc32("123456788", 9), 0xCBF43926u);
+}
+
+TEST_F(WalCrashTest, WriterRoundtripsRecordsIncludingBinaryPayloads) {
+  std::string dir = TempDir("quarry_wal_roundtrip");
+  std::string path = dir + "/test.log";
+  std::vector<std::string> payloads = {
+      "{\"op\":\"put\"}", "", std::string("bin\0ary\xff\x01", 9),
+      std::string(5000, 'x')};
+  {
+    auto writer = wal::Writer::Open(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const std::string& p : payloads) {
+      ASSERT_TRUE((*writer)->Append(p).ok());
+    }
+    ASSERT_TRUE((*writer)->Sync().ok());
+    EXPECT_EQ((*writer)->records_appended(), 4);
+  }
+  auto log = wal::ReadLog(path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(log->records, payloads);
+  EXPECT_FALSE(log->torn_tail);
+  EXPECT_EQ(log->tail_bytes_discarded, 0u);
+  EXPECT_EQ(log->valid_bytes, fs::file_size(path));
+  fs::remove_all(dir);
+}
+
+TEST_F(WalCrashTest, ReadLogRejectsMissingAndForeignFiles) {
+  std::string dir = TempDir("quarry_wal_badfiles");
+  EXPECT_TRUE(wal::ReadLog(dir + "/absent.log").status().IsNotFound());
+
+  // Wrong magic: corruption, not a crash artifact -> ParseError.
+  AppendRawBytes(dir + "/foreign.log", "NOTAWALFILE.....");
+  EXPECT_TRUE(wal::ReadLog(dir + "/foreign.log").status().IsParseError());
+
+  // A header cut short by a crash during Writer::Open reads as an empty
+  // log with a torn tail, not as an error.
+  AppendRawBytes(dir + "/short.log", "QWA");
+  auto log = wal::ReadLog(dir + "/short.log");
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->records.empty());
+  EXPECT_TRUE(log->torn_tail);
+  EXPECT_EQ(log->tail_bytes_discarded, 3u);
+  fs::remove_all(dir);
+}
+
+TEST_F(WalCrashTest, TornAndCorruptTailsAreDiscardedWithoutLosingRecords) {
+  std::string dir = TempDir("quarry_wal_torn");
+  std::string path = dir + "/test.log";
+  {
+    auto writer = wal::Writer::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("first").ok());
+    ASSERT_TRUE((*writer)->Append("second").ok());
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  const uint64_t intact_size = fs::file_size(path);
+
+  // A torn frame: a length prefix promising more bytes than the file has.
+  AppendRawBytes(path, std::string("\x40\x00\x00\x00????junk", 12));
+  auto log = wal::ReadLog(path);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->records, (std::vector<std::string>{"first", "second"}));
+  EXPECT_TRUE(log->torn_tail);
+  EXPECT_EQ(log->tail_bytes_discarded, 12u);
+  EXPECT_EQ(log->valid_bytes, intact_size);
+
+  // A complete final frame whose payload was bit-flipped: the CRC rejects
+  // it and the two intact records still load.
+  std::string data = ReadWholeFile(path);
+  data.back() ^= 0x01;
+  fs::remove(path);
+  AppendRawBytes(path, data);
+  log = wal::ReadLog(path);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->records, (std::vector<std::string>{"first", "second"}));
+  EXPECT_TRUE(log->torn_tail);
+  fs::remove_all(dir);
+}
+
+TEST_F(WalCrashTest, TornAppendFailStopsTheWriter) {
+  std::string dir = TempDir("quarry_wal_failstop");
+  std::string path = dir + "/test.log";
+  auto writer = wal::Writer::Open(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("acked").ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+
+  Injector::Instance().Configure("wal.append.torn",
+                                 SiteConfig{.trigger_on_hit = 1});
+  Injector::Instance().Enable(3);
+  EXPECT_FALSE((*writer)->Append("torn-record").ok());
+  Injector::Instance().Disable();
+
+  // The tail is in an unknown state: appending more records behind it
+  // would make them unreadable, so the writer refuses.
+  EXPECT_TRUE((*writer)->failed());
+  EXPECT_FALSE((*writer)->Append("after-torn").ok());
+  EXPECT_FALSE((*writer)->Sync().ok());
+
+  // Recovery sees the acknowledged record and discards the torn bytes.
+  auto log = wal::ReadLog(path);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->records, (std::vector<std::string>{"acked"}));
+  EXPECT_TRUE(log->torn_tail);
+  EXPECT_GT(log->tail_bytes_discarded, 0u);
+  fs::remove_all(dir);
+}
+
+TEST_F(WalCrashTest, AtomicWriteFileIsAllOrNothing) {
+  std::string dir = TempDir("quarry_wal_atomic");
+  std::string path = dir + "/data.json";
+  ASSERT_TRUE(wal::AtomicWriteFile(path, "old-content").ok());
+  ASSERT_TRUE(wal::AtomicWriteFile(path, "new-content").ok());
+  EXPECT_EQ(ReadWholeFile(path), "new-content");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  // A crash at any point of the protocol leaves the old file untouched.
+  for (const char* site : {"wal.file.write", "wal.file.write.torn",
+                           "wal.file.sync", "wal.file.rename"}) {
+    Injector::Instance().ClearConfigs();
+    Injector::Instance().Configure(site, SiteConfig{.fail_from_hit = 1});
+    Injector::Instance().Enable(5);
+    EXPECT_FALSE(wal::AtomicWriteFile(path, "never-visible").ok()) << site;
+    Injector::Instance().Disable();
+    EXPECT_EQ(ReadWholeFile(path), "new-content") << site;
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Durable document store: snapshot + WAL + startup recovery.
+
+TEST_F(WalCrashTest, DurableStoreSurvivesReopenViaWalReplay) {
+  std::string dir = TempDir("quarry_durable_roundtrip");
+  uint64_t fingerprint = 0;
+  {
+    auto store = docstore::DocumentStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE(store->durable());
+    ASSERT_TRUE(
+        store->GetOrCreate("xrq")->Upsert("ir1", Doc("xrq", 1)).ok());
+    ASSERT_TRUE(
+        store->GetOrCreate("xrq")->Upsert("ir2", Doc("xrq", 2)).ok());
+    ASSERT_TRUE(
+        store->GetOrCreate("xmd")->Upsert("unified", Doc("xmd", 3)).ok());
+    ASSERT_TRUE(store->GetOrCreate("xrq")->Remove("ir1").ok());
+    fingerprint = store->Fingerprint();
+  }  // no SaveToDirectory: everything must come back from the WAL
+
+  docstore::RecoveryStats stats;
+  auto reopened = docstore::DocumentStore::Open(dir, &stats);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->Fingerprint(), fingerprint);
+  EXPECT_TRUE(stats.manifest_found);
+  EXPECT_GT(stats.wal_records_replayed, 0);
+  EXPECT_FALSE(stats.wal_torn_tail);
+  EXPECT_TRUE(stats.quarantined.empty()) << stats.ToString();
+  EXPECT_NE(stats.ToString().find("wal_replayed="), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST_F(WalCrashTest, CheckpointRotatesTheWalAndRemovesSupersededFiles) {
+  std::string dir = TempDir("quarry_durable_rotate");
+  uint64_t fingerprint = 0;
+  {
+    auto store = docstore::DocumentStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(store->GetOrCreate("xrq")
+                      ->Upsert("ir" + std::to_string(i), Doc("xrq", i))
+                      .ok());
+    }
+    ASSERT_TRUE(store->SaveToDirectory(dir).ok());
+    fingerprint = store->Fingerprint();
+  }
+
+  // The snapshot carries everything; the rotated WAL is empty again.
+  docstore::RecoveryStats stats;
+  auto reopened = docstore::DocumentStore::Open(dir, &stats);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->Fingerprint(), fingerprint);
+  EXPECT_GT(stats.snapshot_files_loaded, 0);
+  EXPECT_EQ(stats.wal_records_replayed, 0);
+
+  // Exactly one generation of artifacts remains on disk.
+  int wal_files = 0, json_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.find("wal.") == 0) ++wal_files;
+    if (name != "MANIFEST.json" && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      ++json_files;
+    }
+  }
+  EXPECT_EQ(wal_files, 1);
+  EXPECT_EQ(json_files, 1);  // one collection, one committed file
+  fs::remove_all(dir);
+}
+
+TEST_F(WalCrashTest, SaveToDirectoryReportsWriteFailures) {
+  std::string dir = TempDir("quarry_save_errors");
+  docstore::DocumentStore store;
+  ASSERT_TRUE(store.GetOrCreate("xrq")->Upsert("ir1", Doc("xrq", 1)).ok());
+
+  // Injected fsync failure (the EIO / full-disk stand-in): the save must
+  // surface a non-OK Status instead of silently succeeding.
+  Injector::Instance().Configure("wal.file.sync",
+                                 SiteConfig{.fail_from_hit = 1});
+  Injector::Instance().Enable(9);
+  Status failed = store.SaveToDirectory(dir);
+  Injector::Instance().Disable();
+  EXPECT_FALSE(failed.ok());
+  EXPECT_NE(failed.ToString().find("xrq"), std::string::npos) << failed;
+
+  // A failed save never commits: the directory still loads as empty.
+  auto loaded = docstore::DocumentStore::LoadFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->CollectionNames().empty());
+  fs::remove_all(dir);
+}
+
+TEST_F(WalCrashTest, LegacyDirectoriesQuarantineCorruptCollections) {
+  // Pre-manifest layout: bare <name>.json files, one of them corrupt. The
+  // load must keep the good collection, set the bad file aside and report
+  // it — one corrupt collection must not take down the repository.
+  std::string dir = TempDir("quarry_legacy_quarantine");
+  AppendRawBytes(dir + "/good.json",
+                 "[{\"_id\": \"a\", \"n\": 1}, {\"_id\": \"b\", \"n\": 2}]");
+  AppendRawBytes(dir + "/bad.json", "{\"truncated\": [1, 2");
+  AppendRawBytes(dir + "/not_an_array.json", "{\"_id\": \"a\"}");
+  AppendRawBytes(dir + "/notes.txt", "ignored");
+
+  docstore::RecoveryStats stats;
+  auto store = docstore::DocumentStore::LoadFromDirectory(dir, &stats);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->CollectionNames(), std::vector<std::string>{"good"});
+  EXPECT_EQ((*store->Get("good"))->size(), 2u);
+  ASSERT_EQ(stats.quarantined.size(), 2u) << stats.ToString();
+  EXPECT_FALSE(stats.manifest_found);
+  // The evidence is kept beside the store for post-mortems.
+  EXPECT_TRUE(fs::exists(dir + "/bad.json.quarantined"));
+  EXPECT_FALSE(fs::exists(dir + "/bad.json"));
+  fs::remove_all(dir);
+}
+
+TEST_F(WalCrashTest, ManifestModeQuarantinesACorruptSnapshotFile) {
+  std::string dir = TempDir("quarry_manifest_quarantine");
+  {
+    auto store = docstore::DocumentStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->GetOrCreate("xrq")->Upsert("ir1", Doc("xrq", 1)).ok());
+    ASSERT_TRUE(store->GetOrCreate("xmd")->Upsert("u", Doc("xmd", 2)).ok());
+    ASSERT_TRUE(store->SaveToDirectory(dir).ok());
+  }
+  // Flip bytes in one committed collection file (disk damage, not a torn
+  // write — AtomicWriteFile rules the latter out).
+  std::string victim;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.find("xrq.") == 0) victim = entry.path().string();
+  }
+  ASSERT_FALSE(victim.empty());
+  fs::remove(victim);
+  AppendRawBytes(victim, "###corrupt###");
+
+  docstore::RecoveryStats stats;
+  auto recovered = docstore::DocumentStore::LoadFromDirectory(dir, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->Get("xmd").ok());
+  EXPECT_FALSE(recovered->Get("xrq").ok());
+  ASSERT_EQ(stats.quarantined.size(), 1u) << stats.ToString();
+  EXPECT_TRUE(fs::exists(victim + ".quarantined"));
+  fs::remove_all(dir);
+}
+
+TEST_F(WalCrashTest, TornFinalWalRecordIsDiscardedOnRecovery) {
+  std::string dir = TempDir("quarry_torn_recovery");
+  uint64_t acked = 0;
+  std::string wal_path;
+  {
+    auto store = docstore::DocumentStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->GetOrCreate("xrq")->Upsert("ir1", Doc("xrq", 1)).ok());
+    ASSERT_TRUE(store->GetOrCreate("xrq")->Upsert("ir2", Doc("xrq", 2)).ok());
+    acked = store->Fingerprint();
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      std::string name = entry.path().filename().string();
+      if (name.find("wal.") == 0) wal_path = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(wal_path.empty());
+  // The crash artifact: half of a frame at the end of the log.
+  AppendRawBytes(wal_path, std::string("\x99\x00\x00\x00\x01\x02half", 10));
+
+  docstore::RecoveryStats stats;
+  auto recovered = docstore::DocumentStore::Open(dir, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->Fingerprint(), acked);
+  EXPECT_TRUE(stats.wal_torn_tail);
+  EXPECT_EQ(stats.wal_tail_bytes_discarded, 10u);
+  EXPECT_EQ(stats.wal_records_replayed, 2 + 1);  // newc + two puts
+  fs::remove_all(dir);
+}
+
+TEST_F(WalCrashTest, RecoveredStoreAssignsFreshAutoIds) {
+  std::string dir = TempDir("quarry_autoid");
+  {
+    auto store = docstore::DocumentStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->GetOrCreate("xrq")->Insert(Doc("xrq", 1)).ok());
+    ASSERT_TRUE(store->GetOrCreate("xrq")->Insert(Doc("xrq", 2)).ok());
+  }
+  auto recovered = docstore::DocumentStore::Open(dir);
+  ASSERT_TRUE(recovered.ok());
+  // The id counter restarted at 1, but Insert must not collide with the
+  // recovered "xrq-1"/"xrq-2".
+  auto id = (*recovered->Get("xrq"))->Insert(Doc("xrq", 3));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ((*recovered->Get("xrq"))->size(), 3u);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// The crash matrix: kill-and-recover at every durability fault site.
+
+/// One step of the canonical metadata workload. `checkpoint` steps only
+/// exist on the durable store (the in-memory shadow has no directory);
+/// `creates` names the collection the op GetOrCreate()s, whose durably
+/// logged "newc" record can survive even when the op itself then fails.
+struct ScenarioOp {
+  std::string desc;
+  bool checkpoint = false;
+  std::string creates;
+  std::function<Status(docstore::DocumentStore*, const std::string&)> run;
+};
+
+std::vector<ScenarioOp> Scenario() {
+  auto put = [](const char* coll, const char* id, int64_t n) {
+    return ScenarioOp{
+        std::string("put ") + coll + "/" + id, false, coll,
+        [coll, id, n](docstore::DocumentStore* s, const std::string&) {
+          return s->GetOrCreate(coll)->Upsert(id, Doc(coll, n));
+        }};
+  };
+  std::vector<ScenarioOp> ops;
+  ops.push_back(put("ontologies", "onto", 1));
+  ops.push_back(put("xrq", "ir1", 2));
+  ops.push_back(put("xrq", "ir2", 3));
+  ops.push_back({"checkpoint-1", true, "",
+                 [](docstore::DocumentStore* s, const std::string& dir) {
+                   return s->SaveToDirectory(dir);
+                 }});
+  ops.push_back(put("deployments", "d1", 4));
+  ops.push_back({"del xrq/ir1", false, "xrq",
+                 [](docstore::DocumentStore* s, const std::string&) {
+                   return s->GetOrCreate("xrq")->Remove("ir1");
+                 }});
+  ops.push_back(put("xrq", "ir3", 5));
+  ops.push_back({"dropc deployments", false, "",
+                 [](docstore::DocumentStore* s, const std::string&) {
+                   return s->Drop("deployments");
+                 }});
+  ops.push_back(put("xrq", "ir2", 6));  // overwrite
+  ops.push_back({"checkpoint-2", true, "",
+                 [](docstore::DocumentStore* s, const std::string& dir) {
+                   return s->SaveToDirectory(dir);
+                 }});
+  ops.push_back(put("audit", "a1", 7));
+  return ops;
+}
+
+/// Kills the workload at the h-th hit of every durability fault site and
+/// asserts the recovered store is byte-identical (Fingerprint) to the
+/// acknowledged state at the crash point, then converges back to the
+/// reference state by re-running the interrupted suffix.
+TEST_F(WalCrashTest, CrashMatrixRecoversAckedStateAtEverySite) {
+  const std::vector<ScenarioOp> ops = Scenario();
+  const std::string dir = TempDir("quarry_crash_matrix");
+
+  // Reference: the workload on a plain in-memory store.
+  uint64_t reference_fp = 0;
+  {
+    docstore::DocumentStore reference;
+    for (const ScenarioOp& op : ops) {
+      if (op.checkpoint) continue;
+      ASSERT_TRUE(op.run(&reference, dir).ok()) << op.desc;
+    }
+    reference_fp = reference.Fingerprint();
+  }
+
+  // Discovery: run the workload once with injection armed but no site
+  // configured; the hit counters enumerate the durability fault surface.
+  std::map<std::string, int64_t> site_hits;
+  {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    auto store = docstore::DocumentStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    Injector::Instance().ClearConfigs();
+    Injector::Instance().Enable(11);
+    for (const ScenarioOp& op : ops) {
+      ASSERT_TRUE(op.run(&*store, dir).ok()) << op.desc;
+    }
+    for (const std::string& site : Injector::Instance().HitSites()) {
+      if (site.rfind("wal.", 0) == 0 || site.rfind("docstore.", 0) == 0) {
+        site_hits[site] = Injector::Instance().HitCount(site);
+      }
+    }
+    Injector::Instance().Disable();
+  }
+  // The surface the acceptance criteria name: append, fsync, torn write,
+  // snapshot rename/commit.
+  ASSERT_TRUE(site_hits.count("wal.append"));
+  ASSERT_TRUE(site_hits.count("wal.append.torn"));
+  ASSERT_TRUE(site_hits.count("wal.sync"));
+  ASSERT_TRUE(site_hits.count("wal.file.rename"));
+  ASSERT_TRUE(site_hits.count("wal.file.sync"));
+  ASSERT_TRUE(site_hits.count("docstore.snapshot.commit"));
+
+  int crashes = 0;
+  for (const auto& [site, hits] : site_hits) {
+    std::vector<int64_t> crash_hits;
+    for (int64_t h = 1; h <= hits && h <= 4; ++h) crash_hits.push_back(h);
+    if (hits > 4) crash_hits.push_back(hits);  // always kill the last hit too
+    for (int64_t h : crash_hits) {
+      SCOPED_TRACE(site + "@" + std::to_string(h));
+      ++crashes;
+      Injector::Instance().Disable();
+      fs::remove_all(dir);
+      fs::create_directories(dir);
+
+      size_t crash_index = ops.size();
+      {
+        auto opened = docstore::DocumentStore::Open(dir);
+        ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+        docstore::DocumentStore store = std::move(*opened);
+        Injector::Instance().ClearConfigs();
+        Injector::Instance().Configure(
+            site, SiteConfig{.trigger_on_hit = h, .max_failures = 1});
+        Injector::Instance().Enable(23);
+        for (size_t i = 0; i < ops.size(); ++i) {
+          if (!ops[i].run(&store, dir).ok()) {
+            // The simulated kill: the process stops here mid-operation.
+            crash_index = i;
+            break;
+          }
+        }
+        Injector::Instance().Disable();
+        EXPECT_GE(Injector::Instance().FailureCount(site), 1)
+            << "fault never fired";
+      }  // the store dies with its WAL unflushed state
+
+      // `shadow` replays exactly the acknowledged operations (injection is
+      // off now, so rebuilding it cannot perturb the crashed run's state).
+      // Anything the store acked must survive the crash; anything it
+      // rejected must not resurrect — with two narrow, principled
+      // exceptions modeled below.
+      docstore::DocumentStore shadow;
+      for (size_t i = 0; i < crash_index; ++i) {
+        if (ops[i].checkpoint) continue;
+        ASSERT_TRUE(ops[i].run(&shadow, dir).ok()) << ops[i].desc;
+      }
+      const uint64_t shadow_fp = shadow.Fingerprint();
+      uint64_t created_fp = shadow_fp;   // + the failed op's empty collection
+      uint64_t inflight_fp = shadow_fp;  // + the failed op applied in full
+      if (crash_index < ops.size() && !ops[crash_index].checkpoint) {
+        if (!ops[crash_index].creates.empty()) {
+          docstore::DocumentStore created = shadow.Clone();
+          created.GetOrCreate(ops[crash_index].creates);
+          created_fp = created.Fingerprint();
+        }
+        docstore::DocumentStore inflight = shadow.Clone();
+        (void)ops[crash_index].run(&inflight, dir);
+        inflight_fp = inflight.Fingerprint();
+      }
+
+      docstore::RecoveryStats stats;
+      auto recovered = docstore::DocumentStore::Open(dir, &stats);
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      EXPECT_TRUE(stats.quarantined.empty()) << stats.ToString();
+      const uint64_t recovered_fp = recovered->Fingerprint();
+      if (recovered_fp != shadow_fp && recovered_fp != created_fp) {
+        // `created_fp`: GetOrCreate durably logged the collection before
+        // the mutation inside the same op failed — the empty collection is
+        // acknowledged state. Beyond that, crash-before-fsync is the one
+        // site where the full record reaches the file but is never
+        // acknowledged: recovery may legitimately see it.
+        EXPECT_EQ(site, "wal.sync");
+        EXPECT_EQ(recovered_fp, inflight_fp);
+      }
+      if (site == "wal.append.torn" && crash_index < ops.size()) {
+        EXPECT_TRUE(stats.wal_torn_tail) << stats.ToString();
+        EXPECT_GT(stats.wal_tail_bytes_discarded, 0u);
+      }
+
+      // Convergence: re-running the interrupted suffix (all ops are
+      // idempotent redo steps) lands on the reference state.
+      for (size_t i = crash_index; i < ops.size(); ++i) {
+        Status status = ops[i].run(&*recovered, dir);
+        EXPECT_TRUE(status.ok() || status.IsNotFound())
+            << ops[i].desc << ": " << status.ToString();
+      }
+      EXPECT_EQ(recovered->Fingerprint(), reference_fp);
+    }
+  }
+  EXPECT_GT(crashes, 25) << "matrix lost coverage";
+
+  // The converged state is itself durable: one more cold start agrees.
+  uint64_t final_fp = 0;
+  {
+    auto final_store = docstore::DocumentStore::Open(dir);
+    ASSERT_TRUE(final_store.ok());
+    final_fp = final_store->Fingerprint();
+  }
+  EXPECT_EQ(final_fp, reference_fp);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace quarry

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the robustness suites — the fault-injection matrix (`-L fault`) and
+# the durability crash matrix (`-L crash`) — in a dedicated ASan-instrumented
+# build, so the QUARRY_SANITIZE wiring is actually exercised and every
+# injected crash/recovery path is checked for memory errors too.
+#
+# Usage: tools/run_crash_matrix.sh [build-dir] [sanitizer]
+#   build-dir  defaults to build-asan (kept separate from the plain build)
+#   sanitizer  defaults to address ('undefined' also works)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+sanitizer="${2:-address}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DQUARRY_SANITIZE="${sanitizer}"
+cmake --build "${build_dir}" -j
+
+# abort_on_error makes an ASan report fail the ctest run instead of only
+# printing; detect_leaks catches WAL fds / buffers dropped on crash paths.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
+
+ctest --test-dir "${build_dir}" -L 'fault|crash' --output-on-failure
