@@ -1,6 +1,30 @@
 #include "common/fault_injection.h"
 
+#include "obs/metrics.h"
+
 namespace quarry::fault {
+
+namespace {
+
+// Check() only reaches these while the injector is enabled (test/matrix
+// runs), so the registry lookup per call is acceptable there.
+void CountHit(const std::string& site) {
+  obs::MetricsRegistry::Instance()
+      .counter("quarry_fault_site_hits_total",
+               "Times execution reached a QUARRY_FAULT_POINT while the "
+               "injector was enabled",
+               {{"site", site}})
+      .Increment();
+}
+
+void CountFailure(const std::string& site) {
+  obs::MetricsRegistry::Instance()
+      .counter("quarry_fault_site_failures_total",
+               "Faults actually injected at a site", {{"site", site}})
+      .Increment();
+}
+
+}  // namespace
 
 Injector& Injector::Instance() {
   static Injector* injector = new Injector();
@@ -35,6 +59,7 @@ Status Injector::Check(std::string_view site) {
   std::string key(site);
   SiteState& state = states_[key];
   ++state.hits;
+  CountHit(key);
   auto it = configs_.find(key);
   if (it == configs_.end()) return Status::OK();
   const SiteConfig& config = it->second;
@@ -56,6 +81,7 @@ Status Injector::Check(std::string_view site) {
   }
   if (!fire) return Status::OK();
   ++state.failures;
+  CountFailure(key);
   failure_log_.push_back(key + "@" + std::to_string(state.hits));
   return Status::ExecutionError("injected fault at '" + key + "' (hit " +
                                 std::to_string(state.hits) + ")");

@@ -9,10 +9,46 @@
 #include <filesystem>
 
 #include "common/fault_injection.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace quarry::wal {
 
 namespace {
+
+// Cached metric instances (docs/OBSERVABILITY.md): the registry hands out
+// process-lifetime pointers, so the lookup cost is paid once.
+obs::Counter& AppendCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Instance().counter(
+      "quarry_wal_appends_total", "Records appended to any WAL");
+  return c;
+}
+
+obs::Counter& AppendBytesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Instance().counter(
+      "quarry_wal_bytes_written_total",
+      "Framed bytes appended to any WAL (payload + frame overhead)");
+  return c;
+}
+
+obs::Counter& SyncCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Instance().counter(
+      "quarry_wal_syncs_total", "Explicit WAL fsync calls");
+  return c;
+}
+
+obs::Histogram& SyncLatency() {
+  static obs::Histogram& h = obs::MetricsRegistry::Instance().histogram(
+      "quarry_wal_sync_micros", "WAL fsync latency in microseconds");
+  return h;
+}
+
+obs::Counter& AtomicWriteCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Instance().counter(
+      "quarry_wal_atomic_writes_total",
+      "AtomicWriteFile commits (snapshot files, manifests)");
+  return c;
+}
 
 const std::array<uint32_t, 256>& Crc32Table() {
   static const std::array<uint32_t, 256>* table = [] {
@@ -140,6 +176,8 @@ Status Writer::Append(std::string_view payload) {
   }
   bytes_written_ += frame.size();
   ++records_appended_;
+  AppendCounter().Increment();
+  AppendBytesCounter().Increment(static_cast<int64_t>(frame.size()));
   return Status::OK();
 }
 
@@ -149,7 +187,10 @@ Status Writer::Sync() {
                                   "' is fail-stopped after a write error");
   }
   QUARRY_FAULT_POINT("wal.sync");
+  Timer sync_timer;
   Status synced = FsyncFd(fd_, path_);
+  SyncLatency().Observe(sync_timer.ElapsedMicros());
+  SyncCounter().Increment();
   // A failed fsync leaves the kernel's view of the file unknowable
   // (pages may have been dropped), so the log also fail-stops here.
   if (!synced.ok()) failed_ = true;
@@ -270,6 +311,7 @@ Status AtomicWriteFile(const std::string& path, std::string_view data) {
     return Status::ExecutionError("rename '" + tmp + "' -> '" + path +
                                   "' failed: " + ec.message());
   }
+  AtomicWriteCounter().Increment();
   return SyncDirectory(std::filesystem::path(path).parent_path().string());
 }
 

@@ -3,6 +3,7 @@
 #include "deployer/pdi_generator.h"
 #include "deployer/sql_generator.h"
 #include "etl/xlm.h"
+#include "obs/trace.h"
 #include "requirements/query_parser.h"
 
 namespace quarry::core {
@@ -106,11 +107,14 @@ Status Quarry::RefreshUnifiedArtifacts() {
 
 Result<integrator::IntegrationOutcome> Quarry::AddRequirement(
     const req::InformationRequirement& ir) {
+  QUARRY_NAMED_SPAN(span, "quarry.add_requirement");
+  QUARRY_SPAN_ATTR(span, "ir_id", ir.id);
   QUARRY_ASSIGN_OR_RETURN(interpreter::PartialDesign partial,
                           interpreter_->Interpret(ir));
   QUARRY_ASSIGN_OR_RETURN(integrator::IntegrationOutcome outcome,
                           design_->AddRequirement(ir, partial));
   // Record every artifact of this step.
+  QUARRY_SPAN("quarry.store_artifacts");
   QUARRY_RETURN_NOT_OK(repository_.StoreXml("xrq", ir.id, *req::ToXrq(ir)));
   QUARRY_RETURN_NOT_OK(
       repository_.StoreXml("partial_xmd", ir.id, *partial.schema.ToXml()));
@@ -168,6 +172,7 @@ Result<etl::ExecutionReport> Quarry::Refresh(storage::Database* target) {
   if (target == nullptr) {
     return Status::InvalidArgument("target database is null");
   }
+  QUARRY_SPAN("quarry.refresh");
   deployer::Deployer dep(source_, target);
   return dep.Refresh(design_->flow());
 }

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "core/metadata_repository.h"
+#include "core/telemetry.h"
 #include "deployer/deployer.h"
 #include "integrator/design_integrator.h"
 #include "interpreter/interpreter.h"
@@ -47,6 +48,12 @@ class Quarry {
   static Result<std::unique_ptr<Quarry>> Create(
       ontology::Ontology onto, ontology::SourceMapping mapping,
       const storage::Database* source, QuarryConfig config = {});
+
+  /// Process-wide tracing + metrics surfaces (docs/OBSERVABILITY.md):
+  /// Quarry::Telemetry().StartTracing() before a run,
+  /// Quarry::Telemetry().WriteTo(dir) to export trace.json / metrics.prom /
+  /// metrics.json afterwards. Static — telemetry spans every instance.
+  static TelemetryHandle Telemetry() { return core::Telemetry(); }
 
   const ontology::Ontology& ontology() const { return *onto_; }
   const ontology::SourceMapping& mapping() const { return *mapping_; }

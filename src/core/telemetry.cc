@@ -1,0 +1,46 @@
+#include "core/telemetry.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace quarry::core {
+
+namespace {
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::ExecutionError("cannot open '" + path + "' for writing");
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) {
+    return Status::ExecutionError("short write on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TelemetryHandle::WriteTo(const std::string& dir) const {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("directory '" + dir + "'");
+  }
+  const std::filesystem::path base(dir);
+  std::string error;
+  if (!tracer.WriteChromeTrace((base / "trace.json").string(), &error)) {
+    return Status::ExecutionError("trace export failed: " + error);
+  }
+  QUARRY_RETURN_NOT_OK(WriteTextFile((base / "metrics.prom").string(),
+                                     metrics.PrometheusText()));
+  return WriteTextFile((base / "metrics.json").string(),
+                       metrics.JsonSnapshot());
+}
+
+TelemetryHandle Telemetry() {
+  return TelemetryHandle{obs::TraceRecorder::Instance(),
+                         obs::MetricsRegistry::Instance()};
+}
+
+}  // namespace quarry::core

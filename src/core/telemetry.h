@@ -1,0 +1,38 @@
+#ifndef QUARRY_CORE_TELEMETRY_H_
+#define QUARRY_CORE_TELEMETRY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace quarry::core {
+
+/// \brief Handle onto the process-wide observability surfaces
+/// (docs/OBSERVABILITY.md), reachable as Quarry::Telemetry().
+///
+/// The underlying recorder and registry are singletons; the handle only
+/// adds the Status-returning export convenience the dependency-free obs
+/// layer cannot offer itself.
+struct TelemetryHandle {
+  obs::TraceRecorder& tracer;
+  obs::MetricsRegistry& metrics;
+
+  /// Starts span recording into a fresh buffer.
+  void StartTracing(size_t capacity = obs::TraceRecorder::kDefaultCapacity) {
+    tracer.Start(capacity);
+  }
+  void StopTracing() { tracer.Stop(); }
+
+  /// Writes `<dir>/trace.json` (Chrome trace_event), `<dir>/metrics.prom`
+  /// (Prometheus text exposition) and `<dir>/metrics.json` (JSON snapshot).
+  /// The directory must exist.
+  Status WriteTo(const std::string& dir) const;
+};
+
+TelemetryHandle Telemetry();
+
+}  // namespace quarry::core
+
+#endif  // QUARRY_CORE_TELEMETRY_H_

@@ -7,15 +7,39 @@
 #include <set>
 #include <thread>
 
+#include "common/timer.h"
 #include "deployer/pdi_generator.h"
 #include "deployer/sql_generator.h"
 #include "etl/equivalence.h"
 #include "json/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/sql.h"
 
 namespace quarry::deployer {
 
 namespace {
+
+obs::Counter& DeployCounter(const char* family, const char* help) {
+  return obs::MetricsRegistry::Instance().counter(family, help);
+}
+
+/// Observes the wall time of one deployment stage into
+/// quarry_deploy_stage_micros{stage=...} when the scope closes — failure
+/// paths included, since a slow failing stage is exactly what an operator
+/// wants to see.
+struct StageScope {
+  explicit StageScope(const char* stage) : stage(stage) {}
+  ~StageScope() {
+    obs::MetricsRegistry::Instance()
+        .histogram("quarry_deploy_stage_micros",
+                   "Wall time per deployment stage in microseconds",
+                   /*bounds=*/{}, {{"stage", stage}})
+        .Observe(timer.ElapsedMicros());
+  }
+  const char* stage;
+  Timer timer;
+};
 
 /// Execution-plan optimization: the logical (xLM) flow is kept as designed;
 /// the deployer prunes dead columns right after each extraction before
@@ -103,6 +127,12 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
     const ontology::SourceMapping& mapping, const DeployOptions& options) {
   DeploymentOutcome outcome;
   DeploymentReport& report = outcome.report;
+  QUARRY_NAMED_SPAN(deploy_span, "deploy");
+  QUARRY_SPAN_ATTR(deploy_span, "database", options.database_name);
+  QUARRY_SPAN_ATTR(deploy_span, "deployment_id", options.deployment_id);
+  DeployCounter("quarry_deploy_attempts_total",
+                "Transactional deployments started")
+      .Increment();
   const int max_attempts = std::max(1, options.retry.max_attempts);
   // Distinct jitter stream from the executor's so deploy-level retries do
   // not perturb the per-node backoff sequence.
@@ -117,6 +147,10 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
   }
 
   auto roll_back = [&]() {
+    QUARRY_SPAN("deploy.rollback");
+    DeployCounter("quarry_deploy_rollbacks_total",
+                  "Deployments rolled back to the pre-deploy snapshot")
+        .Increment();
     target_->RestoreFrom(*db_snapshot);
     if (options.metadata != nullptr) {
       options.metadata->RestoreFrom(*meta_snapshot);
@@ -133,39 +167,53 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
   };
 
   // Stage 1: generate the executables. Nothing is mutated yet.
-  auto sql = GenerateSql(schema, mapping, *source_, options.database_name);
-  if (!sql.ok()) return fail("generate", sql.status());
-  report.ddl = std::move(*sql);
-  report.pdi_ktr = GeneratePdiText(flow, options.database_name);
-  auto optimized = OptimizeForExecution(flow, *source_);
-  if (!optimized.ok()) return fail("generate", optimized.status());
+  Result<etl::Flow> optimized = Status::Internal("not generated");
+  {
+    StageScope stage("generate");
+    QUARRY_SPAN("deploy.generate");
+    auto sql = GenerateSql(schema, mapping, *source_, options.database_name);
+    if (!sql.ok()) return fail("generate", sql.status());
+    report.ddl = std::move(*sql);
+    report.pdi_ktr = GeneratePdiText(flow, options.database_name);
+    optimized = OptimizeForExecution(flow, *source_);
+    if (!optimized.ok()) return fail("generate", optimized.status());
+  }
 
   // Stage 2: execute the DDL. A failed script leaves earlier statements
   // applied, so every retry starts from the restored snapshot.
-  Status ddl_status;
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    auto sql_report = storage::ExecuteSql(target_, report.ddl);
-    if (sql_report.ok()) {
-      report.tables_created = sql_report->tables_created;
-      ddl_status = Status::OK();
-      break;
+  {
+    StageScope stage("ddl");
+    QUARRY_SPAN("deploy.ddl");
+    Status ddl_status;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      auto sql_report = storage::ExecuteSql(target_, report.ddl);
+      if (sql_report.ok()) {
+        report.tables_created = sql_report->tables_created;
+        ddl_status = Status::OK();
+        break;
+      }
+      ddl_status = sql_report.status();
+      target_->RestoreFrom(*db_snapshot);
+      if (attempt < max_attempts) {
+        BackoffSleep(options.retry, attempt, &backoff_prng);
+      }
     }
-    ddl_status = sql_report.status();
-    target_->RestoreFrom(*db_snapshot);
-    if (attempt < max_attempts) {
-      BackoffSleep(options.retry, attempt, &backoff_prng);
+    if (!ddl_status.ok()) {
+      roll_back();
+      return fail("ddl", ddl_status);
     }
-  }
-  if (!ddl_status.ok()) {
-    roll_back();
-    return fail("ddl", ddl_status);
   }
 
   // Stage 3: run the unified ETL flow with per-node retries and a
   // checkpoint, so the failure report can say how far the load got.
   etl::Executor executor(source_, target_);
   etl::Checkpoint checkpoint;
-  auto etl_report = executor.Run(*optimized, options.retry, &checkpoint);
+  Result<etl::ExecutionReport> etl_report = Status::Internal("never ran");
+  {
+    StageScope stage("etl");
+    QUARRY_SPAN("deploy.etl");
+    etl_report = executor.Run(*optimized, options.retry, &checkpoint);
+  }
   if (!etl_report.ok()) {
     if (options.best_effort) {
       // Keep only tables whose every loader completed; restore the rest.
@@ -196,6 +244,11 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
       failure.rolled_back = keep.empty();
       failure.kept_tables.assign(keep.begin(), keep.end());
       outcome.partial = !keep.empty();
+      if (outcome.partial) {
+        DeployCounter("quarry_deploy_partial_total",
+                      "Best-effort deployments that kept a partial result")
+            .Increment();
+      }
       outcome.failure = std::move(failure);
       if (options.metadata != nullptr && outcome.partial) {
         // Best effort all the way down: a failed record write is ignored.
@@ -217,16 +270,22 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
 
   // Stage 4: verify referential integrity. Broken data is never kept, not
   // even in best-effort mode.
-  Status integrity = target_->CheckReferentialIntegrity();
-  report.referential_integrity_ok = integrity.ok();
-  if (!integrity.ok()) {
-    roll_back();
-    return fail("integrity",
-                integrity.WithContext("post-deployment integrity check"));
+  {
+    StageScope stage("integrity");
+    QUARRY_SPAN("deploy.integrity");
+    Status integrity = target_->CheckReferentialIntegrity();
+    report.referential_integrity_ok = integrity.ok();
+    if (!integrity.ok()) {
+      roll_back();
+      return fail("integrity",
+                  integrity.WithContext("post-deployment integrity check"));
+    }
   }
 
   // Stage 5: record the deployment in the metadata store.
   if (options.metadata != nullptr) {
+    StageScope stage("metadata");
+    QUARRY_SPAN("deploy.metadata");
     Status record_status;
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
       record_status =
@@ -243,12 +302,16 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
       return fail("metadata", record_status);
     }
   }
+  DeployCounter("quarry_deploy_success_total",
+                "Deployments that committed all five stages")
+      .Increment();
   outcome.success = true;
   return std::move(outcome);
 }
 
 Result<etl::ExecutionReport> Deployer::Refresh(const etl::Flow& flow,
                                                const etl::RetryPolicy& retry) {
+  QUARRY_SPAN("deploy.refresh");
   QUARRY_ASSIGN_OR_RETURN(etl::Flow optimized,
                           OptimizeForExecution(flow, *source_));
   etl::Executor executor(source_, target_);

@@ -10,6 +10,9 @@
 #include <sstream>
 
 #include "common/fault_injection.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace quarry::docstore {
 
@@ -18,6 +21,14 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr const char* kManifestName = "MANIFEST.json";
+
+void CountMutation(const char* op) {
+  obs::MetricsRegistry::Instance()
+      .counter("quarry_docstore_mutations_total",
+               "Successful document mutations by operation",
+               {{"op", op}})
+      .Increment();
+}
 
 std::string WalFileName(int64_t generation) {
   return "wal." + std::to_string(generation) + ".log";
@@ -249,6 +260,7 @@ Result<std::string> Collection::Insert(json::Value document) {
   QUARRY_RETURN_NOT_OK(LogMutation("put", id, &document));
   docs_.emplace(id, std::move(document));
   order_.push_back(id);
+  CountMutation("insert");
   return id;
 }
 
@@ -275,6 +287,7 @@ Status Collection::Upsert(const std::string& id, json::Value document) {
   } else {
     it->second = std::move(document);
   }
+  CountMutation("upsert");
   return Status::OK();
 }
 
@@ -287,6 +300,7 @@ Status Collection::Remove(const std::string& id) {
   QUARRY_RETURN_NOT_OK(LogMutation("del", id, nullptr));
   docs_.erase(id);
   order_.erase(std::remove(order_.begin(), order_.end(), id), order_.end());
+  CountMutation("remove");
   return Status::OK();
 }
 
@@ -349,6 +363,26 @@ std::vector<std::string> DocumentStore::CollectionNames() const {
 }
 
 Status DocumentStore::SaveToDirectory(const std::string& dir) const {
+  QUARRY_NAMED_SPAN(span, "docstore.checkpoint");
+  QUARRY_SPAN_ATTR(span, "dir", dir);
+  Timer checkpoint_timer;
+  Status result = SaveToDirectoryImpl(dir);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  reg.histogram("quarry_docstore_checkpoint_micros",
+                "Checkpoint (snapshot + WAL rotation) latency in "
+                "microseconds")
+      .Observe(checkpoint_timer.ElapsedMicros());
+  if (result.ok()) {
+    reg.counter("quarry_docstore_checkpoints_total",
+                "Committed document-store checkpoints")
+        .Increment();
+  } else {
+    QUARRY_SPAN_ATTR(span, "error", result.message());
+  }
+  return result;
+}
+
+Status DocumentStore::SaveToDirectoryImpl(const std::string& dir) const {
   QUARRY_FAULT_POINT("docstore.save");
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
@@ -515,12 +549,38 @@ Result<DocumentStore> DocumentStore::LoadFromDirectory(
 
 Result<DocumentStore> DocumentStore::LoadFromDirectory(const std::string& dir,
                                                        RecoveryStats* stats) {
+  QUARRY_NAMED_SPAN(span, "docstore.recover");
+  QUARRY_SPAN_ATTR(span, "dir", dir);
+  Timer recovery_timer;
+  RecoveryStats local;
+  if (stats == nullptr) stats = &local;
+  Result<DocumentStore> result = LoadFromDirectoryImpl(dir, stats);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  reg.counter("quarry_docstore_recoveries_total",
+              "Document-store loads from disk (crash recovery included)")
+      .Increment();
+  reg.histogram("quarry_docstore_recovery_micros",
+                "Document-store recovery latency in microseconds")
+      .Observe(recovery_timer.ElapsedMicros());
+  reg.counter("quarry_docstore_wal_records_replayed_total",
+              "WAL records replayed on top of snapshots during recovery")
+      .Increment(stats->wal_records_replayed);
+  reg.counter("quarry_docstore_files_quarantined_total",
+              "Damaged files quarantined during recovery")
+      .Increment(static_cast<int64_t>(stats->quarantined.size()));
+  QUARRY_SPAN_ATTR(span, "wal_records_replayed",
+                   stats->wal_records_replayed);
+  QUARRY_SPAN_ATTR(span, "snapshot_files_loaded",
+                   stats->snapshot_files_loaded);
+  return result;
+}
+
+Result<DocumentStore> DocumentStore::LoadFromDirectoryImpl(
+    const std::string& dir, RecoveryStats* stats) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
     return Status::NotFound("directory '" + dir + "'");
   }
-  RecoveryStats local;
-  if (stats == nullptr) stats = &local;
   *stats = RecoveryStats{};
   DocumentStore store;
 

@@ -197,6 +197,10 @@ class DocumentStore {
   uint64_t Fingerprint() const;
 
  private:
+  static Result<DocumentStore> LoadFromDirectoryImpl(const std::string& dir,
+                                                     RecoveryStats* stats);
+  Status SaveToDirectoryImpl(const std::string& dir) const;
+
   std::map<std::string, std::unique_ptr<Collection>> collections_;
   /// Shared with every collection; contents are mutated through the
   /// shared_ptr even from const snapshot paths (WAL rotation).

@@ -13,6 +13,8 @@
 #include "common/timer.h"
 #include "etl/expr.h"
 #include "etl/schema_inference.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace quarry::etl {
 
@@ -21,6 +23,60 @@ using storage::Row;
 using storage::Value;
 
 namespace {
+
+// Unlabelled executor totals are cached; per-operator instances go through
+// the registry once per op type (the map behind it is tiny).
+obs::Counter& RowsInCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Instance().counter(
+      "quarry_etl_rows_in_total", "Rows entering ETL operators");
+  return c;
+}
+
+obs::Counter& RowsOutCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Instance().counter(
+      "quarry_etl_rows_out_total", "Rows produced by ETL operators");
+  return c;
+}
+
+obs::Counter& RetryCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Instance().counter(
+      "quarry_etl_node_retries_total",
+      "Extra attempts beyond the first across all ETL nodes");
+  return c;
+}
+
+obs::Counter& RunCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Instance().counter(
+      "quarry_etl_runs_total", "ETL flow executions started");
+  return c;
+}
+
+obs::Counter& RunFailureCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Instance().counter(
+      "quarry_etl_run_failures_total",
+      "ETL flow executions that returned an error");
+  return c;
+}
+
+obs::Counter& ResumeCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Instance().counter(
+      "quarry_etl_resumes_total",
+      "ETL flow executions resumed from a checkpoint");
+  return c;
+}
+
+void CountNodeDone(const Node& node, int64_t rows_out, double micros) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  obs::Labels op_label{{"op", OpTypeToString(node.type)}};
+  reg.counter("quarry_etl_nodes_executed_total",
+              "ETL operator executions by operator type", op_label)
+      .Increment();
+  reg.histogram("quarry_etl_node_micros",
+                "Wall time per ETL operator execution in microseconds",
+                /*bounds=*/{}, op_label)
+      .Observe(micros);
+  RowsOutCounter().Increment(rows_out);
+}
 
 std::vector<std::string> SplitNonEmpty(const std::string& text) {
   std::vector<std::string> out;
@@ -481,6 +537,11 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
       // in RunInternal must roll back before a retry.
       QUARRY_FAULT_POINT("etl.exec.Loader.write");
       report->loaded[table_name] += written;
+      obs::MetricsRegistry::Instance()
+          .counter("quarry_etl_rows_loaded_total",
+                   "Rows written into target tables by loader nodes",
+                   {{"table", table_name}})
+          .Increment(written);
       Dataset out;
       out.columns = data.columns;
       return out;  // Loaders are sinks; emit an empty dataset.
@@ -510,6 +571,17 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
                                               Checkpoint* checkpoint,
                                               bool resume) {
   QUARRY_ASSIGN_OR_RETURN(auto order, flow.TopologicalOrder());
+  QUARRY_NAMED_SPAN(run_span, "etl.run");
+  QUARRY_SPAN_ATTR(run_span, "flow", flow.name());
+  QUARRY_SPAN_ATTR(run_span, "nodes",
+                   static_cast<int64_t>(flow.nodes().size()));
+  RunCounter().Increment();
+  // Touch the failure/retry/resume families so they expose as zeros from
+  // the first run instead of appearing only once something goes wrong.
+  RunFailureCounter();
+  RetryCounter();
+  ResumeCounter();
+  if (resume) ResumeCounter().Increment();
   ExecutionReport report;
   Timer total;
   Prng backoff_prng(retry.jitter_seed);
@@ -558,11 +630,15 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
   for (const std::string& id : order) {
     if (completed.count(id) > 0) continue;  // Resumed from checkpoint.
     const Node& node = *flow.GetNode(id).value();
+    QUARRY_NAMED_SPAN(node_span,
+                      std::string("etl.node.") + OpTypeToString(node.type));
+    QUARRY_SPAN_ATTR(node_span, "node_id", id);
     Timer node_timer;
     int64_t rows_in = 0;
     for (const std::string& pred : flow.Predecessors(id)) {
       rows_in += static_cast<int64_t>(done.at(pred).rows.size());
     }
+    RowsInCounter().Increment(rows_in);
 
     // Loader attempts mutate the target; snapshot the table so a failed
     // attempt rolls back before the retry (or a later Resume). Skipped on
@@ -598,6 +674,7 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
         }
       }
     }
+    if (attempts_used > 1) RetryCounter().Increment(attempts_used - 1);
     if (!result.ok()) {
       if (checkpoint != nullptr) {
         checkpoint->failed_node = id;
@@ -605,6 +682,8 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
         // checkpoint wholesale — the success path never copies a dataset.
         checkpoint->datasets = std::move(done);
       }
+      RunFailureCounter().Increment();
+      QUARRY_SPAN_ATTR(node_span, "error", result.status().message());
       std::string context = "node '" + id + "' (" +
                             OpTypeToString(node.type) + ")";
       if (attempts_used > 1) {
@@ -620,6 +699,10 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
     stats.rows_out = static_cast<int64_t>(result->rows.size());
     stats.millis = node_timer.ElapsedMillis();
     stats.attempts = attempts_used;
+    CountNodeDone(node, stats.rows_out, node_timer.ElapsedMicros());
+    QUARRY_SPAN_ATTR(node_span, "rows_in", rows_in);
+    QUARRY_SPAN_ATTR(node_span, "rows_out", stats.rows_out);
+    QUARRY_SPAN_ATTR(node_span, "attempts", attempts_used);
     report.rows_processed += rows_in;
     report.attempts += attempts_used;
     if (attempts_used > 1) report.retried_nodes.push_back(id);

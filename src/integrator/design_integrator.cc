@@ -1,9 +1,56 @@
 #include "integrator/design_integrator.h"
 
+#include "common/timer.h"
 #include "integrator/satisfiability.h"
 #include "mdschema/validator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace quarry::integrator {
+
+namespace {
+
+/// Publishes the paper's quality factors for the latest integration round
+/// as gauges, plus the running size of the unified design — the numbers a
+/// dashboard wants after every AddRequirement (docs/OBSERVABILITY.md).
+void PublishRoundGauges(const IntegrationOutcome& outcome,
+                        const md::MdSchema& schema, const etl::Flow& flow,
+                        size_t requirements) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  reg.gauge("quarry_integrator_md_complexity",
+            "Structural complexity of the unified MD schema after the "
+            "latest integration round")
+      .Set(outcome.md.complexity_after);
+  reg.gauge("quarry_integrator_md_complexity_naive_union",
+            "Structural complexity a side-by-side union would have had")
+      .Set(outcome.md.complexity_naive_union);
+  reg.gauge("quarry_integrator_etl_cost_unified",
+            "Cost-model estimate of the unified ETL flow")
+      .Set(outcome.etl.cost_unified);
+  reg.gauge("quarry_integrator_etl_cost_separate",
+            "Cost-model estimate of executing the flows separately")
+      .Set(outcome.etl.cost_separate);
+  reg.gauge("quarry_integrator_etl_nodes_reused",
+            "Partial-flow nodes mapped onto existing nodes in the latest "
+            "round")
+      .Set(outcome.etl.nodes_reused);
+  reg.gauge("quarry_integrator_etl_nodes_added",
+            "Partial-flow nodes added to the unified flow in the latest "
+            "round")
+      .Set(outcome.etl.nodes_added);
+  reg.gauge("quarry_design_requirements",
+            "Requirements currently integrated into the unified design")
+      .Set(static_cast<double>(requirements));
+  reg.gauge("quarry_design_flow_nodes", "Nodes in the unified ETL flow")
+      .Set(static_cast<double>(flow.num_nodes()));
+  reg.gauge("quarry_design_facts", "Facts in the unified MD schema")
+      .Set(static_cast<double>(schema.facts().size()));
+  reg.gauge("quarry_design_dimensions",
+            "Dimensions in the unified MD schema")
+      .Set(static_cast<double>(schema.dimensions().size()));
+}
+
+}  // namespace
 
 Result<IntegrationOutcome> DesignIntegrator::AddRequirement(
     const req::InformationRequirement& ir,
@@ -12,11 +59,21 @@ Result<IntegrationOutcome> DesignIntegrator::AddRequirement(
     return Status::AlreadyExists("requirement '" + ir.id +
                                  "' is already integrated");
   }
+  QUARRY_NAMED_SPAN(span, "integrator.add_requirement");
+  QUARRY_SPAN_ATTR(span, "ir_id", ir.id);
+  Timer round_timer;
+  obs::MetricsRegistry::Instance()
+      .counter("quarry_integrator_rounds_total",
+               "Integration rounds attempted (add or change)")
+      .Increment();
   md::MdSchema schema_backup = schema_;
   etl::Flow flow_backup = flow_.Clone();
 
   IntegrationOutcome outcome;
-  auto md_report = md_integrator_.Integrate(&schema_, partial.schema);
+  auto md_report = [&] {
+    QUARRY_SPAN("integrator.md_integrate");
+    return md_integrator_.Integrate(&schema_, partial.schema);
+  }();
   if (!md_report.ok()) {
     schema_ = std::move(schema_backup);
     return md_report.status().WithContext("MD integration of '" + ir.id +
@@ -41,7 +98,10 @@ Result<IntegrationOutcome> DesignIntegrator::AddRequirement(
       table_it->second = mapped->second;
     }
   }
-  auto etl_report = etl_integrator_.Integrate(&flow_, flow_to_integrate);
+  auto etl_report = [&] {
+    QUARRY_SPAN("integrator.etl_integrate");
+    return etl_integrator_.Integrate(&flow_, flow_to_integrate);
+  }();
   if (!etl_report.ok()) {
     schema_ = std::move(schema_backup);
     flow_ = std::move(flow_backup);
@@ -51,7 +111,10 @@ Result<IntegrationOutcome> DesignIntegrator::AddRequirement(
   outcome.etl = std::move(*etl_report);
 
   requirements_.emplace(ir.id, ir);
-  Status verified = VerifyAll();
+  Status verified = [&] {
+    QUARRY_SPAN("integrator.verify_all");
+    return VerifyAll();
+  }();
   if (!verified.ok()) {
     requirements_.erase(ir.id);
     schema_ = std::move(schema_backup);
@@ -59,6 +122,15 @@ Result<IntegrationOutcome> DesignIntegrator::AddRequirement(
     return verified.WithContext("post-integration verification of '" + ir.id +
                                 "'");
   }
+  obs::MetricsRegistry::Instance()
+      .histogram("quarry_integrator_round_micros",
+                 "Wall time of a successful integration round in "
+                 "microseconds")
+      .Observe(round_timer.ElapsedMicros());
+  PublishRoundGauges(outcome, schema_, flow_, requirements_.size());
+  QUARRY_SPAN_ATTR(span, "complexity_after", outcome.md.complexity_after);
+  QUARRY_SPAN_ATTR(span, "nodes_reused",
+                   static_cast<int64_t>(outcome.etl.nodes_reused));
   return outcome;
 }
 

@@ -6,8 +6,11 @@
 #include <vector>
 
 #include "common/str_util.h"
+#include "common/timer.h"
 #include "etl/expr.h"
 #include "mdschema/validator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace quarry::interpreter {
 
@@ -79,6 +82,33 @@ std::string Interpreter::FactTableName(const InformationRequirement& ir) {
 }
 
 Result<PartialDesign> Interpreter::Interpret(
+    const InformationRequirement& ir) const {
+  QUARRY_NAMED_SPAN(span, "interpreter.interpret");
+  QUARRY_SPAN_ATTR(span, "ir_id", ir.id);
+  Timer timer;
+  Result<PartialDesign> result = InterpretImpl(ir);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  reg.counter("quarry_interpreter_requirements_total",
+              "Information requirements handed to the interpreter")
+      .Increment();
+  reg.histogram("quarry_interpreter_micros",
+                "Requirement interpretation latency in microseconds")
+      .Observe(timer.ElapsedMicros());
+  if (!result.ok()) {
+    reg.counter("quarry_interpreter_failures_total",
+                "Requirements the interpreter rejected")
+        .Increment();
+    QUARRY_SPAN_ATTR(span, "error", result.status().message());
+  } else {
+    QUARRY_SPAN_ATTR(span, "flow_nodes",
+                     static_cast<int64_t>(result->flow.nodes().size()));
+    QUARRY_SPAN_ATTR(span, "facts",
+                     static_cast<int64_t>(result->schema.facts().size()));
+  }
+  return result;
+}
+
+Result<PartialDesign> Interpreter::InterpretImpl(
     const InformationRequirement& ir) const {
   if (ir.id.empty()) {
     return Status::InvalidArgument("requirement has no id");

@@ -61,6 +61,9 @@ class Interpreter {
   static std::string FactTableName(const req::InformationRequirement& ir);
 
  private:
+  Result<PartialDesign> InterpretImpl(
+      const req::InformationRequirement& ir) const;
+
   const ontology::Ontology* onto_;
   const ontology::SourceMapping* mapping_;
 };

@@ -1,0 +1,156 @@
+#ifndef QUARRY_OBS_METRICS_H_
+#define QUARRY_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace quarry::obs {
+
+/// Label set of one metric instance ("site" -> "wal.append", ...). Kept as
+/// an ordered vector so exposition output is deterministic.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonically increasing event count (Prometheus counter).
+///
+/// Lock-free: Increment is a single relaxed fetch_add, safe from any
+/// thread. Pointers returned by the registry are stable for the process
+/// lifetime, so hot paths cache them (typically in a function-local static)
+/// and never pay the registry lookup again.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Point-in-time numeric value (Prometheus gauge) — e.g. the
+/// structural design complexity after the latest integration round.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket distribution (Prometheus histogram).
+///
+/// Bucket bounds are inclusive upper bounds, strictly increasing; an
+/// implicit +Inf bucket catches the rest. Observe is lock-free (one linear
+/// bucket scan + three relaxed atomics); bound lists are short (<= ~20).
+class Histogram {
+ public:
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket `i`; index bounds().size() is +Inf.
+  int64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void Reset();
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  ///< bounds.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// `count` exponential bucket bounds starting at `start`, each `factor`
+/// apart — the standard shape for latency histograms.
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+/// Canonical microsecond-latency bounds (1us .. ~16s, x4 steps) used by the
+/// built-in fsync / operator / stage histograms.
+const std::vector<double>& LatencyBucketsMicros();
+
+/// \brief Process-wide registry of named metrics with Prometheus text
+/// exposition and a JSON snapshot (docs/OBSERVABILITY.md).
+///
+/// A metric instance is identified by its family name plus an optional
+/// label set; requesting the same (family, labels) twice returns the same
+/// instance. Families must keep one type and one bucket layout — mixing
+/// types under one name is a programming error and aborts. The registry and
+/// every metric it hands out live for the whole process; ResetForTest()
+/// zeroes values but never invalidates pointers.
+///
+/// Dependency note: this layer is deliberately free of quarry::Status and
+/// every other repo module, so the lowest layers (WAL, fault injection) can
+/// record metrics without a dependency cycle.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter& counter(const std::string& family, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& family, const std::string& help = "",
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& family,
+                       const std::string& help = "",
+                       const std::vector<double>& bounds =
+                           std::vector<double>(),
+                       const Labels& labels = {});
+
+  /// Prometheus text exposition format (one HELP/TYPE header per family,
+  /// instances sorted by label string — stable across runs).
+  std::string PrometheusText() const;
+
+  /// The same data as a JSON object: { "family{labels}": value | {...} }.
+  /// Histograms render as {"count":..,"sum":..,"buckets":[{"le":..,"n":..}]}.
+  std::string JsonSnapshot() const;
+
+  /// Every registered family name, sorted (tools/check_metrics_doc.sh
+  /// lints these against docs/OBSERVABILITY.md).
+  std::vector<std::string> FamilyNames() const;
+
+  /// Zeroes every value. Registrations (and cached pointers) stay valid —
+  /// tests and benches call this between scenarios.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Family {
+    Kind kind;
+    std::string help;
+    std::vector<double> bounds;  ///< Histograms only.
+    // label string -> instance; only the map matching `kind` is populated.
+    // Instances are intentionally never destroyed (process-lifetime), so
+    // cached pointers stay valid forever.
+    std::map<std::string, Counter*> counters;
+    std::map<std::string, Gauge*> gauges;
+    std::map<std::string, Histogram*> histograms;
+  };
+
+  Family& GetFamily(const std::string& family, Kind kind,
+                    const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace quarry::obs
+
+#endif  // QUARRY_OBS_METRICS_H_

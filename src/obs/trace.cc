@@ -1,0 +1,222 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace quarry::obs {
+
+namespace {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Small sequential thread ids: trace viewers group rows by tid, and a
+// stable 1..N numbering reads better than pthread handles.
+std::atomic<uint32_t> g_next_tid{1};
+thread_local uint32_t tls_tid = 0;
+thread_local uint32_t tls_depth = 0;
+
+uint32_t CurrentTid() {
+  if (tls_tid == 0) {
+    tls_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_tid;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Micros(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() = default;
+
+TraceRecorder& TraceRecorder::Instance() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Start(size_t capacity) {
+  // Start/Stop are control-plane calls (test setup, CLI entry): they must
+  // not race with spans in flight on other threads.
+  enabled_.store(false, std::memory_order_relaxed);
+  if (capacity == 0) capacity = 1;
+  if (capacity_ < capacity) {
+    // Leak any previous (smaller) array — see the field comment.
+    slots_ = new Slot[capacity];
+    capacity_ = capacity;
+  }
+  size_t used = std::min(next_.load(std::memory_order_relaxed), capacity_);
+  for (size_t i = 0; i < used; ++i) {
+    slots_[i].ready.store(false, std::memory_order_relaxed);
+    slots_[i].record = SpanRecord{};  // free the strings
+  }
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ns_ = MonotonicNanos();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Stop() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+double TraceRecorder::NowMicros() const {
+  return static_cast<double>(MonotonicNanos() - epoch_ns_) / 1000.0;
+}
+
+void TraceRecorder::Record(SpanRecord record) {
+  if (!enabled()) return;
+  size_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Keep the recorded prefix instead of wrapping: the beginning of a run
+    // is what the trace viewer needs intact.
+    MetricsRegistry::Instance()
+        .counter("quarry_trace_spans_dropped_total",
+                 "Spans that found the trace buffer full")
+        .Increment();
+    return;
+  }
+  Slot& slot = slots_[idx];
+  slot.record = std::move(record);
+  slot.ready.store(true, std::memory_order_release);
+}
+
+size_t TraceRecorder::size() const {
+  return std::min(next_.load(std::memory_order_relaxed), capacity_);
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  std::vector<SpanRecord> out;
+  size_t used = size();
+  out.reserve(used);
+  for (size_t i = 0; i < used; ++i) {
+    const Slot& slot = slots_[i];
+    if (!slot.ready.load(std::memory_order_acquire)) continue;
+    out.push_back(slot.record);
+  }
+  return out;
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"" << JsonEscape(span.name)
+        << "\", \"cat\": \"quarry\", \"ph\": \"X\", \"ts\": "
+        << Micros(span.start_us) << ", \"dur\": " << Micros(span.dur_us)
+        << ", \"pid\": 1, \"tid\": " << span.tid << ", \"args\": {";
+    out << "\"depth\": " << span.depth;
+    for (const SpanAttr& attr : span.attrs) {
+      out << ", \"" << JsonEscape(attr.key) << "\": \""
+          << JsonEscape(attr.value) << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path,
+                                     std::string* error) const {
+  std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok && error != nullptr) *error = "short write on '" + path + "'";
+  return ok;
+}
+
+Span::Span(std::string name) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  if (!recorder.enabled()) return;
+  active_ = true;
+  name_ = std::move(name);
+  depth_ = tls_depth++;
+  start_us_ = recorder.NowMicros();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  --tls_depth;
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.start_us = start_us_;
+  record.dur_us = recorder.NowMicros() - start_us_;
+  record.tid = CurrentTid();
+  record.depth = depth_;
+  record.attrs = std::move(attrs_);
+  recorder.Record(std::move(record));
+}
+
+void Span::SetAttr(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  attrs_.push_back({std::string(key), std::string(value)});
+}
+
+void Span::SetAttr(std::string_view key, int64_t value) {
+  if (!active_) return;
+  attrs_.push_back({std::string(key), std::to_string(value)});
+}
+
+void Span::SetAttr(std::string_view key, double value) {
+  if (!active_) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  attrs_.push_back({std::string(key), buf});
+}
+
+}  // namespace quarry::obs

@@ -1,0 +1,169 @@
+#ifndef QUARRY_OBS_TRACE_H_
+#define QUARRY_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quarry::obs {
+
+/// One span attribute, stringified at record time ("ir_id" -> "ir_revenue",
+/// "rows_out" -> "1234").
+struct SpanAttr {
+  std::string key;
+  std::string value;
+};
+
+/// \brief A completed span as stored in the recorder's buffer.
+///
+/// Timestamps are microseconds on the monotonic clock, relative to the
+/// recorder's Start() — Chrome trace_event wants exactly that shape.
+struct SpanRecord {
+  std::string name;
+  double start_us = 0;
+  double dur_us = 0;
+  uint32_t tid = 0;    ///< Small sequential per-thread id.
+  uint32_t depth = 0;  ///< Nesting depth on its thread (0 = root span).
+  std::vector<SpanAttr> attrs;
+};
+
+/// \brief Process-wide span recorder (docs/OBSERVABILITY.md).
+///
+/// Disabled by default: QUARRY_SPAN costs one relaxed atomic load until
+/// Start() is called. Enabled, completed spans go into a preallocated
+/// buffer via a lock-free slot reservation (fetch_add) — no mutex on the
+/// hot path; when the buffer is full new spans are counted as dropped
+/// instead of evicting the recorded prefix (the start of a run is what a
+/// trace viewer needs intact). Export is Chrome trace_event JSON, loadable
+/// in chrome://tracing or https://ui.perfetto.dev.
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  static TraceRecorder& Instance();
+
+  /// Clears the buffer, (re)sizes it, re-bases timestamps and enables
+  /// recording.
+  void Start(size_t capacity = kDefaultCapacity);
+
+  /// Stops recording; the buffer stays readable for export.
+  void Stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Completed spans recorded so far, in completion order.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Spans that found the buffer full and were not recorded.
+  int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  size_t size() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...}, ...]}.
+  /// Complete ("X") events with ts/dur nest automatically per thread.
+  std::string ChromeTraceJson() const;
+
+  /// Writes ChromeTraceJson() to `path`; returns false and fills `error`
+  /// (when non-null) on I/O failure. No quarry::Status here — the obs layer
+  /// stays dependency-free.
+  bool WriteChromeTrace(const std::string& path,
+                        std::string* error = nullptr) const;
+
+  /// Called by Span's destructor. Public only for the Span class.
+  void Record(SpanRecord record);
+
+  /// Microseconds since Start() on the monotonic clock.
+  double NowMicros() const;
+
+ private:
+  TraceRecorder();
+
+  struct Slot {
+    std::atomic<bool> ready{false};
+    SpanRecord record;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> next_{0};  ///< Slot reservation cursor.
+  std::atomic<int64_t> dropped_{0};
+  /// Allocated by Start(); grown buffers deliberately leak the old array so
+  /// a straggler Record() can never touch freed memory (Start is a
+  /// control-plane call; growth is rare and bounded).
+  Slot* slots_ = nullptr;
+  size_t capacity_ = 0;
+  int64_t epoch_ns_ = 0;  ///< Monotonic nanos at Start().
+};
+
+/// \brief RAII span: records [construction, destruction) on the current
+/// thread when the recorder is enabled. Use via QUARRY_SPAN /
+/// QUARRY_NAMED_SPAN so -DQUARRY_DISABLE_TRACING compiles every span (and
+/// its name expression) out entirely.
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches an attribute. Prefer QUARRY_SPAN_ATTR, which also compiles
+  /// the value expression out under QUARRY_DISABLE_TRACING.
+  void SetAttr(std::string_view key, std::string_view value);
+  void SetAttr(std::string_view key, const char* value) {
+    SetAttr(key, std::string_view(value));
+  }
+  void SetAttr(std::string_view key, int64_t value);
+  void SetAttr(std::string_view key, int value) {
+    SetAttr(key, static_cast<int64_t>(value));
+  }
+  void SetAttr(std::string_view key, double value);
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  uint32_t depth_ = 0;
+  double start_us_ = 0;
+  std::string name_;
+  std::vector<SpanAttr> attrs_;
+};
+
+/// No-op stand-in used when tracing is compiled out. Accepts every SetAttr
+/// the real Span does (arguments are still evaluated — use
+/// QUARRY_SPAN_ATTR when the value expression itself must vanish).
+struct NullSpan {
+  template <typename K, typename V>
+  void SetAttr(K&&, V&&) {}
+  bool active() const { return false; }
+};
+
+}  // namespace quarry::obs
+
+#define QUARRY_OBS_CONCAT_INNER(a, b) a##b
+#define QUARRY_OBS_CONCAT(a, b) QUARRY_OBS_CONCAT_INNER(a, b)
+
+/// QUARRY_SPAN("stage.name"): traces the rest of the enclosing scope.
+/// QUARRY_NAMED_SPAN(span, "stage.name"): same, but names the variable so
+/// attributes can be attached: QUARRY_SPAN_ATTR(span, "rows", n).
+/// With -DQUARRY_DISABLE_TRACING all three compile to (at most) an unused
+/// empty object — name and attribute expressions are never evaluated.
+#ifdef QUARRY_DISABLE_TRACING
+#define QUARRY_SPAN(name)                      \
+  [[maybe_unused]] ::quarry::obs::NullSpan     \
+      QUARRY_OBS_CONCAT(_quarry_span_, __LINE__)
+#define QUARRY_NAMED_SPAN(var, name) \
+  [[maybe_unused]] ::quarry::obs::NullSpan var
+#define QUARRY_SPAN_ATTR(var, key, value) \
+  do {                                    \
+  } while (false)
+#else
+#define QUARRY_SPAN(name) \
+  ::quarry::obs::Span QUARRY_OBS_CONCAT(_quarry_span_, __LINE__)(name)
+#define QUARRY_NAMED_SPAN(var, name) ::quarry::obs::Span var(name)
+#define QUARRY_SPAN_ATTR(var, key, value) (var).SetAttr((key), (value))
+#endif
+
+#endif  // QUARRY_OBS_TRACE_H_

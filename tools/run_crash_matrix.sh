@@ -4,6 +4,10 @@
 # build, so the QUARRY_SANITIZE wiring is actually exercised and every
 # injected crash/recovery path is checked for memory errors too.
 #
+# Each matrix entry (ctest test) runs individually so one failure cannot
+# mask another: the script prints a per-entry pass/fail summary at the end
+# and exits non-zero if any entry failed.
+#
 # Usage: tools/run_crash_matrix.sh [build-dir] [sanitizer]
 #   build-dir  defaults to build-asan (kept separate from the plain build)
 #   sanitizer  defaults to address ('undefined' also works)
@@ -22,4 +26,35 @@ cmake --build "${build_dir}" -j
 # printing; detect_leaks catches WAL fds / buffers dropped on crash paths.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
 
-ctest --test-dir "${build_dir}" -L 'fault|crash' --output-on-failure
+# Enumerate the matrix entries; `ctest -N` prints lines like
+# "  Test  #4: wal_crash_test" (the '#' column is space-aligned).
+mapfile -t entries < <(ctest --test-dir "${build_dir}" -L 'fault|crash' -N |
+  sed -n 's/^ *Test *#[0-9]*: //p')
+if [ "${#entries[@]}" -eq 0 ]; then
+  echo "run_crash_matrix: no tests matched -L 'fault|crash'" >&2
+  exit 1
+fi
+
+declare -a results=()
+failures=0
+for entry in "${entries[@]}"; do
+  # Individual entries must not abort the loop (set -e): capture the exit
+  # code explicitly and keep going so the summary covers every entry.
+  if ctest --test-dir "${build_dir}" -R "^${entry}\$" --output-on-failure; then
+    results+=("PASS ${entry}")
+  else
+    results+=("FAIL ${entry}")
+    failures=$((failures + 1))
+  fi
+done
+
+echo
+echo "==== crash matrix summary (${sanitizer} sanitizer) ===="
+for line in "${results[@]}"; do
+  echo "  ${line}"
+done
+echo "  ${#entries[@]} entries, ${failures} failed"
+
+if [ "${failures}" -gt 0 ]; then
+  exit 1
+fi

@@ -1,0 +1,149 @@
+// trace_report: runs the full retail pipeline (interpret -> integrate ->
+// deploy -> refresh) with tracing enabled, prints a per-stage latency/row
+// table, and exports the run as Chrome trace JSON + Prometheus text
+// (docs/OBSERVABILITY.md).
+//
+// Usage: trace_report [output-dir]
+//   output-dir (default ".") receives trace.json, metrics.prom and
+//   metrics.json; a metadata/ subdirectory is created there to exercise the
+//   WAL-backed durable repository so its fsync histogram has data.
+//
+// Load the trace in chrome://tracing or https://ui.perfetto.dev.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/quarry.h"
+#include "datagen/retail.h"
+#include "obs/trace.h"
+
+namespace {
+
+using quarry::core::Quarry;
+
+struct StageRow {
+  int count = 0;
+  double total_ms = 0;
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  bool has_rows = false;
+};
+
+int64_t AttrInt(const quarry::obs::SpanRecord& span, const std::string& key) {
+  for (const auto& attr : span.attrs) {
+    if (attr.key == key) return std::atoll(attr.value.c_str());
+  }
+  return 0;
+}
+
+bool HasAttr(const quarry::obs::SpanRecord& span, const std::string& key) {
+  return std::any_of(span.attrs.begin(), span.attrs.end(),
+                     [&](const auto& attr) { return attr.key == key; });
+}
+
+int Fail(const quarry::Status& status, const char* what) {
+  std::fprintf(stderr, "trace_report: %s: %s\n", what,
+               status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string meta_dir =
+      (std::filesystem::path(out_dir) / "metadata").string();
+  std::filesystem::create_directories(meta_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "trace_report: cannot create '%s'\n",
+                 meta_dir.c_str());
+    return 1;
+  }
+
+  quarry::storage::Database source;
+  quarry::datagen::RetailConfig config;
+  if (quarry::Status populated =
+          quarry::datagen::PopulateRetail(&source, config);
+      !populated.ok()) {
+    return Fail(populated, "populating retail source");
+  }
+
+  auto q = Quarry::Create(quarry::datagen::BuildRetailOntology(),
+                          quarry::datagen::BuildRetailMappings(), &source);
+  if (!q.ok()) return Fail(q.status(), "creating Quarry");
+
+  // Everything from here on is recorded: spans land in the trace buffer,
+  // and the WAL / docstore / integrator / executor metrics accumulate.
+  Quarry::Telemetry().StartTracing();
+
+  if (quarry::Status durable = (*q)->EnableDurability(meta_dir);
+      !durable.ok()) {
+    return Fail(durable, "enabling durable metadata");
+  }
+
+  const char* queries[] = {
+      "ANALYZE turnover ON Sale "
+      "MEASURE turnover = Sale.sl_amount * (1 - Sale.sl_discount) SUM "
+      "BY Product.pr_category, Store.st_city "
+      "WHERE Customer.cu_segment = 'LOYALTY'",
+      "ANALYZE units_by_region ON Sale "
+      "MEASURE units = Sale.sl_units SUM BY Region.rr_name",
+  };
+  for (const char* query : queries) {
+    auto outcome = (*q)->AddRequirementFromQuery(query);
+    if (!outcome.ok()) return Fail(outcome.status(), "adding requirement");
+  }
+
+  quarry::storage::Database warehouse;
+  auto deployed = (*q)->DeployResilient(&warehouse);
+  if (!deployed.ok()) return Fail(deployed.status(), "deploying");
+  if (!deployed->success) {
+    return Fail(deployed->failure->cause, "deployment failed");
+  }
+  auto refreshed = (*q)->Refresh(&warehouse);
+  if (!refreshed.ok()) return Fail(refreshed.status(), "refreshing");
+
+  Quarry::Telemetry().StopTracing();
+
+  // ---- per-stage table ----------------------------------------------------
+  std::vector<quarry::obs::SpanRecord> spans =
+      Quarry::Telemetry().tracer.Snapshot();
+  std::map<std::string, StageRow> stages;
+  for (const auto& span : spans) {
+    StageRow& row = stages[span.name];
+    ++row.count;
+    row.total_ms += span.dur_us / 1000.0;
+    if (HasAttr(span, "rows_out")) {
+      row.has_rows = true;
+      row.rows_in += AttrInt(span, "rows_in");
+      row.rows_out += AttrInt(span, "rows_out");
+    }
+  }
+  std::printf("%-34s %6s %12s %10s %10s\n", "stage", "count", "total ms",
+              "rows in", "rows out");
+  for (const auto& [name, row] : stages) {
+    std::printf("%-34s %6d %12.3f ", name.c_str(), row.count, row.total_ms);
+    if (row.has_rows) {
+      std::printf("%10lld %10lld\n", static_cast<long long>(row.rows_in),
+                  static_cast<long long>(row.rows_out));
+    } else {
+      std::printf("%10s %10s\n", "-", "-");
+    }
+  }
+  std::printf("\n%zu spans recorded (%lld dropped)\n", spans.size(),
+              static_cast<long long>(Quarry::Telemetry().tracer.dropped()));
+
+  if (quarry::Status written = Quarry::Telemetry().WriteTo(out_dir);
+      !written.ok()) {
+    return Fail(written, "exporting telemetry");
+  }
+  std::printf("wrote %s/trace.json, metrics.prom, metrics.json\n",
+              out_dir.c_str());
+  return 0;
+}
