@@ -1,0 +1,225 @@
+#ifndef QUARRY_COMMON_EXEC_CONTEXT_H_
+#define QUARRY_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace quarry {
+
+/// \brief Cooperative cancellation handle (docs/ROBUSTNESS.md §7).
+///
+/// A token is a cheap, copyable handle onto shared cancellation state.
+/// Cancel() may be called from any thread; cancelled() is a few relaxed
+/// atomic loads, so long-running loops can poll it per batch. Tokens link
+/// parent→child: a child created with Child() observes its own cancellation
+/// AND every ancestor's, so cancelling a request token cancels all the work
+/// it fanned out, while cancelling one child leaves its siblings running.
+class CancellationToken {
+ public:
+  /// A fresh root token (not cancelled until Cancel()).
+  CancellationToken() : state_(std::make_shared<State>()) {}
+
+  /// A child linked under `parent`: cancelled when either itself or any
+  /// ancestor is cancelled.
+  static CancellationToken Child(const CancellationToken& parent) {
+    CancellationToken child;
+    child.state_->parent = parent.state_;
+    return child;
+  }
+
+  /// Cancels this token (and, transitively, every descendant). Idempotent;
+  /// the first non-empty reason wins.
+  void Cancel(std::string reason = "cancelled") {
+    State* s = state_.get();
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (s->reason.empty()) s->reason = std::move(reason);
+    }
+    s->cancelled.store(true, std::memory_order_release);
+  }
+
+  /// True once this token or any ancestor was cancelled.
+  bool cancelled() const {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->cancelled.load(std::memory_order_acquire)) return true;
+    }
+    return false;
+  }
+
+  /// The reason of the nearest cancelled token in the chain ("" when not
+  /// cancelled).
+  std::string reason() const {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->cancelled.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        return s->reason;
+      }
+    }
+    return "";
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    mutable std::mutex mu;
+    std::string reason;  ///< Guarded by mu; readable once cancelled is set.
+    std::shared_ptr<State> parent;  ///< Immutable after construction.
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// \brief An absolute point in time a request must finish by.
+///
+/// Default-constructed deadlines are unbounded. Deadlines are wall-agnostic
+/// (steady clock), so they are immune to clock adjustments.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() : when_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+  static Deadline After(double millis) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(millis)));
+  }
+
+  bool unbounded() const { return when_ == Clock::time_point::max(); }
+  bool expired() const { return !unbounded() && Clock::now() >= when_; }
+  Clock::time_point when() const { return when_; }
+
+  /// Milliseconds until expiry: +inf when unbounded, clamped at 0 once
+  /// expired.
+  double remaining_millis() const {
+    if (unbounded()) return std::numeric_limits<double>::infinity();
+    double ms = std::chrono::duration<double, std::milli>(when_ - Clock::now())
+                    .count();
+    return ms > 0 ? ms : 0.0;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+  Clock::time_point when_;
+};
+
+/// \brief Per-request resource budgets enforced cooperatively by the ETL
+/// executor. 0 = unlimited. A SODA-style business-user query that explodes
+/// into a huge flow trips one of these instead of wedging the process.
+struct ResourceBudget {
+  int64_t max_rows_materialized = 0;  ///< Total operator output rows.
+  int64_t max_intermediate_bytes = 0; ///< Approximate materialized bytes.
+  int64_t max_flow_nodes = 0;         ///< Nodes in a flow handed to Run().
+};
+
+/// \brief Everything a long-running request carries through the pipeline:
+/// cancellation token, deadline and resource budgets, plus the running
+/// consumption counters (docs/ROBUSTNESS.md §7).
+///
+/// All components accept a nullable `ExecContext*`; nullptr means "no
+/// limits" and costs nothing on the hot path. Check() is the cancellation
+/// point primitive: it returns kCancelled / kDeadlineExceeded with the
+/// location baked into the message. Charge counters are atomic, so one
+/// context can be shared by concurrent stages of the same request.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  explicit ExecContext(Deadline deadline) : deadline_(deadline) {}
+  ExecContext(CancellationToken token, Deadline deadline,
+              ResourceBudget budget = {})
+      : token_(std::move(token)), deadline_(deadline), budget_(budget) {}
+
+  const CancellationToken& token() const { return token_; }
+  CancellationToken& token() { return token_; }
+  const Deadline& deadline() const { return deadline_; }
+  const ResourceBudget& budget() const { return budget_; }
+
+  /// The cancellation point: OK, or kCancelled / kDeadlineExceeded naming
+  /// `where` (e.g. "etl.run node 'JOIN_1'").
+  Status Check(const std::string& where) const {
+    if (token_.cancelled()) {
+      std::string reason = token_.reason();
+      return Status::Cancelled("request cancelled at " + where +
+                               (reason.empty() ? "" : " (" + reason + ")"));
+    }
+    if (deadline_.expired()) {
+      return Status::DeadlineExceeded("deadline exceeded at " + where);
+    }
+    return Status::OK();
+  }
+
+  /// Charges `rows` operator-output rows against the budget.
+  Status ChargeRows(int64_t rows, const std::string& where) const {
+    int64_t total =
+        rows_materialized_.fetch_add(rows, std::memory_order_relaxed) + rows;
+    if (budget_.max_rows_materialized > 0 &&
+        total > budget_.max_rows_materialized) {
+      return Status::ResourceExhausted(
+          "row budget exhausted at " + where + ": materialized " +
+          std::to_string(total) + " rows, budget " +
+          std::to_string(budget_.max_rows_materialized));
+    }
+    return Status::OK();
+  }
+
+  /// Charges approximately `bytes` of materialized intermediates.
+  Status ChargeBytes(int64_t bytes, const std::string& where) const {
+    int64_t total =
+        intermediate_bytes_.fetch_add(bytes, std::memory_order_relaxed) +
+        bytes;
+    if (budget_.max_intermediate_bytes > 0 &&
+        total > budget_.max_intermediate_bytes) {
+      return Status::ResourceExhausted(
+          "byte budget exhausted at " + where + ": ~" +
+          std::to_string(total) + " bytes materialized, budget " +
+          std::to_string(budget_.max_intermediate_bytes));
+    }
+    return Status::OK();
+  }
+
+  int64_t rows_materialized() const {
+    return rows_materialized_.load(std::memory_order_relaxed);
+  }
+  int64_t intermediate_bytes() const {
+    return intermediate_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes the consumption counters (a Resume after a budget trip wants a
+  /// fresh allowance, not an instantly re-tripping one).
+  void ResetCharges() {
+    rows_materialized_.store(0, std::memory_order_relaxed);
+    intermediate_bytes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  CancellationToken token_;
+  Deadline deadline_;
+  ResourceBudget budget_;
+  mutable std::atomic<int64_t> rows_materialized_{0};
+  mutable std::atomic<int64_t> intermediate_bytes_{0};
+};
+
+/// True for the lifecycle error classes that must never be retried: the
+/// request itself is over (cancelled / out of time / out of budget), so
+/// another attempt can only waste resources.
+inline bool IsLifecycleError(const Status& status) {
+  return status.IsCancelled() || status.IsDeadlineExceeded() ||
+         status.IsResourceExhausted() || status.IsOverloaded();
+}
+
+/// Checks a nullable context; OK when ctx is nullptr.
+inline Status CheckContext(const ExecContext* ctx, const std::string& where) {
+  return ctx == nullptr ? Status::OK() : ctx->Check(where);
+}
+
+}  // namespace quarry
+
+#endif  // QUARRY_COMMON_EXEC_CONTEXT_H_

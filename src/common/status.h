@@ -22,6 +22,10 @@ enum class StatusCode {
   kExecutionError,    ///< An ETL flow or SQL statement failed at run time.
   kUnsupported,       ///< Feature is recognized but not implemented.
   kInternal,          ///< Invariant breakage inside Quarry itself.
+  kCancelled,          ///< The request's CancellationToken was cancelled.
+  kDeadlineExceeded,   ///< The request's Deadline expired before completion.
+  kOverloaded,         ///< Admission control shed the request under load.
+  kResourceExhausted,  ///< A resource budget / structural limit was hit.
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -76,6 +80,18 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -96,6 +112,14 @@ class Status {
   }
   bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// Returns "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,150 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace quarry::core {
+
+namespace {
+
+/// Queued waiters sleep in short slices so a cancellation or deadline from
+/// another thread is observed promptly even when no slot is released.
+constexpr auto kWaitSlice = std::chrono::milliseconds(1);
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  requests_total_ =
+      &reg.counter("quarry_admission_requests_total",
+                   "Requests that reached the admission controller");
+  admitted_total_ = &reg.counter("quarry_admission_admitted_total",
+                                 "Requests granted an in-flight slot");
+  const std::string shed_help =
+      "Requests shed by admission control, by reason";
+  shed_queue_full_ = &reg.counter("quarry_admission_shed_total", shed_help,
+                                  {{"reason", "queue_full"}});
+  shed_queue_timeout_ = &reg.counter("quarry_admission_shed_total", shed_help,
+                                     {{"reason", "queue_timeout"}});
+  cancelled_total_ =
+      &reg.counter("quarry_admission_cancelled_total",
+                   "Requests cancelled while waiting in the admission queue");
+  deadline_total_ = &reg.counter(
+      "quarry_admission_deadline_total",
+      "Requests whose deadline expired while waiting in the admission queue");
+  in_flight_gauge_ = &reg.gauge("quarry_admission_in_flight",
+                                "Requests currently holding an in-flight slot");
+  queue_depth_gauge_ = &reg.gauge(
+      "quarry_admission_queue_depth",
+      "Requests currently parked in the admission wait queue");
+  queue_wait_micros_ = &reg.histogram(
+      "quarry_admission_queue_wait_micros",
+      "Time admitted requests spent queued, in microseconds",
+      obs::LatencyBucketsMicros());
+}
+
+int AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    in_flight_gauge_->Set(static_cast<double>(in_flight_));
+  }
+  cv_.notify_all();
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const ExecContext* ctx) {
+  requests_total_->Increment();
+  Timer queued;
+  std::unique_lock<std::mutex> lock(mu_);
+
+  // Fast path: a free slot and nobody queued ahead.
+  if (in_flight_ < options_.max_in_flight && queue_.empty()) {
+    ++in_flight_;
+    in_flight_gauge_->Set(static_cast<double>(in_flight_));
+    admitted_total_->Increment();
+    queue_wait_micros_->Observe(queued.ElapsedMicros());
+    return Ticket(this);
+  }
+
+  if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+    shed_queue_full_->Increment();
+    return Status::Overloaded(
+        "admission queue full (" + std::to_string(queue_.size()) +
+        " waiting, " + std::to_string(in_flight_) + " in flight)");
+  }
+
+  const uint64_t seq = next_seq_++;
+  queue_.push_back(seq);
+  queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+
+  // Drops this waiter out of the queue; later waiters may now be at the
+  // head, so wake them.
+  auto give_up = [&] {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), seq));
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    lock.unlock();
+    cv_.notify_all();
+  };
+
+  using Clock = std::chrono::steady_clock;
+  const bool has_timeout = options_.queue_timeout_millis >= 0;
+  const Clock::time_point shed_at =
+      has_timeout ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double, std::milli>(
+                                           options_.queue_timeout_millis))
+                  : Clock::time_point::max();
+
+  while (true) {
+    if (!queue_.empty() && queue_.front() == seq &&
+        in_flight_ < options_.max_in_flight) {
+      queue_.pop_front();
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      ++in_flight_;
+      in_flight_gauge_->Set(static_cast<double>(in_flight_));
+      admitted_total_->Increment();
+      queue_wait_micros_->Observe(queued.ElapsedMicros());
+      return Ticket(this);
+    }
+    if (ctx != nullptr) {
+      if (Status live = ctx->Check("admission queue"); !live.ok()) {
+        (live.IsCancelled() ? cancelled_total_ : deadline_total_)->Increment();
+        give_up();
+        return live;
+      }
+    }
+    if (has_timeout && Clock::now() >= shed_at) {
+      shed_queue_timeout_->Increment();
+      give_up();
+      return Status::Overloaded(
+          "shed after " + std::to_string(options_.queue_timeout_millis) +
+          " ms in the admission queue");
+    }
+    // Slot releases notify; context cancellation from another thread does
+    // not, hence the bounded slice when a context is attached.
+    Clock::time_point wake = has_timeout ? shed_at : Clock::time_point::max();
+    if (ctx != nullptr) wake = std::min(wake, Clock::now() + kWaitSlice);
+    if (wake == Clock::time_point::max()) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, wake);
+    }
+  }
+}
+
+}  // namespace quarry::core

@@ -1,0 +1,125 @@
+#ifndef QUARRY_CORE_ADMISSION_H_
+#define QUARRY_CORE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/exec_context.h"
+#include "common/result.h"
+
+namespace quarry::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace quarry::obs
+
+namespace quarry::core {
+
+/// \brief Load-shedding knobs of the AdmissionController
+/// (docs/ROBUSTNESS.md §7).
+struct AdmissionOptions {
+  /// Requests allowed to run concurrently; further arrivals queue.
+  int max_in_flight = 4;
+  /// Waiting requests beyond the in-flight set; an arrival that finds the
+  /// queue full is shed immediately with kOverloaded. 0 disables queueing
+  /// entirely (admit-or-shed).
+  int max_queue_depth = 16;
+  /// How long one request may sit in the queue before it is shed with
+  /// kOverloaded. < 0 = wait indefinitely (its own deadline still applies).
+  double queue_timeout_millis = -1.0;
+};
+
+/// \brief Bounded-concurrency gate in front of the design pipeline
+/// (docs/ROBUSTNESS.md §7).
+///
+/// Admit() either hands out an RAII Ticket (a held slot), parks the caller
+/// in a strict FIFO wait queue, or sheds the request with a structured
+/// lifecycle error: kOverloaded when the queue is full or the per-request
+/// queue timeout fires, kDeadlineExceeded / kCancelled when the request's
+/// own ExecContext gives up while queued. Queued waiters poll their context
+/// in short slices, so a cancellation from another thread unparks within
+/// ~1ms even though no slot was released.
+///
+/// Fully instrumented: requests/admitted/shed/cancelled/deadline counters,
+/// in-flight + queue-depth gauges and a time-in-queue histogram, all
+/// registered eagerly at construction so dashboards see explicit zeros
+/// (docs/OBSERVABILITY.md).
+class AdmissionController {
+ public:
+  /// \brief A held admission slot. Releasing (or destroying) it wakes the
+  /// head of the wait queue. Move-only; a moved-from or default ticket
+  /// holds nothing.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() { Release(); }
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool held() const { return controller_ != nullptr; }
+
+    /// Returns the slot; idempotent.
+    void Release() {
+      if (controller_ != nullptr) {
+        controller_->ReleaseSlot();
+        controller_ = nullptr;
+      }
+    }
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// Blocks until a slot is free (FIFO among waiters) or the request is
+  /// shed. `ctx` is nullable; when given, its cancellation and deadline are
+  /// honoured while queued.
+  Result<Ticket> Admit(const ExecContext* ctx = nullptr);
+
+  int in_flight() const;
+  int queue_depth() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  friend class Ticket;
+  void ReleaseSlot();
+
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int in_flight_ = 0;           ///< Guarded by mu_.
+  uint64_t next_seq_ = 0;       ///< Guarded by mu_.
+  std::deque<uint64_t> queue_;  ///< Waiter seq ids, FIFO. Guarded by mu_.
+
+  // Cached metric instances (process-lifetime pointers, see obs/metrics.h).
+  obs::Counter* requests_total_;
+  obs::Counter* admitted_total_;
+  obs::Counter* shed_queue_full_;
+  obs::Counter* shed_queue_timeout_;
+  obs::Counter* cancelled_total_;
+  obs::Counter* deadline_total_;
+  obs::Gauge* in_flight_gauge_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Histogram* queue_wait_micros_;
+};
+
+}  // namespace quarry::core
+
+#endif  // QUARRY_CORE_ADMISSION_H_

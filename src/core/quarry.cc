@@ -31,6 +31,7 @@ Quarry::Quarry(ontology::Ontology onto, ontology::SourceMapping mapping,
   design_ = std::make_unique<integrator::DesignIntegrator>(
       onto_.get(), std::move(columns), std::move(rows), config_.md_options,
       config_.etl_cost);
+  admission_ = std::make_unique<AdmissionController>(config_.admission);
 }
 
 Result<std::unique_ptr<Quarry>> Quarry::Create(
@@ -106,13 +107,13 @@ Status Quarry::RefreshUnifiedArtifacts() {
 }
 
 Result<integrator::IntegrationOutcome> Quarry::AddRequirement(
-    const req::InformationRequirement& ir) {
+    const req::InformationRequirement& ir, const ExecContext* ctx) {
   QUARRY_NAMED_SPAN(span, "quarry.add_requirement");
   QUARRY_SPAN_ATTR(span, "ir_id", ir.id);
   QUARRY_ASSIGN_OR_RETURN(interpreter::PartialDesign partial,
-                          interpreter_->Interpret(ir));
+                          interpreter_->Interpret(ir, ctx));
   QUARRY_ASSIGN_OR_RETURN(integrator::IntegrationOutcome outcome,
-                          design_->AddRequirement(ir, partial));
+                          design_->AddRequirement(ir, partial, ctx));
   // Record every artifact of this step.
   QUARRY_SPAN("quarry.store_artifacts");
   QUARRY_RETURN_NOT_OK(repository_.StoreXml("xrq", ir.id, *req::ToXrq(ir)));
@@ -126,11 +127,11 @@ Result<integrator::IntegrationOutcome> Quarry::AddRequirement(
 }
 
 Result<integrator::IntegrationOutcome> Quarry::AddRequirementFromQuery(
-    std::string_view query_text) {
+    std::string_view query_text, const ExecContext* ctx) {
   QUARRY_ASSIGN_OR_RETURN(auto xrq, repository_.Import("arq", query_text));
   QUARRY_ASSIGN_OR_RETURN(req::InformationRequirement ir,
                           req::FromXrq(*xrq));
-  return AddRequirement(ir);
+  return AddRequirement(ir, ctx);
 }
 
 Status Quarry::RemoveRequirement(const std::string& ir_id) {
@@ -142,9 +143,11 @@ Status Quarry::RemoveRequirement(const std::string& ir_id) {
 }
 
 Result<integrator::IntegrationOutcome> Quarry::ChangeRequirement(
-    const req::InformationRequirement& ir) {
+    const req::InformationRequirement& ir, const ExecContext* ctx) {
+  QUARRY_RETURN_NOT_OK(
+      CheckContext(ctx, "change of requirement '" + ir.id + "'"));
   QUARRY_RETURN_NOT_OK(design_->RemoveRequirement(ir.id));
-  return AddRequirement(ir);
+  return AddRequirement(ir, ctx);
 }
 
 Result<deployer::DeploymentReport> Quarry::Deploy(storage::Database* target) {
@@ -168,13 +171,57 @@ Result<deployer::DeploymentOutcome> Quarry::DeployResilient(
                                  *mapping_, options);
 }
 
-Result<etl::ExecutionReport> Quarry::Refresh(storage::Database* target) {
+Result<etl::ExecutionReport> Quarry::Refresh(storage::Database* target,
+                                             const ExecContext* ctx) {
   if (target == nullptr) {
     return Status::InvalidArgument("target database is null");
   }
   QUARRY_SPAN("quarry.refresh");
   deployer::Deployer dep(source_, target);
-  return dep.Refresh(design_->flow());
+  return dep.Refresh(design_->flow(), {}, ctx);
+}
+
+Result<integrator::IntegrationOutcome> Quarry::SubmitRequirement(
+    const req::InformationRequirement& ir, const ExecContext* ctx) {
+  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                          admission_->Admit(ctx));
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  return AddRequirement(ir, ctx);
+}
+
+Result<integrator::IntegrationOutcome> Quarry::SubmitRequirementFromQuery(
+    std::string_view query_text, const ExecContext* ctx) {
+  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                          admission_->Admit(ctx));
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  return AddRequirementFromQuery(query_text, ctx);
+}
+
+Status Quarry::SubmitRemoveRequirement(const std::string& ir_id,
+                                       const ExecContext* ctx) {
+  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                          admission_->Admit(ctx));
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  QUARRY_RETURN_NOT_OK(CheckContext(ctx, "removal of '" + ir_id + "'"));
+  return RemoveRequirement(ir_id);
+}
+
+Result<deployer::DeploymentOutcome> Quarry::SubmitDeploy(
+    storage::Database* target, deployer::DeployOptions options,
+    const ExecContext* ctx) {
+  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                          admission_->Admit(ctx));
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  options.context = ctx;
+  return DeployResilient(target, std::move(options));
+}
+
+Result<etl::ExecutionReport> Quarry::SubmitRefresh(storage::Database* target,
+                                                   const ExecContext* ctx) {
+  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                          admission_->Admit(ctx));
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  return Refresh(target, ctx);
 }
 
 Result<std::string> Quarry::ExportSchema(const std::string& format) const {

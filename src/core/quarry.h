@@ -2,9 +2,12 @@
 #define QUARRY_CORE_QUARRY_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "common/exec_context.h"
 #include "common/result.h"
+#include "core/admission.h"
 #include "core/metadata_repository.h"
 #include "core/telemetry.h"
 #include "deployer/deployer.h"
@@ -23,6 +26,8 @@ struct QuarryConfig {
   integrator::MdIntegrationOptions md_options;
   etl::CostModelConfig etl_cost;
   std::string database_name = "demo";
+  /// Gate in front of the Submit* entry points (docs/ROBUSTNESS.md §7).
+  AdmissionOptions admission;
 };
 
 /// \brief The end-to-end Quarry system (paper Fig. 1): wires together the
@@ -84,21 +89,23 @@ class Quarry {
   }
 
   /// Interprets + integrates a requirement; stores xRQ, the partial xMD and
-  /// xLM, and refreshes the unified xMD/xLM in the repository.
+  /// xLM, and refreshes the unified xMD/xLM in the repository. `ctx`
+  /// (nullable) carries the request's cancellation token / deadline /
+  /// budgets through the interpreter and integrator.
   Result<integrator::IntegrationOutcome> AddRequirement(
-      const req::InformationRequirement& ir);
+      const req::InformationRequirement& ir, const ExecContext* ctx = nullptr);
 
   /// Parses the textual "ANALYZE ... MEASURE ... BY ... WHERE ..." notation
   /// (req::ParseRequirementQuery) and adds the resulting requirement.
   Result<integrator::IntegrationOutcome> AddRequirementFromQuery(
-      std::string_view query_text);
+      std::string_view query_text, const ExecContext* ctx = nullptr);
 
   /// Removes a requirement and prunes the unified design.
   Status RemoveRequirement(const std::string& ir_id);
 
   /// Replaces an integrated requirement with a new definition.
   Result<integrator::IntegrationOutcome> ChangeRequirement(
-      const req::InformationRequirement& ir);
+      const req::InformationRequirement& ir, const ExecContext* ctx = nullptr);
 
   /// Deploys the unified design into `target`.
   Result<deployer::DeploymentReport> Deploy(storage::Database* target);
@@ -107,14 +114,45 @@ class Quarry {
   /// (docs/ROBUSTNESS.md): per-node ETL retries, rollback (or best-effort
   /// partial keep) on failure, and a deployment record in the metadata
   /// repository. `options.database_name` and `options.metadata` are
-  /// overridden with this instance's configuration and repository store.
+  /// overridden with this instance's configuration and repository store;
+  /// attach a request lifecycle via `options.context`.
   Result<deployer::DeploymentOutcome> DeployResilient(
       storage::Database* target, deployer::DeployOptions options = {});
 
   /// Incrementally refreshes an already-deployed `target` with whatever
   /// changed in the source since the last Deploy/Refresh (idempotent
   /// loaders skip known keys).
-  Result<etl::ExecutionReport> Refresh(storage::Database* target);
+  Result<etl::ExecutionReport> Refresh(storage::Database* target,
+                                       const ExecContext* ctx = nullptr);
+
+  /// The gate in front of the Submit* entry points. Exposed so callers can
+  /// observe load (in_flight / queue_depth) or share it across instances.
+  AdmissionController& admission() { return *admission_; }
+
+  // --- admission-gated entry points (docs/ROBUSTNESS.md §7) ---------------
+  //
+  // Each Submit* first passes the admission controller — waiting FIFO for a
+  // slot, or failing fast with kOverloaded / kDeadlineExceeded / kCancelled
+  // under load — then runs the corresponding operation with `ctx` attached.
+  // Design mutations are serialized internally, so concurrent Submit*
+  // callers are safe; the admission gate bounds how many of them pile up.
+
+  Result<integrator::IntegrationOutcome> SubmitRequirement(
+      const req::InformationRequirement& ir, const ExecContext* ctx = nullptr);
+
+  Result<integrator::IntegrationOutcome> SubmitRequirementFromQuery(
+      std::string_view query_text, const ExecContext* ctx = nullptr);
+
+  Status SubmitRemoveRequirement(const std::string& ir_id,
+                                 const ExecContext* ctx = nullptr);
+
+  /// `options.context` is overridden with `ctx`.
+  Result<deployer::DeploymentOutcome> SubmitDeploy(
+      storage::Database* target, deployer::DeployOptions options = {},
+      const ExecContext* ctx = nullptr);
+
+  Result<etl::ExecutionReport> SubmitRefresh(storage::Database* target,
+                                             const ExecContext* ctx = nullptr);
 
   /// Renders the unified MD schema via a registered exporter ("sql","xmd").
   Result<std::string> ExportSchema(const std::string& format) const;
@@ -137,6 +175,11 @@ class Quarry {
   std::unique_ptr<integrator::DesignIntegrator> design_;
   MetadataRepository repository_;
   docstore::RecoveryStats recovery_stats_;
+  std::unique_ptr<AdmissionController> admission_;
+  /// Serializes the design-mutating body of Submit* calls: the engine
+  /// itself is single-writer, the admission gate only bounds how many
+  /// requests wait for it.
+  std::mutex submit_mu_;
 };
 
 }  // namespace quarry::core

@@ -61,10 +61,15 @@ Result<etl::Flow> OptimizeForExecution(const etl::Flow& flow,
   return optimized;
 }
 
+/// Deploy-level retry backoff: clipped by the policy's overall budget and
+/// the request deadline, and accumulated into `*spent_ms` so the budget
+/// spans the DDL and metadata retry loops together.
 void BackoffSleep(const etl::RetryPolicy& policy, int failed_attempts,
-                  Prng* prng) {
-  double sleep_ms = etl::RetryBackoffMillis(policy, failed_attempts, prng);
+                  Prng* prng, double* spent_ms, const ExecContext* ctx) {
+  double sleep_ms = etl::BoundedBackoffMillis(policy, failed_attempts, prng,
+                                              *spent_ms, ctx);
   if (sleep_ms > 0) {
+    *spent_ms += sleep_ms;
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(sleep_ms));
   }
@@ -137,6 +142,8 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
   // Distinct jitter stream from the executor's so deploy-level retries do
   // not perturb the per-node backoff sequence.
   Prng backoff_prng(options.retry.jitter_seed ^ 0xD3B07384D113EDECULL);
+  double backoff_spent_ms = 0;
+  const ExecContext* ctx = options.context;
 
   // Pre-deploy snapshots: any mid-deploy failure restores both stores
   // byte-identically (docs/ROBUSTNESS.md).
@@ -166,6 +173,14 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
     return std::move(outcome);
   };
 
+  // Stage boundaries are cancellation points: an abandoned request fails
+  // before the next stage mutates anything further, and once state HAS been
+  // mutated the existing rollback path restores it — a deadline mid-deploy
+  // can never leave a half-deployed warehouse (docs/ROBUSTNESS.md §7).
+  if (Status live = CheckContext(ctx, "deploy stage 'generate'"); !live.ok()) {
+    return fail("generate", live);  // Nothing mutated yet.
+  }
+
   // Stage 1: generate the executables. Nothing is mutated yet.
   Result<etl::Flow> optimized = Status::Internal("not generated");
   {
@@ -179,6 +194,10 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
     if (!optimized.ok()) return fail("generate", optimized.status());
   }
 
+  if (Status live = CheckContext(ctx, "deploy stage 'ddl'"); !live.ok()) {
+    return fail("ddl", live);  // Nothing mutated yet.
+  }
+
   // Stage 2: execute the DDL. A failed script leaves earlier statements
   // applied, so every retry starts from the restored snapshot.
   {
@@ -186,6 +205,11 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
     QUARRY_SPAN("deploy.ddl");
     Status ddl_status;
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      Status live = CheckContext(ctx, "deploy stage 'ddl'");
+      if (!live.ok()) {
+        ddl_status = live;
+        break;
+      }
       auto sql_report = storage::ExecuteSql(target_, report.ddl);
       if (sql_report.ok()) {
         report.tables_created = sql_report->tables_created;
@@ -195,13 +219,19 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
       ddl_status = sql_report.status();
       target_->RestoreFrom(*db_snapshot);
       if (attempt < max_attempts) {
-        BackoffSleep(options.retry, attempt, &backoff_prng);
+        BackoffSleep(options.retry, attempt, &backoff_prng,
+                     &backoff_spent_ms, ctx);
       }
     }
     if (!ddl_status.ok()) {
       roll_back();
       return fail("ddl", ddl_status);
     }
+  }
+
+  if (Status live = CheckContext(ctx, "deploy stage 'etl'"); !live.ok()) {
+    roll_back();
+    return fail("etl", live);
   }
 
   // Stage 3: run the unified ETL flow with per-node retries and a
@@ -212,10 +242,15 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
   {
     StageScope stage("etl");
     QUARRY_SPAN("deploy.etl");
-    etl_report = executor.Run(*optimized, options.retry, &checkpoint);
+    etl_report = executor.Run(*optimized, options.retry, &checkpoint, ctx);
   }
   if (!etl_report.ok()) {
-    if (options.best_effort) {
+    // Best-effort keeps completed tables only for genuine operator faults.
+    // A request that was cancelled / timed out / blew its budget is
+    // abandoned, and an abandoned deploy always rolls back fully: "partial
+    // because the caller gave up" is indistinguishable from a half-deployed
+    // warehouse.
+    if (options.best_effort && !IsLifecycleError(etl_report.status())) {
       // Keep only tables whose every loader completed; restore the rest.
       std::set<std::string> keep;
       for (const auto& [table, n] : checkpoint.loaded) keep.insert(table);
@@ -268,6 +303,12 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
   }
   report.etl = std::move(*etl_report);
 
+  if (Status live = CheckContext(ctx, "deploy stage 'integrity'");
+      !live.ok()) {
+    roll_back();
+    return fail("integrity", live);
+  }
+
   // Stage 4: verify referential integrity. Broken data is never kept, not
   // even in best-effort mode.
   {
@@ -282,6 +323,12 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
     }
   }
 
+  if (Status live = CheckContext(ctx, "deploy stage 'metadata'");
+      !live.ok()) {
+    roll_back();
+    return fail("metadata", live);
+  }
+
   // Stage 5: record the deployment in the metadata store.
   if (options.metadata != nullptr) {
     StageScope stage("metadata");
@@ -293,8 +340,10 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
               ->Upsert(options.deployment_id,
                        DeploymentRecord(options, "complete", report, {}));
       if (record_status.ok()) break;
+      if (IsLifecycleError(record_status)) break;
       if (attempt < max_attempts) {
-        BackoffSleep(options.retry, attempt, &backoff_prng);
+        BackoffSleep(options.retry, attempt, &backoff_prng,
+                     &backoff_spent_ms, ctx);
       }
     }
     if (!record_status.ok()) {
@@ -310,13 +359,15 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
 }
 
 Result<etl::ExecutionReport> Deployer::Refresh(const etl::Flow& flow,
-                                               const etl::RetryPolicy& retry) {
+                                               const etl::RetryPolicy& retry,
+                                               const ExecContext* ctx) {
   QUARRY_SPAN("deploy.refresh");
+  QUARRY_RETURN_NOT_OK(CheckContext(ctx, "refresh"));
   QUARRY_ASSIGN_OR_RETURN(etl::Flow optimized,
                           OptimizeForExecution(flow, *source_));
   etl::Executor executor(source_, target_);
   QUARRY_ASSIGN_OR_RETURN(etl::ExecutionReport report,
-                          executor.Run(optimized, retry));
+                          executor.Run(optimized, retry, nullptr, ctx));
   QUARRY_RETURN_NOT_OK(
       target_->CheckReferentialIntegrity().WithContext("post-refresh "
                                                        "integrity check"));

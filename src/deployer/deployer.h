@@ -31,6 +31,13 @@ struct DeployOptions {
   /// Applied per ETL node, and as the attempt count for DDL execution and
   /// the metadata record write.
   etl::RetryPolicy retry;
+  /// Request lifecycle (nullable): cancellation + deadline are checked at
+  /// every stage boundary and cooperatively inside the ETL stage; budgets
+  /// apply to the ETL run. A deadline or cancellation mid-deploy always
+  /// takes the full rollback path — even in best-effort mode — so an
+  /// abandoned request never leaves a half-deployed warehouse
+  /// (docs/ROBUSTNESS.md §7).
+  const ExecContext* context = nullptr;
   /// Degraded mode: on an unrecoverable ETL fault, keep the tables whose
   /// loaders completed (typically the dimensions), roll back only the
   /// unfinished ones, and mark the deployment "partial" in the metadata
@@ -104,7 +111,8 @@ class Deployer {
   /// present and merge-fill new measure columns, so only source changes
   /// since the last run land in the target. Verifies integrity afterwards.
   Result<etl::ExecutionReport> Refresh(const etl::Flow& flow,
-                                       const etl::RetryPolicy& retry = {});
+                                       const etl::RetryPolicy& retry = {},
+                                       const ExecContext* ctx = nullptr);
 
  private:
   const storage::Database* source_;

@@ -65,6 +65,64 @@ obs::Counter& ResumeCounter() {
   return c;
 }
 
+/// Runs aborted by their request lifecycle rather than an operator fault,
+/// by reason. All three instances register eagerly so dashboards see zeros
+/// before the first abort.
+obs::Counter& LifecycleAbortCounter(const char* reason) {
+  static obs::Counter& cancelled = obs::MetricsRegistry::Instance().counter(
+      "quarry_etl_lifecycle_aborts_total",
+      "ETL runs aborted by cancellation, deadline expiry or budget "
+      "exhaustion",
+      {{"reason", "cancelled"}});
+  static obs::Counter& deadline = obs::MetricsRegistry::Instance().counter(
+      "quarry_etl_lifecycle_aborts_total", "", {{"reason", "deadline"}});
+  static obs::Counter& budget = obs::MetricsRegistry::Instance().counter(
+      "quarry_etl_lifecycle_aborts_total", "", {{"reason", "budget"}});
+  if (std::string_view(reason) == "cancelled") return cancelled;
+  if (std::string_view(reason) == "deadline") return deadline;
+  return budget;
+}
+
+void CountLifecycleAbort(const Status& status) {
+  if (status.IsCancelled()) {
+    LifecycleAbortCounter("cancelled").Increment();
+  } else if (status.IsDeadlineExceeded()) {
+    LifecycleAbortCounter("deadline").Increment();
+  } else if (status.IsResourceExhausted()) {
+    LifecycleAbortCounter("budget").Increment();
+  }
+}
+
+/// Cooperative cancellation inside row-loop operators: Tick() polls the
+/// context once per Executor::kCancelBatchRows rows. With no context the
+/// whole thing folds to an integer increment that the compiler removes.
+class BatchChecker {
+ public:
+  BatchChecker(const ExecContext* ctx, const std::string& node_id)
+      : ctx_(ctx), node_id_(node_id) {}
+
+  Status Tick() {
+    if (ctx_ == nullptr || (++count_ & (Executor::kCancelBatchRows - 1)) != 0) {
+      return Status::OK();
+    }
+    return ctx_->Check("node '" + node_id_ + "'");
+  }
+
+ private:
+  const ExecContext* ctx_;
+  const std::string& node_id_;
+  int64_t count_ = 0;
+};
+
+/// Cheap lower-bound estimate of a dataset's in-memory footprint, used for
+/// the intermediate-bytes budget. Deliberately ignores string payloads so
+/// the charge costs O(1) per node, not O(rows).
+int64_t ApproxDatasetBytes(const Dataset& data) {
+  return static_cast<int64_t>(data.rows.size()) *
+         static_cast<int64_t>(sizeof(storage::Row) +
+                              data.columns.size() * sizeof(storage::Value));
+}
+
 void CountNodeDone(const Node& node, int64_t rows_out, double micros) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
   obs::Labels op_label{{"op", OpTypeToString(node.type)}};
@@ -138,7 +196,9 @@ struct AggState {
   Value min, max;
 };
 
-Result<Dataset> RunAggregation(const Node& node, const Dataset& input) {
+Result<Dataset> RunAggregation(const Node& node, const Dataset& input,
+                               const ExecContext* ctx) {
+  BatchChecker batch(ctx, node.id);
   std::vector<std::string> group = SplitNonEmpty(Param(node, "group"));
   QUARRY_ASSIGN_OR_RETURN(auto specs, ParseAggSpecs(Param(node, "aggs")));
   QUARRY_ASSIGN_OR_RETURN(auto group_pos,
@@ -154,6 +214,7 @@ Result<Dataset> RunAggregation(const Node& node, const Dataset& input) {
   std::unordered_map<Row, std::vector<AggState>, RowKeyHash, RowKeyEq> groups;
   std::vector<Row> group_order;  // deterministic output order
   for (const Row& row : input.rows) {
+    QUARRY_RETURN_NOT_OK(batch.Tick());
     Row key = ExtractKey(row, group_pos);
     auto [it, inserted] =
         groups.try_emplace(key, std::vector<AggState>(specs.size()));
@@ -214,7 +275,8 @@ Result<Dataset> RunAggregation(const Node& node, const Dataset& input) {
 }
 
 Result<Dataset> RunJoin(const Node& node, const Dataset& left,
-                        const Dataset& right) {
+                        const Dataset& right, const ExecContext* ctx) {
+  BatchChecker batch(ctx, node.id);
   std::vector<std::string> left_keys = SplitNonEmpty(Param(node, "left"));
   std::vector<std::string> right_keys = SplitNonEmpty(Param(node, "right"));
   if (left_keys.empty() || left_keys.size() != right_keys.size()) {
@@ -248,6 +310,7 @@ Result<Dataset> RunJoin(const Node& node, const Dataset& left,
   out.columns.insert(out.columns.end(), right.columns.begin(),
                      right.columns.end());
   for (const Row& lrow : left.rows) {
+    QUARRY_RETURN_NOT_OK(batch.Tick());
     Row key = ExtractKey(lrow, left_pos);
     bool has_null = std::any_of(key.begin(), key.end(),
                                 [](const Value& v) { return v.is_null(); });
@@ -290,10 +353,27 @@ double RetryBackoffMillis(const RetryPolicy& policy, int failed_attempts,
   return exp * ((1.0 - policy.jitter_fraction) + policy.jitter_fraction * u);
 }
 
+double BoundedBackoffMillis(const RetryPolicy& policy, int failed_attempts,
+                            Prng* prng, double backoff_spent_millis,
+                            const ExecContext* ctx) {
+  double sleep_ms = RetryBackoffMillis(policy, failed_attempts, prng);
+  if (policy.total_backoff_budget_millis >= 0) {
+    double budget_left =
+        policy.total_backoff_budget_millis - backoff_spent_millis;
+    sleep_ms = std::min(sleep_ms, std::max(0.0, budget_left));
+  }
+  if (ctx != nullptr && !ctx->deadline().unbounded()) {
+    sleep_ms = std::min(sleep_ms, ctx->deadline().remaining_millis());
+  }
+  return sleep_ms;
+}
+
 Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
                                   const std::map<std::string, Dataset>& done,
-                                  ExecutionReport* report) {
+                                  ExecutionReport* report,
+                                  const ExecContext* ctx) {
   QUARRY_FAULT_POINT(std::string("etl.exec.") + OpTypeToString(node.type));
+  BatchChecker batch(ctx, node.id);
   std::vector<std::string> inputs = flow.Predecessors(node.id);
   auto input = [&](size_t i) -> const Dataset& {
     return done.at(inputs[i]);
@@ -317,6 +397,7 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
       Dataset out;
       out.columns = input(0).columns;
       for (const Row& row : input(0).rows) {
+        QUARRY_RETURN_NOT_OK(batch.Tick());
         RowView view{&out.columns, &row};
         QUARRY_ASSIGN_OR_RETURN(Value v, pred->Eval(view));
         if (!v.is_null() && v.is_bool() && v.as_bool()) {
@@ -334,6 +415,7 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
       out.columns = keep;
       out.rows.reserve(input(0).rows.size());
       for (const Row& row : input(0).rows) {
+        QUARRY_RETURN_NOT_OK(batch.Tick());
         out.rows.push_back(ExtractKey(row, positions));
       }
       return out;
@@ -343,10 +425,10 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
         return Status::ExecutionError("join '" + node.id +
                                       "' needs exactly 2 inputs");
       }
-      return RunJoin(node, input(0), input(1));
+      return RunJoin(node, input(0), input(1), ctx);
     }
     case OpType::kAggregation:
-      return RunAggregation(node, input(0));
+      return RunAggregation(node, input(0), ctx);
     case OpType::kFunction: {
       QUARRY_ASSIGN_OR_RETURN(Expr::Ptr expr, ParseExpr(Param(node, "expr")));
       std::string column = Param(node, "column");
@@ -359,6 +441,7 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
       out.columns.push_back(column);
       out.rows.reserve(input(0).rows.size());
       for (const Row& row : input(0).rows) {
+        QUARRY_RETURN_NOT_OK(batch.Tick());
         RowView view{&input(0).columns, &row};
         QUARRY_ASSIGN_OR_RETURN(Value v, expr->Eval(view));
         Row extended = row;
@@ -415,6 +498,7 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
       out.columns.push_back(column);
       out.rows.reserve(input(0).rows.size());
       for (const Row& row : input(0).rows) {
+        QUARRY_RETURN_NOT_OK(batch.Tick());
         Row key = ExtractKey(row, positions);
         auto [it, inserted] =
             ids.try_emplace(std::move(key),
@@ -498,6 +582,7 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
         }
       }
       for (const Row& row : data.rows) {
+        QUARRY_RETURN_NOT_OK(batch.Tick());
         if (!key_positions.empty()) {
           Row key = ExtractKey(row, key_positions);
           auto it = existing_rows.find(key);
@@ -551,25 +636,38 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
 }
 
 Result<ExecutionReport> Executor::Run(const Flow& flow) {
-  return RunInternal(flow, RetryPolicy{}, nullptr, /*resume=*/false);
+  return RunInternal(flow, RetryPolicy{}, nullptr, /*resume=*/false, nullptr);
 }
 
 Result<ExecutionReport> Executor::Run(const Flow& flow,
                                       const RetryPolicy& retry,
-                                      Checkpoint* checkpoint) {
-  return RunInternal(flow, retry, checkpoint, /*resume=*/false);
+                                      Checkpoint* checkpoint,
+                                      const ExecContext* ctx) {
+  return RunInternal(flow, retry, checkpoint, /*resume=*/false, ctx);
 }
 
 Result<ExecutionReport> Executor::Resume(const Flow& flow,
                                          Checkpoint* checkpoint,
-                                         const RetryPolicy& retry) {
-  return RunInternal(flow, retry, checkpoint, /*resume=*/true);
+                                         const RetryPolicy& retry,
+                                         const ExecContext* ctx) {
+  return RunInternal(flow, retry, checkpoint, /*resume=*/true, ctx);
 }
 
 Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
                                               const RetryPolicy& retry,
                                               Checkpoint* checkpoint,
-                                              bool resume) {
+                                              bool resume,
+                                              const ExecContext* ctx) {
+  if (ctx != nullptr && ctx->budget().max_flow_nodes > 0 &&
+      static_cast<int64_t>(flow.num_nodes()) >
+          ctx->budget().max_flow_nodes) {
+    // Refused before any work: a requirement that exploded into a huge flow
+    // (the SODA scenario) is rejected structurally, not timed out.
+    return Status::ResourceExhausted(
+        "flow '" + flow.name() + "' has " +
+        std::to_string(flow.num_nodes()) + " nodes, budget allows " +
+        std::to_string(ctx->budget().max_flow_nodes));
+  }
   QUARRY_ASSIGN_OR_RETURN(auto order, flow.TopologicalOrder());
   QUARRY_NAMED_SPAN(run_span, "etl.run");
   QUARRY_SPAN_ATTR(run_span, "flow", flow.name());
@@ -581,10 +679,12 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
   RunFailureCounter();
   RetryCounter();
   ResumeCounter();
+  LifecycleAbortCounter("cancelled");  // Registers all three reasons.
   if (resume) ResumeCounter().Increment();
   ExecutionReport report;
   Timer total;
   Prng backoff_prng(retry.jitter_seed);
+  double backoff_spent_ms = 0;  // Against retry.total_backoff_budget_millis.
   const int max_attempts = std::max(1, retry.max_attempts);
 
   std::set<std::string> completed;
@@ -642,10 +742,13 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
 
     // Loader attempts mutate the target; snapshot the table so a failed
     // attempt rolls back before the retry (or a later Resume). Skipped on
-    // the plain fail-fast path, which stays zero-overhead.
+    // the plain fail-fast path, which stays zero-overhead. A context makes
+    // loaders protected too: a cancellation mid-write must never leave a
+    // half-written table behind.
     const bool protect_loader =
         node.type == OpType::kLoader &&
-        (max_attempts > 1 || checkpoint != nullptr || fault::Enabled());
+        (max_attempts > 1 || checkpoint != nullptr || ctx != nullptr ||
+         fault::Enabled());
     const std::string loader_table =
         protect_loader ? Param(node, "table") : std::string();
 
@@ -653,22 +756,54 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
     Result<Dataset> result = Status::Internal("node never attempted");
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
       attempts_used = attempt;
+      // Cancellation point: every attempt of every node starts by checking
+      // the request is still live. A failed check behaves exactly like an
+      // operator fault (checkpoint populated, loaders rolled back), so
+      // Resume after a timeout works like Resume after a fault.
+      Status pre_check = CheckContext(ctx, "node '" + id + "'");
+      if (!pre_check.ok()) {
+        result = pre_check;
+        break;
+      }
       std::unique_ptr<storage::Table> table_snapshot;
+      bool loader_existed = false;
       if (protect_loader && target_->HasTable(loader_table)) {
         table_snapshot = (*target_->GetTable(loader_table))->Clone();
+        loader_existed = true;
       }
-      result = RunNode(node, flow, done, &report);
+      result = RunNode(node, flow, done, &report, ctx);
+      if (result.ok() && ctx != nullptr) {
+        // Budget charges ride inside the attempt so an over-budget node is
+        // rolled back (loaders included) like any other failed attempt.
+        // Loaders emit an empty dataset (they are sinks), so they charge
+        // their input instead — the rows materialized into the target.
+        int64_t charged_rows =
+            node.type == OpType::kLoader
+                ? rows_in
+                : static_cast<int64_t>(result->rows.size());
+        Status charge = ctx->ChargeRows(charged_rows, "node '" + id + "'");
+        if (charge.ok()) {
+          charge = ctx->ChargeBytes(ApproxDatasetBytes(*result),
+                                    "node '" + id + "'");
+        }
+        if (!charge.ok()) result = charge;
+      }
       if (result.ok()) break;
       if (protect_loader && !loader_table.empty()) {
         if (table_snapshot != nullptr) {
           target_->RestoreTable(std::move(table_snapshot));
-        } else {
+        } else if (!loader_existed) {
           target_->EraseTable(loader_table);  // Created by this attempt.
         }
       }
+      // A dead request is never retried: another attempt cannot revive a
+      // cancelled token, an expired deadline or a spent budget.
+      if (IsLifecycleError(result.status())) break;
       if (attempt < max_attempts) {
-        double sleep_ms = RetryBackoffMillis(retry, attempt, &backoff_prng);
+        double sleep_ms = BoundedBackoffMillis(retry, attempt, &backoff_prng,
+                                               backoff_spent_ms, ctx);
         if (sleep_ms > 0) {
+          backoff_spent_ms += sleep_ms;
           std::this_thread::sleep_for(
               std::chrono::duration<double, std::milli>(sleep_ms));
         }
@@ -676,6 +811,7 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
     }
     if (attempts_used > 1) RetryCounter().Increment(attempts_used - 1);
     if (!result.ok()) {
+      CountLifecycleAbort(result.status());
       if (checkpoint != nullptr) {
         checkpoint->failed_node = id;
         // The run is abandoned, so the live intermediates move into the

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/prng.h"
 #include "common/result.h"
 #include "etl/flow.h"
@@ -34,12 +35,27 @@ struct RetryPolicy {
   double max_backoff_millis = 64.0;
   double jitter_fraction = 0.5;  ///< Share of the backoff that jitters.
   uint64_t jitter_seed = 0x51;
+  /// Optional overall sleep budget across all retries of one run: the sum
+  /// of backoff sleeps never exceeds it (the last sleep is clipped, not
+  /// skipped). < 0 = unbounded. Combined with a request deadline, the
+  /// tighter of the two bounds wins, so retry scheduling can never push a
+  /// failure past the deadline (docs/ROBUSTNESS.md §7).
+  double total_backoff_budget_millis = -1.0;
 };
 
 /// Backoff before the retry following `failed_attempts` failures (>= 1),
 /// consuming one draw from `prng`. Exposed for determinism tests.
 double RetryBackoffMillis(const RetryPolicy& policy, int failed_attempts,
                           Prng* prng);
+
+/// RetryBackoffMillis clipped by (a) the policy's overall backoff budget
+/// given `backoff_spent_millis` already slept and (b) the remaining time on
+/// `ctx`'s deadline (nullable). Never negative; always consumes one PRNG
+/// draw so the jitter sequence stays aligned. Exposed for the
+/// deadline/retry interaction tests.
+double BoundedBackoffMillis(const RetryPolicy& policy, int failed_attempts,
+                            Prng* prng, double backoff_spent_millis,
+                            const ExecContext* ctx);
 
 /// \brief Resumable execution state: everything a re-run needs to continue
 /// from the last completed operator instead of re-running extraction.
@@ -102,8 +118,22 @@ struct ExecutionReport {
 /// (or a later Resume) never observes a half-written table. With a
 /// Checkpoint attached, a failed Run leaves enough state behind for
 /// Resume() to continue from the last completed operator.
+///
+/// Lifecycle (docs/ROBUSTNESS.md §7): with an ExecContext attached, the
+/// executor checks cancellation + deadline before every node attempt and
+/// cooperatively every kCancelBatchRows rows inside row-loop operators, and
+/// charges each node's output against the row/byte budgets. A lifecycle
+/// error (kCancelled / kDeadlineExceeded / kResourceExhausted) is never
+/// retried and fails the run exactly like an operator fault — loader tables
+/// roll back to their per-attempt snapshot and the checkpoint is populated,
+/// so Resume after a timeout works exactly like Resume after a fault.
 class Executor {
  public:
+  /// Row-loop operators poll ExecContext::Check once per this many rows:
+  /// frequent enough to bound cancellation latency on huge inputs, rare
+  /// enough to stay invisible next to per-row work (BENCH_lifecycle.json).
+  static constexpr int64_t kCancelBatchRows = 1024;
+
   /// `source` provides Datastore tables; `target` receives Loader output.
   /// Both pointers must outlive the executor. They may alias.
   Executor(const storage::Database* source, storage::Database* target)
@@ -114,23 +144,27 @@ class Executor {
 
   /// Runs the flow with per-node retries. When `checkpoint` is non-null it
   /// is (re)initialized and kept current, so a failed run can be resumed.
+  /// `ctx` (nullable) carries the request's token/deadline/budgets.
   Result<ExecutionReport> Run(const Flow& flow, const RetryPolicy& retry,
-                              Checkpoint* checkpoint = nullptr);
+                              Checkpoint* checkpoint = nullptr,
+                              const ExecContext* ctx = nullptr);
 
   /// Continues a failed run from `checkpoint`: completed operators are
   /// skipped (their checkpointed outputs feed the remaining ones) and the
   /// checkpoint keeps advancing, so Resume can itself be resumed.
   Result<ExecutionReport> Resume(const Flow& flow, Checkpoint* checkpoint,
-                                 const RetryPolicy& retry = {});
+                                 const RetryPolicy& retry = {},
+                                 const ExecContext* ctx = nullptr);
 
  private:
   Result<ExecutionReport> RunInternal(const Flow& flow,
                                       const RetryPolicy& retry,
-                                      Checkpoint* checkpoint, bool resume);
+                                      Checkpoint* checkpoint, bool resume,
+                                      const ExecContext* ctx);
 
   Result<Dataset> RunNode(const Node& node, const Flow& flow,
                           const std::map<std::string, Dataset>& done,
-                          ExecutionReport* report);
+                          ExecutionReport* report, const ExecContext* ctx);
 
   const storage::Database* source_;
   storage::Database* target_;

@@ -54,11 +54,13 @@ void PublishRoundGauges(const IntegrationOutcome& outcome,
 
 Result<IntegrationOutcome> DesignIntegrator::AddRequirement(
     const req::InformationRequirement& ir,
-    const interpreter::PartialDesign& partial) {
+    const interpreter::PartialDesign& partial, const ExecContext* ctx) {
   if (requirements_.count(ir.id) > 0) {
     return Status::AlreadyExists("requirement '" + ir.id +
                                  "' is already integrated");
   }
+  QUARRY_RETURN_NOT_OK(
+      CheckContext(ctx, "MD integration of '" + ir.id + "'"));
   QUARRY_NAMED_SPAN(span, "integrator.add_requirement");
   QUARRY_SPAN_ATTR(span, "ir_id", ir.id);
   Timer round_timer;
@@ -98,6 +100,11 @@ Result<IntegrationOutcome> DesignIntegrator::AddRequirement(
       table_it->second = mapped->second;
     }
   }
+  if (Status live = CheckContext(ctx, "ETL integration of '" + ir.id + "'");
+      !live.ok()) {
+    schema_ = std::move(schema_backup);
+    return live;
+  }
   auto etl_report = [&] {
     QUARRY_SPAN("integrator.etl_integrate");
     return etl_integrator_.Integrate(&flow_, flow_to_integrate);
@@ -110,6 +117,14 @@ Result<IntegrationOutcome> DesignIntegrator::AddRequirement(
   }
   outcome.etl = std::move(*etl_report);
 
+  if (Status live =
+          CheckContext(ctx, "post-integration verification of '" + ir.id +
+                                "'");
+      !live.ok()) {
+    schema_ = std::move(schema_backup);
+    flow_ = std::move(flow_backup);
+    return live;
+  }
   requirements_.emplace(ir.id, ir);
   Status verified = [&] {
     QUARRY_SPAN("integrator.verify_all");
@@ -159,9 +174,13 @@ Status DesignIntegrator::RemoveRequirement(const std::string& ir_id) {
 
 Result<IntegrationOutcome> DesignIntegrator::ChangeRequirement(
     const req::InformationRequirement& ir,
-    const interpreter::PartialDesign& partial) {
+    const interpreter::PartialDesign& partial, const ExecContext* ctx) {
+  // Check before the removal: a cancelled change must not get as far as
+  // removing the old version of the requirement.
+  QUARRY_RETURN_NOT_OK(
+      CheckContext(ctx, "change of requirement '" + ir.id + "'"));
   QUARRY_RETURN_NOT_OK(RemoveRequirement(ir.id));
-  return AddRequirement(ir, partial);
+  return AddRequirement(ir, partial, ctx);
 }
 
 Status DesignIntegrator::VerifyAll() const {

@@ -51,10 +51,14 @@ class DesignIntegrator {
   }
 
   /// Integrates the partial design of `ir`; on success the unified design
-  /// satisfies `ir` and all previously added requirements.
+  /// satisfies `ir` and all previously added requirements. `ctx` (nullable)
+  /// is checked before each integration stage — MD integrate, ETL
+  /// integrate, verification — and the round rolls back cleanly when the
+  /// request is cancelled or out of time between stages.
   Result<IntegrationOutcome> AddRequirement(
       const req::InformationRequirement& ir,
-      const interpreter::PartialDesign& partial);
+      const interpreter::PartialDesign& partial,
+      const ExecContext* ctx = nullptr);
 
   /// Removes a requirement and prunes design elements serving only it.
   /// Fails (leaving the design untouched) if a remaining requirement would
@@ -64,7 +68,8 @@ class DesignIntegrator {
   /// Replaces a changed requirement: removal + re-integration.
   Result<IntegrationOutcome> ChangeRequirement(
       const req::InformationRequirement& ir,
-      const interpreter::PartialDesign& partial);
+      const interpreter::PartialDesign& partial,
+      const ExecContext* ctx = nullptr);
 
   /// Re-verifies soundness and every requirement's satisfiability.
   Status VerifyAll() const;

@@ -82,11 +82,11 @@ std::string Interpreter::FactTableName(const InformationRequirement& ir) {
 }
 
 Result<PartialDesign> Interpreter::Interpret(
-    const InformationRequirement& ir) const {
+    const InformationRequirement& ir, const ExecContext* ctx) const {
   QUARRY_NAMED_SPAN(span, "interpreter.interpret");
   QUARRY_SPAN_ATTR(span, "ir_id", ir.id);
   Timer timer;
-  Result<PartialDesign> result = InterpretImpl(ir);
+  Result<PartialDesign> result = InterpretImpl(ir, ctx);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
   reg.counter("quarry_interpreter_requirements_total",
               "Information requirements handed to the interpreter")
@@ -109,7 +109,9 @@ Result<PartialDesign> Interpreter::Interpret(
 }
 
 Result<PartialDesign> Interpreter::InterpretImpl(
-    const InformationRequirement& ir) const {
+    const InformationRequirement& ir, const ExecContext* ctx) const {
+  QUARRY_RETURN_NOT_OK(
+      CheckContext(ctx, "interpreter requirement '" + ir.id + "'"));
   if (ir.id.empty()) {
     return Status::InvalidArgument("requirement has no id");
   }
@@ -166,6 +168,9 @@ Result<PartialDesign> Interpreter::InterpretImpl(
     }
   }
 
+  QUARRY_RETURN_NOT_OK(
+      CheckContext(ctx, "interpreter measures for '" + ir.id + "'"));
+
   // Parse measures, resolve their properties and rewrite to source columns.
   struct MeasureInfo {
     req::MeasureSpec spec;
@@ -211,6 +216,8 @@ Result<PartialDesign> Interpreter::InterpretImpl(
   }
 
   // ---- partial MD schema --------------------------------------------------
+  QUARRY_RETURN_NOT_OK(
+      CheckContext(ctx, "interpreter MD schema for '" + ir.id + "'"));
   md::MdSchema schema(ir.id);
   for (const auto& [concept_id, attrs] : dim_attrs) {
     md::Dimension dim;
@@ -246,6 +253,8 @@ Result<PartialDesign> Interpreter::InterpretImpl(
   QUARRY_RETURN_NOT_OK(md::CheckSound(schema, onto_));
 
   // ---- partial ETL flow ----------------------------------------------------
+  QUARRY_RETURN_NOT_OK(
+      CheckContext(ctx, "interpreter ETL flow for '" + ir.id + "'"));
   Flow flow(ir.id);
   auto trace = [&](Node node) {
     node.requirement_ids = {ir.id};
@@ -420,6 +429,14 @@ Result<PartialDesign> Interpreter::InterpretImpl(
 
   QUARRY_RETURN_NOT_OK(
       flow.Validate().WithContext("generated flow for '" + ir.id + "'"));
+  if (ctx != nullptr && ctx->budget().max_flow_nodes > 0 &&
+      static_cast<int64_t>(flow.nodes().size()) >
+          ctx->budget().max_flow_nodes) {
+    return Status::ResourceExhausted(
+        "generated flow for '" + ir.id + "' has " +
+        std::to_string(flow.nodes().size()) + " nodes, over the budget of " +
+        std::to_string(ctx->budget().max_flow_nodes));
+  }
   return PartialDesign{std::move(schema), std::move(flow)};
 }
 

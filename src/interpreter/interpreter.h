@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "etl/flow.h"
 #include "mdschema/md_schema.h"
@@ -50,9 +51,14 @@ class Interpreter {
               const ontology::SourceMapping* mapping)
       : onto_(onto), mapping_(mapping) {}
 
-  /// Translates one requirement into a validated partial design.
-  Result<PartialDesign> Interpret(
-      const req::InformationRequirement& ir) const;
+  /// Translates one requirement into a validated partial design. `ctx`
+  /// (nullable) is checked at every phase boundary — focus resolution,
+  /// path finding, schema assembly, flow generation — so a cancelled or
+  /// expired request stops between phases; the generated flow is also
+  /// checked against the context's max_flow_nodes budget, which rejects
+  /// requirements that explode into huge flows before anything runs.
+  Result<PartialDesign> Interpret(const req::InformationRequirement& ir,
+                                  const ExecContext* ctx = nullptr) const;
 
   /// Target table name for a dimension concept ("dim_<Concept>").
   static std::string DimTableName(const std::string& concept_id);
@@ -61,8 +67,8 @@ class Interpreter {
   static std::string FactTableName(const req::InformationRequirement& ir);
 
  private:
-  Result<PartialDesign> InterpretImpl(
-      const req::InformationRequirement& ir) const;
+  Result<PartialDesign> InterpretImpl(const req::InformationRequirement& ir,
+                                      const ExecContext* ctx) const;
 
   const ontology::Ontology* onto_;
   const ontology::SourceMapping* mapping_;

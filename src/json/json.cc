@@ -38,9 +38,17 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view input) : input_(input) {}
+  Parser(std::string_view input, const ParseLimits& limits)
+      : input_(input), limits_(limits) {}
 
   Result<Value> ParseDocument() {
+    if (limits_.max_input_bytes > 0 &&
+        input_.size() > limits_.max_input_bytes) {
+      return Status::ResourceExhausted(
+          "JSON document of " + std::to_string(input_.size()) +
+          " bytes exceeds the input limit of " +
+          std::to_string(limits_.max_input_bytes) + " bytes");
+    }
     QUARRY_ASSIGN_OR_RETURN(Value v, ParseValue());
     SkipWhitespace();
     if (pos_ != input_.size()) {
@@ -79,8 +87,18 @@ class Parser {
     SkipWhitespace();
     if (AtEnd()) return Status::ParseError("unexpected end of JSON input");
     char c = Peek();
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
+    if (c == '{' || c == '[') {
+      if (limits_.max_depth > 0 && depth_ >= limits_.max_depth) {
+        return Status::ResourceExhausted(
+            "value nesting exceeds the depth limit of " +
+            std::to_string(limits_.max_depth) + " at offset " +
+            std::to_string(pos_));
+      }
+      ++depth_;
+      Result<Value> nested = c == '{' ? ParseObject() : ParseArray();
+      --depth_;
+      return nested;
+    }
     if (c == '"') {
       QUARRY_ASSIGN_OR_RETURN(std::string s, ParseString());
       return Value(std::move(s));
@@ -249,7 +267,9 @@ class Parser {
   }
 
   std::string_view input_;
+  ParseLimits limits_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 void WriteString(const std::string& s, std::string* out) {
@@ -351,8 +371,8 @@ void WriteValue(const Value& value, bool pretty, int depth, std::string* out) {
 
 }  // namespace
 
-Result<Value> Parse(std::string_view input) {
-  Parser parser(input);
+Result<Value> Parse(std::string_view input, const ParseLimits& limits) {
+  Parser parser(input, limits);
   return parser.ParseDocument();
 }
 

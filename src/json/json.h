@@ -11,8 +11,13 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "xml/xml.h"
 
 namespace quarry::json {
+
+/// Shared structural-limit knobs (see xml::ParseLimits): max nesting depth
+/// and max input size, enforced as kResourceExhausted.
+using ParseLimits = xml::ParseLimits;
 
 class Value;
 
@@ -78,8 +83,10 @@ class Value {
       data_;
 };
 
-/// Parses a JSON document.
-Result<Value> Parse(std::string_view input);
+/// Parses a JSON document. Malformed input returns kParseError; input
+/// breaking `limits` (too deeply nested / too large) returns
+/// kResourceExhausted.
+Result<Value> Parse(std::string_view input, const ParseLimits& limits = {});
 
 /// Serializes a value; `pretty` indents with two spaces.
 std::string Write(const Value& value, bool pretty = false);

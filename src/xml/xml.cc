@@ -94,9 +94,17 @@ namespace {
 /// Recursive-descent XML parser over a string_view cursor.
 class Parser {
  public:
-  explicit Parser(std::string_view input) : input_(input) {}
+  Parser(std::string_view input, const ParseLimits& limits)
+      : input_(input), limits_(limits) {}
 
   Result<std::unique_ptr<Element>> ParseDocument() {
+    if (limits_.max_input_bytes > 0 &&
+        input_.size() > limits_.max_input_bytes) {
+      return Status::ResourceExhausted(
+          "XML document of " + std::to_string(input_.size()) +
+          " bytes exceeds the input limit of " +
+          std::to_string(limits_.max_input_bytes) + " bytes");
+    }
     SkipProlog();
     if (AtEnd() || Peek() != '<') {
       return Status::ParseError("expected root element");
@@ -269,6 +277,18 @@ class Parser {
   }
 
   Result<std::unique_ptr<Element>> ParseElement() {
+    if (limits_.max_depth > 0 && depth_ >= limits_.max_depth) {
+      return Status::ResourceExhausted(
+          "element nesting exceeds the depth limit of " +
+          std::to_string(limits_.max_depth) + " at " + Where());
+    }
+    ++depth_;
+    Result<std::unique_ptr<Element>> element = ParseElementInner();
+    --depth_;
+    return element;
+  }
+
+  Result<std::unique_ptr<Element>> ParseElementInner() {
     if (!Match("<")) {
       return Status::ParseError("expected '<' at " + Where());
     }
@@ -346,7 +366,9 @@ class Parser {
   }
 
   std::string_view input_;
+  ParseLimits limits_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 void WriteElement(const Element& element, bool pretty, int depth,
@@ -391,8 +413,9 @@ void WriteElement(const Element& element, bool pretty, int depth,
 
 }  // namespace
 
-Result<std::unique_ptr<Element>> Parse(std::string_view input) {
-  Parser parser(input);
+Result<std::unique_ptr<Element>> Parse(std::string_view input,
+                                       const ParseLimits& limits) {
+  Parser parser(input, limits);
   return parser.ParseDocument();
 }
 

@@ -86,13 +86,29 @@ class Element {
   std::vector<std::unique_ptr<Element>> children_;
 };
 
+/// \brief Structural limits enforced while parsing (docs/ROBUSTNESS.md §7).
+///
+/// Both parsers (XML here, JSON in json/json.h) refuse pathological inputs
+/// — a "billion-tags" nesting bomb or an oversized upload — with a
+/// structured kResourceExhausted instead of unbounded recursion or
+/// allocation. The defaults are far above anything Quarry's interchange
+/// formats produce; 0 disables a limit.
+struct ParseLimits {
+  size_t max_depth = 128;        ///< Deepest allowed element nesting.
+  size_t max_input_bytes = 64u << 20;  ///< Largest accepted document.
+};
+
 /// \brief Parses an XML document and returns its root element.
 ///
 /// Supports: the XML declaration, comments, CDATA sections, the five
 /// predefined entities, and decimal/hex character references. DTDs and
 /// processing instructions are skipped. Namespaces are kept verbatim in
 /// tag/attribute names.
-Result<std::unique_ptr<Element>> Parse(std::string_view input);
+///
+/// Malformed documents return kParseError; documents breaking `limits`
+/// return kResourceExhausted.
+Result<std::unique_ptr<Element>> Parse(std::string_view input,
+                                       const ParseLimits& limits = {});
 
 /// \brief Serializes a tree to text.
 ///

@@ -153,5 +153,53 @@ TEST_P(XmlJsonRoundtripProperty, TreeSurvivesBridge) {
 INSTANTIATE_TEST_SUITE_P(Seeds, XmlJsonRoundtripProperty,
                          ::testing::Range<uint64_t>(0, 25));
 
+// ---- hostile-input hardening (ParseLimits) --------------------------------
+
+TEST(JsonLimitsTest, DeepNestingBombIsRefusedNotOverflowed) {
+  // 100k unclosed arrays would blow the stack in a naive recursive
+  // parser; the depth limit turns it into a structured error.
+  std::string bomb(100000, '[');
+  auto parsed = json::Parse(bomb);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsResourceExhausted()) << parsed.status();
+  EXPECT_NE(parsed.status().message().find("depth"), std::string::npos);
+}
+
+TEST(JsonLimitsTest, DepthJustUnderTheLimitParses) {
+  ParseLimits limits;
+  limits.max_depth = 8;
+  std::string doc = std::string(8, '[') + std::string(8, ']');
+  EXPECT_TRUE(json::Parse(doc, limits).ok());
+  auto over = json::Parse("[" + doc + "]", limits);
+  ASSERT_FALSE(over.ok());
+  EXPECT_TRUE(over.status().IsResourceExhausted()) << over.status();
+}
+
+TEST(JsonLimitsTest, MixedObjectArrayNestingCountsBoth) {
+  ParseLimits limits;
+  limits.max_depth = 4;
+  EXPECT_TRUE(json::Parse(R"({"a":[{"b":1}]})", limits).ok());
+  auto over = json::Parse(R"({"a":[{"b":[{"c":1}]}]})", limits);
+  ASSERT_FALSE(over.ok());
+  EXPECT_TRUE(over.status().IsResourceExhausted()) << over.status();
+}
+
+TEST(JsonLimitsTest, OversizedInputIsRefusedUpfront) {
+  ParseLimits limits;
+  limits.max_input_bytes = 8;
+  auto parsed = json::Parse(R"({"key": "far past eight bytes"})", limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsResourceExhausted()) << parsed.status();
+  EXPECT_TRUE(json::Parse("[1,2]", limits).ok());
+}
+
+TEST(JsonLimitsTest, TruncatedDocumentIsAParseError) {
+  for (const char* doc : {"{\"a\": 1", "[1, 2", "\"unterminated", "{\"a\":"}) {
+    auto parsed = json::Parse(doc);
+    ASSERT_FALSE(parsed.ok()) << doc;
+    EXPECT_TRUE(parsed.status().IsParseError()) << parsed.status();
+  }
+}
+
 }  // namespace
 }  // namespace quarry::json

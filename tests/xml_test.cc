@@ -194,5 +194,58 @@ TEST_P(XmlRoundtripProperty, RandomTreeRoundtrips) {
 INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundtripProperty,
                          ::testing::Range<uint64_t>(0, 25));
 
+// ---- hostile-input hardening (ParseLimits) --------------------------------
+
+TEST(XmlLimitsTest, BillionTagsBombIsRefusedNotOverflowed) {
+  // 100k nested opens would blow the stack in a naive recursive parser;
+  // the depth limit turns it into a structured error.
+  constexpr int kDepth = 100000;
+  std::string bomb;
+  bomb.reserve(kDepth * 3);
+  for (int i = 0; i < kDepth; ++i) bomb += "<a>";
+  auto parsed = Parse(bomb);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsResourceExhausted()) << parsed.status();
+  EXPECT_NE(parsed.status().message().find("depth"), std::string::npos);
+}
+
+TEST(XmlLimitsTest, DepthJustUnderTheLimitParses) {
+  ParseLimits limits;
+  limits.max_depth = 8;
+  std::string doc;
+  for (int i = 0; i < 8; ++i) doc += "<a>";
+  for (int i = 0; i < 8; ++i) doc += "</a>";
+  EXPECT_TRUE(Parse(doc, limits).ok());
+  std::string too_deep = "<a>" + doc + "</a>";
+  auto over = Parse(too_deep, limits);
+  ASSERT_FALSE(over.ok());
+  EXPECT_TRUE(over.status().IsResourceExhausted()) << over.status();
+}
+
+TEST(XmlLimitsTest, OversizedInputIsRefusedUpfront) {
+  ParseLimits limits;
+  limits.max_input_bytes = 16;
+  auto parsed = Parse("<root>way past sixteen bytes</root>", limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsResourceExhausted()) << parsed.status();
+  EXPECT_TRUE(Parse("<r/>", limits).ok());
+}
+
+TEST(XmlLimitsTest, ZeroDisablesALimit) {
+  ParseLimits limits;
+  limits.max_depth = 0;
+  limits.max_input_bytes = 0;
+  std::string doc;
+  for (int i = 0; i < 300; ++i) doc += "<a>";
+  for (int i = 0; i < 300; ++i) doc += "</a>";
+  EXPECT_TRUE(Parse(doc, limits).ok());
+}
+
+TEST(XmlLimitsTest, TruncatedDocumentIsAParseError) {
+  auto parsed = Parse("<root><child>text");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsParseError()) << parsed.status();
+}
+
 }  // namespace
 }  // namespace quarry::xml

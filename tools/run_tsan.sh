@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the concurrency suite (ctest label `tsan` — the admission-control /
+# cancellation tests of docs/ROBUSTNESS.md §7) in a dedicated
+# ThreadSanitizer-instrumented build, so every cross-thread handoff in the
+# request-lifecycle layer (CancellationToken, AdmissionController, the
+# Submit* serialization) is checked for data races, not just correctness.
+#
+# Usage: tools/run_tsan.sh [build-dir]
+#   build-dir  defaults to build-tsan (kept separate from the plain build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DQUARRY_SANITIZE=thread
+cmake --build "${build_dir}" -j
+
+# halt_on_error makes a TSan report fail the ctest run instead of only
+# printing a warning and exiting 0.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+if ! ctest --test-dir "${build_dir}" -L tsan -N | grep -q 'Total Tests: [1-9]'; then
+  echo "run_tsan: no tests carry the 'tsan' label" >&2
+  exit 1
+fi
+
+ctest --test-dir "${build_dir}" -L tsan --output-on-failure
+echo "==== tsan suite passed ===="
