@@ -166,6 +166,9 @@ Result<deployer::DeploymentOutcome> Quarry::DeployResilient(
   }
   options.database_name = config_.database_name;
   options.metadata = &repository_.store();
+  // The instance-wide scheduler config applies unless this deployment's
+  // options already ask for parallelism themselves.
+  if (options.exec.max_workers <= 1) options.exec = config_.etl_exec;
   deployer::Deployer dep(source_, target);
   return dep.DeployTransactional(design_->schema(), design_->flow(),
                                  *mapping_, options);
@@ -178,7 +181,7 @@ Result<etl::ExecutionReport> Quarry::Refresh(storage::Database* target,
   }
   QUARRY_SPAN("quarry.refresh");
   deployer::Deployer dep(source_, target);
-  return dep.Refresh(design_->flow(), {}, ctx);
+  return dep.Refresh(design_->flow(), {}, ctx, config_.etl_exec);
 }
 
 Result<integrator::IntegrationOutcome> Quarry::SubmitRequirement(

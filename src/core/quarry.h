@@ -28,6 +28,11 @@ struct QuarryConfig {
   std::string database_name = "demo";
   /// Gate in front of the Submit* entry points (docs/ROBUSTNESS.md §7).
   AdmissionOptions admission;
+  /// How ETL runs execute (docs/ROBUSTNESS.md §8): `max_workers > 1` runs
+  /// Deploy/Refresh flows on the wavefront scheduler. Applied to Refresh /
+  /// SubmitRefresh always, and to DeployResilient / SubmitDeploy unless the
+  /// caller's DeployOptions ask for parallelism themselves.
+  etl::ExecOptions etl_exec;
 };
 
 /// \brief The end-to-end Quarry system (paper Fig. 1): wires together the

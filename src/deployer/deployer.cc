@@ -242,7 +242,8 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
   {
     StageScope stage("etl");
     QUARRY_SPAN("deploy.etl");
-    etl_report = executor.Run(*optimized, options.retry, &checkpoint, ctx);
+    etl_report =
+        executor.Run(*optimized, options.exec, options.retry, &checkpoint, ctx);
   }
   if (!etl_report.ok()) {
     // Best-effort keeps completed tables only for genuine operator faults.
@@ -360,14 +361,15 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
 
 Result<etl::ExecutionReport> Deployer::Refresh(const etl::Flow& flow,
                                                const etl::RetryPolicy& retry,
-                                               const ExecContext* ctx) {
+                                               const ExecContext* ctx,
+                                               const etl::ExecOptions& exec) {
   QUARRY_SPAN("deploy.refresh");
   QUARRY_RETURN_NOT_OK(CheckContext(ctx, "refresh"));
   QUARRY_ASSIGN_OR_RETURN(etl::Flow optimized,
                           OptimizeForExecution(flow, *source_));
   etl::Executor executor(source_, target_);
   QUARRY_ASSIGN_OR_RETURN(etl::ExecutionReport report,
-                          executor.Run(optimized, retry, nullptr, ctx));
+                          executor.Run(optimized, exec, retry, nullptr, ctx));
   QUARRY_RETURN_NOT_OK(
       target_->CheckReferentialIntegrity().WithContext("post-refresh "
                                                        "integrity check"));

@@ -31,6 +31,10 @@ struct DeployOptions {
   /// Applied per ETL node, and as the attempt count for DDL execution and
   /// the metadata record write.
   etl::RetryPolicy retry;
+  /// How the ETL population stage executes: `exec.max_workers > 1` runs
+  /// independent nodes on the wavefront scheduler (docs/ROBUSTNESS.md §8);
+  /// target tables stay byte-identical to a serial run either way.
+  etl::ExecOptions exec;
   /// Request lifecycle (nullable): cancellation + deadline are checked at
   /// every stage boundary and cooperatively inside the ETL stage; budgets
   /// apply to the ETL run. A deadline or cancellation mid-deploy always
@@ -110,9 +114,11 @@ class Deployer {
   /// flow without touching the schema. Keyed loaders skip rows already
   /// present and merge-fill new measure columns, so only source changes
   /// since the last run land in the target. Verifies integrity afterwards.
+  /// `exec.max_workers > 1` refreshes on the wavefront scheduler.
   Result<etl::ExecutionReport> Refresh(const etl::Flow& flow,
                                        const etl::RetryPolicy& retry = {},
-                                       const ExecContext* ctx = nullptr);
+                                       const ExecContext* ctx = nullptr,
+                                       const etl::ExecOptions& exec = {});
 
  private:
   const storage::Database* source_;

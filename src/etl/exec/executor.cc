@@ -11,6 +11,7 @@
 #include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "etl/exec/scheduler.h"
 #include "etl/expr.h"
 #include "etl/schema_inference.h"
 #include "obs/metrics.h"
@@ -368,16 +369,13 @@ double BoundedBackoffMillis(const RetryPolicy& policy, int failed_attempts,
   return sleep_ms;
 }
 
-Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
-                                  const std::map<std::string, Dataset>& done,
-                                  ExecutionReport* report,
+Result<Dataset> Executor::RunNode(const Node& node,
+                                  const std::vector<const Dataset*>& inputs,
+                                  LoaderEffect* loader,
                                   const ExecContext* ctx) {
   QUARRY_FAULT_POINT(std::string("etl.exec.") + OpTypeToString(node.type));
   BatchChecker batch(ctx, node.id);
-  std::vector<std::string> inputs = flow.Predecessors(node.id);
-  auto input = [&](size_t i) -> const Dataset& {
-    return done.at(inputs[i]);
-  };
+  auto input = [&](size_t i) -> const Dataset& { return *inputs[i]; };
   switch (node.type) {
     case OpType::kDatastore: {
       QUARRY_ASSIGN_OR_RETURN(const storage::Table* table,
@@ -523,7 +521,8 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
         // later loads into the same table). Deployed designs always
         // pre-create their tables via DDL, so this only affects ad-hoc
         // runs.
-        report->loaded[table_name] += 0;
+        loader->table = table_name;
+        loader->fired = true;  // rows stays 0
         Dataset out;
         out.columns = data.columns;
         return out;
@@ -619,14 +618,11 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
       }
       // Mid-write fault site: fires after the rows above landed in the
       // target, leaving exactly the half-written state the loader snapshot
-      // in RunInternal must roll back before a retry.
+      // in ExecuteNode must roll back before a retry.
       QUARRY_FAULT_POINT("etl.exec.Loader.write");
-      report->loaded[table_name] += written;
-      obs::MetricsRegistry::Instance()
-          .counter("quarry_etl_rows_loaded_total",
-                   "Rows written into target tables by loader nodes",
-                   {{"table", table_name}})
-          .Increment(written);
+      loader->table = table_name;
+      loader->rows = written;
+      loader->fired = true;
       Dataset out;
       out.columns = data.columns;
       return out;  // Loaders are sinks; emit an empty dataset.
@@ -635,25 +631,133 @@ Result<Dataset> Executor::RunNode(const Node& node, const Flow& flow,
   return Status::Internal("unknown operator type");
 }
 
+Executor::NodeAttempt Executor::ExecuteNode(
+    const Node& node, const std::vector<const Dataset*>& inputs,
+    int64_t rows_in, const RetryPolicy& retry, const ExecContext* ctx,
+    bool protect_loader_always, Prng* backoff_prng, BackoffBudget* backoff) {
+  const int max_attempts = std::max(1, retry.max_attempts);
+  // Loader attempts mutate the target; snapshot the table so a failed
+  // attempt rolls back before the retry (or a later Resume). Skipped on
+  // the plain fail-fast path, which stays zero-overhead. A context makes
+  // loaders protected too: a cancellation mid-write must never leave a
+  // half-written table behind.
+  const bool protect_loader =
+      node.type == OpType::kLoader &&
+      (max_attempts > 1 || protect_loader_always || ctx != nullptr ||
+       fault::Enabled());
+  const std::string loader_table =
+      protect_loader ? Param(node, "table") : std::string();
+
+  NodeAttempt out;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    out.attempts = attempt;
+    // Cancellation point: every attempt of every node starts by checking
+    // the request is still live. A failed check behaves exactly like an
+    // operator fault (checkpoint populated, loaders rolled back), so
+    // Resume after a timeout works like Resume after a fault.
+    Status pre_check = CheckContext(ctx, "node '" + node.id + "'");
+    if (!pre_check.ok()) {
+      out.result = pre_check;
+      break;
+    }
+    std::unique_ptr<storage::Table> table_snapshot;
+    bool loader_existed = false;
+    if (protect_loader && target_->HasTable(loader_table)) {
+      table_snapshot = (*target_->GetTable(loader_table))->Clone();
+      loader_existed = true;
+    }
+    LoaderEffect effect;
+    out.result = RunNode(node, inputs, &effect, ctx);
+    if (out.result.ok() && ctx != nullptr) {
+      // Budget charges ride inside the attempt so an over-budget node is
+      // rolled back (loaders included) like any other failed attempt.
+      // Loaders emit an empty dataset (they are sinks), so they charge
+      // their input instead — the rows materialized into the target.
+      int64_t charged_rows =
+          node.type == OpType::kLoader
+              ? rows_in
+              : static_cast<int64_t>(out.result->rows.size());
+      Status charge =
+          ctx->ChargeRows(charged_rows, "node '" + node.id + "'");
+      if (charge.ok()) {
+        charge = ctx->ChargeBytes(ApproxDatasetBytes(*out.result),
+                                  "node '" + node.id + "'");
+      }
+      if (!charge.ok()) out.result = charge;
+    }
+    if (out.result.ok()) {
+      out.loader = effect;
+      if (effect.fired) {
+        obs::MetricsRegistry::Instance()
+            .counter("quarry_etl_rows_loaded_total",
+                     "Rows written into target tables by loader nodes",
+                     {{"table", effect.table}})
+            .Increment(effect.rows);
+      }
+      break;
+    }
+    if (protect_loader && !loader_table.empty()) {
+      if (table_snapshot != nullptr) {
+        target_->RestoreTable(std::move(table_snapshot));
+      } else if (!loader_existed) {
+        target_->EraseTable(loader_table);  // Created by this attempt.
+      }
+    }
+    // A dead request is never retried: another attempt cannot revive a
+    // cancelled token, an expired deadline or a spent budget.
+    if (IsLifecycleError(out.result.status())) break;
+    if (attempt < max_attempts) {
+      double sleep_ms = BoundedBackoffMillis(retry, attempt, backoff_prng,
+                                             backoff->spent_millis(), ctx);
+      if (sleep_ms > 0) {
+        backoff->Add(sleep_ms);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      }
+    }
+  }
+  return out;
+}
+
 Result<ExecutionReport> Executor::Run(const Flow& flow) {
-  return RunInternal(flow, RetryPolicy{}, nullptr, /*resume=*/false, nullptr);
+  return RunInternal(flow, ExecOptions{}, RetryPolicy{}, nullptr,
+                     /*resume=*/false, nullptr);
 }
 
 Result<ExecutionReport> Executor::Run(const Flow& flow,
                                       const RetryPolicy& retry,
                                       Checkpoint* checkpoint,
                                       const ExecContext* ctx) {
-  return RunInternal(flow, retry, checkpoint, /*resume=*/false, ctx);
+  return RunInternal(flow, ExecOptions{}, retry, checkpoint, /*resume=*/false,
+                     ctx);
+}
+
+Result<ExecutionReport> Executor::Run(const Flow& flow,
+                                      const ExecOptions& options,
+                                      const RetryPolicy& retry,
+                                      Checkpoint* checkpoint,
+                                      const ExecContext* ctx) {
+  return RunInternal(flow, options, retry, checkpoint, /*resume=*/false, ctx);
 }
 
 Result<ExecutionReport> Executor::Resume(const Flow& flow,
                                          Checkpoint* checkpoint,
                                          const RetryPolicy& retry,
                                          const ExecContext* ctx) {
-  return RunInternal(flow, retry, checkpoint, /*resume=*/true, ctx);
+  return RunInternal(flow, ExecOptions{}, retry, checkpoint, /*resume=*/true,
+                     ctx);
+}
+
+Result<ExecutionReport> Executor::Resume(const Flow& flow,
+                                         const ExecOptions& options,
+                                         Checkpoint* checkpoint,
+                                         const RetryPolicy& retry,
+                                         const ExecContext* ctx) {
+  return RunInternal(flow, options, retry, checkpoint, /*resume=*/true, ctx);
 }
 
 Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
+                                              const ExecOptions& options,
                                               const RetryPolicy& retry,
                                               Checkpoint* checkpoint,
                                               bool resume,
@@ -684,8 +788,7 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
   ExecutionReport report;
   Timer total;
   Prng backoff_prng(retry.jitter_seed);
-  double backoff_spent_ms = 0;  // Against retry.total_backoff_budget_millis.
-  const int max_attempts = std::max(1, retry.max_attempts);
+  BackoffBudget backoff;  // Against retry.total_backoff_budget_millis.
 
   std::set<std::string> completed;
   std::map<std::string, Dataset> done;
@@ -727,6 +830,18 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
     remaining_consumers[id] = pending;
   }
 
+  // Parallel runs go through the wavefront scheduler once the shared
+  // prologue above (validation, counters, checkpoint/resume state) has run.
+  // When source and target alias, a loader write would race the datastore
+  // reads of concurrent siblings, so such runs silently degrade to serial.
+  if (options.max_workers > 1 && source_ != target_) {
+    Scheduler scheduler(this, options);
+    return scheduler.Run(flow, order, retry, checkpoint, ctx,
+                         std::move(completed), std::move(done),
+                         std::move(remaining_consumers), std::move(report),
+                         resumed_any, total);
+  }
+
   for (const std::string& id : order) {
     if (completed.count(id) > 0) continue;  // Resumed from checkpoint.
     const Node& node = *flow.GetNode(id).value();
@@ -734,81 +849,21 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
                       std::string("etl.node.") + OpTypeToString(node.type));
     QUARRY_SPAN_ATTR(node_span, "node_id", id);
     Timer node_timer;
+    std::vector<const Dataset*> inputs;
     int64_t rows_in = 0;
     for (const std::string& pred : flow.Predecessors(id)) {
-      rows_in += static_cast<int64_t>(done.at(pred).rows.size());
+      const Dataset& dataset = done.at(pred);
+      inputs.push_back(&dataset);
+      rows_in += static_cast<int64_t>(dataset.rows.size());
     }
     RowsInCounter().Increment(rows_in);
 
-    // Loader attempts mutate the target; snapshot the table so a failed
-    // attempt rolls back before the retry (or a later Resume). Skipped on
-    // the plain fail-fast path, which stays zero-overhead. A context makes
-    // loaders protected too: a cancellation mid-write must never leave a
-    // half-written table behind.
-    const bool protect_loader =
-        node.type == OpType::kLoader &&
-        (max_attempts > 1 || checkpoint != nullptr || ctx != nullptr ||
-         fault::Enabled());
-    const std::string loader_table =
-        protect_loader ? Param(node, "table") : std::string();
-
-    int attempts_used = 0;
-    Result<Dataset> result = Status::Internal("node never attempted");
-    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-      attempts_used = attempt;
-      // Cancellation point: every attempt of every node starts by checking
-      // the request is still live. A failed check behaves exactly like an
-      // operator fault (checkpoint populated, loaders rolled back), so
-      // Resume after a timeout works like Resume after a fault.
-      Status pre_check = CheckContext(ctx, "node '" + id + "'");
-      if (!pre_check.ok()) {
-        result = pre_check;
-        break;
-      }
-      std::unique_ptr<storage::Table> table_snapshot;
-      bool loader_existed = false;
-      if (protect_loader && target_->HasTable(loader_table)) {
-        table_snapshot = (*target_->GetTable(loader_table))->Clone();
-        loader_existed = true;
-      }
-      result = RunNode(node, flow, done, &report, ctx);
-      if (result.ok() && ctx != nullptr) {
-        // Budget charges ride inside the attempt so an over-budget node is
-        // rolled back (loaders included) like any other failed attempt.
-        // Loaders emit an empty dataset (they are sinks), so they charge
-        // their input instead — the rows materialized into the target.
-        int64_t charged_rows =
-            node.type == OpType::kLoader
-                ? rows_in
-                : static_cast<int64_t>(result->rows.size());
-        Status charge = ctx->ChargeRows(charged_rows, "node '" + id + "'");
-        if (charge.ok()) {
-          charge = ctx->ChargeBytes(ApproxDatasetBytes(*result),
-                                    "node '" + id + "'");
-        }
-        if (!charge.ok()) result = charge;
-      }
-      if (result.ok()) break;
-      if (protect_loader && !loader_table.empty()) {
-        if (table_snapshot != nullptr) {
-          target_->RestoreTable(std::move(table_snapshot));
-        } else if (!loader_existed) {
-          target_->EraseTable(loader_table);  // Created by this attempt.
-        }
-      }
-      // A dead request is never retried: another attempt cannot revive a
-      // cancelled token, an expired deadline or a spent budget.
-      if (IsLifecycleError(result.status())) break;
-      if (attempt < max_attempts) {
-        double sleep_ms = BoundedBackoffMillis(retry, attempt, &backoff_prng,
-                                               backoff_spent_ms, ctx);
-        if (sleep_ms > 0) {
-          backoff_spent_ms += sleep_ms;
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(sleep_ms));
-        }
-      }
-    }
+    NodeAttempt outcome =
+        ExecuteNode(node, inputs, rows_in, retry, ctx,
+                    /*protect_loader_always=*/checkpoint != nullptr,
+                    &backoff_prng, &backoff);
+    Result<Dataset>& result = outcome.result;
+    const int attempts_used = outcome.attempts;
     if (attempts_used > 1) RetryCounter().Increment(attempts_used - 1);
     if (!result.ok()) {
       CountLifecycleAbort(result.status());
@@ -826,6 +881,9 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
         context += " after " + std::to_string(attempts_used) + " attempts";
       }
       return result.status().WithContext(context);
+    }
+    if (outcome.loader.fired) {
+      report.loaded[outcome.loader.table] += outcome.loader.rows;
     }
 
     NodeStats stats;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,20 +59,36 @@ double BoundedBackoffMillis(const RetryPolicy& policy, int failed_attempts,
                             const ExecContext* ctx);
 
 /// \brief Resumable execution state: everything a re-run needs to continue
-/// from the last completed operator instead of re-running extraction.
+/// from the already-completed operators instead of re-running extraction.
 ///
 /// `Run` keeps `completed`/`loaded` current as nodes finish; `datasets` is
 /// filled only when a run fails (the abandoned run's live intermediates
 /// move in wholesale), so the success path never copies a dataset and the
 /// checkpoint never holds more intermediates than the executor itself did.
-/// `Resume` picks up from the completed prefix.
+/// `completed` is a *set* of node ids (recorded in completion order), not a
+/// prefix of the topological order: a parallel run that fails mid-wavefront
+/// checkpoints the completed antichain's downward closure — siblings of the
+/// failed node that finished out of topological-order position are included
+/// and never re-run. `Resume` skips exactly that set, so resuming after a
+/// mid-parallel fault works like resuming a serial run.
 struct Checkpoint {
   std::string flow_name;
-  std::vector<std::string> completed;      ///< Node ids, in execution order.
+  std::vector<std::string> completed;      ///< Node ids, in completion order.
   std::map<std::string, Dataset> datasets; ///< Failure-time intermediates.
   std::map<std::string, int64_t> loaded;   ///< Rows written by completed loaders.
   std::string failed_node;                 ///< Set when the producing run failed.
   bool valid = false;                      ///< A run has populated this.
+};
+
+/// \brief How a flow is executed (docs/ROBUSTNESS.md §8).
+struct ExecOptions {
+  /// Worker-pool size of the wavefront scheduler. 1 (the default) runs the
+  /// flow serially on the calling thread — exactly the pre-scheduler
+  /// behavior. N > 1 executes independent nodes concurrently; target-table
+  /// contents stay byte-identical to a serial run because loader nodes are
+  /// sequenced in topological order (tests/etl_parallel_test.cc proves it
+  /// differentially). Values above the node count just idle extra workers.
+  int max_workers = 1;
 };
 
 /// Per-node execution statistics.
@@ -127,6 +144,15 @@ struct ExecutionReport {
 /// retried and fails the run exactly like an operator fault — loader tables
 /// roll back to their per-attempt snapshot and the checkpoint is populated,
 /// so Resume after a timeout works exactly like Resume after a fault.
+///
+/// Parallelism (docs/ROBUSTNESS.md §8): with ExecOptions::max_workers > 1
+/// the run goes through the wavefront scheduler (etl/exec/scheduler.h) —
+/// independent nodes execute concurrently on a worker pool while sharing
+/// one ExecContext (atomic budget charges, per-node checks, cooperative
+/// polls). Loader nodes are sequenced in topological order, so the target
+/// tables come out byte-identical to a serial run. When source and target
+/// alias, parallel requests silently degrade to serial: a loader writing
+/// the catalog a sibling extraction is reading from cannot be overlapped.
 class Executor {
  public:
   /// Row-loop operators poll ExecContext::Check once per this many rows:
@@ -149,22 +175,95 @@ class Executor {
                               Checkpoint* checkpoint = nullptr,
                               const ExecContext* ctx = nullptr);
 
+  /// Like the above, with explicit execution options — `options.max_workers
+  /// > 1` runs independent nodes on the wavefront scheduler
+  /// (etl/exec/scheduler.h). Every contract of the serial path carries
+  /// over: retries per node (applied on whichever worker runs the node),
+  /// lifecycle errors never retried, loader rollback, checkpoint/Resume.
+  Result<ExecutionReport> Run(const Flow& flow, const ExecOptions& options,
+                              const RetryPolicy& retry,
+                              Checkpoint* checkpoint = nullptr,
+                              const ExecContext* ctx = nullptr);
+
   /// Continues a failed run from `checkpoint`: completed operators are
   /// skipped (their checkpointed outputs feed the remaining ones) and the
-  /// checkpoint keeps advancing, so Resume can itself be resumed.
+  /// checkpoint keeps advancing, so Resume can itself be resumed. The
+  /// checkpoint's completed *set* may come from a serial or a parallel run;
+  /// either executor mode resumes it.
   Result<ExecutionReport> Resume(const Flow& flow, Checkpoint* checkpoint,
                                  const RetryPolicy& retry = {},
                                  const ExecContext* ctx = nullptr);
 
+  /// Resume on the wavefront scheduler (options.max_workers > 1).
+  Result<ExecutionReport> Resume(const Flow& flow, const ExecOptions& options,
+                                 Checkpoint* checkpoint,
+                                 const RetryPolicy& retry = {},
+                                 const ExecContext* ctx = nullptr);
+
  private:
+  friend class Scheduler;
+
+  /// What a loader node did to the target, reported back to the caller so
+  /// `ExecutionReport::loaded` (and the rows-loaded metric) is only charged
+  /// once the whole attempt — including the budget charges that ride inside
+  /// it — has succeeded.
+  struct LoaderEffect {
+    std::string table;
+    int64_t rows = 0;
+    bool fired = false;
+  };
+
+  /// Thread-safe accumulator for RetryPolicy::total_backoff_budget_millis:
+  /// in a parallel run several workers may sleep concurrently, and the
+  /// budget bounds their *sum*, exactly like the serial sum of sleeps.
+  class BackoffBudget {
+   public:
+    double spent_millis() const {
+      std::lock_guard<std::mutex> lock(mu_);
+      return spent_millis_;
+    }
+    void Add(double millis) {
+      std::lock_guard<std::mutex> lock(mu_);
+      spent_millis_ += millis;
+    }
+
+   private:
+    mutable std::mutex mu_;
+    double spent_millis_ = 0;
+  };
+
+  /// Outcome of one node's full attempt loop.
+  struct NodeAttempt {
+    Result<Dataset> result = Status::Internal("node never attempted");
+    int attempts = 1;
+    LoaderEffect loader;  ///< Valid only when `result` is OK.
+  };
+
   Result<ExecutionReport> RunInternal(const Flow& flow,
+                                      const ExecOptions& options,
                                       const RetryPolicy& retry,
                                       Checkpoint* checkpoint, bool resume,
                                       const ExecContext* ctx);
 
-  Result<Dataset> RunNode(const Node& node, const Flow& flow,
-                          const std::map<std::string, Dataset>& done,
-                          ExecutionReport* report, const ExecContext* ctx);
+  /// Runs one operator once. `inputs` are the predecessor datasets in edge
+  /// order (resolved by the caller, so concurrent workers never look up the
+  /// shared dataset map while another thread mutates it).
+  Result<Dataset> RunNode(const Node& node,
+                          const std::vector<const Dataset*>& inputs,
+                          LoaderEffect* loader, const ExecContext* ctx);
+
+  /// The per-node attempt loop shared by the serial path and the scheduler:
+  /// context pre-check, loader table snapshot, RunNode, budget charges
+  /// inside the attempt, loader rollback on failure, bounded backoff
+  /// between attempts. Lifecycle errors are never retried.
+  /// `protect_loader_always` forces the loader snapshot even without
+  /// retries/checkpoint/ctx (parallel runs always protect: a sibling's
+  /// failure must never leave this loader's table half-written).
+  NodeAttempt ExecuteNode(const Node& node,
+                          const std::vector<const Dataset*>& inputs,
+                          int64_t rows_in, const RetryPolicy& retry,
+                          const ExecContext* ctx, bool protect_loader_always,
+                          Prng* backoff_prng, BackoffBudget* backoff);
 
   const storage::Database* source_;
   storage::Database* target_;

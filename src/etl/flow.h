@@ -102,6 +102,15 @@ class Flow {
   std::vector<std::string> Predecessors(const std::string& id) const;
   std::vector<std::string> Successors(const std::string& id) const;
 
+  /// Successor adjacency of every node (edge insertion order per node) in
+  /// one O(edges) pass — the per-id Successors() is O(edges) per call,
+  /// which the wavefront scheduler would turn into O(V·E).
+  std::map<std::string, std::vector<std::string>> SuccessorLists() const;
+
+  /// Incoming-edge count of every node in one O(edges) pass; the
+  /// scheduler's dependency counters start from these.
+  std::map<std::string, size_t> InDegrees() const;
+
   /// Nodes with no incoming / outgoing edges.
   std::vector<std::string> SourceIds() const;
   std::vector<std::string> SinkIds() const;

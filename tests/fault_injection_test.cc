@@ -444,5 +444,126 @@ TEST_F(FaultInjectionTest, BestEffortKeepsFullyLoadedTables) {
   EXPECT_EQ(record->GetString("status"), "partial");
 }
 
+// ---------------------------------------------------------------------------
+// The fault matrix under the wavefront scheduler (docs/ROBUSTNESS.md §8):
+// identical contracts when the ETL stage runs with max_workers = 4.
+
+/// Executor-owned fault sites: the ones a parallel ETL run can hit from
+/// several workers at once. Deployer/storage/docstore sites run outside the
+/// scheduler and are covered by the serial matrix above.
+std::vector<std::string> ExecutorSites(const std::vector<std::string>& all) {
+  std::vector<std::string> out;
+  for (const std::string& site : all) {
+    if (site.rfind("etl.exec.", 0) == 0) out.push_back(site);
+  }
+  return out;
+}
+
+TEST_F(FaultInjectionTest, ParallelEverySiteRecoversFromOneTransientFault) {
+  std::vector<std::string> sites = ExecutorSites(DiscoverSites());
+  ASSERT_GT(sites.size(), 0u);
+
+  for (const std::string& site : sites) {
+    Injector::Instance().Disable();
+    storage::Database target;
+    SeedTarget(&target);
+    docstore::DocumentStore meta = SeededMetadata();
+
+    // Count-based triggers only: which worker draws the Nth hit varies,
+    // but exactly one fault fires and must be absorbed by that worker's
+    // retry loop regardless of who it is.
+    Injector::Instance().ClearConfigs();
+    Injector::Instance().Configure(site,
+                                   {.trigger_on_hit = 1, .max_failures = 1});
+    Injector::Instance().Enable(7);
+
+    DeployOptions options;
+    options.retry.max_attempts = 4;
+    options.exec.max_workers = 4;
+    DeploymentOutcome outcome = Deploy(&target, &meta, options);
+    EXPECT_TRUE(outcome.success) << "site " << site << ": "
+                                 << (outcome.failure
+                                         ? outcome.failure->cause.ToString()
+                                         : "no failure");
+    EXPECT_EQ(Injector::Instance().FailureCount(site), 1)
+        << "fault at " << site << " never fired";
+    EXPECT_TRUE(target.CheckReferentialIntegrity().ok()) << "site " << site;
+  }
+}
+
+TEST_F(FaultInjectionTest, ParallelUnrecoverableFaultRollsBackByteIdentically) {
+  std::vector<std::string> sites = ExecutorSites(DiscoverSites());
+  ASSERT_GT(sites.size(), 0u);
+
+  for (const std::string& site : sites) {
+    Injector::Instance().Disable();
+    storage::Database target;
+    SeedTarget(&target);
+    docstore::DocumentStore meta = SeededMetadata();
+    const uint64_t db_before = target.Fingerprint();
+    const uint64_t meta_before = meta.Fingerprint();
+
+    Injector::Instance().ClearConfigs();
+    Injector::Instance().Configure(site, {.fail_from_hit = 1});
+    Injector::Instance().Enable(7);
+
+    DeployOptions options;
+    options.retry.max_attempts = 2;
+    options.exec.max_workers = 4;
+    DeploymentOutcome outcome = Deploy(&target, &meta, options);
+    ASSERT_FALSE(outcome.success) << "site " << site;
+    ASSERT_TRUE(outcome.failure.has_value()) << "site " << site;
+    EXPECT_TRUE(outcome.failure->rolled_back) << "site " << site;
+    // In-flight siblings drained before rollback; nothing they wrote may
+    // survive, including half-written loader targets.
+    EXPECT_EQ(target.Fingerprint(), db_before)
+        << "site " << site << " left the target modified (stage "
+        << outcome.failure->stage << ")";
+    EXPECT_EQ(meta.Fingerprint(), meta_before)
+        << "site " << site << " left the metadata store modified";
+  }
+}
+
+TEST_F(FaultInjectionTest, ParallelKillAndResumeWithConcurrentSiblings) {
+  // The parallel analogue of ResumeContinuesFromCheckpoint: a loader dies
+  // while sibling branches are in flight. The drained siblings' work is
+  // checkpointed, the resumed run (also parallel) executes strictly fewer
+  // nodes, and the final warehouse is byte-identical to a clean serial run.
+  storage::Database target;
+  auto sql = deployer::GenerateSql(design_.schema, mapping_, src_);
+  ASSERT_TRUE(sql.ok());
+  ASSERT_TRUE(storage::ExecuteSql(&target, *sql).ok());
+
+  storage::Database reference;
+  ASSERT_TRUE(storage::ExecuteSql(&reference, *sql).ok());
+  etl::Executor ref_exec(&src_, &reference);
+  auto clean = ref_exec.Run(design_.flow);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  Injector::Instance().Enable(3);
+  Injector::Instance().Configure("etl.exec.Loader.write",
+                                 {.fail_from_hit = 1});
+
+  etl::Executor executor(&src_, &target);
+  etl::ExecOptions exec;
+  exec.max_workers = 4;
+  etl::Checkpoint checkpoint;
+  auto failed =
+      executor.Run(design_.flow, exec, etl::RetryPolicy{}, &checkpoint);
+  ASSERT_FALSE(failed.ok());
+  ASSERT_TRUE(checkpoint.valid);
+  EXPECT_FALSE(checkpoint.failed_node.empty());
+  EXPECT_GT(checkpoint.completed.size(), 0u);
+
+  Injector::Instance().Disable();
+  auto resumed =
+      executor.Resume(design_.flow, exec, &checkpoint, etl::RetryPolicy{});
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_TRUE(resumed->recovered);
+  EXPECT_LT(resumed->nodes.size(), clean->nodes.size());
+  EXPECT_EQ(resumed->loaded, clean->loaded);
+  EXPECT_EQ(target.Fingerprint(), reference.Fingerprint());
+}
+
 }  // namespace
 }  // namespace quarry

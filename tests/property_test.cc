@@ -13,13 +13,22 @@
 //  P5  integration order does not change what the unified design offers
 //      (same fact count, same measure set, soundness, satisfiability).
 
+//  P6  a parallel run of any generated flow executes every node exactly
+//      once, in an order consistent with the DAG, and lands on the same
+//      warehouse bytes as the serial run;
+//  P7  a budget-killed parallel run checkpoints a resumable antichain:
+//      resuming converges on the serial result, and resuming *again* is a
+//      no-op (idempotence).
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
 
+#include "common/exec_context.h"
 #include "datagen/tpch.h"
 #include "etl/exec/executor.h"
+#include "etl_test_util.h"
 #include "integrator/design_integrator.h"
 #include "integrator/satisfiability.h"
 #include "interpreter/interpreter.h"
@@ -276,6 +285,108 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(static_cast<int>(info.param.overlap * 10)) +
              "_n" + std::to_string(info.param.n);
     });
+
+// ---------------------------------------------------------------------------
+// Wavefront-scheduler properties (docs/ROBUSTNESS.md §8) over seeded random
+// DAGs: structure varies per seed, the invariants never do.
+
+class SchedulerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerProperty, P6_ParallelRunsAreTopologicalAndExactlyOnce) {
+  const uint64_t seed = GetParam();
+  auto source = etl::testutil::BuildRandomSource(seed);
+  etl::Flow flow = etl::testutil::BuildRandomFlow(seed);
+  ASSERT_TRUE(flow.Validate().ok());
+  etl::testutil::RunOutcome serial = etl::testutil::RunFlow(*source, flow, 1);
+  ASSERT_TRUE(serial.status.ok()) << serial.status;
+
+  for (int workers : {2, 4, 8}) {
+    storage::Database target("dw");
+    etl::Executor executor(&(*source), &target);
+    etl::ExecOptions options;
+    options.max_workers = workers;
+    etl::Checkpoint checkpoint;
+    auto report =
+        executor.Run(flow, options, etl::RetryPolicy{}, &checkpoint);
+    ASSERT_TRUE(report.ok()) << report.status();
+
+    // Exactly once: one stats entry per node, no repeats.
+    std::set<std::string> ran;
+    for (const etl::NodeStats& stats : report->nodes) {
+      EXPECT_TRUE(ran.insert(stats.node_id).second)
+          << stats.node_id << " ran twice (workers=" << workers << ")";
+    }
+    EXPECT_EQ(ran.size(), flow.num_nodes());
+
+    // Dependencies respected: the checkpointed completion order is a
+    // topological order of the flow DAG.
+    std::set<std::string> seen;
+    for (const std::string& id : checkpoint.completed) {
+      for (const std::string& pred : flow.Predecessors(id)) {
+        EXPECT_TRUE(seen.count(pred) > 0)
+            << id << " completed before its input " << pred;
+      }
+      seen.insert(id);
+    }
+
+    // Same bytes as serial.
+    EXPECT_EQ(target.Fingerprint(), serial.fingerprint)
+        << "seed " << seed << " workers " << workers;
+  }
+}
+
+TEST_P(SchedulerProperty, P7_AntichainCheckpointResumeIsIdempotent) {
+  const uint64_t seed = GetParam();
+  auto source = etl::testutil::BuildRandomSource(seed);
+  etl::Flow flow = etl::testutil::BuildRandomFlow(seed);
+  etl::testutil::RunOutcome serial = etl::testutil::RunFlow(*source, flow, 1);
+  ASSERT_TRUE(serial.status.ok()) << serial.status;
+  if (serial.report.rows_processed < 4) GTEST_SKIP() << "flow too small";
+
+  // Kill a 4-worker run mid-flight with a row budget that a full run must
+  // exceed. Where it trips is nondeterministic; the contract is not.
+  ResourceBudget budget;
+  budget.max_rows_materialized = serial.report.rows_processed / 2;
+  ExecContext ctx(CancellationToken{}, Deadline::Infinite(), budget);
+  storage::Database target("dw");
+  etl::Executor executor(&(*source), &target);
+  etl::ExecOptions options;
+  options.max_workers = 4;
+  etl::Checkpoint checkpoint;
+  auto killed =
+      executor.Run(flow, options, etl::RetryPolicy{}, &checkpoint, &ctx);
+  ASSERT_FALSE(killed.ok());
+  EXPECT_TRUE(killed.status().IsResourceExhausted()) << killed.status();
+  ASSERT_TRUE(checkpoint.valid);
+
+  // The completed set is downward-closed, so resuming is well-defined.
+  std::set<std::string> completed(checkpoint.completed.begin(),
+                                  checkpoint.completed.end());
+  for (const std::string& id : completed) {
+    for (const std::string& pred : flow.Predecessors(id)) {
+      EXPECT_TRUE(completed.count(pred) > 0)
+          << id << " checkpointed without its input " << pred;
+    }
+  }
+
+  // Resume (parallel, no budget) converges on the serial bytes.
+  auto resumed = executor.Resume(flow, options, &checkpoint, {});
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(target.Fingerprint(), serial.fingerprint) << "seed " << seed;
+
+  // Resuming the now-complete checkpoint again runs nothing and changes
+  // nothing.
+  auto again = executor.Resume(flow, options, &checkpoint, {});
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE(again->nodes.empty());
+  EXPECT_EQ(target.Fingerprint(), serial.fingerprint);
+}
+
+INSTANTIATE_TEST_SUITE_P(DagSweep, SchedulerProperty,
+                         ::testing::Values(41, 42, 43, 44, 45, 46, 47, 48),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace quarry

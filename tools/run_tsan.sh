@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Runs the concurrency suite (ctest label `tsan` — the admission-control /
-# cancellation tests of docs/ROBUSTNESS.md §7) in a dedicated
-# ThreadSanitizer-instrumented build, so every cross-thread handoff in the
-# request-lifecycle layer (CancellationToken, AdmissionController, the
-# Submit* serialization) is checked for data races, not just correctness.
+# Runs the concurrency suite (ctest label `tsan`) in a dedicated
+# ThreadSanitizer-instrumented build, so every cross-thread handoff is
+# checked for data races, not just correctness. The slice covers:
+#   - the request-lifecycle tests of docs/ROBUSTNESS.md §7 (CancellationToken,
+#     AdmissionController, Submit* serialization);
+#   - the wavefront-scheduler suite of docs/ROBUSTNESS.md §8
+#     (etl_parallel_test, the SchedulerProperty sweep, and the parallel
+#     executor fault matrix in fault_injection_test).
 #
 # Usage: tools/run_tsan.sh [build-dir]
 #   build-dir  defaults to build-tsan (kept separate from the plain build)
