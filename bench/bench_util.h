@@ -1,0 +1,49 @@
+#ifndef QUARRY_BENCH_BENCH_UTIL_H_
+#define QUARRY_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the bench binaries. The BENCH_*.json records in the
+// repo root are only comparable when they say what box they were taken on,
+// so every benchmark attaches the host context (core count + load average
+// at run time) to its counters: a "regression" measured on a loaded or
+// smaller machine can then be recognised as such from the JSON alone.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+namespace quarry::bench {
+
+/// 1-minute load average from /proc/loadavg; -1 when the file is missing
+/// or unreadable (non-Linux hosts).
+inline double LoadAverage1Min() {
+  std::ifstream in("/proc/loadavg");
+  double load = -1.0;
+  if (!in || !(in >> load)) return -1.0;
+  return load;
+}
+
+/// Attaches the host context to a benchmark's counters so it lands in the
+/// console and JSON output next to the numbers it qualifies.
+inline void RecordHostInfo(benchmark::State& state) {
+  state.counters["host_hw_concurrency"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  state.counters["host_load_avg_1min"] = LoadAverage1Min();
+}
+
+/// Percentile over raw per-op samples (nearest-rank, q in [0, 1]).
+/// Sorts a copy; meant for end-of-run reporting, not the hot path.
+inline int64_t PercentileNs(std::vector<int64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  auto rank = static_cast<size_t>(q * static_cast<double>(samples.size()));
+  if (rank >= samples.size()) rank = samples.size() - 1;
+  return samples[rank];
+}
+
+}  // namespace quarry::bench
+
+#endif  // QUARRY_BENCH_BENCH_UTIL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <utility>
 
 #include "common/timer.h"
 #include "obs/metrics.h"
@@ -18,34 +19,47 @@ constexpr auto kWaitSlice = std::chrono::milliseconds(1);
 }  // namespace
 
 AdmissionController::AdmissionController(AdmissionOptions options)
-    : options_(options) {
+    : options_(std::move(options)) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  // Lanes label their metric instances; the default (empty) lane keeps the
+  // original unlabeled identities, so pre-lane dashboards and tests hold.
+  obs::Labels lane;
+  obs::Labels shed_full{{"reason", "queue_full"}};
+  obs::Labels shed_timeout{{"reason", "queue_timeout"}};
+  if (!options_.lane.empty()) {
+    lane = {{"lane", options_.lane}};
+    shed_full.insert(shed_full.begin(), {"lane", options_.lane});
+    shed_timeout.insert(shed_timeout.begin(), {"lane", options_.lane});
+  }
   requests_total_ =
       &reg.counter("quarry_admission_requests_total",
-                   "Requests that reached the admission controller");
+                   "Requests that reached the admission controller", lane);
   admitted_total_ = &reg.counter("quarry_admission_admitted_total",
-                                 "Requests granted an in-flight slot");
+                                 "Requests granted an in-flight slot", lane);
   const std::string shed_help =
       "Requests shed by admission control, by reason";
-  shed_queue_full_ = &reg.counter("quarry_admission_shed_total", shed_help,
-                                  {{"reason", "queue_full"}});
-  shed_queue_timeout_ = &reg.counter("quarry_admission_shed_total", shed_help,
-                                     {{"reason", "queue_timeout"}});
+  shed_queue_full_ =
+      &reg.counter("quarry_admission_shed_total", shed_help, shed_full);
+  shed_queue_timeout_ =
+      &reg.counter("quarry_admission_shed_total", shed_help, shed_timeout);
   cancelled_total_ =
       &reg.counter("quarry_admission_cancelled_total",
-                   "Requests cancelled while waiting in the admission queue");
+                   "Requests cancelled while waiting in the admission queue",
+                   lane);
   deadline_total_ = &reg.counter(
       "quarry_admission_deadline_total",
-      "Requests whose deadline expired while waiting in the admission queue");
-  in_flight_gauge_ = &reg.gauge("quarry_admission_in_flight",
-                                "Requests currently holding an in-flight slot");
+      "Requests whose deadline expired while waiting in the admission queue",
+      lane);
+  in_flight_gauge_ =
+      &reg.gauge("quarry_admission_in_flight",
+                 "Requests currently holding an in-flight slot", lane);
   queue_depth_gauge_ = &reg.gauge(
       "quarry_admission_queue_depth",
-      "Requests currently parked in the admission wait queue");
+      "Requests currently parked in the admission wait queue", lane);
   queue_wait_micros_ = &reg.histogram(
       "quarry_admission_queue_wait_micros",
       "Time admitted requests spent queued, in microseconds",
-      obs::LatencyBucketsMicros());
+      obs::LatencyBucketsMicros(), lane);
 }
 
 int AdmissionController::in_flight() const {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 
 #include "common/exec_context.h"
 #include "common/result.h"
@@ -29,6 +30,12 @@ struct AdmissionOptions {
   /// How long one request may sit in the queue before it is shed with
   /// kOverloaded. < 0 = wait indefinitely (its own deadline still applies).
   double queue_timeout_millis = -1.0;
+  /// Metric lane: when non-empty, every quarry_admission_* metric this
+  /// controller registers carries a {lane="..."} label, so multiple gates
+  /// (design pipeline vs query serving vs the stale-read side quota,
+  /// docs/ROBUSTNESS.md §9) stay distinguishable on dashboards. Empty (the
+  /// default) keeps the unlabeled pre-lane metric identities.
+  std::string lane;
 };
 
 /// \brief Bounded-concurrency gate in front of the design pipeline

@@ -1,19 +1,43 @@
 #include "core/quarry.h"
 
+#include <chrono>
+#include <utility>
+
 #include "deployer/pdi_generator.h"
 #include "deployer/sql_generator.h"
 #include "etl/xlm.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "requirements/query_parser.h"
 
 namespace quarry::core {
+
+namespace {
+
+/// RAII marker of "a build of the next generation is in flight" — the
+/// precondition for degrading a shed query to a stale read (§9.3).
+class BuildInFlight {
+ public:
+  explicit BuildInFlight(std::atomic<int>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~BuildInFlight() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+  BuildInFlight(const BuildInFlight&) = delete;
+  BuildInFlight& operator=(const BuildInFlight&) = delete;
+
+ private:
+  std::atomic<int>* counter_;
+};
+
+}  // namespace
 
 Quarry::Quarry(ontology::Ontology onto, ontology::SourceMapping mapping,
                const storage::Database* source, QuarryConfig config)
     : onto_(std::make_unique<ontology::Ontology>(std::move(onto))),
       mapping_(std::make_unique<ontology::SourceMapping>(std::move(mapping))),
       source_(source),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      warehouse_(config_.database_name) {
   elicitor_ = std::make_unique<req::Elicitor>(onto_.get());
   interpreter_ =
       std::make_unique<interpreter::Interpreter>(onto_.get(), mapping_.get());
@@ -32,6 +56,31 @@ Quarry::Quarry(ontology::Ontology onto, ontology::SourceMapping mapping,
       onto_.get(), std::move(columns), std::move(rows), config_.md_options,
       config_.etl_cost);
   admission_ = std::make_unique<AdmissionController>(config_.admission);
+  // Serving lanes (§9.4): the lane names are fixed here — they are metric
+  // identities (quarry_admission_*{lane=...}), not configuration. The
+  // design lane keeps whatever the caller set (empty by default, i.e. the
+  // unlabeled pre-lane identities).
+  AdmissionOptions query_opts = config_.serving.query_admission;
+  query_opts.lane = "query";
+  query_admission_ = std::make_unique<AdmissionController>(query_opts);
+  AdmissionOptions stale_opts = config_.serving.stale_admission;
+  stale_opts.lane = "stale";
+  stale_admission_ = std::make_unique<AdmissionController>(stale_opts);
+
+  auto& registry = obs::MetricsRegistry::Instance();
+  // Both modes registered eagerly so dashboards see explicit zeros.
+  queries_fresh_total_ = &registry.counter(
+      "quarry_serving_queries_total",
+      "Cube queries served from a pinned warehouse generation, by mode.",
+      {{"mode", "fresh"}});
+  queries_stale_total_ = &registry.counter(
+      "quarry_serving_queries_total",
+      "Cube queries served from a pinned warehouse generation, by mode.",
+      {{"mode", "stale"}});
+  query_micros_ = &registry.histogram(
+      "quarry_serving_query_micros",
+      "End-to-end latency of served cube queries (pin + compile + execute).",
+      obs::LatencyBucketsMicros());
 }
 
 Result<std::unique_ptr<Quarry>> Quarry::Create(
@@ -161,6 +210,17 @@ Result<deployer::DeploymentReport> Quarry::Deploy(storage::Database* target) {
 
 Result<deployer::DeploymentOutcome> Quarry::DeployResilient(
     storage::Database* target, deployer::DeployOptions options) {
+  // Admission-gated like every other design-mutating entry point (§7): the
+  // direct call and SubmitDeploy pass the same single gate. (Only the
+  // legacy non-transactional Deploy() stays ungated.)
+  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                          admission_->Admit(options.context));
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  return DeployResilientInternal(target, std::move(options));
+}
+
+Result<deployer::DeploymentOutcome> Quarry::DeployResilientInternal(
+    storage::Database* target, deployer::DeployOptions options) {
   if (target == nullptr) {
     return Status::InvalidArgument("target database is null");
   }
@@ -176,6 +236,14 @@ Result<deployer::DeploymentOutcome> Quarry::DeployResilient(
 
 Result<etl::ExecutionReport> Quarry::Refresh(storage::Database* target,
                                              const ExecContext* ctx) {
+  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                          admission_->Admit(ctx));
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  return RefreshInternal(target, ctx);
+}
+
+Result<etl::ExecutionReport> Quarry::RefreshInternal(storage::Database* target,
+                                                     const ExecContext* ctx) {
   if (target == nullptr) {
     return Status::InvalidArgument("target database is null");
   }
@@ -212,19 +280,134 @@ Status Quarry::SubmitRemoveRequirement(const std::string& ir_id,
 Result<deployer::DeploymentOutcome> Quarry::SubmitDeploy(
     storage::Database* target, deployer::DeployOptions options,
     const ExecContext* ctx) {
-  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
-                          admission_->Admit(ctx));
-  std::lock_guard<std::mutex> lock(submit_mu_);
+  // DeployResilient admits + locks itself — forwarding keeps one gate pass.
   options.context = ctx;
   return DeployResilient(target, std::move(options));
 }
 
 Result<etl::ExecutionReport> Quarry::SubmitRefresh(storage::Database* target,
                                                    const ExecContext* ctx) {
+  return Refresh(target, ctx);
+}
+
+Result<deployer::DeploymentOutcome> Quarry::DeployServing(
+    deployer::DeployOptions options, const ExecContext* ctx) {
+  if (ctx != nullptr) options.context = ctx;
+  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                          admission_->Admit(options.context));
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  return DeployServingInternal(std::move(options));
+}
+
+Result<deployer::DeploymentOutcome> Quarry::DeployServingInternal(
+    deployer::DeployOptions options) {
+  QUARRY_NAMED_SPAN(span, "quarry.deploy_serving");
+  BuildInFlight build(&serving_builds_in_flight_);
+  std::unique_ptr<storage::Database> scratch = warehouse_.BeginEmptyBuild();
+  options.target_is_scratch = true;
+  QUARRY_ASSIGN_OR_RETURN(
+      deployer::DeploymentOutcome outcome,
+      DeployResilientInternal(scratch.get(), std::move(options)));
+  // A failed build never publishes: the scratch dies with this scope and
+  // the currently-served generation is untouched. Best-effort partials do
+  // publish — the stale lane and the metadata record mark them degraded.
+  if (!outcome.success && !outcome.partial) return outcome;
+  // The schema snapshot is published atomically with the data so queries
+  // never read a schema newer (or older) than the tables they scan.
+  auto annex = std::make_shared<const md::MdSchema>(design_->schema());
+  Result<uint64_t> published =
+      warehouse_.Publish(std::move(scratch), std::move(annex));
+  if (!published.ok()) {
+    // O(1) rollback: nothing to restore — the built scratch is simply
+    // discarded and readers keep the previously published generation.
+    deployer::DeploymentFailure failure;
+    failure.stage = "publish";
+    failure.rolled_back = true;
+    failure.cause = published.status();
+    outcome.success = false;
+    outcome.partial = false;
+    outcome.failure = std::move(failure);
+  }
+  return outcome;
+}
+
+Result<etl::ExecutionReport> Quarry::RefreshServing(const ExecContext* ctx) {
   QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
                           admission_->Admit(ctx));
   std::lock_guard<std::mutex> lock(submit_mu_);
-  return Refresh(target, ctx);
+  if (!warehouse_.has_generation()) {
+    return Status::NotFound(
+        "no published warehouse generation to refresh — run DeployServing "
+        "first");
+  }
+  QUARRY_SPAN("quarry.refresh_serving");
+  BuildInFlight build(&serving_builds_in_flight_);
+  // Clone-merge-publish: readers keep serving generation N from their pins
+  // while the loaders merge the source delta into the clone.
+  std::unique_ptr<storage::Database> scratch = warehouse_.BeginBuild();
+  deployer::Deployer dep(source_, scratch.get());
+  QUARRY_ASSIGN_OR_RETURN(
+      etl::ExecutionReport report,
+      dep.Refresh(design_->flow(), {}, ctx, config_.etl_exec));
+  auto annex = std::make_shared<const md::MdSchema>(design_->schema());
+  QUARRY_RETURN_NOT_OK(
+      warehouse_.Publish(std::move(scratch), std::move(annex)).status());
+  return report;
+}
+
+Result<QueryResult> Quarry::SubmitQuery(const olap::CubeQuery& query,
+                                        const QueryOptions& opts,
+                                        const ExecContext* ctx) {
+  Result<AdmissionController::Ticket> ticket = query_admission_->Admit(ctx);
+  if (ticket.ok()) {
+    return ExecutePinnedQuery(query, /*stale=*/false, ctx);
+  }
+  // Graceful degradation (§9.3): under overload while a publish is pending,
+  // an opted-in caller may still be served generation N-1 through the
+  // bounded stale lane instead of being turned away.
+  if (ticket.status().IsOverloaded() && opts.allow_stale &&
+      serving_builds_in_flight_.load(std::memory_order_relaxed) > 0) {
+    Result<AdmissionController::Ticket> stale_ticket =
+        stale_admission_->Admit(ctx);
+    if (stale_ticket.ok()) {
+      Result<QueryResult> stale =
+          ExecutePinnedQuery(query, /*stale=*/true, ctx);
+      // Nothing to degrade onto (single published generation): surface the
+      // original overload, not the fallback's NotFound.
+      if (stale.ok() || !stale.status().IsNotFound()) return stale;
+    }
+  }
+  return ticket.status();
+}
+
+Result<QueryResult> Quarry::ExecutePinnedQuery(const olap::CubeQuery& query,
+                                               bool stale,
+                                               const ExecContext* ctx) {
+  QUARRY_NAMED_SPAN(span, "quarry.submit_query");
+  const auto start = std::chrono::steady_clock::now();
+  QUARRY_ASSIGN_OR_RETURN(
+      storage::GenerationStore::Pin pin,
+      stale ? warehouse_.AcquirePrevious() : warehouse_.Acquire());
+  QUARRY_SPAN_ATTR(span, "generation", std::to_string(pin.generation()));
+  // The schema snapshot travels with the generation — reading the live
+  // design_->schema() here would race with concurrent requirement changes.
+  auto schema = std::static_pointer_cast<const md::MdSchema>(pin.annex());
+  if (schema == nullptr) {
+    return Status::Internal("generation " + std::to_string(pin.generation()) +
+                            " was published without a schema annex");
+  }
+  olap::CubeQueryEngine engine(schema.get(), mapping_.get(), &pin.db());
+  QUARRY_ASSIGN_OR_RETURN(etl::Dataset data, engine.Execute(query, ctx));
+  (stale ? queries_stale_total_ : queries_fresh_total_)->Increment();
+  query_micros_->Observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  QueryResult result;
+  result.data = std::move(data);
+  result.generation = pin.generation();
+  result.stale = stale;
+  return result;
 }
 
 Result<std::string> Quarry::ExportSchema(const std::string& format) const {

@@ -1,6 +1,7 @@
 #ifndef QUARRY_CORE_QUARRY_H_
 #define QUARRY_CORE_QUARRY_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -13,26 +14,73 @@
 #include "deployer/deployer.h"
 #include "integrator/design_integrator.h"
 #include "interpreter/interpreter.h"
+#include "olap/cube_query.h"
 #include "ontology/mapping.h"
 #include "ontology/ontology.h"
 #include "requirements/elicitor.h"
 #include "requirements/requirement.h"
 #include "storage/database.h"
+#include "storage/generation_store.h"
+
+namespace quarry::obs {
+class Counter;
+class Histogram;
+}  // namespace quarry::obs
 
 namespace quarry::core {
+
+/// Knobs of the snapshot-isolated serving path (docs/ROBUSTNESS.md §9).
+struct ServingOptions {
+  /// Query lane in front of SubmitQuery — its own quota, so OLAP reads are
+  /// never starved (or flooded) by the design/deploy lane.
+  AdmissionOptions query_admission{/*max_in_flight=*/8,
+                                   /*max_queue_depth=*/32,
+                                   /*queue_timeout_millis=*/-1.0,
+                                   /*lane=*/""};
+  /// Bounded admit-or-shed side quota for stale reads: when the query lane
+  /// sheds under overload while a publish is pending, a caller that opted
+  /// in (QueryOptions::allow_stale) may still be served generation N-1
+  /// through this lane instead of being turned away.
+  AdmissionOptions stale_admission{/*max_in_flight=*/2,
+                                   /*max_queue_depth=*/0,
+                                   /*queue_timeout_millis=*/-1.0,
+                                   /*lane=*/""};
+};
 
 /// Configuration of a Quarry instance.
 struct QuarryConfig {
   integrator::MdIntegrationOptions md_options;
   etl::CostModelConfig etl_cost;
   std::string database_name = "demo";
-  /// Gate in front of the Submit* entry points (docs/ROBUSTNESS.md §7).
+  /// Gate in front of the design-mutating entry points — Submit* and the
+  /// direct Refresh / DeployResilient / *Serving calls alike
+  /// (docs/ROBUSTNESS.md §7, §9.4).
   AdmissionOptions admission;
   /// How ETL runs execute (docs/ROBUSTNESS.md §8): `max_workers > 1` runs
   /// Deploy/Refresh flows on the wavefront scheduler. Applied to Refresh /
   /// SubmitRefresh always, and to DeployResilient / SubmitDeploy unless the
   /// caller's DeployOptions ask for parallelism themselves.
   etl::ExecOptions etl_exec;
+  /// Snapshot-isolated serving (docs/ROBUSTNESS.md §9).
+  ServingOptions serving;
+};
+
+/// Per-query knobs of Quarry::SubmitQuery.
+struct QueryOptions {
+  /// Degraded mode under overload: when the query lane sheds while a
+  /// refresh/deploy is building the next generation, serve the *previous*
+  /// generation through the bounded stale lane instead of failing with
+  /// kOverloaded. The result is marked stale and counted in
+  /// quarry_serving_queries_total{mode="stale"}.
+  bool allow_stale = false;
+};
+
+/// Outcome of Quarry::SubmitQuery: the dataset plus exactly which
+/// published warehouse generation produced it.
+struct QueryResult {
+  etl::Dataset data;
+  uint64_t generation = 0;
+  bool stale = false;  ///< Served from generation N-1 via the stale lane.
 };
 
 /// \brief The end-to-end Quarry system (paper Fig. 1): wires together the
@@ -159,6 +207,56 @@ class Quarry {
   Result<etl::ExecutionReport> SubmitRefresh(storage::Database* target,
                                              const ExecContext* ctx = nullptr);
 
+  // --- snapshot-isolated serving (docs/ROBUSTNESS.md §9) ------------------
+  //
+  // Instead of deploying into a caller-owned mutable Database, the serving
+  // path owns a GenerationStore of immutable published generations. Deploy /
+  // refresh build the next generation off to the side and atomically publish
+  // it on success; queries pin one generation for their whole run, so a
+  // concurrent refresh can never tear a result. A mid-build fault discards
+  // the scratch — rollback is O(1), never a full-warehouse RestoreFrom.
+
+  /// The generation store behind the serving path. Read-only access for
+  /// observation (current_generation, stats, Acquire for ad-hoc pins);
+  /// publishing goes through DeployServing / RefreshServing only.
+  storage::GenerationStore& warehouse() { return warehouse_; }
+  const storage::GenerationStore& warehouse() const { return warehouse_; }
+
+  /// Deploys the unified design as the next warehouse generation: builds a
+  /// scratch database off to the side (DeployTransactional with
+  /// target_is_scratch), and on success — or a best-effort partial —
+  /// publishes it together with a snapshot of the MD schema. On failure the
+  /// scratch is simply discarded: the currently-served generation is
+  /// untouched and readers never observe intermediate state. The publish
+  /// step itself is a fault site ("storage.generation.publish"); a publish
+  /// fault reports stage "publish" and likewise discards the scratch.
+  /// Admission-gated on the design lane.
+  Result<deployer::DeploymentOutcome> DeployServing(
+      deployer::DeployOptions options = {}, const ExecContext* ctx = nullptr);
+
+  /// Incrementally refreshes the serving warehouse: clones the current
+  /// generation, runs the refresh ETL against the clone, and publishes it
+  /// as generation N+1. Requires a prior successful DeployServing
+  /// (NotFound otherwise). Queries keep serving generation N throughout.
+  /// Admission-gated on the design lane.
+  Result<etl::ExecutionReport> RefreshServing(const ExecContext* ctx = nullptr);
+
+  /// Runs a cube query against a pinned warehouse generation through the
+  /// query admission lane. The pin guarantees the generation (tables and
+  /// the MD schema snapshot it was published with) stays alive and
+  /// immutable for the whole query even if refreshes publish and retire
+  /// generations concurrently. Under overload (query lane sheds) with
+  /// `opts.allow_stale` set while a build is in flight, degrades to serving
+  /// the previous generation through the bounded stale lane; if that is
+  /// unavailable too, the original kOverloaded error surfaces. `ctx` is
+  /// polled throughout query execution (docs/ROBUSTNESS.md §7).
+  Result<QueryResult> SubmitQuery(const olap::CubeQuery& query,
+                                  const QueryOptions& opts = {},
+                                  const ExecContext* ctx = nullptr);
+
+  /// The query-lane admission controller (observation / sharing).
+  AdmissionController& query_admission() { return *query_admission_; }
+
   /// Renders the unified MD schema via a registered exporter ("sql","xmd").
   Result<std::string> ExportSchema(const std::string& format) const;
 
@@ -171,6 +269,20 @@ class Quarry {
 
   Status RefreshUnifiedArtifacts();
 
+  // Un-gated bodies of the admission-gated public entry points. Callers
+  // hold submit_mu_ and have already passed the design-lane gate.
+  Result<deployer::DeploymentOutcome> DeployResilientInternal(
+      storage::Database* target, deployer::DeployOptions options);
+  Result<etl::ExecutionReport> RefreshInternal(storage::Database* target,
+                                               const ExecContext* ctx);
+  Result<deployer::DeploymentOutcome> DeployServingInternal(
+      deployer::DeployOptions options);
+
+  /// Serves `query` from a pinned generation. `stale` selects which
+  /// generation to pin (previous vs current) and how to label the result.
+  Result<QueryResult> ExecutePinnedQuery(const olap::CubeQuery& query,
+                                         bool stale, const ExecContext* ctx);
+
   std::unique_ptr<ontology::Ontology> onto_;
   std::unique_ptr<ontology::SourceMapping> mapping_;
   const storage::Database* source_;
@@ -181,10 +293,21 @@ class Quarry {
   MetadataRepository repository_;
   docstore::RecoveryStats recovery_stats_;
   std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<AdmissionController> query_admission_;
+  std::unique_ptr<AdmissionController> stale_admission_;
   /// Serializes the design-mutating body of Submit* calls: the engine
   /// itself is single-writer, the admission gate only bounds how many
   /// requests wait for it.
   std::mutex submit_mu_;
+  /// Published warehouse generations of the serving path (§9).
+  storage::GenerationStore warehouse_;
+  /// Builds currently constructing the next generation — "a publish is
+  /// pending", the precondition for degrading a shed query to a stale read.
+  std::atomic<int> serving_builds_in_flight_{0};
+  // Serving metrics (process-lifetime registry pointers).
+  obs::Counter* queries_fresh_total_ = nullptr;
+  obs::Counter* queries_stale_total_ = nullptr;
+  obs::Histogram* query_micros_ = nullptr;
 };
 
 }  // namespace quarry::core

@@ -146,8 +146,13 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
   const ExecContext* ctx = options.context;
 
   // Pre-deploy snapshots: any mid-deploy failure restores both stores
-  // byte-identically (docs/ROBUSTNESS.md).
-  std::unique_ptr<storage::Database> db_snapshot = target_->Clone();
+  // byte-identically (docs/ROBUSTNESS.md). A scratch target (a private,
+  // unpublished warehouse generation, §9) snapshots as empty: restoring it
+  // just clears the scratch, so the rollback path never deep-copies.
+  std::unique_ptr<storage::Database> db_snapshot =
+      options.target_is_scratch
+          ? std::make_unique<storage::Database>(target_->name())
+          : target_->Clone();
   std::optional<docstore::DocumentStore> meta_snapshot;
   if (options.metadata != nullptr) {
     meta_snapshot = options.metadata->Clone();

@@ -47,6 +47,14 @@ struct DeployOptions {
   /// unfinished ones, and mark the deployment "partial" in the metadata
   /// store instead of rolling everything back.
   bool best_effort = false;
+  /// The target is a disposable scratch generation (serve-while-refresh,
+  /// docs/ROBUSTNESS.md §9): skip the pre-deploy deep Clone() of the
+  /// target and recover against an empty snapshot instead — rollback
+  /// becomes clearing the scratch (the caller discards it wholesale
+  /// anyway) rather than an O(rows) copy-back. The metadata store is still
+  /// snapshotted and rolled back normally. Only set this when nothing else
+  /// can observe the target until it is published.
+  bool target_is_scratch = false;
   /// Snapshot/rolled back together with the target; receives the
   /// deployment record in its "deployments" collection. Usually the
   /// metadata repository's underlying store. May be null.

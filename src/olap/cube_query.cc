@@ -157,11 +157,17 @@ Result<Flow> CubeQueryEngine::Compile(const CubeQuery& query) const {
   return flow;
 }
 
-Result<etl::Dataset> CubeQueryEngine::Execute(const CubeQuery& query) const {
+Result<etl::Dataset> CubeQueryEngine::Execute(const CubeQuery& query,
+                                              const ExecContext* ctx) const {
+  QUARRY_RETURN_NOT_OK(CheckContext(ctx, "cube query compile"));
   QUARRY_ASSIGN_OR_RETURN(Flow flow, Compile(query));
   storage::Database scratch("__query");
   etl::Executor executor(warehouse_, &scratch);
-  QUARRY_RETURN_NOT_OK(executor.Run(flow).status());
+  // Fail fast, no retries: a lifecycle error is never retried anyway, and
+  // an interactive query prefers surfacing an operator fault over hiding
+  // latency in backoff sleeps.
+  QUARRY_RETURN_NOT_OK(executor.Run(flow, etl::RetryPolicy{}, nullptr, ctx)
+                           .status());
   QUARRY_ASSIGN_OR_RETURN(const storage::Table* result,
                           scratch.GetTable("__result"));
   etl::Dataset out;

@@ -53,8 +53,15 @@ class CubeQueryEngine {
       : schema_(schema), mapping_(mapping), warehouse_(warehouse) {}
 
   /// Runs the query; the result is an in-memory dataset (group columns in
-  /// request order, then aggregates).
-  Result<etl::Dataset> Execute(const CubeQuery& query) const;
+  /// request order, then aggregates). `ctx` (nullable) carries the
+  /// request's cancellation token / deadline / budgets into the executing
+  /// flow exactly like every ETL run does (docs/ROBUSTNESS.md §7): each
+  /// operator pre-checks it, row loops poll it every
+  /// etl::Executor::kCancelBatchRows rows, and a lifecycle error
+  /// (kCancelled / kDeadlineExceeded / kResourceExhausted) surfaces
+  /// unretried — a long scan cannot outlive its request.
+  Result<etl::Dataset> Execute(const CubeQuery& query,
+                               const ExecContext* ctx = nullptr) const;
 
   /// The flow the query compiles to (exposed for tests / EXPLAIN).
   Result<etl::Flow> Compile(const CubeQuery& query) const;

@@ -1,0 +1,229 @@
+#include "storage/generation_store.h"
+
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "obs/metrics.h"
+
+namespace quarry::storage {
+
+namespace {
+
+/// Process-wide pin gauge: Pins may outlive their store, so the gauge they
+/// decrement on release must too (registry pointers are process-lifetime).
+obs::Gauge& PinsGauge() {
+  return obs::MetricsRegistry::Instance().gauge(
+      "quarry_serving_pins_active",
+      "Reader pins currently holding a warehouse generation");
+}
+
+}  // namespace
+
+GenerationStore::Pin& GenerationStore::Pin::operator=(Pin&& other) noexcept {
+  if (this != &other) {
+    Release();
+    db_ = std::move(other.db_);
+    annex_ = std::move(other.annex_);
+    pin_count_ = std::move(other.pin_count_);
+    generation_ = other.generation_;
+    other.db_ = nullptr;
+    other.generation_ = 0;
+  }
+  return *this;
+}
+
+void GenerationStore::Pin::Release() {
+  if (db_ == nullptr) return;
+  db_ = nullptr;
+  annex_ = nullptr;
+  generation_ = 0;
+  if (pin_count_ != nullptr) {
+    pin_count_->fetch_sub(1, std::memory_order_acq_rel);
+    PinsGauge().Add(-1.0);
+    pin_count_ = nullptr;
+  }
+}
+
+GenerationStore::GenerationStore(std::string name) : name_(std::move(name)) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  published_total_ =
+      &reg.counter("quarry_serving_generations_published_total",
+                   "Warehouse generations atomically published");
+  publish_failures_total_ =
+      &reg.counter("quarry_serving_publish_failures_total",
+                   "Publishes refused at the storage.generation.publish "
+                   "fault site (scratch discarded, old generation kept)");
+  retired_total_ = &reg.counter("quarry_serving_generations_retired_total",
+                                "Warehouse generations released by the store");
+  retires_deferred_total_ =
+      &reg.counter("quarry_serving_retires_deferred_total",
+                   "Retires deferred by the storage.generation.retire fault "
+                   "site (retried on later publishes)");
+  live_gauge_ = &reg.gauge("quarry_serving_generations_live",
+                           "Generations the store currently references");
+  pins_gauge_ = &PinsGauge();
+}
+
+uint64_t GenerationStore::current_generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_.id;
+}
+
+GenerationStore::Pin GenerationStore::MakePin(const Generation& gen) const {
+  Pin pin;
+  pin.db_ = gen.db;
+  pin.annex_ = gen.annex;
+  pin.generation_ = gen.id;
+  pin.pin_count_ = pin_count_;
+  pin_count_->fetch_add(1, std::memory_order_acq_rel);
+  pins_gauge_->Add(1.0);
+  return pin;
+}
+
+Result<GenerationStore::Pin> GenerationStore::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_.id == 0) {
+    return Status::NotFound("warehouse '" + name_ +
+                            "' has no published generation");
+  }
+  return MakePin(current_);
+}
+
+Result<GenerationStore::Pin> GenerationStore::AcquirePrevious() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (previous_.id == 0) {
+    return Status::NotFound("warehouse '" + name_ +
+                            "' has no previous generation to serve stale");
+  }
+  return MakePin(previous_);
+}
+
+std::unique_ptr<Database> GenerationStore::BeginBuild() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_.id == 0) return std::make_unique<Database>(name_);
+  return current_.db->Clone();
+}
+
+std::unique_ptr<Database> GenerationStore::BeginEmptyBuild() const {
+  return std::make_unique<Database>(name_);
+}
+
+void GenerationStore::RetireLocked(Generation gen) {
+  if (gen.id == 0) return;
+  // A real system would delete files / unmap segments here — the injected
+  // fault models that step failing. The generation is then parked on the
+  // deferred list (still accounted live, never leaked) and retried on the
+  // next publish.
+  if (fault::Enabled() &&
+      !fault::Check("storage.generation.retire").ok()) {
+    ++stats_.retires_deferred;
+    retires_deferred_total_->Increment();
+    deferred_retire_.push_back(std::move(gen));
+    return;
+  }
+  ++stats_.retired;
+  retired_total_->Increment();
+  // Dropping the shared_ptr is the release; readers still pinned on this
+  // generation keep it alive until their Pin goes away.
+}
+
+void GenerationStore::UpdateGaugesLocked() const {
+  int live = (current_.id != 0 ? 1 : 0) + (previous_.id != 0 ? 1 : 0) +
+             static_cast<int>(deferred_retire_.size());
+  live_gauge_->Set(static_cast<double>(live));
+}
+
+Result<uint64_t> GenerationStore::Publish(std::unique_ptr<Database> next,
+                                          std::shared_ptr<const void> annex) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("cannot publish a null generation");
+  }
+  // Fingerprint outside the lock: it scans every table, and the scratch is
+  // still private to this thread.
+  const uint64_t fingerprint = next->Fingerprint();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fault::Enabled()) {
+    if (Status injected = fault::Check("storage.generation.publish");
+        !injected.ok()) {
+      ++stats_.publish_failures;
+      publish_failures_total_->Increment();
+      // `next` dies with this scope — that IS the rollback: no store state
+      // changed, readers keep the old generation.
+      return injected.WithContext("publishing generation of warehouse '" +
+                                  name_ + "'");
+    }
+  }
+  Generation gen;
+  gen.id = next_id_++;
+  gen.db = std::shared_ptr<const Database>(std::move(next));
+  gen.annex = std::move(annex);
+  fingerprints_[gen.id] = fingerprint;
+
+  RetireLocked(std::move(previous_));
+  previous_ = std::move(current_);
+  current_ = std::move(gen);
+  ++stats_.published;
+  published_total_->Increment();
+
+  // Retry earlier deferred retires while we hold the lock anyway.
+  std::vector<Generation> still_deferred;
+  for (Generation& d : deferred_retire_) {
+    if (fault::Enabled() &&
+        !fault::Check("storage.generation.retire").ok()) {
+      ++stats_.retires_deferred;
+      retires_deferred_total_->Increment();
+      still_deferred.push_back(std::move(d));
+      continue;
+    }
+    ++stats_.retired;
+    retired_total_->Increment();
+  }
+  deferred_retire_ = std::move(still_deferred);
+  UpdateGaugesLocked();
+  return current_.id;
+}
+
+Result<uint64_t> GenerationStore::PublishedFingerprint(
+    uint64_t generation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fingerprints_.find(generation);
+  if (it == fingerprints_.end()) {
+    return Status::NotFound("generation " + std::to_string(generation) +
+                            " was never published in warehouse '" + name_ +
+                            "'");
+  }
+  return it->second;
+}
+
+int GenerationStore::DrainDeferredRetires() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int drained = 0;
+  std::vector<Generation> still_deferred;
+  for (Generation& d : deferred_retire_) {
+    if (fault::Enabled() &&
+        !fault::Check("storage.generation.retire").ok()) {
+      ++stats_.retires_deferred;
+      retires_deferred_total_->Increment();
+      still_deferred.push_back(std::move(d));
+      continue;
+    }
+    ++stats_.retired;
+    retired_total_->Increment();
+    ++drained;
+  }
+  deferred_retire_ = std::move(still_deferred);
+  UpdateGaugesLocked();
+  return drained;
+}
+
+GenerationStoreStats GenerationStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GenerationStoreStats out = stats_;
+  out.live_generations = (current_.id != 0 ? 1 : 0) +
+                         (previous_.id != 0 ? 1 : 0) +
+                         static_cast<int>(deferred_retire_.size());
+  out.active_pins = pin_count_->load(std::memory_order_acquire);
+  return out;
+}
+
+}  // namespace quarry::storage

@@ -1,0 +1,327 @@
+// Chaos soak for the snapshot-isolated serving path (docs/ROBUSTNESS.md §9):
+// N reader threads hammer SubmitQuery while one mutator thread churns the
+// operational source and publishes refresh generations, with fault
+// injection at the publish/retire sites. Invariants checked:
+//   - zero torn reads: every query result matches, bit-for-bit in content
+//     terms, exactly one published generation (totals are distinct by
+//     construction, +100 revenue per churn round);
+//   - every generation a reader observed was really published (its
+//     fingerprint is on record);
+//   - refcounts return to zero once readers release their pins, and the
+//     store never leaks a generation (deferred retires drain to <= 2 live);
+//   - sheds are bounded to the overload error class; stale reads only ever
+//     happen while a build is in flight.
+//
+// Scale knobs: QUARRY_SOAK_READERS (default 8) and QUARRY_SOAK_CYCLES
+// (default 50) — tools/run_soak.sh raises them for longer runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/quarry.h"
+#include "datagen/tpch.h"
+#include "ontology/tpch_ontology.h"
+#include "storage/generation_store.h"
+
+namespace quarry::core {
+namespace {
+
+using req::InformationRequirement;
+using storage::Value;
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::max(1, std::atoi(value));
+}
+
+struct Observation {
+  uint64_t generation = 0;
+  double total = 0;
+  bool stale = false;
+};
+
+struct SoakOutcome {
+  std::map<uint64_t, double> expected;  ///< generation -> revenue total.
+  std::vector<Observation> observations;
+  std::vector<std::string> unexpected_errors;
+  int64_t successes = 0;
+  int64_t sheds = 0;
+  int64_t stale_served = 0;
+  int64_t refresh_failures = 0;
+};
+
+class ServingSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    readers_ = EnvInt("QUARRY_SOAK_READERS", 8);
+    cycles_ = EnvInt("QUARRY_SOAK_CYCLES", 50);
+    ASSERT_TRUE(datagen::PopulateTpch(&src_, {0.001, 41}).ok());
+    QuarryConfig config;
+    // A tight query lane so the soak actually exercises shedding and the
+    // stale-read degradation, not just the happy path.
+    config.serving.query_admission = {/*max_in_flight=*/2,
+                                      /*max_queue_depth=*/2,
+                                      /*queue_timeout_millis=*/-1.0,
+                                      /*lane=*/""};
+    auto quarry = Quarry::Create(ontology::BuildTpchOntology(),
+                                 ontology::BuildTpchMappings(), &src_,
+                                 std::move(config));
+    ASSERT_TRUE(quarry.ok()) << quarry.status();
+    quarry_ = std::move(*quarry);
+    InformationRequirement ir;
+    ir.id = "ir_revenue";
+    ir.name = "revenue";
+    ir.focus_concept = "Lineitem";
+    ir.measures.push_back(
+        {"revenue", "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+         md::AggFunc::kSum});
+    ir.dimensions.push_back({"Part.p_type"});
+    ir.dimensions.push_back({"Supplier.s_name"});
+    ASSERT_TRUE(quarry_->AddRequirement(ir).ok());
+  }
+
+  void TearDown() override {
+    fault::Injector::Instance().ClearConfigs();
+    fault::Injector::Instance().Disable();
+  }
+
+  static olap::CubeQuery RevenueByType() {
+    olap::CubeQuery query;
+    query.fact = "fact_table_revenue";
+    query.group_by = {"p_type"};
+    query.measures = {{"revenue", md::AggFunc::kSum, "total"}};
+    return query;
+  }
+
+  static double Total(const etl::Dataset& data) {
+    double total = 0;
+    for (const storage::Row& row : data.rows) total += row[1].as_double();
+    return total;
+  }
+
+  /// Revenue total of one published generation, read from its pinned fact
+  /// table directly (not through the query path) — the ground truth a
+  /// reader's result must match.
+  static double GenerationTotal(const storage::GenerationStore::Pin& pin) {
+    const storage::Table& fact = **pin.db().GetTable("fact_table_revenue");
+    size_t revenue = *fact.schema().ColumnIndex("revenue");
+    double total = 0;
+    for (const storage::Row& row : fact.rows()) {
+      total += row[revenue].as_double();
+    }
+    return total;
+  }
+
+  void GrowSource(int salt) {
+    storage::Table* part = *src_.GetTable("part");
+    int64_t new_partkey = static_cast<int64_t>(part->num_rows()) + 1;
+    ASSERT_TRUE(part->Insert({Value::Int(new_partkey),
+                              Value::String("part " + std::to_string(salt)),
+                              Value::String("Brand#99"),
+                              Value::String("SMALL"),
+                              Value::Double(1234.5)})
+                    .ok());
+    storage::Table* lineitem = *src_.GetTable("lineitem");
+    ASSERT_TRUE(lineitem
+                    ->Insert({Value::Int(1), Value::Int(100000 + salt),
+                              Value::Int(new_partkey), Value::Int(1),
+                              Value::Int(3), Value::Double(100.0),
+                              Value::Double(0.0), Value::Double(0.0),
+                              Value::DateYmd(1995, 6, 1), Value::String("N")})
+                    .ok());
+  }
+
+  /// Deploys generation 1, then runs `cycles_` churn+refresh rounds against
+  /// `readers_` concurrent query threads. The mutator thread is the only
+  /// writer of the source and the only publisher, so the expected-total map
+  /// needs no synchronisation with publishes — only with readers (who never
+  /// touch it until after the join anyway).
+  SoakOutcome RunSoak() {
+    SoakOutcome outcome;
+    auto deploy = quarry_->DeployServing();
+    EXPECT_TRUE(deploy.ok() && deploy->success)
+        << deploy.status() << (deploy.ok() && deploy->failure.has_value()
+                                   ? deploy->failure->cause.ToString()
+                                   : "");
+    RecordExpected(&outcome);
+
+    std::atomic<bool> done{false};
+    std::mutex errors_mu;
+    std::vector<std::thread> threads;
+    std::vector<std::vector<Observation>> per_reader(
+        static_cast<size_t>(readers_));
+    std::atomic<int64_t> sheds{0};
+    std::atomic<int64_t> stale_served{0};
+    const olap::CubeQuery query = RevenueByType();
+
+    threads.reserve(static_cast<size_t>(readers_));
+    for (int r = 0; r < readers_; ++r) {
+      threads.emplace_back([&, r] {
+        while (!done.load(std::memory_order_acquire)) {
+          auto result = quarry_->SubmitQuery(query, {/*allow_stale=*/true});
+          if (result.ok()) {
+            per_reader[static_cast<size_t>(r)].push_back(
+                {result->generation, Total(result->data), result->stale});
+            if (result->stale) stale_served.fetch_add(1);
+          } else if (result.status().IsOverloaded()) {
+            sheds.fetch_add(1);
+          } else {
+            std::lock_guard<std::mutex> lock(errors_mu);
+            outcome.unexpected_errors.push_back(result.status().ToString());
+          }
+        }
+      });
+    }
+
+    // Mutator: churn the source, publish the next generation, record its
+    // ground-truth total. Runs in this thread.
+    for (int cycle = 1; cycle <= cycles_; ++cycle) {
+      GrowSource(cycle);
+      auto refresh = quarry_->RefreshServing();
+      if (refresh.ok()) {
+        RecordExpected(&outcome);
+      } else {
+        ++outcome.refresh_failures;
+        // Under injection the only legitimate refresh failure here is the
+        // publish fault (ExecutionError from the injector).
+        EXPECT_TRUE(refresh.status().IsExecutionError()) << refresh.status();
+      }
+    }
+    done.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+
+    for (const auto& observations : per_reader) {
+      outcome.successes += static_cast<int64_t>(observations.size());
+      outcome.observations.insert(outcome.observations.end(),
+                                  observations.begin(), observations.end());
+    }
+    outcome.sheds = sheds.load();
+    outcome.stale_served = stale_served.load();
+    return outcome;
+  }
+
+  void RecordExpected(SoakOutcome* outcome) {
+    auto pin = quarry_->warehouse().Acquire();
+    ASSERT_TRUE(pin.ok()) << pin.status();
+    outcome->expected[pin->generation()] = GenerationTotal(*pin);
+  }
+
+  /// The soak invariants shared by every scenario.
+  void CheckInvariants(const SoakOutcome& outcome) {
+    EXPECT_TRUE(outcome.unexpected_errors.empty())
+        << outcome.unexpected_errors.front();
+    // The readers made real progress.
+    EXPECT_GE(outcome.successes, static_cast<int64_t>(readers_) * 2);
+
+    // Ground-truth totals are strictly increasing (+100 per churn round),
+    // so one total matches EXACTLY one generation — a torn read cannot
+    // masquerade as a different generation's result.
+    double last = -1;
+    for (const auto& [generation, total] : outcome.expected) {
+      EXPECT_GT(total, last) << "generation " << generation;
+      last = total;
+    }
+
+    // Zero torn reads: every observation matches its generation's content.
+    for (const Observation& obs : outcome.observations) {
+      auto expected = outcome.expected.find(obs.generation);
+      ASSERT_NE(expected, outcome.expected.end())
+          << "query served unpublished generation " << obs.generation;
+      EXPECT_NEAR(obs.total, expected->second, 1e-6 * expected->second)
+          << "torn read on generation " << obs.generation
+          << (obs.stale ? " (stale)" : "");
+      EXPECT_TRUE(
+          quarry_->warehouse().PublishedFingerprint(obs.generation).ok());
+    }
+
+    // All pins released; nothing leaked once deferred retires drain.
+    fault::Injector::Instance().ClearConfigs();
+    fault::Injector::Instance().Disable();
+    quarry_->warehouse().DrainDeferredRetires();
+    storage::GenerationStoreStats stats = quarry_->warehouse().stats();
+    EXPECT_EQ(stats.active_pins, 0);
+    EXPECT_LE(stats.live_generations, 2);
+    EXPECT_EQ(stats.published,
+              static_cast<uint64_t>(outcome.expected.size()));
+  }
+
+  storage::Database src_;
+  std::unique_ptr<Quarry> quarry_;
+  int readers_ = 8;
+  int cycles_ = 50;
+};
+
+TEST_F(ServingSoakTest, CleanSoak) {
+  SoakOutcome outcome = RunSoak();
+  EXPECT_EQ(outcome.refresh_failures, 0);
+  EXPECT_EQ(outcome.expected.size(), static_cast<size_t>(cycles_) + 1);
+  CheckInvariants(outcome);
+}
+
+TEST_F(ServingSoakTest, SoakWithPublishAndRetireFaults) {
+  fault::Injector::Instance().Enable(97);
+  fault::Injector::Instance().Configure("storage.generation.publish",
+                                        {/*probability=*/0.2, 0, 0, -1});
+  fault::Injector::Instance().Configure("storage.generation.retire",
+                                        {/*probability=*/0.3, 0, 0, -1});
+  SoakOutcome outcome = RunSoak();
+  // Publishes that drew the fault failed and rolled back O(1); the rest
+  // landed. Both kinds happened at this probability and cycle count.
+  EXPECT_GT(outcome.refresh_failures, 0);
+  EXPECT_GT(static_cast<int>(outcome.expected.size()), 1);
+  EXPECT_EQ(outcome.expected.size(),
+            static_cast<size_t>(cycles_) + 1 -
+                static_cast<size_t>(outcome.refresh_failures));
+  CheckInvariants(outcome);
+}
+
+TEST_F(ServingSoakTest, KillAndRecover) {
+  // Phase 1: healthy soak half the cycles.
+  const int full_cycles = cycles_;
+  cycles_ = std::max(2, full_cycles / 2);
+  SoakOutcome healthy = RunSoak();
+  CheckInvariants(healthy);
+  const uint64_t frozen_at = quarry_->warehouse().current_generation();
+
+  // Phase 2: the publish path "dies" — every publish fails from here on.
+  // Serving must freeze at the last published generation, not corrupt it.
+  fault::Injector::Instance().Enable(101);
+  fault::Injector::Instance().Configure("storage.generation.publish",
+                                        {0.0, 0, /*fail_from_hit=*/1, -1});
+  const uint64_t fp_frozen =
+      *quarry_->warehouse().PublishedFingerprint(frozen_at);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    GrowSource(100000 + cycle);
+    EXPECT_FALSE(quarry_->RefreshServing().ok());
+    auto result = quarry_->SubmitQuery(RevenueByType());
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->generation, frozen_at);
+  }
+  EXPECT_EQ(quarry_->warehouse().current_generation(), frozen_at);
+  EXPECT_EQ(quarry_->warehouse().Acquire()->db().Fingerprint(), fp_frozen);
+
+  // Phase 3: recovery — injection stops, publishes resume, no restore step.
+  fault::Injector::Instance().ClearConfigs();
+  fault::Injector::Instance().Disable();
+  auto refresh = quarry_->RefreshServing();
+  ASSERT_TRUE(refresh.ok()) << refresh.status();
+  EXPECT_GT(quarry_->warehouse().current_generation(), frozen_at);
+  auto result = quarry_->SubmitQuery(RevenueByType());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->generation, frozen_at);
+  storage::GenerationStoreStats stats = quarry_->warehouse().stats();
+  EXPECT_EQ(stats.active_pins, 0);
+  EXPECT_LE(stats.live_generations, 2);
+}
+
+}  // namespace
+}  // namespace quarry::core

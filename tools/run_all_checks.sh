@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# The whole pre-merge gauntlet in one command:
+#   1. tier-1    — plain build + full ctest suite (the seed contract)
+#   2. tsan      — concurrency slice under ThreadSanitizer (tools/run_tsan.sh)
+#   3. crash     — fault + crash matrices under ASan (tools/run_crash_matrix.sh)
+#   4. metrics   — two-way metric/doc lint (tools/check_metrics_doc.sh)
+#
+# Every step runs even after an earlier one fails, so one broken gate cannot
+# mask another; the script prints a per-step PASS/FAIL summary at the end and
+# exits non-zero if anything failed. The full-size ASan soak
+# (tools/run_soak.sh) is not in the default gauntlet — the bounded soak
+# already rides both the tier-1 suite and the tsan slice — but
+# RUN_ALL_CHECKS_SOAK=1 adds it as a fifth step.
+#
+# Usage: tools/run_all_checks.sh [build-dir]
+#   build-dir  defaults to build (the sanitizer scripts keep their own dirs)
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+declare -a step_names=()
+declare -a step_results=()
+failed=0
+
+run_step() {
+  local name="$1"
+  shift
+  echo
+  echo "==== ${name}: $* ===="
+  if "$@"; then
+    step_results+=("PASS")
+  else
+    step_results+=("FAIL")
+    failed=1
+  fi
+  step_names+=("${name}")
+}
+
+tier1() {
+  cmake -B "${build_dir}" -S "${repo_root}" &&
+    cmake --build "${build_dir}" -j &&
+    ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+}
+
+run_step "tier-1 build+ctest" tier1
+run_step "tsan slice" "${repo_root}/tools/run_tsan.sh"
+run_step "crash matrix (asan)" "${repo_root}/tools/run_crash_matrix.sh"
+run_step "metrics doc lint" "${repo_root}/tools/check_metrics_doc.sh"
+if [[ "${RUN_ALL_CHECKS_SOAK:-0}" == "1" ]]; then
+  run_step "serving soak (asan)" "${repo_root}/tools/run_soak.sh"
+fi
+
+echo
+echo "==== run_all_checks summary ===="
+for i in "${!step_names[@]}"; do
+  printf '  %-22s %s\n' "${step_names[$i]}" "${step_results[$i]}"
+done
+if [[ "${failed}" -ne 0 ]]; then
+  echo "==== run_all_checks FAILED ===="
+  exit 1
+fi
+echo "==== run_all_checks passed ===="

@@ -24,6 +24,13 @@ cmake --build "${build_dir}" -j
 # printing a warning and exiting 0.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
+# The serving soak (docs/ROBUSTNESS.md §9) is in this slice as the
+# reader-vs-refresh race test; TSan's ~10x slowdown makes the full soak
+# excessive here, so bound its knobs unless the caller already set them.
+# tools/run_soak.sh runs the full-size soak in the ASan build.
+export QUARRY_SOAK_READERS="${QUARRY_SOAK_READERS:-4}"
+export QUARRY_SOAK_CYCLES="${QUARRY_SOAK_CYCLES:-10}"
+
 if ! ctest --test-dir "${build_dir}" -L tsan -N | grep -q 'Total Tests: [1-9]'; then
   echo "run_tsan: no tests carry the 'tsan' label" >&2
   exit 1
