@@ -1,0 +1,165 @@
+// Durable warehouse generation experiments (docs/ROBUSTNESS.md §10,
+// BENCH_durability.json):
+//  - cold-start recovery (EnableDurability over a committed store
+//    directory: scan + CRC/fingerprint validation + republish) vs the full
+//    ETL rebuild a restart costs without durability (DeployServing) — the
+//    tentpole claim is that recovery scales with warehouse *size* while
+//    the rebuild pays the whole ETL flow every time;
+//  - the durable commit itself (PersistGeneration: serialize + atomic
+//    writes + fsyncs), the price each serving publish pays for being
+//    recoverable.
+// Every benchmark records the host context via bench_util.h so
+// BENCH_durability.json can say what box the numbers are from.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "core/quarry.h"
+#include "datagen/tpch.h"
+#include "mdschema/md_schema.h"
+#include "ontology/tpch_ontology.h"
+#include "storage/generation_persist.h"
+#include "storage/generation_store.h"
+#include "xml/xml.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using quarry::core::Quarry;
+using quarry::bench::RecordHostInfo;
+using quarry::storage::GenerationStore;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// The core-layer annex decoder (serialized xMD document -> MdSchema), so
+/// the recovery benchmark pays exactly what Quarry's cold start pays.
+GenerationStore::AnnexDecoder MdDecoder() {
+  return [](const std::string& bytes)
+             -> quarry::Result<std::shared_ptr<const void>> {
+    auto root = quarry::xml::Parse(bytes);
+    if (!root.ok()) return root.status();
+    auto schema = quarry::md::MdSchema::FromXml(**root);
+    if (!schema.ok()) return schema.status();
+    return std::shared_ptr<const void>(
+        std::make_shared<const quarry::md::MdSchema>(std::move(*schema)));
+  };
+}
+
+/// A deployed serving instance over a TPC-H source of the given scale
+/// factor (passed as permille so benchmark Args stay integral).
+struct Scenario {
+  explicit Scenario(int64_t sf_permille) : src("tpch") {
+    const double scale_factor =
+        static_cast<double>(sf_permille) / 1000.0;
+    if (!quarry::datagen::PopulateTpch(&src, {scale_factor, 77}).ok()) {
+      std::abort();
+    }
+    auto q = Quarry::Create(quarry::ontology::BuildTpchOntology(),
+                            quarry::ontology::BuildTpchMappings(), &src);
+    if (!q.ok()) std::abort();
+    quarry = std::move(*q);
+    quarry::req::InformationRequirement ir;
+    ir.id = "ir_revenue";
+    ir.name = "revenue";
+    ir.focus_concept = "Lineitem";
+    ir.measures.push_back(
+        {"revenue", "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+         quarry::md::AggFunc::kSum});
+    ir.dimensions.push_back({"Part.p_type"});
+    ir.dimensions.push_back({"Supplier.s_name"});
+    if (!quarry->AddRequirement(ir).ok()) std::abort();
+  }
+
+  quarry::storage::Database src;
+  std::unique_ptr<Quarry> quarry;
+};
+
+/// Cold-start recovery latency: a fresh store recovering the newest
+/// committed generation from disk. The directory is deployed once; each
+/// iteration replays exactly what a restarted process does before its
+/// first answered query.
+void BM_ColdStartRecovery(benchmark::State& state) {
+  Scenario scenario(state.range(0));
+  std::string dir =
+      FreshDir("quarry_bench_genrecover_" + std::to_string(state.range(0)));
+  if (!scenario.quarry->EnableServingDurability(dir).ok()) std::abort();
+  auto outcome = scenario.quarry->DeployServing();
+  if (!outcome.ok() || !outcome->success) std::abort();
+
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    GenerationStore store("warehouse");
+    quarry::storage::persist::GenerationRecoveryStats stats;
+    if (!store.EnableDurability(dir, MdDecoder(), &stats).ok()) std::abort();
+    if (stats.recovered_generation == 0) std::abort();
+    rows = stats.rows_loaded;
+    benchmark::DoNotOptimize(store.current_generation());
+  }
+  state.counters["warehouse_rows"] = static_cast<double>(rows);
+  RecordHostInfo(state);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_ColdStartRecovery)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+/// What the same restart costs without durability: re-running the whole
+/// ETL deployment to repopulate the warehouse before it can serve.
+void BM_FullEtlRebuild(benchmark::State& state) {
+  Scenario scenario(state.range(0));
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto outcome = scenario.quarry->DeployServing();
+    if (!outcome.ok() || !outcome->success) std::abort();
+    benchmark::DoNotOptimize(outcome->published_generation);
+  }
+  auto pin = scenario.quarry->warehouse().Acquire();
+  if (pin.ok()) rows = pin->db().TotalRows();
+  state.counters["warehouse_rows"] = static_cast<double>(rows);
+  RecordHostInfo(state);
+}
+BENCHMARK(BM_FullEtlRebuild)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+/// The durable commit itself: serializing and atomically writing one
+/// generation (segments + annex + manifest + fsyncs) — the per-publish
+/// price of recoverability.
+void BM_DurableCommit(benchmark::State& state) {
+  Scenario scenario(state.range(0));
+  auto outcome = scenario.quarry->DeployServing();
+  if (!outcome.ok() || !outcome->success) std::abort();
+  auto pin = scenario.quarry->warehouse().Acquire();
+  if (!pin.ok()) std::abort();
+  std::string dir =
+      FreshDir("quarry_bench_gencommit_" + std::to_string(state.range(0)));
+  const uint64_t fingerprint = pin->db().Fingerprint();
+  uint64_t id = 1;
+  for (auto _ : state) {
+    if (!quarry::storage::persist::PersistGeneration(dir, id, pin->db(),
+                                                     fingerprint, "")
+             .ok()) {
+      std::abort();
+    }
+    ++id;
+  }
+  state.counters["warehouse_rows"] = static_cast<double>(pin->db().TotalRows());
+  RecordHostInfo(state);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_DurableCommit)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "requirements/query_parser.h"
+#include "xml/xml.h"
 
 namespace quarry::core {
 
@@ -145,6 +146,26 @@ Result<std::unique_ptr<Quarry>> Quarry::Create(
 
 Status Quarry::EnableDurability(const std::string& dir) {
   return repository_.EnableDurability(dir);
+}
+
+Status Quarry::EnableServingDurability(const std::string& dir) {
+  // The annex persisted with each generation is the serialized xMD
+  // document; recovery parses it back into the immutable schema snapshot
+  // that SubmitQuery compiles cube queries against.
+  storage::GenerationStore::AnnexDecoder decoder =
+      [](const std::string& bytes) -> Result<std::shared_ptr<const void>> {
+    QUARRY_ASSIGN_OR_RETURN(auto root, xml::Parse(bytes));
+    QUARRY_ASSIGN_OR_RETURN(md::MdSchema schema, md::MdSchema::FromXml(*root));
+    return std::shared_ptr<const void>(
+        std::make_shared<const md::MdSchema>(std::move(schema)));
+  };
+  return warehouse_.EnableDurability(dir, std::move(decoder),
+                                     &recovery_report_.warehouse);
+}
+
+std::string RecoveryReport::ToString() const {
+  return "metadata{" + metadata.ToString() + "} warehouse{" +
+         warehouse.ToString() + "}";
 }
 
 Status Quarry::RefreshUnifiedArtifacts() {
@@ -313,10 +334,16 @@ Result<deployer::DeploymentOutcome> Quarry::DeployServingInternal(
   // publish — the stale lane and the metadata record mark them degraded.
   if (!outcome.success && !outcome.partial) return outcome;
   // The schema snapshot is published atomically with the data so queries
-  // never read a schema newer (or older) than the tables they scan.
+  // never read a schema newer (or older) than the tables they scan. Its
+  // serialized form rides along so a durable store can persist it and
+  // recovery can serve queries straight from disk (§10).
   auto annex = std::make_shared<const md::MdSchema>(design_->schema());
+  const std::string annex_bytes = xml::Write(*annex->ToXml());
   Result<uint64_t> published =
-      warehouse_.Publish(std::move(scratch), std::move(annex));
+      warehouse_.Publish(std::move(scratch), std::move(annex), annex_bytes);
+  if (published.ok()) {
+    outcome.published_generation = *published;
+  }
   if (!published.ok()) {
     // O(1) rollback: nothing to restore — the built scratch is simply
     // discarded and readers keep the previously published generation.
@@ -350,8 +377,10 @@ Result<etl::ExecutionReport> Quarry::RefreshServing(const ExecContext* ctx) {
       etl::ExecutionReport report,
       dep.Refresh(design_->flow(), {}, ctx, config_.etl_exec));
   auto annex = std::make_shared<const md::MdSchema>(design_->schema());
+  const std::string annex_bytes = xml::Write(*annex->ToXml());
   QUARRY_RETURN_NOT_OK(
-      warehouse_.Publish(std::move(scratch), std::move(annex)).status());
+      warehouse_.Publish(std::move(scratch), std::move(annex), annex_bytes)
+          .status());
   return report;
 }
 

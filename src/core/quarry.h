@@ -83,6 +83,16 @@ struct QueryResult {
   bool stale = false;  ///< Served from generation N-1 via the stale lane.
 };
 
+/// What startup recovery did, across both durable substrates: the docstore
+/// holding the design metadata (docs/ROBUSTNESS.md §6) and the generation
+/// store holding the serving warehouse (§10). All-zero for fresh instances.
+struct RecoveryReport {
+  docstore::RecoveryStats metadata;
+  storage::persist::GenerationRecoveryStats warehouse;
+
+  std::string ToString() const;
+};
+
 /// \brief The end-to-end Quarry system (paper Fig. 1): wires together the
 /// Requirements Elicitor, Requirements Interpreter, Design Integrator,
 /// Design Deployer and the Communication & Metadata layer.
@@ -125,13 +135,29 @@ class Quarry {
   /// is WAL-logged with an fsync before it is acknowledged.
   Status EnableDurability(const std::string& dir);
 
-  /// What startup recovery did when this instance was restored from a
-  /// durable session directory (all-zero for fresh instances).
+  /// Makes the serving warehouse crash-safe on `dir`
+  /// (docs/ROBUSTNESS.md §10): runs warehouse recovery — republishing the
+  /// newest intact on-disk generation so SubmitQuery serves immediately at
+  /// cold start, without waiting on a full ETL rebuild — then commits every
+  /// later DeployServing / RefreshServing publish durably (per-table
+  /// CRC-checksummed segments + MANIFEST.json, two-phase). The MD-schema
+  /// annex travels with each generation as its serialized xMD document.
+  /// Recovery results land in recovery_report().warehouse.
+  Status EnableServingDurability(const std::string& dir);
+
+  /// What startup recovery did when this instance was restored from
+  /// durable directories (all-zero for fresh instances): metadata recovery
+  /// from LoadSession / OpenDurableSession, warehouse recovery from
+  /// EnableServingDurability.
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+
+  /// Compat accessor for the metadata half of recovery_report() — the
+  /// pre-§10 surface, kept so existing callers keep compiling.
   const docstore::RecoveryStats& recovery_stats() const {
-    return recovery_stats_;
+    return recovery_report_.metadata;
   }
   void set_recovery_stats(docstore::RecoveryStats stats) {
-    recovery_stats_ = std::move(stats);
+    recovery_report_.metadata = std::move(stats);
   }
 
   const md::MdSchema& schema() const { return design_->schema(); }
@@ -291,7 +317,7 @@ class Quarry {
   std::unique_ptr<interpreter::Interpreter> interpreter_;
   std::unique_ptr<integrator::DesignIntegrator> design_;
   MetadataRepository repository_;
-  docstore::RecoveryStats recovery_stats_;
+  RecoveryReport recovery_report_;
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<AdmissionController> query_admission_;
   std::unique_ptr<AdmissionController> stale_admission_;

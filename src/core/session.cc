@@ -98,4 +98,15 @@ Result<std::unique_ptr<Quarry>> OpenDurableSession(
   return quarry;
 }
 
+Result<std::unique_ptr<Quarry>> OpenDurableServingSession(
+    const std::string& dir, const storage::Database* source,
+    QuarryConfig config, RecoveryReport* report) {
+  QUARRY_ASSIGN_OR_RETURN(
+      auto quarry, OpenDurableSession(dir, source, std::move(config)));
+  QUARRY_RETURN_NOT_OK(quarry->EnableServingDurability(
+      dir + "/" + kWarehouseSubdir));
+  if (report != nullptr) *report = quarry->recovery_report();
+  return quarry;
+}
+
 }  // namespace quarry::core

@@ -43,6 +43,21 @@ Result<std::unique_ptr<Quarry>> OpenDurableSession(
     const std::string& dir, const storage::Database* source,
     QuarryConfig config = {}, docstore::RecoveryStats* stats = nullptr);
 
+/// Subdirectory of a session directory holding the durable warehouse
+/// generations (docs/ROBUSTNESS.md §10). The docstore scan ignores
+/// subdirectories, so both substrates share one session directory.
+inline constexpr char kWarehouseSubdir[] = "warehouse";
+
+/// OpenDurableSession + Quarry::EnableServingDurability(dir + "/warehouse"):
+/// the full cold-start path. Metadata recovery rebuilds the unified design;
+/// warehouse recovery republishes the newest intact generation, so
+/// SubmitQuery serves immediately — no ETL rebuild between restart and the
+/// first answered query. `report` (nullable) receives both recovery halves
+/// (also surfaced as Quarry::recovery_report() on the returned instance).
+Result<std::unique_ptr<Quarry>> OpenDurableServingSession(
+    const std::string& dir, const storage::Database* source,
+    QuarryConfig config = {}, RecoveryReport* report = nullptr);
+
 }  // namespace quarry::core
 
 #endif  // QUARRY_CORE_SESSION_H_

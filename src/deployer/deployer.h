@@ -81,6 +81,10 @@ struct DeploymentOutcome {
   bool partial = false;      ///< Best-effort kept some loaded tables.
   DeploymentReport report;   ///< Valid on success; partially filled otherwise.
   std::optional<DeploymentFailure> failure;
+  /// Serving path only (Quarry::DeployServing): the warehouse generation
+  /// this deployment was published as; 0 when nothing was published
+  /// (failure, or a plain into-a-target deployment).
+  uint64_t published_generation = 0;
 };
 
 /// \brief The Design Deployer (paper §2.4): turns the unified design

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/wal.h"
+
 namespace quarry::storage {
 
 namespace {
@@ -144,13 +146,9 @@ Result<std::string> ReadFile(const std::string& path) {
 }
 
 Status WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::ExecutionError("cannot open '" + path +
-                                          "' for writing");
-  out << content;
-  if (!out.good()) return Status::ExecutionError("write to '" + path +
-                                                 "' failed");
-  return Status::OK();
+  // Atomic (tmp + fsync + rename): a crash mid-export leaves either the
+  // previous file or the complete new one, never a torn prefix.
+  return wal::AtomicWriteFile(path, content);
 }
 
 }  // namespace quarry::storage

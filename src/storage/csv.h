@@ -18,14 +18,17 @@ std::string TableToCsv(const Table& table, char sep = ',');
 /// match the schema's column names in order.
 Status LoadCsvInto(Table* table, const std::string& csv, char sep = ',');
 
-/// Writes a table to a CSV file on disk.
+/// Writes a table to a CSV file on disk. Crash-safe: the file is committed
+/// atomically via wal::AtomicWriteFile, so an export interrupted by a crash
+/// never leaves a torn file under `path`.
 Status WriteCsvFile(const Table& table, const std::string& path,
                     char sep = ',');
 
 /// Reads a whole file into a string.
 Result<std::string> ReadFile(const std::string& path);
 
-/// Writes a string to a file (overwriting).
+/// Writes a string to a file (overwriting). Atomic: tmp + fsync + rename
+/// (common/wal.h), with the wal.file.* fault sites riding along.
 Status WriteFile(const std::string& path, const std::string& content);
 
 }  // namespace quarry::storage

@@ -1,0 +1,125 @@
+#ifndef QUARRY_STORAGE_GENERATION_PERSIST_H_
+#define QUARRY_STORAGE_GENERATION_PERSIST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace quarry::storage::persist {
+
+/// \brief Crash-consistent on-disk persistence of warehouse generations
+/// (docs/ROBUSTNESS.md §10) — the relational twin of the docstore's
+/// generation-stamped snapshot scheme (§6.3).
+///
+/// On-disk layout under a store directory:
+///
+///   <dir>/gen-<id>/t<k>.seg       per-table segment (CRC32-framed binary)
+///   <dir>/gen-<id>/annex.seg      opaque annex payload (optional)
+///   <dir>/gen-<id>/MANIFEST.json  the commit record — written LAST
+///
+/// Commit protocol: every file is written with wal::AtomicWriteFile (tmp +
+/// fsync + rename + parent-dir fsync), and the manifest is written only
+/// after every segment it names is durable, so the manifest's appearance IS
+/// the commit point. A crash anywhere earlier leaves a directory without a
+/// manifest — a torn publish that recovery detects and discards in O(1).
+/// A directory WITH a manifest that fails validation (bad magic, CRC or
+/// fingerprint mismatch, undecodable annex) is not a crash artifact but
+/// corruption: recovery quarantines it (rename to gen-<id>.quarantined)
+/// and falls back to the next-newest intact generation.
+
+/// What one recovery pass over a store directory found and did. Mirrors
+/// docstore::RecoveryStats for the warehouse side of the durability story.
+struct QuarantinedGeneration {
+  uint64_t id = 0;
+  std::string path;    ///< Where the quarantined directory was moved.
+  std::string reason;  ///< First validation failure.
+};
+
+struct GenerationRecoveryStats {
+  uint64_t generations_scanned = 0;  ///< gen-<id> directories examined.
+  uint64_t torn_discarded = 0;       ///< Manifest-less dirs removed (crash).
+  uint64_t older_removed = 0;        ///< Intact but superseded dirs removed.
+  uint64_t recovered_generation = 0;  ///< Id republished; 0 = none intact.
+  uint64_t recovered_fingerprint = 0;
+  uint64_t tables_loaded = 0;
+  uint64_t rows_loaded = 0;
+  bool annex_recovered = false;
+  std::vector<QuarantinedGeneration> quarantined;  ///< Corruption, not crash.
+
+  std::string ToString() const;
+};
+
+/// A generation read back from disk.
+struct LoadedGeneration {
+  uint64_t id = 0;  ///< 0 = nothing intact on disk.
+  std::unique_ptr<Database> db;
+  uint64_t fingerprint = 0;
+  std::string annex_bytes;
+  /// Highest generation id seen on disk, intact or not — the store resumes
+  /// id allocation above it so a discarded torn publish never collides.
+  uint64_t max_seen_id = 0;
+};
+
+/// Name of a generation's directory inside the store directory.
+std::string GenerationDirName(uint64_t id);
+
+/// Serializes one table (schema + rows) into the CRC32-framed segment
+/// format. Deterministic: equal table state yields equal bytes.
+std::string SerializeTable(const Table& table);
+
+/// Inverse of SerializeTable. Corruption (bad magic/version/CRC, truncated
+/// payload) reads as kParseError.
+Result<std::unique_ptr<Table>> DeserializeTable(std::string_view bytes);
+
+/// Two-phase commit of one generation into `<store_dir>/gen-<id>/`.
+/// Leftovers of an earlier failed attempt at the same id are removed first,
+/// so a retried publish reuses the id cleanly. Fault sites, one per
+/// persistence step: "storage.generation.persist.segment" (clean failure
+/// before a segment write), "storage.generation.persist.segment.torn"
+/// (plants a genuinely truncated segment, then fails — what a non-atomic
+/// writer would leave behind), ".annex", ".manifest" (the commit write) and
+/// ".sync" (after commit, before the store-dir fsync — the one window where
+/// an unacknowledged publish may still survive the crash, like a WAL record
+/// written but not fsynced).
+Status PersistGeneration(const std::string& store_dir, uint64_t id,
+                         const Database& db, uint64_t fingerprint,
+                         std::string_view annex_bytes);
+
+/// Reads one committed generation back, validating manifest, per-segment
+/// CRCs and the recomputed database fingerprint. Validation failures are
+/// kParseError/kValidationError (recovery quarantines); IO failures —
+/// including the "storage.generation.recover.read" fault site — surface as
+/// other codes (recovery aborts and can simply be re-run, like a crash
+/// during recovery).
+Result<LoadedGeneration> LoadGeneration(const std::string& store_dir,
+                                        uint64_t id);
+
+/// Deletes a retired generation's directory. Fault site
+/// "storage.generation.persist.remove" models the deletion failing; the
+/// store then parks the generation on its deferred-retire list.
+Status RemoveGenerationDir(const std::string& store_dir, uint64_t id);
+
+/// Extra per-candidate validation during recovery (e.g. decoding the annex
+/// into a schema). A non-OK status quarantines the candidate.
+using GenerationValidator = std::function<Status(const LoadedGeneration&)>;
+
+/// The startup recovery pass: scans `store_dir`, discards torn publishes,
+/// quarantines corrupt generations, removes intact-but-superseded ones and
+/// returns the newest intact generation (id 0 when the directory holds
+/// none — the store then serves empty). Idempotent and restartable: a
+/// crash mid-recovery (fault sites "storage.generation.recover.scan",
+/// ".read", ".cleanup") loses no intact generation; re-running converges.
+Result<LoadedGeneration> RecoverNewestGeneration(
+    const std::string& store_dir, const GenerationValidator& validate,
+    GenerationRecoveryStats* stats);
+
+}  // namespace quarry::storage::persist
+
+#endif  // QUARRY_STORAGE_GENERATION_PERSIST_H_

@@ -1,5 +1,7 @@
 #include "storage/generation_store.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -52,13 +54,15 @@ GenerationStore::GenerationStore(std::string name) : name_(std::move(name)) {
   publish_failures_total_ =
       &reg.counter("quarry_serving_publish_failures_total",
                    "Publishes refused at the storage.generation.publish "
-                   "fault site (scratch discarded, old generation kept)");
+                   "fault site or by a failed durable commit (scratch "
+                   "discarded, old generation kept)");
   retired_total_ = &reg.counter("quarry_serving_generations_retired_total",
                                 "Warehouse generations released by the store");
   retires_deferred_total_ =
       &reg.counter("quarry_serving_retires_deferred_total",
                    "Retires deferred by the storage.generation.retire fault "
-                   "site (retried on later publishes)");
+                   "site or a failed generation-directory deletion (retried "
+                   "on later publishes)");
   live_gauge_ = &reg.gauge("quarry_serving_generations_live",
                            "Generations the store currently references");
   pins_gauge_ = &PinsGauge();
@@ -67,6 +71,16 @@ GenerationStore::GenerationStore(std::string name) : name_(std::move(name)) {
 uint64_t GenerationStore::current_generation() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_.id;
+}
+
+bool GenerationStore::durable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_;
+}
+
+std::string GenerationStore::durable_dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_dir_;
 }
 
 GenerationStore::Pin GenerationStore::MakePin(const Generation& gen) const {
@@ -108,23 +122,42 @@ std::unique_ptr<Database> GenerationStore::BeginEmptyBuild() const {
   return std::make_unique<Database>(name_);
 }
 
-void GenerationStore::RetireLocked(Generation gen) {
-  if (gen.id == 0) return;
-  // A real system would delete files / unmap segments here — the injected
-  // fault models that step failing. The generation is then parked on the
-  // deferred list (still accounted live, never leaked) and retried on the
-  // next publish.
-  if (fault::Enabled() &&
-      !fault::Check("storage.generation.retire").ok()) {
-    ++stats_.retires_deferred;
-    retires_deferred_total_->Increment();
-    deferred_retire_.push_back(std::move(gen));
-    return;
+int GenerationStore::RetireBatch(std::vector<Generation> gens) {
+  bool durable = false;
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    durable = durable_;
+    dir = durable_dir_;
   }
-  ++stats_.retired;
-  retired_total_->Increment();
-  // Dropping the shared_ptr is the release; readers still pinned on this
-  // generation keep it alive until their Pin goes away.
+  int released = 0;
+  for (Generation& gen : gens) {
+    if (gen.id == 0) continue;
+    // The release step can genuinely fail on a durable store (the
+    // directory deletion); the injected fault models the same failure for
+    // in-memory stores. Either way the generation is parked on the
+    // deferred list — still accounted live, never leaked — and retried on
+    // the next publish.
+    Status verdict = Status::OK();
+    if (fault::Enabled()) verdict = fault::Check("storage.generation.retire");
+    if (verdict.ok() && durable) {
+      verdict = persist::RemoveGenerationDir(dir, gen.id);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!verdict.ok()) {
+      ++stats_.retires_deferred;
+      retires_deferred_total_->Increment();
+      deferred_retire_.push_back(std::move(gen));
+      continue;
+    }
+    ++stats_.retired;
+    retired_total_->Increment();
+    ++released;
+    // Dropping the shared_ptr (when `gens` dies, outside mu_) is the
+    // in-memory release; readers still pinned on this generation keep it
+    // alive until their Pin goes away.
+  }
+  return released;
 }
 
 void GenerationStore::UpdateGaugesLocked() const {
@@ -134,53 +167,79 @@ void GenerationStore::UpdateGaugesLocked() const {
 }
 
 Result<uint64_t> GenerationStore::Publish(std::unique_ptr<Database> next,
-                                          std::shared_ptr<const void> annex) {
+                                          std::shared_ptr<const void> annex,
+                                          std::string_view annex_bytes) {
   if (next == nullptr) {
     return Status::InvalidArgument("cannot publish a null generation");
   }
-  // Fingerprint outside the lock: it scans every table, and the scratch is
-  // still private to this thread.
+  // Fingerprint outside the locks: it scans every table, and the scratch
+  // is still private to this thread.
   const uint64_t fingerprint = next->Fingerprint();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (fault::Enabled()) {
-    if (Status injected = fault::Check("storage.generation.publish");
-        !injected.ok()) {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  bool durable = false;
+  std::string dir;
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fault::Enabled()) {
+      if (Status injected = fault::Check("storage.generation.publish");
+          !injected.ok()) {
+        ++stats_.publish_failures;
+        publish_failures_total_->Increment();
+        // `next` dies with this scope — that IS the rollback: no store
+        // state changed, readers keep the old generation.
+        return injected.WithContext("publishing generation of warehouse '" +
+                                    name_ + "'");
+      }
+    }
+    id = next_id_++;
+    durable = durable_;
+    dir = durable_dir_;
+  }
+  if (durable) {
+    // The durable two-phase commit runs before any reader-visible state
+    // changes, and outside mu_ so queries never wait on an fsync. A
+    // failure here is a torn publish: the old generation keeps serving,
+    // the half-written directory is discarded by the next recovery (or by
+    // the retried publish reusing the id).
+    if (Status persisted = persist::PersistGeneration(dir, id, *next,
+                                                      fingerprint,
+                                                      annex_bytes);
+        !persisted.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      // publish_mu_ guarantees no other publisher interleaved, so the
+      // unused id can be handed back and ids stay dense.
+      next_id_ = id;
       ++stats_.publish_failures;
       publish_failures_total_->Increment();
-      // `next` dies with this scope — that IS the rollback: no store state
-      // changed, readers keep the old generation.
-      return injected.WithContext("publishing generation of warehouse '" +
-                                  name_ + "'");
+      return persisted.WithContext("publishing generation of warehouse '" +
+                                   name_ + "'");
     }
   }
   Generation gen;
-  gen.id = next_id_++;
+  gen.id = id;
   gen.db = std::shared_ptr<const Database>(std::move(next));
   gen.annex = std::move(annex);
-  fingerprints_[gen.id] = fingerprint;
-
-  RetireLocked(std::move(previous_));
-  previous_ = std::move(current_);
-  current_ = std::move(gen);
-  ++stats_.published;
-  published_total_->Increment();
-
-  // Retry earlier deferred retires while we hold the lock anyway.
-  std::vector<Generation> still_deferred;
-  for (Generation& d : deferred_retire_) {
-    if (fault::Enabled() &&
-        !fault::Check("storage.generation.retire").ok()) {
-      ++stats_.retires_deferred;
-      retires_deferred_total_->Increment();
-      still_deferred.push_back(std::move(d));
-      continue;
-    }
-    ++stats_.retired;
-    retired_total_->Increment();
+  gen.annex_bytes = std::string(annex_bytes);
+  std::vector<Generation> to_retire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fingerprints_[gen.id] = fingerprint;
+    to_retire.push_back(std::move(previous_));
+    previous_ = std::move(current_);
+    current_ = std::move(gen);
+    ++stats_.published;
+    published_total_->Increment();
+    // Retry earlier deferred retires while we already own publish_mu_.
+    for (Generation& d : deferred_retire_) to_retire.push_back(std::move(d));
+    deferred_retire_.clear();
   }
-  deferred_retire_ = std::move(still_deferred);
-  UpdateGaugesLocked();
-  return current_.id;
+  RetireBatch(std::move(to_retire));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    UpdateGaugesLocked();
+  }
+  return id;
 }
 
 Result<uint64_t> GenerationStore::PublishedFingerprint(
@@ -196,24 +255,91 @@ Result<uint64_t> GenerationStore::PublishedFingerprint(
 }
 
 int GenerationStore::DrainDeferredRetires() {
-  std::lock_guard<std::mutex> lock(mu_);
-  int drained = 0;
-  std::vector<Generation> still_deferred;
-  for (Generation& d : deferred_retire_) {
-    if (fault::Enabled() &&
-        !fault::Check("storage.generation.retire").ok()) {
-      ++stats_.retires_deferred;
-      retires_deferred_total_->Increment();
-      still_deferred.push_back(std::move(d));
-      continue;
-    }
-    ++stats_.retired;
-    retired_total_->Increment();
-    ++drained;
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  std::vector<Generation> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(deferred_retire_);
   }
-  deferred_retire_ = std::move(still_deferred);
-  UpdateGaugesLocked();
+  int drained = RetireBatch(std::move(pending));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    UpdateGaugesLocked();
+  }
   return drained;
+}
+
+Status GenerationStore::EnableDurability(
+    const std::string& dir, AnnexDecoder decoder,
+    persist::GenerationRecoveryStats* stats) {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::ExecutionError("cannot create generation store '" + dir +
+                                  "': " + ec.message());
+  }
+  // The annex of each candidate generation must decode for the candidate
+  // to count as intact — an undecodable annex is as unservable as a CRC
+  // mismatch, and recovery falls back to the next-newest generation.
+  std::shared_ptr<const void> decoded;
+  persist::GenerationValidator validator;
+  if (decoder != nullptr) {
+    validator = [&](const persist::LoadedGeneration& g) -> Status {
+      decoded = nullptr;
+      if (g.annex_bytes.empty()) return Status::OK();
+      QUARRY_ASSIGN_OR_RETURN(decoded, decoder(g.annex_bytes));
+      return Status::OK();
+    };
+  }
+  persist::GenerationRecoveryStats local;
+  persist::GenerationRecoveryStats& rstats = stats != nullptr ? *stats : local;
+  QUARRY_ASSIGN_OR_RETURN(
+      persist::LoadedGeneration recovered,
+      persist::RecoverNewestGeneration(dir, validator, &rstats));
+
+  uint64_t checkpoint_id = 0;
+  std::shared_ptr<const Database> checkpoint_db;
+  uint64_t checkpoint_fp = 0;
+  std::string checkpoint_annex;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (current_.id == 0 && recovered.id != 0) {
+      // Cold start: republish the newest intact on-disk generation so
+      // readers serve immediately, without waiting on any ETL rebuild.
+      Generation gen;
+      gen.id = recovered.id;
+      gen.db = std::shared_ptr<const Database>(std::move(recovered.db));
+      gen.annex = std::move(decoded);
+      gen.annex_bytes = std::move(recovered.annex_bytes);
+      fingerprints_[gen.id] = recovered.fingerprint;
+      current_ = std::move(gen);
+    } else if (current_.id != 0 && current_.id != recovered.id) {
+      // The store was published to before it became durable: checkpoint
+      // the in-memory generation so the directory catches up.
+      checkpoint_id = current_.id;
+      checkpoint_db = current_.db;
+      checkpoint_fp = fingerprints_[current_.id];
+      checkpoint_annex = current_.annex_bytes;
+    }
+    next_id_ =
+        std::max(next_id_,
+                 std::max(recovered.id, recovered.max_seen_id) + 1);
+  }
+  if (checkpoint_id != 0) {
+    QUARRY_RETURN_NOT_OK(
+        persist::PersistGeneration(dir, checkpoint_id, *checkpoint_db,
+                                   checkpoint_fp, checkpoint_annex)
+            .WithContext("checkpointing in-memory generation " +
+                         std::to_string(checkpoint_id)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    durable_ = true;
+    durable_dir_ = dir;
+    UpdateGaugesLocked();
+  }
+  return Status::OK();
 }
 
 GenerationStoreStats GenerationStore::stats() const {

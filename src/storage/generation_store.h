@@ -3,14 +3,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "storage/database.h"
+#include "storage/generation_persist.h"
 
 namespace quarry::obs {
 class Counter;
@@ -96,6 +99,32 @@ class GenerationStore {
 
   const std::string& name() const { return name_; }
 
+  /// Turns the serialized annex payload a generation was persisted with
+  /// back into the opaque in-memory annex (the core layer parses the xMD
+  /// document into an md::MdSchema). A failure quarantines the candidate
+  /// generation during recovery, exactly like a CRC mismatch.
+  using AnnexDecoder =
+      std::function<Result<std::shared_ptr<const void>>(const std::string&)>;
+
+  /// Makes the store crash-safe on `dir` (docs/ROBUSTNESS.md §10). Runs the
+  /// startup recovery pass first — scanning `dir`, discarding torn
+  /// publishes, quarantining corrupt generations and republishing the
+  /// newest intact one so readers serve immediately at cold start — then
+  /// switches every later Publish to the durable two-phase commit and every
+  /// retire to on-disk directory deletion. `decoder` rebuilds the annex of
+  /// the recovered generation; `stats` (nullable) reports what recovery
+  /// found. If the store already holds an in-memory generation newer than
+  /// anything on disk, that generation is checkpointed so the durable
+  /// directory catches up. Idempotent against crashes: failing anywhere
+  /// leaves the store non-durable and the directory recoverable, and the
+  /// call can simply be retried.
+  Status EnableDurability(const std::string& dir, AnnexDecoder decoder = {},
+                          persist::GenerationRecoveryStats* stats = nullptr);
+
+  bool durable() const;
+  /// Empty until EnableDurability succeeds.
+  std::string durable_dir() const;
+
   /// Id of the currently served generation; 0 when nothing has been
   /// published yet. Ids are dense and strictly increasing from 1.
   uint64_t current_generation() const;
@@ -123,8 +152,21 @@ class GenerationStore {
   /// changes: on failure the scratch is discarded, the store is untouched,
   /// and readers keep serving the old generation — the O(1) rollback the
   /// deployer's serve-while-refresh path relies on.
+  ///
+  /// Durable stores (EnableDurability) additionally run the two-phase
+  /// on-disk commit *before* the in-memory pointer swap: the publish is
+  /// acknowledged only once the generation's MANIFEST.json has landed, so
+  /// a crash at any point either keeps the old generation (torn publish on
+  /// disk, discarded by the next recovery) or recovers the new one intact —
+  /// never a partial state. `annex_bytes` is the serialized form of
+  /// `annex`, persisted alongside the tables so recovery can rebuild the
+  /// annex through the AnnexDecoder; pass empty to persist no annex.
+  ///
+  /// Readers never block on a publish: the disk work happens outside the
+  /// reader lock, which is only taken for the final pointer swap.
   Result<uint64_t> Publish(std::unique_ptr<Database> next,
-                           std::shared_ptr<const void> annex = nullptr);
+                           std::shared_ptr<const void> annex = nullptr,
+                           std::string_view annex_bytes = {});
 
   /// Content fingerprint recorded when `generation` was published (the
   /// soak harness checks every query result against exactly one of these).
@@ -143,15 +185,27 @@ class GenerationStore {
     uint64_t id = 0;
     std::shared_ptr<const Database> db;
     std::shared_ptr<const void> annex;
+    /// Serialized annex, kept so EnableDurability can checkpoint a
+    /// generation that was published before the store became durable.
+    std::string annex_bytes;
   };
 
   Pin MakePin(const Generation& gen) const;
-  /// Releases one generation's store reference, honouring the retire fault
-  /// site. Called with mu_ held.
-  void RetireLocked(Generation gen);
+  /// Retires a batch of generations outside mu_ (on-disk deletion can be
+  /// slow; readers must never wait on it). Honours the retire fault site
+  /// and the durable directory removal; failures re-park the generation on
+  /// the deferred list. Called with publish_mu_ held, mu_ NOT held.
+  /// Returns how many generations were released.
+  int RetireBatch(std::vector<Generation> gens);
   void UpdateGaugesLocked() const;
 
   std::string name_;
+  /// Serializes publishers (Publish / DrainDeferredRetires /
+  /// EnableDurability) end-to-end so the heavy disk I/O of a durable
+  /// commit never runs concurrently with another publisher — while mu_,
+  /// which readers' Acquire takes, is only ever held for pointer swaps.
+  /// Lock order: publish_mu_ before mu_.
+  mutable std::mutex publish_mu_;
   mutable std::mutex mu_;
   uint64_t next_id_ = 1;                     ///< Guarded by mu_.
   Generation current_;                       ///< Guarded by mu_. id 0 = none.
@@ -159,6 +213,8 @@ class GenerationStore {
   std::vector<Generation> deferred_retire_;  ///< Guarded by mu_.
   std::map<uint64_t, uint64_t> fingerprints_;  ///< Guarded by mu_.
   GenerationStoreStats stats_;               ///< Guarded by mu_ (not pins).
+  bool durable_ = false;                     ///< Guarded by mu_.
+  std::string durable_dir_;                  ///< Guarded by mu_.
   /// Shared with every Pin so releases stay safe even if the store is gone.
   std::shared_ptr<std::atomic<int>> pin_count_ =
       std::make_shared<std::atomic<int>>(0);

@@ -3,14 +3,16 @@
 #   1. tier-1    — plain build + full ctest suite (the seed contract)
 #   2. tsan      — concurrency slice under ThreadSanitizer (tools/run_tsan.sh)
 #   3. crash     — fault + crash matrices under ASan (tools/run_crash_matrix.sh)
-#   4. metrics   — two-way metric/doc lint (tools/check_metrics_doc.sh)
+#   4. recovery  — warehouse kill-and-recover matrix, plain build (fast
+#                  re-run of the §10 crash surface outside the ASan gate)
+#   5. metrics   — two-way metric/doc lint (tools/check_metrics_doc.sh)
 #
 # Every step runs even after an earlier one fails, so one broken gate cannot
 # mask another; the script prints a per-step PASS/FAIL summary at the end and
 # exits non-zero if anything failed. The full-size ASan soak
 # (tools/run_soak.sh) is not in the default gauntlet — the bounded soak
 # already rides both the tier-1 suite and the tsan slice — but
-# RUN_ALL_CHECKS_SOAK=1 adds it as a fifth step.
+# RUN_ALL_CHECKS_SOAK=1 adds it as a final step.
 #
 # Usage: tools/run_all_checks.sh [build-dir]
 #   build-dir  defaults to build (the sanitizer scripts keep their own dirs)
@@ -43,9 +45,19 @@ tier1() {
     ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 }
 
+# The warehouse-recovery crash matrix re-run on the plain build: the ASan
+# crash step already covers it, but this keeps a fast, sanitizer-free
+# repro of the §10 kill-and-recover surface in the gauntlet even when the
+# ASan build is what broke.
+warehouse_recovery() {
+  ctest --test-dir "${build_dir}" -R '^generation_persist_test$' \
+    --output-on-failure
+}
+
 run_step "tier-1 build+ctest" tier1
 run_step "tsan slice" "${repo_root}/tools/run_tsan.sh"
 run_step "crash matrix (asan)" "${repo_root}/tools/run_crash_matrix.sh"
+run_step "warehouse recovery" warehouse_recovery
 run_step "metrics doc lint" "${repo_root}/tools/check_metrics_doc.sh"
 if [[ "${RUN_ALL_CHECKS_SOAK:-0}" == "1" ]]; then
   run_step "serving soak (asan)" "${repo_root}/tools/run_soak.sh"

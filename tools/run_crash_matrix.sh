@@ -4,6 +4,12 @@
 # build, so the QUARRY_SANITIZE wiring is actually exercised and every
 # injected crash/recovery path is checked for memory errors too.
 #
+# The crash label covers both durable substrates: the docstore WAL
+# (wal_crash_test, docs/ROBUSTNESS.md §6) and the warehouse generation
+# store (generation_persist_test, §10) — the latter's kill-and-recover
+# matrix exercises every storage.generation.persist.* / recover.* fault
+# site. New crash/fault tests are picked up automatically via the labels.
+#
 # Each matrix entry (ctest test) runs individually so one failure cannot
 # mask another: the script prints a per-entry pass/fail summary at the end
 # and exits non-zero if any entry failed.
