@@ -7,14 +7,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/quarry.h"
+#include "datagen/retail.h"
 #include "etl/exec/executor.h"
 #include "etl/flow.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/request_log.h"
 #include "obs/trace.h"
 #include "storage/database.h"
 
@@ -186,6 +195,131 @@ void BM_EtlRun(benchmark::State& state) {
 BENCHMARK(BM_EtlRun)
     ->ArgsProduct({{1000, 10000}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
+
+// ---- request-scoped observability -----------------------------------------
+
+/// Profile-tree assembly alone: BuildProfileTrees over the 6-operator bench
+/// flow's execution report — the fixed per-query cost EXPLAIN ANALYZE adds
+/// on top of execution.
+void BM_BuildProfileTrees(benchmark::State& state) {
+  std::unique_ptr<Database> source = MakeSource(1000);
+  Flow flow = MakeFlow();
+  Database target("dw");
+  Executor executor(source.get(), &target);
+  auto report = executor.Run(flow);
+  if (!report.ok()) std::abort();
+  for (auto _ : state) {
+    auto roots = quarry::etl::BuildProfileTrees(flow, *report);
+    benchmark::DoNotOptimize(roots.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuildProfileTrees);
+
+/// One event-log append: slot reservation (one fetch_add) + per-slot mutex
+/// fill, with realistic string payloads and the top-3 operator timings.
+void BM_RequestLogRecord(benchmark::State& state) {
+  quarry::obs::RequestLog log(256);
+  uint64_t id = 0;
+  for (auto _ : state) {
+    quarry::obs::RequestRecord record;
+    record.id = ++id;
+    record.kind = "query";
+    record.lane = "query";
+    record.latency_micros = 1234.5;
+    record.rows = 42;
+    record.slowest_ops = {{"q_agg", 800.0}, {"q_join_product", 300.0},
+                          {"q_fact", 100.0}};
+    log.Record(std::move(record));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RequestLogRecord);
+
+/// End-to-end SubmitQuery on a served retail warehouse with tracing
+/// runtime-on; range(0) toggles QueryOptions::collect_profile. The relative
+/// delta is the EXPLAIN ANALYZE overhead (budget: < 2%).
+void BM_SubmitQueryProfile(benchmark::State& state) {
+  const bool collect = state.range(0) != 0;
+  quarry::storage::Database source;
+  if (!quarry::datagen::PopulateRetail(&source, quarry::datagen::RetailConfig{})
+           .ok())
+    std::abort();
+  auto q = quarry::core::Quarry::Create(quarry::datagen::BuildRetailOntology(),
+                                        quarry::datagen::BuildRetailMappings(),
+                                        &source);
+  if (!q.ok()) std::abort();
+  if (!(*q)
+           ->SubmitRequirementFromQuery(
+               "ANALYZE turnover ON Sale "
+               "MEASURE turnover = Sale.sl_amount * (1 - Sale.sl_discount) "
+               "SUM BY Product.pr_category, Store.st_city")
+           .ok())
+    std::abort();
+  auto deployed = (*q)->DeployServing();
+  if (!deployed.ok() || !deployed->success) std::abort();
+
+  quarry::olap::CubeQuery query;
+  query.fact = "fact_table_turnover";
+  query.group_by = {"pr_category"};
+  query.measures.push_back({"turnover", quarry::md::AggFunc::kSum, "total"});
+  quarry::core::QueryOptions options;
+  options.collect_profile = collect;
+
+  for (auto _ : state) {
+    // Restart per iteration so the span buffer never fills (same discipline
+    // as BM_EtlRun) — the profile cost is measured with tracing live.
+    TraceRecorder::Instance().Start(1 << 20);
+    auto result = (*q)->SubmitQuery(query, options);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->request_id);
+  }
+  TraceRecorder::Instance().Stop();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubmitQueryProfile)
+    ->ArgsProduct({{0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// One /metrics scrape round-trip against the exposition server: connect,
+/// GET, read-to-close — what a Prometheus scraper costs this process.
+void BM_HttpMetricsScrape(benchmark::State& state) {
+  quarry::obs::HttpExporter exporter;
+  std::string error;
+  if (!exporter.Start(&error)) std::abort();
+  const int port = exporter.port();
+  const std::string wire =
+      "GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n";
+  for (auto _ : state) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) std::abort();
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+      std::abort();
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);
+      if (n <= 0) std::abort();
+      sent += static_cast<size_t>(n);
+    }
+    size_t total = 0;
+    char buf[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      total += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    if (total == 0) std::abort();
+    benchmark::DoNotOptimize(total);
+  }
+  exporter.Stop();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HttpMetricsScrape)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

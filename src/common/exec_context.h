@@ -120,6 +120,15 @@ struct ResourceBudget {
   int64_t max_flow_nodes = 0;         ///< Nodes in a flow handed to Run().
 };
 
+/// Mints a process-unique, monotonically increasing request id (1-based).
+/// Every Quarry::Submit* / SubmitQuery entry point stamps one onto its
+/// ExecContext so spans, metrics and the event log can attribute work to
+/// the request that caused it (docs/OBSERVABILITY.md).
+inline uint64_t MintRequestId() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 /// \brief Everything a long-running request carries through the pipeline:
 /// cancellation token, deadline and resource budgets, plus the running
 /// consumption counters (docs/ROBUSTNESS.md §7).
@@ -185,6 +194,32 @@ class ExecContext {
     return Status::OK();
   }
 
+  /// The request id attributed to this context (0 = none assigned yet).
+  uint64_t request_id() const {
+    return request_id_.load(std::memory_order_relaxed);
+  }
+
+  /// Stamps `id` as this context's request id (entry points that minted an
+  /// id up front).
+  void set_request_id(uint64_t id) const {
+    request_id_.store(id, std::memory_order_relaxed);
+  }
+
+  /// Returns the request id, minting one on first call. Idempotent and
+  /// thread-safe: concurrent callers agree on a single id (the CAS loser
+  /// reads the winner's), so a caller-provided context keeps one identity
+  /// across every stage it flows through.
+  uint64_t EnsureRequestId() const {
+    uint64_t id = request_id_.load(std::memory_order_relaxed);
+    if (id != 0) return id;
+    uint64_t minted = MintRequestId();
+    if (request_id_.compare_exchange_strong(id, minted,
+                                            std::memory_order_relaxed)) {
+      return minted;
+    }
+    return id;  // Lost the race; `id` holds the winner's value.
+  }
+
   int64_t rows_materialized() const {
     return rows_materialized_.load(std::memory_order_relaxed);
   }
@@ -205,6 +240,7 @@ class ExecContext {
   ResourceBudget budget_;
   mutable std::atomic<int64_t> rows_materialized_{0};
   mutable std::atomic<int64_t> intermediate_bytes_{0};
+  mutable std::atomic<uint64_t> request_id_{0};
 };
 
 /// True for the lifecycle error classes that must never be retried: the
@@ -218,6 +254,12 @@ inline bool IsLifecycleError(const Status& status) {
 /// Checks a nullable context; OK when ctx is nullptr.
 inline Status CheckContext(const ExecContext* ctx, const std::string& where) {
   return ctx == nullptr ? Status::OK() : ctx->Check(where);
+}
+
+/// The request id of a nullable context (0 when ctx is nullptr or no id was
+/// assigned) — the span-attribute convenience used across the pipeline.
+inline uint64_t RequestId(const ExecContext* ctx) {
+  return ctx == nullptr ? 0 : ctx->request_id();
 }
 
 }  // namespace quarry

@@ -82,9 +82,10 @@ void AdmissionController::ReleaseSlot() {
 }
 
 Result<AdmissionController::Ticket> AdmissionController::Admit(
-    const ExecContext* ctx) {
+    const ExecContext* ctx, double* queue_wait_micros) {
   requests_total_->Increment();
   Timer queued;
+  if (queue_wait_micros != nullptr) *queue_wait_micros = 0.0;
   std::unique_lock<std::mutex> lock(mu_);
 
   // Fast path: a free slot and nobody queued ahead.
@@ -92,7 +93,9 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
     ++in_flight_;
     in_flight_gauge_->Set(static_cast<double>(in_flight_));
     admitted_total_->Increment();
-    queue_wait_micros_->Observe(queued.ElapsedMicros());
+    double waited = queued.ElapsedMicros();
+    queue_wait_micros_->Observe(waited);
+    if (queue_wait_micros != nullptr) *queue_wait_micros = waited;
     return Ticket(this);
   }
 
@@ -132,7 +135,9 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
       ++in_flight_;
       in_flight_gauge_->Set(static_cast<double>(in_flight_));
       admitted_total_->Increment();
-      queue_wait_micros_->Observe(queued.ElapsedMicros());
+      double waited = queued.ElapsedMicros();
+      queue_wait_micros_->Observe(waited);
+      if (queue_wait_micros != nullptr) *queue_wait_micros = waited;
       return Ticket(this);
     }
     if (ctx != nullptr) {

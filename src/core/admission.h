@@ -97,8 +97,12 @@ class AdmissionController {
 
   /// Blocks until a slot is free (FIFO among waiters) or the request is
   /// shed. `ctx` is nullable; when given, its cancellation and deadline are
-  /// honoured while queued.
-  Result<Ticket> Admit(const ExecContext* ctx = nullptr);
+  /// honoured while queued. `queue_wait_micros` (nullable) receives the
+  /// time this call spent waiting for its slot — the same value the
+  /// quarry_admission_queue_wait_micros histogram observes — so request
+  /// profiles can attribute admission wait per request.
+  Result<Ticket> Admit(const ExecContext* ctx = nullptr,
+                       double* queue_wait_micros = nullptr);
 
   int in_flight() const;
   int queue_depth() const;

@@ -1,0 +1,129 @@
+#include "core/http_telemetry.h"
+
+#include <chrono>
+
+#include "core/quarry.h"
+#include "json/json.h"
+#include "obs/request_log.h"
+
+namespace quarry::core {
+namespace {
+
+json::Value LaneStatus(const AdmissionController& lane) {
+  json::Object obj;
+  obj.emplace_back("lane", lane.options().lane);
+  obj.emplace_back("in_flight", static_cast<int64_t>(lane.in_flight()));
+  obj.emplace_back("queue_depth", static_cast<int64_t>(lane.queue_depth()));
+  obj.emplace_back("max_in_flight",
+                   static_cast<int64_t>(lane.options().max_in_flight));
+  obj.emplace_back("max_queue_depth",
+                   static_cast<int64_t>(lane.options().max_queue_depth));
+  return json::Value(std::move(obj));
+}
+
+json::Value WarehouseStatus(const storage::GenerationStore& warehouse) {
+  const storage::GenerationStoreStats stats = warehouse.stats();
+  json::Object obj;
+  obj.emplace_back("serving", warehouse.has_generation());
+  obj.emplace_back("current_generation",
+                   static_cast<int64_t>(warehouse.current_generation()));
+  obj.emplace_back("published", static_cast<int64_t>(stats.published));
+  obj.emplace_back("publish_failures",
+                   static_cast<int64_t>(stats.publish_failures));
+  obj.emplace_back("retired", static_cast<int64_t>(stats.retired));
+  obj.emplace_back("retires_deferred",
+                   static_cast<int64_t>(stats.retires_deferred));
+  obj.emplace_back("live_generations",
+                   static_cast<int64_t>(stats.live_generations));
+  obj.emplace_back("active_pins", static_cast<int64_t>(stats.active_pins));
+  return json::Value(std::move(obj));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<obs::HttpExporter>> StartTelemetryServer(
+    Quarry* quarry, obs::HttpExporterOptions options) {
+  if (quarry == nullptr) {
+    return Status::InvalidArgument("quarry instance is null");
+  }
+  auto exporter = std::make_unique<obs::HttpExporter>(std::move(options));
+  const auto started = std::chrono::steady_clock::now();
+
+  // /healthz — is this instance serving? 200 while a warehouse generation
+  // is published (readers get answers), 503 before the first DeployServing
+  // or after a cold start whose recovery found nothing intact. The body
+  // carries the "why": generation, publish failures, recovery report.
+  exporter->AddHandler("/healthz", [quarry](const obs::HttpExporter::Request&) {
+    const storage::GenerationStore& warehouse = quarry->warehouse();
+    const bool serving = warehouse.has_generation();
+    json::Object obj;
+    obj.emplace_back("status", serving ? "ok" : "unavailable");
+    obj.emplace_back("serving", serving);
+    obj.emplace_back("serving_generation",
+                     static_cast<int64_t>(warehouse.current_generation()));
+    obj.emplace_back(
+        "publish_failures",
+        static_cast<int64_t>(warehouse.stats().publish_failures));
+    obj.emplace_back("recovery", quarry->recovery_report().ToString());
+    obs::HttpExporter::Response resp;
+    resp.code = serving ? 200 : 503;
+    resp.content_type = "application/json";
+    resp.body = json::Write(json::Value(std::move(obj)));
+    return resp;
+  });
+
+  // /statusz — one page of process vitals: build configuration, uptime,
+  // admission-lane load, warehouse stats, request-log totals.
+  exporter->AddHandler(
+      "/statusz", [quarry, started](const obs::HttpExporter::Request&) {
+        json::Object build;
+        build.emplace_back("compiler", __VERSION__);
+        build.emplace_back("cpp_standard", static_cast<int64_t>(__cplusplus));
+#ifdef NDEBUG
+        build.emplace_back("assertions", false);
+#else
+        build.emplace_back("assertions", true);
+#endif
+#ifdef QUARRY_DISABLE_TRACING
+        build.emplace_back("tracing_compiled_out", true);
+#else
+        build.emplace_back("tracing_compiled_out", false);
+#endif
+
+        json::Object lanes;
+        lanes.emplace_back("design", LaneStatus(quarry->admission()));
+        lanes.emplace_back("query", LaneStatus(quarry->query_admission()));
+
+        const obs::RequestLog& log = obs::RequestLog::Instance();
+        json::Object requests;
+        requests.emplace_back("total_recorded",
+                              static_cast<int64_t>(log.total_recorded()));
+        requests.emplace_back(
+            "slow_threshold_micros",
+            static_cast<int64_t>(log.slow_threshold_micros()));
+
+        json::Object obj;
+        obj.emplace_back("build", json::Value(std::move(build)));
+        obj.emplace_back(
+            "uptime_seconds",
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count());
+        obj.emplace_back("admission", json::Value(std::move(lanes)));
+        obj.emplace_back("warehouse", WarehouseStatus(quarry->warehouse()));
+        obj.emplace_back("requests", json::Value(std::move(requests)));
+        obs::HttpExporter::Response resp;
+        resp.content_type = "application/json";
+        resp.body = json::Write(json::Value(std::move(obj)));
+        return resp;
+      });
+
+  std::string error;
+  if (!exporter->Start(&error)) {
+    return Status::ExecutionError("telemetry HTTP server failed to start: " +
+                                  error);
+  }
+  return exporter;
+}
+
+}  // namespace quarry::core

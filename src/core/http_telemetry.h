@@ -1,0 +1,34 @@
+#ifndef QUARRY_CORE_HTTP_TELEMETRY_H_
+#define QUARRY_CORE_HTTP_TELEMETRY_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "obs/http_exporter.h"
+
+namespace quarry::core {
+
+class Quarry;
+
+/// \brief Starts the telemetry HTTP listener for `quarry`
+/// (docs/OBSERVABILITY.md §"HTTP endpoints & request profiles").
+///
+/// The returned exporter serves five endpoints:
+///   /metrics       Prometheus text exposition (the full registry)
+///   /metrics.json  the same registry as a JSON snapshot
+///   /healthz       200 "ok" JSON while a warehouse generation is being
+///                  served, 503 otherwise; carries the serving generation,
+///                  publish-failure count and the startup recovery report
+///   /statusz       build info, uptime, admission-lane load, warehouse
+///                  stats and request-log totals
+///   /requestz      recent request-completion records + promoted
+///                  slow-request profiles from the event log
+///
+/// `quarry` must outlive the exporter (Stop() it first). Defaults bind
+/// loopback on an ephemeral port; read it back with exporter->port().
+Result<std::unique_ptr<obs::HttpExporter>> StartTelemetryServer(
+    Quarry* quarry, obs::HttpExporterOptions options = {});
+
+}  // namespace quarry::core
+
+#endif  // QUARRY_CORE_HTTP_TELEMETRY_H_

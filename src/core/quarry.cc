@@ -1,12 +1,15 @@
 #include "core/quarry.h"
 
+#include <algorithm>
 #include <chrono>
+#include <functional>
 #include <utility>
 
 #include "deployer/pdi_generator.h"
 #include "deployer/sql_generator.h"
 #include "etl/xlm.h"
 #include "obs/metrics.h"
+#include "obs/request_log.h"
 #include "obs/trace.h"
 #include "requirements/query_parser.h"
 #include "xml/xml.h"
@@ -29,6 +32,167 @@ class BuildInFlight {
  private:
   std::atomic<int>* counter_;
 };
+
+// --- request attribution (docs/OBSERVABILITY.md) --------------------------
+
+obs::Counter& RequestsTotal(const std::string& kind) {
+  return obs::MetricsRegistry::Instance().counter(
+      "quarry_requests_total", "Requests completed through Quarry entry "
+      "points, by kind",
+      {{"kind", kind}});
+}
+
+obs::Counter& RequestFailuresTotal(const std::string& kind) {
+  return obs::MetricsRegistry::Instance().counter(
+      "quarry_request_failures_total",
+      "Requests that completed with a non-OK status, by kind",
+      {{"kind", kind}});
+}
+
+obs::Histogram& RequestMicrosHistogram(const std::string& kind) {
+  return obs::MetricsRegistry::Instance().histogram(
+      "quarry_request_micros",
+      "End-to-end request latency (admission wait included), by kind",
+      obs::LatencyBucketsMicros(), {{"kind", kind}});
+}
+
+// Collect (name-pointer, micros) pairs, sort, and copy only the three
+// strings that survive — this runs on every request completion, so the
+// other N-3 operator names are never copied.
+using OpRef = std::pair<const std::string*, double>;
+
+void CollectOpRefs(const std::vector<obs::ProfileNode>& nodes,
+                   std::vector<OpRef>* out) {
+  for (const obs::ProfileNode& node : nodes) {
+    out->push_back({&node.id, node.wall_micros});
+    CollectOpRefs(node.children, out);
+  }
+}
+
+std::vector<obs::OpTiming> KeepSlowestThree(std::vector<OpRef> ops) {
+  std::sort(ops.begin(), ops.end(), [](const OpRef& a, const OpRef& b) {
+    return a.second > b.second;
+  });
+  if (ops.size() > 3) ops.resize(3);
+  std::vector<obs::OpTiming> out;
+  out.reserve(ops.size());
+  for (const OpRef& op : ops) out.push_back({*op.first, op.second});
+  return out;
+}
+
+std::vector<obs::OpTiming> SlowestOps(
+    const std::vector<obs::ProfileNode>& roots) {
+  std::vector<OpRef> ops;
+  CollectOpRefs(roots, &ops);
+  return KeepSlowestThree(std::move(ops));
+}
+
+std::vector<obs::OpTiming> SlowestOpsFromReport(
+    const etl::ExecutionReport& report) {
+  std::vector<OpRef> ops;
+  ops.reserve(report.nodes.size());
+  for (const etl::NodeStats& stats : report.nodes) {
+    ops.push_back({&stats.node_id, stats.millis * 1000.0});
+  }
+  return KeepSlowestThree(std::move(ops));
+}
+
+/// Attribution scope of one entry-point invocation: supplies a fallback
+/// ExecContext when the caller passed none (the request id must travel
+/// regardless), stamps the monotonic request id, times the request end to
+/// end and — via Finish(), exactly once — writes the per-kind metrics and
+/// the event-log completion record.
+class RequestScope {
+ public:
+  RequestScope(std::string kind, const ExecContext** ctx) {
+    if (*ctx == nullptr) {
+      owned_ = std::make_unique<ExecContext>();
+      *ctx = owned_.get();
+    }
+    record_.kind = std::move(kind);
+    record_.id = (*ctx)->EnsureRequestId();
+  }
+
+  uint64_t id() const { return record_.id; }
+  obs::RequestRecord& record() { return record_; }
+  void set_admission_wait(double micros) {
+    record_.admission_wait_micros = micros;
+  }
+
+  /// Defers profile-JSON rendering to Finish: the string is only built when
+  /// the request's latency crosses the slow threshold and the record will
+  /// actually keep it. Rendering eagerly on every fast query would charge
+  /// ~10% serialization tax to requests whose profile is dropped anyway.
+  /// The callable must stay valid until Finish runs.
+  void set_profile_renderer(std::function<std::string()> renderer) {
+    profile_renderer_ = std::move(renderer);
+  }
+
+  /// Completes the request: per-kind metrics + the event-log record.
+  void Finish(const Status& status) {
+    record_.latency_micros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    record_.status =
+        status.ok() ? "ok" : StatusCodeToString(status.code());
+    if (profile_renderer_ &&
+        record_.latency_micros >=
+            obs::RequestLog::Instance().slow_threshold_micros()) {
+      record_.profile_json = profile_renderer_();
+    }
+    RequestsTotal(record_.kind).Increment();
+    if (!status.ok()) RequestFailuresTotal(record_.kind).Increment();
+    RequestMicrosHistogram(record_.kind).Observe(record_.latency_micros);
+    obs::RequestLog::Instance().Record(std::move(record_));
+  }
+
+ private:
+  std::unique_ptr<ExecContext> owned_;
+  obs::RequestRecord record_;
+  std::function<std::string()> profile_renderer_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+/// Folds a deployment outcome into the scope's record — rows, generation,
+/// slowest operators, and the full ETL profile (kept by the event log only
+/// when the request crosses the slow threshold) — then finishes it. A
+/// deployment that "succeeded" as a Result but rolled back logically
+/// reports its DeploymentFailure cause as the request status.
+void FinishDeploymentScope(RequestScope* scope,
+                           const Result<deployer::DeploymentOutcome>& outcome,
+                           const etl::Flow* flow) {
+  Status status = outcome.status();
+  if (outcome.ok()) {
+    const deployer::DeploymentOutcome& o = *outcome;
+    scope->record().rows = o.report.etl.rows_processed;
+    scope->record().generation = o.published_generation;
+    scope->record().slowest_ops = SlowestOpsFromReport(o.report.etl);
+    if (!o.success && !o.partial && o.failure.has_value()) {
+      status = o.failure->cause;
+    }
+    if (flow != nullptr) {
+      // Rendered only if Finish finds the deployment slow; `outcome` and
+      // `flow` outlive the Finish call below.
+      scope->set_profile_renderer([scope, status, &o, flow] {
+        obs::RequestProfile profile;
+        profile.request_id = scope->id();
+        profile.kind = scope->record().kind;
+        profile.status =
+            status.ok() ? "ok" : StatusCodeToString(status.code());
+        profile.generation = o.published_generation;
+        profile.rows = o.report.etl.rows_processed;
+        profile.admission_wait_micros =
+            scope->record().admission_wait_micros;
+        profile.total_micros = o.report.etl.total_millis * 1000.0;
+        profile.roots = etl::BuildProfileTrees(*flow, o.report.etl);
+        return profile.ToJson();
+      });
+    }
+  }
+  scope->Finish(status);
+}
 
 }  // namespace
 
@@ -82,6 +246,17 @@ Quarry::Quarry(ontology::Ontology onto, ontology::SourceMapping mapping,
       "quarry_serving_query_micros",
       "End-to-end latency of served cube queries (pin + compile + execute).",
       obs::LatencyBucketsMicros());
+  // Request-attribution families, one instance per entry-point kind, plus
+  // the event-log counters (RequestLog registers its own) — all eager so
+  // the first scrape shows zeros, not gaps.
+  for (const char* kind :
+       {"requirement", "requirement_remove", "deploy", "refresh",
+        "deploy_serving", "refresh_serving", "query"}) {
+    RequestsTotal(kind);
+    RequestFailuresTotal(kind);
+    RequestMicrosHistogram(kind);
+  }
+  obs::RequestLog::Instance();
 }
 
 Result<std::unique_ptr<Quarry>> Quarry::Create(
@@ -180,6 +355,10 @@ Result<integrator::IntegrationOutcome> Quarry::AddRequirement(
     const req::InformationRequirement& ir, const ExecContext* ctx) {
   QUARRY_NAMED_SPAN(span, "quarry.add_requirement");
   QUARRY_SPAN_ATTR(span, "ir_id", ir.id);
+  if (RequestId(ctx) != 0) {
+    QUARRY_SPAN_ATTR(span, "request_id",
+                     static_cast<int64_t>(RequestId(ctx)));
+  }
   QUARRY_ASSIGN_OR_RETURN(interpreter::PartialDesign partial,
                           interpreter_->Interpret(ir, ctx));
   QUARRY_ASSIGN_OR_RETURN(integrator::IntegrationOutcome outcome,
@@ -231,13 +410,24 @@ Result<deployer::DeploymentReport> Quarry::Deploy(storage::Database* target) {
 
 Result<deployer::DeploymentOutcome> Quarry::DeployResilient(
     storage::Database* target, deployer::DeployOptions options) {
+  const ExecContext* ctx = options.context;
+  RequestScope scope("deploy", &ctx);
+  options.context = ctx;
   // Admission-gated like every other design-mutating entry point (§7): the
   // direct call and SubmitDeploy pass the same single gate. (Only the
   // legacy non-transactional Deploy() stays ungated.)
-  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
-                          admission_->Admit(options.context));
+  double wait = 0.0;
+  Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
+  scope.set_admission_wait(wait);
+  if (!ticket.ok()) {
+    scope.Finish(ticket.status());
+    return ticket.status();
+  }
   std::lock_guard<std::mutex> lock(submit_mu_);
-  return DeployResilientInternal(target, std::move(options));
+  Result<deployer::DeploymentOutcome> outcome =
+      DeployResilientInternal(target, std::move(options));
+  FinishDeploymentScope(&scope, outcome, &design_->flow());
+  return outcome;
 }
 
 Result<deployer::DeploymentOutcome> Quarry::DeployResilientInternal(
@@ -257,10 +447,22 @@ Result<deployer::DeploymentOutcome> Quarry::DeployResilientInternal(
 
 Result<etl::ExecutionReport> Quarry::Refresh(storage::Database* target,
                                              const ExecContext* ctx) {
-  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
-                          admission_->Admit(ctx));
+  RequestScope scope("refresh", &ctx);
+  double wait = 0.0;
+  Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
+  scope.set_admission_wait(wait);
+  if (!ticket.ok()) {
+    scope.Finish(ticket.status());
+    return ticket.status();
+  }
   std::lock_guard<std::mutex> lock(submit_mu_);
-  return RefreshInternal(target, ctx);
+  Result<etl::ExecutionReport> report = RefreshInternal(target, ctx);
+  if (report.ok()) {
+    scope.record().rows = report->rows_processed;
+    scope.record().slowest_ops = SlowestOpsFromReport(*report);
+  }
+  scope.Finish(report.status());
+  return report;
 }
 
 Result<etl::ExecutionReport> Quarry::RefreshInternal(storage::Database* target,
@@ -268,34 +470,65 @@ Result<etl::ExecutionReport> Quarry::RefreshInternal(storage::Database* target,
   if (target == nullptr) {
     return Status::InvalidArgument("target database is null");
   }
-  QUARRY_SPAN("quarry.refresh");
+  QUARRY_NAMED_SPAN(span, "quarry.refresh");
+  if (RequestId(ctx) != 0) {
+    QUARRY_SPAN_ATTR(span, "request_id",
+                     static_cast<int64_t>(RequestId(ctx)));
+  }
   deployer::Deployer dep(source_, target);
   return dep.Refresh(design_->flow(), {}, ctx, config_.etl_exec);
 }
 
 Result<integrator::IntegrationOutcome> Quarry::SubmitRequirement(
     const req::InformationRequirement& ir, const ExecContext* ctx) {
-  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
-                          admission_->Admit(ctx));
+  RequestScope scope("requirement", &ctx);
+  double wait = 0.0;
+  Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
+  scope.set_admission_wait(wait);
+  if (!ticket.ok()) {
+    scope.Finish(ticket.status());
+    return ticket.status();
+  }
   std::lock_guard<std::mutex> lock(submit_mu_);
-  return AddRequirement(ir, ctx);
+  Result<integrator::IntegrationOutcome> outcome = AddRequirement(ir, ctx);
+  scope.Finish(outcome.status());
+  return outcome;
 }
 
 Result<integrator::IntegrationOutcome> Quarry::SubmitRequirementFromQuery(
     std::string_view query_text, const ExecContext* ctx) {
-  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
-                          admission_->Admit(ctx));
+  RequestScope scope("requirement", &ctx);
+  double wait = 0.0;
+  Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
+  scope.set_admission_wait(wait);
+  if (!ticket.ok()) {
+    scope.Finish(ticket.status());
+    return ticket.status();
+  }
   std::lock_guard<std::mutex> lock(submit_mu_);
-  return AddRequirementFromQuery(query_text, ctx);
+  Result<integrator::IntegrationOutcome> outcome =
+      AddRequirementFromQuery(query_text, ctx);
+  scope.Finish(outcome.status());
+  return outcome;
 }
 
 Status Quarry::SubmitRemoveRequirement(const std::string& ir_id,
                                        const ExecContext* ctx) {
-  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
-                          admission_->Admit(ctx));
-  std::lock_guard<std::mutex> lock(submit_mu_);
-  QUARRY_RETURN_NOT_OK(CheckContext(ctx, "removal of '" + ir_id + "'"));
-  return RemoveRequirement(ir_id);
+  RequestScope scope("requirement_remove", &ctx);
+  double wait = 0.0;
+  Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
+  scope.set_admission_wait(wait);
+  if (!ticket.ok()) {
+    scope.Finish(ticket.status());
+    return ticket.status();
+  }
+  Status status = [&] {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    QUARRY_RETURN_NOT_OK(CheckContext(ctx, "removal of '" + ir_id + "'"));
+    return RemoveRequirement(ir_id);
+  }();
+  scope.Finish(status);
+  return status;
 }
 
 Result<deployer::DeploymentOutcome> Quarry::SubmitDeploy(
@@ -314,15 +547,31 @@ Result<etl::ExecutionReport> Quarry::SubmitRefresh(storage::Database* target,
 Result<deployer::DeploymentOutcome> Quarry::DeployServing(
     deployer::DeployOptions options, const ExecContext* ctx) {
   if (ctx != nullptr) options.context = ctx;
-  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
-                          admission_->Admit(options.context));
+  const ExecContext* attributed = options.context;
+  RequestScope scope("deploy_serving", &attributed);
+  options.context = attributed;
+  double wait = 0.0;
+  Result<AdmissionController::Ticket> ticket =
+      admission_->Admit(options.context, &wait);
+  scope.set_admission_wait(wait);
+  if (!ticket.ok()) {
+    scope.Finish(ticket.status());
+    return ticket.status();
+  }
   std::lock_guard<std::mutex> lock(submit_mu_);
-  return DeployServingInternal(std::move(options));
+  Result<deployer::DeploymentOutcome> outcome =
+      DeployServingInternal(std::move(options));
+  FinishDeploymentScope(&scope, outcome, &design_->flow());
+  return outcome;
 }
 
 Result<deployer::DeploymentOutcome> Quarry::DeployServingInternal(
     deployer::DeployOptions options) {
   QUARRY_NAMED_SPAN(span, "quarry.deploy_serving");
+  if (RequestId(options.context) != 0) {
+    QUARRY_SPAN_ATTR(span, "request_id",
+                     static_cast<int64_t>(RequestId(options.context)));
+  }
   BuildInFlight build(&serving_builds_in_flight_);
   std::unique_ptr<storage::Database> scratch = warehouse_.BeginEmptyBuild();
   options.target_is_scratch = true;
@@ -359,37 +608,75 @@ Result<deployer::DeploymentOutcome> Quarry::DeployServingInternal(
 }
 
 Result<etl::ExecutionReport> Quarry::RefreshServing(const ExecContext* ctx) {
-  QUARRY_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
-                          admission_->Admit(ctx));
-  std::lock_guard<std::mutex> lock(submit_mu_);
-  if (!warehouse_.has_generation()) {
-    return Status::NotFound(
-        "no published warehouse generation to refresh — run DeployServing "
-        "first");
+  RequestScope scope("refresh_serving", &ctx);
+  double wait = 0.0;
+  Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
+  scope.set_admission_wait(wait);
+  if (!ticket.ok()) {
+    scope.Finish(ticket.status());
+    return ticket.status();
   }
-  QUARRY_SPAN("quarry.refresh_serving");
-  BuildInFlight build(&serving_builds_in_flight_);
-  // Clone-merge-publish: readers keep serving generation N from their pins
-  // while the loaders merge the source delta into the clone.
-  std::unique_ptr<storage::Database> scratch = warehouse_.BeginBuild();
-  deployer::Deployer dep(source_, scratch.get());
-  QUARRY_ASSIGN_OR_RETURN(
-      etl::ExecutionReport report,
-      dep.Refresh(design_->flow(), {}, ctx, config_.etl_exec));
-  auto annex = std::make_shared<const md::MdSchema>(design_->schema());
-  const std::string annex_bytes = xml::Write(*annex->ToXml());
-  QUARRY_RETURN_NOT_OK(
-      warehouse_.Publish(std::move(scratch), std::move(annex), annex_bytes)
-          .status());
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  Result<etl::ExecutionReport> report = [&]() -> Result<etl::ExecutionReport> {
+    if (!warehouse_.has_generation()) {
+      return Status::NotFound(
+          "no published warehouse generation to refresh — run DeployServing "
+          "first");
+    }
+    QUARRY_NAMED_SPAN(span, "quarry.refresh_serving");
+    QUARRY_SPAN_ATTR(span, "request_id", static_cast<int64_t>(scope.id()));
+    BuildInFlight build(&serving_builds_in_flight_);
+    // Clone-merge-publish: readers keep serving generation N from their
+    // pins while the loaders merge the source delta into the clone.
+    std::unique_ptr<storage::Database> scratch = warehouse_.BeginBuild();
+    deployer::Deployer dep(source_, scratch.get());
+    QUARRY_ASSIGN_OR_RETURN(
+        etl::ExecutionReport result,
+        dep.Refresh(design_->flow(), {}, ctx, config_.etl_exec));
+    auto annex = std::make_shared<const md::MdSchema>(design_->schema());
+    const std::string annex_bytes = xml::Write(*annex->ToXml());
+    QUARRY_RETURN_NOT_OK(
+        warehouse_.Publish(std::move(scratch), std::move(annex), annex_bytes)
+            .status());
+    return result;
+  }();
+  if (report.ok()) {
+    scope.record().rows = report->rows_processed;
+    scope.record().generation = warehouse_.current_generation();
+    scope.record().slowest_ops = SlowestOpsFromReport(*report);
+  }
+  scope.Finish(report.status());
   return report;
 }
 
 Result<QueryResult> Quarry::SubmitQuery(const olap::CubeQuery& query,
                                         const QueryOptions& opts,
                                         const ExecContext* ctx) {
-  Result<AdmissionController::Ticket> ticket = query_admission_->Admit(ctx);
+  RequestScope scope("query", &ctx);
+  scope.record().lane = "query";
+  auto finish_query = [&scope](const Result<QueryResult>& result) {
+    if (result.ok()) {
+      scope.record().rows = static_cast<int64_t>(result->data.rows.size());
+      scope.record().generation = result->generation;
+      scope.record().stale = result->stale;
+      if (!result->profile.roots.empty()) {
+        scope.record().slowest_ops = SlowestOps(result->profile.roots);
+        scope.set_profile_renderer(
+            [&result] { return result->profile.ToJson(); });
+      }
+    }
+    scope.Finish(result.status());
+  };
+
+  double wait = 0.0;
+  Result<AdmissionController::Ticket> ticket =
+      query_admission_->Admit(ctx, &wait);
   if (ticket.ok()) {
-    return ExecutePinnedQuery(query, /*stale=*/false, ctx);
+    scope.set_admission_wait(wait);
+    Result<QueryResult> result = ExecutePinnedQuery(
+        query, /*stale=*/false, ctx, opts.collect_profile, wait);
+    finish_query(result);
+    return result;
   }
   // Graceful degradation (§9.3): under overload while a publish is pending,
   // an opted-in caller may still be served generation N-1 through the
@@ -397,22 +684,35 @@ Result<QueryResult> Quarry::SubmitQuery(const olap::CubeQuery& query,
   if (ticket.status().IsOverloaded() && opts.allow_stale &&
       serving_builds_in_flight_.load(std::memory_order_relaxed) > 0) {
     Result<AdmissionController::Ticket> stale_ticket =
-        stale_admission_->Admit(ctx);
+        stale_admission_->Admit(ctx, &wait);
     if (stale_ticket.ok()) {
-      Result<QueryResult> stale =
-          ExecutePinnedQuery(query, /*stale=*/true, ctx);
+      scope.record().lane = "stale";
+      scope.set_admission_wait(wait);
+      Result<QueryResult> stale = ExecutePinnedQuery(
+          query, /*stale=*/true, ctx, opts.collect_profile, wait);
       // Nothing to degrade onto (single published generation): surface the
       // original overload, not the fallback's NotFound.
-      if (stale.ok() || !stale.status().IsNotFound()) return stale;
+      if (stale.ok() || !stale.status().IsNotFound()) {
+        finish_query(stale);
+        return stale;
+      }
+      scope.record().lane = "query";
     }
   }
+  scope.Finish(ticket.status());
   return ticket.status();
 }
 
 Result<QueryResult> Quarry::ExecutePinnedQuery(const olap::CubeQuery& query,
                                                bool stale,
-                                               const ExecContext* ctx) {
+                                               const ExecContext* ctx,
+                                               bool collect_profile,
+                                               double admission_wait_micros) {
   QUARRY_NAMED_SPAN(span, "quarry.submit_query");
+  if (RequestId(ctx) != 0) {
+    QUARRY_SPAN_ATTR(span, "request_id",
+                     static_cast<int64_t>(RequestId(ctx)));
+  }
   const auto start = std::chrono::steady_clock::now();
   QUARRY_ASSIGN_OR_RETURN(
       storage::GenerationStore::Pin pin,
@@ -426,16 +726,33 @@ Result<QueryResult> Quarry::ExecutePinnedQuery(const olap::CubeQuery& query,
                             " was published without a schema annex");
   }
   olap::CubeQueryEngine engine(schema.get(), mapping_.get(), &pin.db());
-  QUARRY_ASSIGN_OR_RETURN(etl::Dataset data, engine.Execute(query, ctx));
+  olap::QueryProfile query_profile;
+  QUARRY_ASSIGN_OR_RETURN(
+      etl::Dataset data,
+      engine.Execute(query, ctx,
+                     collect_profile ? &query_profile : nullptr));
   (stale ? queries_stale_total_ : queries_fresh_total_)->Increment();
-  query_micros_->Observe(static_cast<double>(
+  const double total_micros = static_cast<double>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
-          .count()));
+          .count());
+  query_micros_->Observe(total_micros);
   QueryResult result;
-  result.data = std::move(data);
   result.generation = pin.generation();
   result.stale = stale;
+  result.request_id = RequestId(ctx);
+  if (collect_profile) {
+    result.profile.request_id = result.request_id;
+    result.profile.kind = "query";
+    result.profile.lane = stale ? "stale" : "query";
+    result.profile.generation = pin.generation();
+    result.profile.stale = stale;
+    result.profile.admission_wait_micros = admission_wait_micros;
+    result.profile.total_micros = total_micros;
+    result.profile.rows = static_cast<int64_t>(data.rows.size());
+    result.profile.roots = std::move(query_profile.plan);
+  }
+  result.data = std::move(data);
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "deployer/deployer.h"
 #include "integrator/design_integrator.h"
 #include "interpreter/interpreter.h"
+#include "obs/profile.h"
 #include "olap/cube_query.h"
 #include "ontology/mapping.h"
 #include "ontology/ontology.h"
@@ -73,14 +74,24 @@ struct QueryOptions {
   /// kOverloaded. The result is marked stale and counted in
   /// quarry_serving_queries_total{mode="stale"}.
   bool allow_stale = false;
+  /// Collect the EXPLAIN ANALYZE profile tree into QueryResult::profile.
+  /// On by default — BENCH_observability.json puts the cost under 2% — but
+  /// latency-critical callers can opt out.
+  bool collect_profile = true;
 };
 
 /// Outcome of Quarry::SubmitQuery: the dataset plus exactly which
-/// published warehouse generation produced it.
+/// published warehouse generation produced it, attributed to the request
+/// id the query ran under.
 struct QueryResult {
   etl::Dataset data;
   uint64_t generation = 0;
   bool stale = false;  ///< Served from generation N-1 via the stale lane.
+  uint64_t request_id = 0;
+  /// EXPLAIN ANALYZE profile (QueryOptions::collect_profile): per-plan-node
+  /// rows/time/attempts plus admission wait, lane and generation served.
+  /// profile.ToText() / ToJson() render it (docs/OBSERVABILITY.md).
+  obs::RequestProfile profile;
 };
 
 /// What startup recovery did, across both durable substrates: the docstore
@@ -306,8 +317,12 @@ class Quarry {
 
   /// Serves `query` from a pinned generation. `stale` selects which
   /// generation to pin (previous vs current) and how to label the result.
+  /// `admission_wait_micros` (the time spent in the admission queue) and
+  /// `collect_profile` feed the result's request profile.
   Result<QueryResult> ExecutePinnedQuery(const olap::CubeQuery& query,
-                                         bool stale, const ExecContext* ctx);
+                                         bool stale, const ExecContext* ctx,
+                                         bool collect_profile,
+                                         double admission_wait_micros);
 
   std::unique_ptr<ontology::Ontology> onto_;
   std::unique_ptr<ontology::SourceMapping> mapping_;

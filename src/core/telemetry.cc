@@ -34,13 +34,16 @@ Status TelemetryHandle::WriteTo(const std::string& dir) const {
   }
   QUARRY_RETURN_NOT_OK(WriteTextFile((base / "metrics.prom").string(),
                                      metrics.PrometheusText()));
-  return WriteTextFile((base / "metrics.json").string(),
-                       metrics.JsonSnapshot());
+  QUARRY_RETURN_NOT_OK(WriteTextFile((base / "metrics.json").string(),
+                                     metrics.JsonSnapshot()));
+  return WriteTextFile((base / "requests.jsonl").string(),
+                       requests.ToJsonl());
 }
 
 TelemetryHandle Telemetry() {
   return TelemetryHandle{obs::TraceRecorder::Instance(),
-                         obs::MetricsRegistry::Instance()};
+                         obs::MetricsRegistry::Instance(),
+                         obs::RequestLog::Instance()};
 }
 
 }  // namespace quarry::core

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "obs/metrics.h"
+#include "obs/request_log.h"
 #include "obs/trace.h"
 
 namespace quarry::core {
@@ -18,6 +19,7 @@ namespace quarry::core {
 struct TelemetryHandle {
   obs::TraceRecorder& tracer;
   obs::MetricsRegistry& metrics;
+  obs::RequestLog& requests;  ///< Structured request-completion event log.
 
   /// Starts span recording into a fresh buffer.
   void StartTracing(size_t capacity = obs::TraceRecorder::kDefaultCapacity) {
@@ -26,8 +28,9 @@ struct TelemetryHandle {
   void StopTracing() { tracer.Stop(); }
 
   /// Writes `<dir>/trace.json` (Chrome trace_event), `<dir>/metrics.prom`
-  /// (Prometheus text exposition) and `<dir>/metrics.json` (JSON snapshot).
-  /// The directory must exist.
+  /// (Prometheus text exposition), `<dir>/metrics.json` (JSON snapshot) and
+  /// `<dir>/requests.jsonl` (request-completion event log, one JSON object
+  /// per line). The directory must exist.
   Status WriteTo(const std::string& dir) const;
 };
 

@@ -135,6 +135,10 @@ Result<DeploymentOutcome> Deployer::DeployTransactional(
   QUARRY_NAMED_SPAN(deploy_span, "deploy");
   QUARRY_SPAN_ATTR(deploy_span, "database", options.database_name);
   QUARRY_SPAN_ATTR(deploy_span, "deployment_id", options.deployment_id);
+  if (RequestId(options.context) != 0) {
+    QUARRY_SPAN_ATTR(deploy_span, "request_id",
+                     static_cast<int64_t>(RequestId(options.context)));
+  }
   DeployCounter("quarry_deploy_attempts_total",
                 "Transactional deployments started")
       .Increment();

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 #include <set>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 
@@ -777,6 +778,10 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
   QUARRY_SPAN_ATTR(run_span, "flow", flow.name());
   QUARRY_SPAN_ATTR(run_span, "nodes",
                    static_cast<int64_t>(flow.nodes().size()));
+  if (RequestId(ctx) != 0) {
+    QUARRY_SPAN_ATTR(run_span, "request_id",
+                     static_cast<int64_t>(RequestId(ctx)));
+  }
   RunCounter().Increment();
   // Touch the failure/retry/resume families so they expose as zeros from
   // the first run instead of appearing only once something goes wrong.
@@ -916,6 +921,60 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
   report.total_millis = total.ElapsedMillis();
   report.recovered = resumed_any || !report.retried_nodes.empty();
   return report;
+}
+
+namespace {
+
+obs::ProfileNode BuildProfileNode(const Flow& flow,
+                                  const ExecutionReport& report,
+                                  const std::string& id) {
+  obs::ProfileNode node;
+  node.id = id;
+  auto flow_node = flow.GetNode(id);
+  node.op = flow_node.ok() ? OpTypeToString(flow_node.value()->type) : "?";
+  node.attempts = 0;  // Present in the plan, never executed this run.
+  for (const NodeStats& s : report.nodes) {
+    if (s.node_id == id) {
+      node.rows_in = s.rows_in;
+      node.rows_out = s.rows_out;
+      node.wall_micros = s.millis * 1000.0;
+      node.attempts = s.attempts;
+      break;
+    }
+  }
+  size_t fan_in = 0;
+  for (const Edge& e : flow.edges()) fan_in += (e.to == id) ? 1 : 0;
+  node.children.reserve(fan_in);
+  for (const Edge& e : flow.edges()) {
+    if (e.to == id) node.children.push_back(BuildProfileNode(flow, report, e.from));
+  }
+  return node;
+}
+
+}  // namespace
+
+std::vector<obs::ProfileNode> BuildProfileTrees(const Flow& flow,
+                                                const ExecutionReport& report) {
+  // Query and refresh flows are small (typically < 20 nodes), so plain
+  // linear scans over the edge vector beat any index structure: building
+  // maps/sets costs dozens of allocations while a full scan is a handful of
+  // short string compares. This runs on every profiled query, so its cost
+  // is part of the EXPLAIN ANALYZE overhead budget
+  // (BENCH_observability.json).
+  auto has_successor = [&flow](const std::string& id) {
+    for (const Edge& e : flow.edges()) {
+      if (e.from == id) return true;
+    }
+    return false;
+  };
+  std::vector<obs::ProfileNode> roots;
+  // Sinks in node-id order (stable across runs).
+  for (const auto& [id, node] : flow.nodes()) {
+    if (!has_successor(id)) {
+      roots.push_back(BuildProfileNode(flow, report, id));
+    }
+  }
+  return roots;
 }
 
 }  // namespace quarry::etl

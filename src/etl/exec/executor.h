@@ -11,6 +11,7 @@
 #include "common/prng.h"
 #include "common/result.h"
 #include "etl/flow.h"
+#include "obs/profile.h"
 #include "storage/database.h"
 
 namespace quarry::etl {
@@ -116,6 +117,14 @@ struct ExecutionReport {
   std::vector<std::string> retried_nodes;  ///< Nodes that needed > 1 attempt.
   bool recovered = false;  ///< Completed only thanks to retries or a resume.
 };
+
+/// Folds a run's per-node stats into EXPLAIN ANALYZE profile trees
+/// (docs/OBSERVABILITY.md): one tree per sink node of the flow, children =
+/// the node's inputs (flow predecessors) in edge order, stats taken from
+/// `report.nodes`. A node the run never executed (e.g. skipped by Resume)
+/// appears with zeroed stats, so the tree always mirrors the full plan.
+std::vector<obs::ProfileNode> BuildProfileTrees(const Flow& flow,
+                                                const ExecutionReport& report);
 
 /// \brief Executes logical ETL flows (xLM) — the repo's stand-in for
 /// Pentaho PDI (see DESIGN.md §2).

@@ -85,6 +85,10 @@ Result<PartialDesign> Interpreter::Interpret(
     const InformationRequirement& ir, const ExecContext* ctx) const {
   QUARRY_NAMED_SPAN(span, "interpreter.interpret");
   QUARRY_SPAN_ATTR(span, "ir_id", ir.id);
+  if (RequestId(ctx) != 0) {
+    QUARRY_SPAN_ATTR(span, "request_id",
+                     static_cast<int64_t>(RequestId(ctx)));
+  }
   Timer timer;
   Result<PartialDesign> result = InterpretImpl(ir, ctx);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();

@@ -1,0 +1,368 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/request_log.h"
+
+namespace quarry::obs {
+namespace {
+
+const char* StatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+Counter& ShedTotal() {
+  static Counter& c = MetricsRegistry::Instance().counter(
+      "quarry_http_shed_total",
+      "Connections shed with an immediate 503 because the pending queue "
+      "was full");
+  return c;
+}
+
+Histogram& RequestMicros() {
+  static Histogram& h = MetricsRegistry::Instance().histogram(
+      "quarry_http_request_micros",
+      "HTTP request service latency (read + dispatch + write), microseconds",
+      LatencyBucketsMicros());
+  return h;
+}
+
+Counter& RequestsTotalFor(const std::string& path) {
+  return MetricsRegistry::Instance().counter(
+      "quarry_http_requests_total", "HTTP requests dispatched, by path",
+      {{"path", path}});
+}
+
+Counter& ResponsesTotalFor(int code) {
+  return MetricsRegistry::Instance().counter(
+      "quarry_http_responses_total", "HTTP responses written, by status code",
+      {{"code", std::to_string(code)}});
+}
+
+/// Sends the whole buffer, tolerating short writes; best effort (the peer
+/// may have gone away — that is its problem, not ours).
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string RenderResponse(int code, const std::string& content_type,
+                           const std::string& body, bool include_body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
+                    StatusText(code) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (include_body) out += body;
+  return out;
+}
+
+void SendError(int fd, int code, const std::string& message) {
+  ResponsesTotalFor(code).Increment();
+  SendAll(fd, RenderResponse(code, "text/plain; charset=utf-8", message + "\n",
+                             /*include_body=*/true));
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(HttpExporterOptions options)
+    : options_(std::move(options)) {
+  // Eager registration (zero-registration convention): every family and the
+  // full status-code label set expose zeros from the first scrape on.
+  ShedTotal();
+  RequestMicros();
+  for (int code : {200, 400, 404, 405, 408, 431, 500, 503}) {
+    ResponsesTotalFor(code);
+  }
+  RequestsTotalFor("other");
+
+  AddHandler("/metrics", [](const Request&) {
+    Response resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = MetricsRegistry::Instance().PrometheusText();
+    return resp;
+  });
+  AddHandler("/metrics.json", [](const Request&) {
+    Response resp;
+    resp.content_type = "application/json";
+    resp.body = MetricsRegistry::Instance().JsonSnapshot();
+    return resp;
+  });
+  AddHandler("/requestz", [](const Request&) {
+    const RequestLog& log = RequestLog::Instance();
+    Response resp;
+    resp.content_type = "application/json";
+    std::string body = "{\"slow_threshold_micros\":" +
+                       std::to_string(static_cast<int64_t>(
+                           log.slow_threshold_micros()));
+    body += ",\"total_recorded\":" + std::to_string(log.total_recorded());
+    body += ",\"records\":[";
+    bool first = true;
+    for (const RequestRecord& record : log.Snapshot()) {
+      if (!first) body += ",";
+      first = false;
+      body += record.ToJson();
+    }
+    body += "]}";
+    resp.body = std::move(body);
+    return resp;
+  });
+}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+void HttpExporter::AddHandler(const std::string& path, Handler handler) {
+  handlers_[path] = std::move(handler);
+  RequestsTotalFor(path);  // Expose a zero before the first hit.
+}
+
+bool HttpExporter::Start(std::string* error) {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return fail("inet_pton(" + options_.bind_address + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 16) < 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  int workers = options_.worker_threads > 0 ? options_.worker_threads : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Unblock the acceptor: shutdown makes a blocking accept return.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Anything still queued is turned away, not silently dropped.
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  for (int fd : pending_) {
+    SendError(fd, 503, "shutting down");
+    ::close(fd);
+  }
+  pending_.clear();
+}
+
+void HttpExporter::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // Listener is gone; nothing left to accept.
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (static_cast<int>(pending_.size()) >=
+          options_.max_pending_connections) {
+        shed = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (shed) {
+      ShedTotal().Increment();
+      SendError(fd, 503, "overloaded");
+      ::close(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void HttpExporter::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // Stopping and drained.
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void HttpExporter::ServeConnection(int fd) {
+  auto start = std::chrono::steady_clock::now();
+  auto finish = [&] {
+    RequestMicros().Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    ::close(fd);
+  };
+
+  if (options_.read_timeout_millis > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.read_timeout_millis / 1000;
+    tv.tv_usec = (options_.read_timeout_millis % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  // Collect the request head (request line + headers). Bodies are neither
+  // expected nor read — every route is a GET.
+  std::string head;
+  bool complete = false;
+  char buf[1024];
+  while (head.size() <= options_.max_request_bytes) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        SendError(fd, 408, "timed out reading request");
+        finish();
+        return;
+      }
+      if (errno == EINTR) continue;
+      finish();  // Peer error; nothing to say to it.
+      return;
+    }
+    if (n == 0) break;  // Peer closed before completing the head.
+    head.append(buf, static_cast<size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      complete = true;
+      break;
+    }
+  }
+  if (head.size() > options_.max_request_bytes) {
+    SendError(fd, 431, "request head too large");
+    finish();
+    return;
+  }
+  if (!complete) {
+    SendError(fd, 400, "incomplete request");
+    finish();
+    return;
+  }
+
+  // Parse "METHOD SP target SP HTTP/x.y".
+  size_t line_end = head.find_first_of("\r\n");
+  std::string line = head.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.find(' ', sp1 == std::string::npos ? sp1 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    SendError(fd, 400, "malformed request line");
+    finish();
+    return;
+  }
+  Request request;
+  request.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') {
+    SendError(fd, 400, "malformed request target");
+    finish();
+    return;
+  }
+  size_t qmark = target.find('?');
+  request.path = target.substr(0, qmark);
+  if (qmark != std::string::npos) request.query = target.substr(qmark + 1);
+
+  if (request.method != "GET" && request.method != "HEAD") {
+    SendError(fd, 405, "only GET and HEAD are served");
+    finish();
+    return;
+  }
+
+  auto it = handlers_.find(request.path);
+  RequestsTotalFor(it == handlers_.end() ? "other" : request.path)
+      .Increment();
+  if (it == handlers_.end()) {
+    SendError(fd, 404, "no such endpoint");
+    finish();
+    return;
+  }
+
+  Response response;
+  try {
+    response = it->second(request);
+  } catch (...) {
+    SendError(fd, 500, "handler failed");
+    finish();
+    return;
+  }
+  ResponsesTotalFor(response.code).Increment();
+  SendAll(fd, RenderResponse(response.code, response.content_type,
+                             response.body,
+                             /*include_body=*/request.method != "HEAD"));
+  finish();
+}
+
+}  // namespace quarry::obs

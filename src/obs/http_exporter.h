@@ -1,0 +1,110 @@
+#ifndef QUARRY_OBS_HTTP_EXPORTER_H_
+#define QUARRY_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace quarry::obs {
+
+/// Knobs of the telemetry HTTP listener. Defaults bind loopback on an
+/// ephemeral port (port() tells you which) — telemetry is an operator
+/// surface, not a public one.
+struct HttpExporterOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  ///< 0 = kernel-assigned ephemeral port.
+  int worker_threads = 2;
+  /// Accepted connections waiting for a worker. When the queue is full the
+  /// acceptor sheds with an immediate 503 — admission-style: bounded work,
+  /// fail fast, never an unbounded backlog (docs/ROBUSTNESS.md §7).
+  int max_pending_connections = 16;
+  /// Request head (request line + headers) cap; beyond it -> 431.
+  size_t max_request_bytes = 8192;
+  /// Socket read timeout while collecting the request head; hit -> 408.
+  int read_timeout_millis = 2000;
+};
+
+/// \brief Zero-dependency blocking HTTP/1.1 exposition server
+/// (docs/OBSERVABILITY.md §"HTTP endpoints & request profiles").
+///
+/// POSIX sockets only — no third-party dependency, matching the obs layer's
+/// charter. One acceptor thread feeds a bounded connection queue drained by
+/// a small worker pool; each worker reads one request, dispatches on exact
+/// path, writes the response and closes (Connection: close — scrapes are
+/// one-shot). Only GET and HEAD are served; malformed, oversized or slow
+/// requests get 400/431/408, never a crash or a wedged worker.
+///
+/// Routes /metrics (Prometheus text), /metrics.json and /requestz (recent
+/// event-log records) are built in; callers add more (e.g. core's /healthz,
+/// /statusz) with AddHandler before Start.
+class HttpExporter {
+ public:
+  struct Request {
+    std::string method;  ///< "GET" or "HEAD" by the time a handler runs.
+    std::string path;    ///< Decoded-as-is path, no query string.
+    std::string query;   ///< Raw query string ("" when absent).
+  };
+
+  struct Response {
+    int code = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  using Handler = std::function<Response(const Request&)>;
+
+  explicit HttpExporter(HttpExporterOptions options = {});
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Registers `handler` for exact-match `path`. Call before Start().
+  void AddHandler(const std::string& path, Handler handler);
+
+  /// Binds, listens and spawns the acceptor + workers. Returns false with
+  /// `*error` set (errno text) when the socket setup fails. Idempotent
+  /// failure: a failed Start leaves the exporter stopped and restartable.
+  bool Start(std::string* error = nullptr);
+
+  /// Stops accepting, drains queued connections with 503 and joins every
+  /// thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves option port 0 to the kernel's choice).
+  /// Valid after a successful Start().
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  HttpExporterOptions options_;
+  std::map<std::string, Handler> handlers_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< Accepted fds awaiting a worker.
+};
+
+}  // namespace quarry::obs
+
+#endif  // QUARRY_OBS_HTTP_EXPORTER_H_

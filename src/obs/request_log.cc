@@ -1,0 +1,152 @@
+#include "obs/request_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace quarry::obs {
+namespace {
+
+void JsonEscape(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string FormatMicros(double micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", micros);
+  return buf;
+}
+
+Counter& RecordsTotal() {
+  static Counter& c = MetricsRegistry::Instance().counter(
+      "quarry_request_log_records_total",
+      "Request-completion records appended to the event log");
+  return c;
+}
+
+Counter& SlowTotal() {
+  static Counter& c = MetricsRegistry::Instance().counter(
+      "quarry_request_log_slow_total",
+      "Event-log records that crossed the slow-request threshold and kept "
+      "their full profile");
+  return c;
+}
+
+}  // namespace
+
+std::string RequestRecord::ToJson() const {
+  std::string out = "{\"request_id\":" + std::to_string(id);
+  out += ",\"kind\":\"";
+  JsonEscape(kind, &out);
+  out += "\",\"lane\":\"";
+  JsonEscape(lane, &out);
+  out += "\",\"status\":\"";
+  JsonEscape(status, &out);
+  out += "\",\"latency_micros\":" + FormatMicros(latency_micros);
+  out += ",\"admission_wait_micros\":" + FormatMicros(admission_wait_micros);
+  out += ",\"rows\":" + std::to_string(rows);
+  out += ",\"generation\":" + std::to_string(generation);
+  out += ",\"stale\":";
+  out += stale ? "true" : "false";
+  out += ",\"slowest_ops\":[";
+  for (size_t i = 0; i < slowest_ops.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"node\":\"";
+    JsonEscape(slowest_ops[i].node, &out);
+    out += "\",\"micros\":" + FormatMicros(slowest_ops[i].micros) + "}";
+  }
+  out += "]";
+  if (!profile_json.empty()) {
+    // profile_json is already a serialized JSON object — embed it raw.
+    out += ",\"profile\":" + profile_json;
+  }
+  out += "}";
+  return out;
+}
+
+RequestLog& RequestLog::Instance() {
+  static RequestLog* log = new RequestLog();
+  return *log;
+}
+
+RequestLog::RequestLog(size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  slots_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  // Touch the families so they expose zeros before the first request.
+  RecordsTotal();
+  SlowTotal();
+}
+
+void RequestLog::Record(RequestRecord record) {
+  bool slow = record.latency_micros >= slow_threshold_micros();
+  if (!slow) record.profile_json.clear();
+  RecordsTotal().Increment();
+  if (slow && !record.profile_json.empty()) SlowTotal().Increment();
+
+  uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = *slots_[(seq - 1) % slots_.size()];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  // A slower writer that reserved an older sequence for this slot must not
+  // clobber a newer record that already landed here after wrap-around.
+  if (slot.seq > seq) return;
+  slot.seq = seq;
+  slot.record = std::move(record);
+}
+
+std::vector<RequestRecord> RequestLog::Snapshot() const {
+  std::vector<std::pair<uint64_t, RequestRecord>> entries;
+  entries.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->seq == 0) continue;
+    entries.emplace_back(slot->seq, slot->record);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<RequestRecord> out;
+  out.reserve(entries.size());
+  for (auto& e : entries) out.push_back(std::move(e.second));
+  return out;
+}
+
+std::string RequestLog::ToJsonl() const {
+  std::string out;
+  for (const RequestRecord& record : Snapshot()) {
+    out += record.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+void RequestLog::ResetForTest() {
+  for (auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->seq = 0;
+    slot->record = RequestRecord{};
+  }
+  next_.store(0, std::memory_order_relaxed);
+  slow_threshold_micros_.store(kDefaultSlowThresholdMicros,
+                               std::memory_order_relaxed);
+}
+
+}  // namespace quarry::obs

@@ -158,7 +158,8 @@ Result<Flow> CubeQueryEngine::Compile(const CubeQuery& query) const {
 }
 
 Result<etl::Dataset> CubeQueryEngine::Execute(const CubeQuery& query,
-                                              const ExecContext* ctx) const {
+                                              const ExecContext* ctx,
+                                              QueryProfile* profile) const {
   QUARRY_RETURN_NOT_OK(CheckContext(ctx, "cube query compile"));
   QUARRY_ASSIGN_OR_RETURN(Flow flow, Compile(query));
   storage::Database scratch("__query");
@@ -166,8 +167,21 @@ Result<etl::Dataset> CubeQueryEngine::Execute(const CubeQuery& query,
   // Fail fast, no retries: a lifecycle error is never retried anyway, and
   // an interactive query prefers surfacing an operator fault over hiding
   // latency in backoff sleeps.
-  QUARRY_RETURN_NOT_OK(executor.Run(flow, etl::RetryPolicy{}, nullptr, ctx)
-                           .status());
+  Result<etl::ExecutionReport> run =
+      executor.Run(flow, etl::RetryPolicy{}, nullptr, ctx);
+  if (profile != nullptr && run.ok()) {
+    // Move, don't copy: the report's per-node stats live on in the profile
+    // only (run keeps its status for the check below).
+    profile->report = std::move(run).value();
+    profile->plan = etl::BuildProfileTrees(flow, profile->report);
+  }
+  if (!run.ok() && profile != nullptr) {
+    // Report whatever the partial run recorded: an empty report still
+    // yields the full plan shape (zeroed stats), which is what a failed
+    // EXPLAIN ANALYZE should show.
+    profile->plan = etl::BuildProfileTrees(flow, profile->report);
+  }
+  QUARRY_RETURN_NOT_OK(run.status());
   QUARRY_ASSIGN_OR_RETURN(const storage::Table* result,
                           scratch.GetTable("__result"));
   etl::Dataset out;

@@ -35,6 +35,15 @@ struct CubeQuery {
   std::vector<std::string> filters;    ///< Conjunctive predicates.
 };
 
+/// What a profiled Execute hands back besides the dataset: the executor's
+/// raw per-node report plus the EXPLAIN ANALYZE plan tree built from the
+/// *compiled* flow — so profile output names the real plan nodes
+/// ("q_fact", "q_join_<concept>", "q_agg", ...), not a reconstruction.
+struct QueryProfile {
+  etl::ExecutionReport report;
+  std::vector<obs::ProfileNode> plan;  ///< etl::BuildProfileTrees output.
+};
+
 /// \brief Compiles cube queries into ETL-engine plans over the warehouse.
 ///
 /// The engine doubles as the query executor: a cube query becomes a flow of
@@ -60,8 +69,14 @@ class CubeQueryEngine {
   /// etl::Executor::kCancelBatchRows rows, and a lifecycle error
   /// (kCancelled / kDeadlineExceeded / kResourceExhausted) surfaces
   /// unretried — a long scan cannot outlive its request.
+  ///
+  /// `profile` (nullable) receives the executor's per-node stats and the
+  /// EXPLAIN ANALYZE plan tree of the compiled flow; it is filled on
+  /// success and on execution failure alike (compile failures leave it
+  /// empty — there is no plan to report).
   Result<etl::Dataset> Execute(const CubeQuery& query,
-                               const ExecContext* ctx = nullptr) const;
+                               const ExecContext* ctx = nullptr,
+                               QueryProfile* profile = nullptr) const;
 
   /// The flow the query compiles to (exposed for tests / EXPLAIN).
   Result<etl::Flow> Compile(const CubeQuery& query) const;

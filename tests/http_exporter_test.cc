@@ -1,0 +1,343 @@
+// The telemetry HTTP listener (docs/OBSERVABILITY.md §"HTTP endpoints &
+// request profiles"): golden /metrics exposition, JSON endpoints parsing
+// with the in-tree parser, /healthz flipping with the serving warehouse
+// (including under publish faults), robustness against malformed/oversized
+// requests, and admission-style shedding when the worker pool saturates.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <future>
+#include <regex>
+#include <string>
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "core/http_telemetry.h"
+#include "core/quarry.h"
+#include "datagen/retail.h"
+#include "json/json.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/request_log.h"
+
+namespace quarry::obs {
+namespace {
+
+// Minimal raw-socket HTTP client: one request, read to connection close.
+// Raw on purpose — it can send garbage a well-formed client never would.
+std::string RawRequest(int port, const std::string& wire) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  struct timeval tv{};
+  tv.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path,
+                const std::string& method = "GET") {
+  return RawRequest(port, method + " " + path +
+                              " HTTP/1.1\r\nHost: test\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+int CodeOf(const std::string& response) {
+  // "HTTP/1.1 200 OK" -> 200.
+  if (response.size() < 12 || response.compare(0, 9, "HTTP/1.1 ") != 0) {
+    return -1;
+  }
+  return std::atoi(response.c_str() + 9);
+}
+
+class HttpExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Instance().ResetForTest();
+    RequestLog::Instance().ResetForTest();
+    fault::Injector::Instance().ClearConfigs();
+    fault::Injector::Instance().Disable();
+  }
+  void TearDown() override {
+    fault::Injector::Instance().ClearConfigs();
+    fault::Injector::Instance().Disable();
+  }
+};
+
+// /metrics serves well-formed Prometheus text exposition: every line is a
+// comment or `name{labels} value`, and the registered families appear.
+TEST_F(HttpExporterTest, MetricsEndpointServesGoldenPrometheusText) {
+  MetricsRegistry::Instance()
+      .counter("http_exporter_test_events_total", "help")
+      .Increment(7);
+
+  HttpExporter exporter;
+  std::string error;
+  ASSERT_TRUE(exporter.Start(&error)) << error;
+
+  const std::string response = Get(exporter.port(), "/metrics");
+  EXPECT_EQ(CodeOf(response), 200);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+
+  const std::string body = BodyOf(response);
+  EXPECT_NE(body.find("http_exporter_test_events_total 7"),
+            std::string::npos);
+  // Families the exporter registers eagerly are present before any traffic
+  // beyond this scrape.
+  EXPECT_NE(body.find("quarry_http_requests_total"), std::string::npos);
+  EXPECT_NE(body.find("quarry_http_shed_total"), std::string::npos);
+
+  const std::regex sample_line(
+      R"(^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? -?[0-9+.eEinf]+$)");
+  size_t samples = 0;
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t end = body.find('\n', start);
+    if (end == std::string::npos) end = body.size();
+    const std::string line = body.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_TRUE(std::regex_match(line, sample_line)) << "bad line: " << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+}
+
+// The JSON endpoints all satisfy the in-tree parser, and /requestz carries
+// the event log.
+TEST_F(HttpExporterTest, JsonEndpointsParse) {
+  RequestRecord record;
+  record.id = 42;
+  record.kind = "query";
+  RequestLog::Instance().Record(std::move(record));
+
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.Start());
+
+  for (const char* path : {"/metrics.json", "/requestz"}) {
+    const std::string response = Get(exporter.port(), path);
+    EXPECT_EQ(CodeOf(response), 200) << path;
+    auto parsed = json::Parse(BodyOf(response));
+    EXPECT_TRUE(parsed.ok()) << path << ": " << parsed.status().ToString();
+  }
+
+  const std::string requestz = BodyOf(Get(exporter.port(), "/requestz"));
+  EXPECT_NE(requestz.find("\"request_id\":42"), std::string::npos) << requestz;
+}
+
+// HEAD answers like GET minus the body.
+TEST_F(HttpExporterTest, HeadOmitsBody) {
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.Start());
+  const std::string response = Get(exporter.port(), "/metrics", "HEAD");
+  EXPECT_EQ(CodeOf(response), 200);
+  EXPECT_TRUE(BodyOf(response).empty());
+}
+
+// Malformed, oversized, unknown and unsupported requests are answered with
+// the right status code and never wedge the server.
+TEST_F(HttpExporterTest, MalformedAndOversizedRequestsAreShedNotCrashed) {
+  HttpExporterOptions options;
+  options.max_request_bytes = 512;
+  options.read_timeout_millis = 300;
+  HttpExporter exporter(options);
+  ASSERT_TRUE(exporter.Start());
+  const int port = exporter.port();
+
+  EXPECT_EQ(CodeOf(RawRequest(port, "GARBAGE\r\n\r\n")), 400);
+  EXPECT_EQ(CodeOf(Get(port, "/metrics", "POST")), 405);
+  EXPECT_EQ(CodeOf(Get(port, "/no-such-endpoint")), 404);
+  // Head larger than max_request_bytes -> 431.
+  EXPECT_EQ(CodeOf(RawRequest(port, "GET /metrics HTTP/1.1\r\nX-Pad: " +
+                                        std::string(2048, 'x') + "\r\n\r\n")),
+            431);
+  // A client that connects and goes silent is timed out with 408.
+  EXPECT_EQ(CodeOf(RawRequest(port, "GET /metrics HTTP/1.1\r\n")), 408);
+
+  // After all that abuse the server still serves.
+  EXPECT_EQ(CodeOf(Get(port, "/metrics")), 200);
+  EXPECT_GE(MetricsRegistry::Instance()
+                .counter("quarry_http_responses_total", "", {{"code", "400"}})
+                .value(),
+            1);
+
+  exporter.Stop();
+}
+
+// Admission-style shedding: with one worker wedged and the pending queue
+// full, the acceptor answers 503 immediately instead of queuing unboundedly.
+TEST_F(HttpExporterTest, ShedsWithImmediate503WhenSaturated) {
+  HttpExporterOptions options;
+  options.worker_threads = 1;
+  options.max_pending_connections = 1;
+  HttpExporter exporter(options);
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<bool> handler_started{false};
+  exporter.AddHandler("/block", [&](const HttpExporter::Request&) {
+    handler_started.store(true);
+    released.wait();
+    HttpExporter::Response response;
+    response.body = "unblocked";
+    return response;
+  });
+  ASSERT_TRUE(exporter.Start());
+  const int port = exporter.port();
+
+  // A occupies the only worker...
+  std::thread blocked([&] {
+    const std::string response = Get(port, "/block");
+    EXPECT_EQ(CodeOf(response), 200);
+    EXPECT_NE(response.find("unblocked"), std::string::npos);
+  });
+  while (!handler_started.load()) {
+    std::this_thread::yield();
+  }
+  // ...B fills the single pending slot...
+  std::thread queued([&] { EXPECT_EQ(CodeOf(Get(port, "/metrics")), 200); });
+  // Give the acceptor a moment to move B into the queue.
+  for (int i = 0; i < 100; ++i) {
+    if (MetricsRegistry::Instance()
+            .counter("quarry_http_requests_total", "", {{"path", "/block"}})
+            .value() > 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // ...so C is shed at accept time.
+  const std::string shed = Get(port, "/metrics");
+  EXPECT_EQ(CodeOf(shed), 503);
+  EXPECT_GE(MetricsRegistry::Instance()
+                .counter("quarry_http_shed_total")
+                .value(),
+            1);
+
+  release.set_value();
+  blocked.join();
+  queued.join();
+  exporter.Stop();
+}
+
+// /healthz mirrors the serving warehouse: 503 before the first publish,
+// 200 once DeployServing lands a generation.
+TEST_F(HttpExporterTest, HealthzFlipsWhenServingStarts) {
+  storage::Database source;
+  ASSERT_TRUE(
+      datagen::PopulateRetail(&source, datagen::RetailConfig{}).ok());
+  auto quarry = core::Quarry::Create(datagen::BuildRetailOntology(),
+                                     datagen::BuildRetailMappings(), &source);
+  ASSERT_TRUE(quarry.ok()) << quarry.status().ToString();
+  ASSERT_TRUE((*quarry)
+                  ->SubmitRequirementFromQuery(
+                      "ANALYZE turnover ON Sale MEASURE turnover = "
+                      "Sale.sl_amount SUM BY Product.pr_category")
+                  .ok());
+
+  auto exporter = core::StartTelemetryServer(quarry->get());
+  ASSERT_TRUE(exporter.ok()) << exporter.status().ToString();
+  const int port = (*exporter)->port();
+
+  std::string response = Get(port, "/healthz");
+  EXPECT_EQ(CodeOf(response), 503);
+  EXPECT_NE(response.find("\"status\":\"unavailable\""), std::string::npos);
+  ASSERT_TRUE(json::Parse(BodyOf(response)).ok());
+
+  auto deployed = (*quarry)->DeployServing();
+  ASSERT_TRUE(deployed.ok()) << deployed.status().ToString();
+  ASSERT_TRUE(deployed->success);
+
+  response = Get(port, "/healthz");
+  EXPECT_EQ(CodeOf(response), 200);
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(response.find("\"serving\":true"), std::string::npos);
+
+  // /statusz is live too and reports the published warehouse.
+  response = Get(port, "/statusz");
+  EXPECT_EQ(CodeOf(response), 200);
+  auto statusz = json::Parse(BodyOf(response));
+  ASSERT_TRUE(statusz.ok()) << statusz.status().ToString();
+  EXPECT_NE(BodyOf(response).find("\"current_generation\":1"),
+            std::string::npos);
+
+  (*exporter)->Stop();
+}
+
+// A publish fault keeps /healthz at 503 and surfaces the failure count in
+// the body — the endpoint tells the truth under faults, not just in the
+// happy path.
+TEST_F(HttpExporterTest, HealthzStaysUnavailableOnPublishFault) {
+  storage::Database source;
+  ASSERT_TRUE(
+      datagen::PopulateRetail(&source, datagen::RetailConfig{}).ok());
+  auto quarry = core::Quarry::Create(datagen::BuildRetailOntology(),
+                                     datagen::BuildRetailMappings(), &source);
+  ASSERT_TRUE(quarry.ok()) << quarry.status().ToString();
+  ASSERT_TRUE((*quarry)
+                  ->SubmitRequirementFromQuery(
+                      "ANALYZE turnover ON Sale MEASURE turnover = "
+                      "Sale.sl_amount SUM BY Product.pr_category")
+                  .ok());
+
+  auto exporter = core::StartTelemetryServer(quarry->get());
+  ASSERT_TRUE(exporter.ok()) << exporter.status().ToString();
+  const int port = (*exporter)->port();
+
+  fault::Injector::Instance().Enable(29);
+  fault::Injector::Instance().Configure("storage.generation.publish",
+                                        {0.0, /*trigger_on_hit=*/1, 0, -1});
+  auto deployed = (*quarry)->DeployServing();
+  fault::Injector::Instance().ClearConfigs();
+  fault::Injector::Instance().Disable();
+  // The publish failed — whichever way it surfaced, nothing is serving.
+  if (deployed.ok()) {
+    EXPECT_FALSE(deployed->success);
+  }
+
+  const std::string response = Get(port, "/healthz");
+  EXPECT_EQ(CodeOf(response), 503);
+  EXPECT_NE(response.find("\"status\":\"unavailable\""), std::string::npos);
+  EXPECT_NE(response.find("\"publish_failures\":1"), std::string::npos);
+
+  (*exporter)->Stop();
+}
+
+}  // namespace
+}  // namespace quarry::obs

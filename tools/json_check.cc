@@ -1,0 +1,74 @@
+// json_check: validates that a file (or stdin) parses as JSON with the
+// in-tree parser — the validator tools/run_http_smoke.sh points at the
+// bodies of /metrics.json, /healthz, /statusz and /requestz, so endpoint
+// output is checked by exactly the parser the repo itself trusts.
+//
+//   json_check [file]      exit 0 = valid JSON, 1 = invalid, 2 = usage/io
+//
+// With --jsonl, every non-empty line must parse (the requests.jsonl drain
+// format).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "json/json.h"
+
+int main(int argc, char** argv) {
+  bool jsonl = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jsonl") == 0) {
+      jsonl = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: json_check [--jsonl] [file]\n");
+      return 2;
+    }
+  }
+
+  std::string input;
+  if (path == nullptr) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    input = buf.str();
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "json_check: cannot read '%s'\n", path);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    input = buf.str();
+  }
+
+  if (!jsonl) {
+    auto parsed = quarry::json::Parse(input);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "json_check: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  std::istringstream lines(input);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto parsed = quarry::json::Parse(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "json_check: line %d: %s\n", lineno,
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

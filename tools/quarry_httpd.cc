@@ -1,0 +1,99 @@
+// quarry_httpd: stands up a live Quarry serving session with the telemetry
+// HTTP listener (docs/OBSERVABILITY.md §"HTTP endpoints & request
+// profiles") — the driver behind tools/run_http_smoke.sh and a convenient
+// way to poke the endpoints by hand:
+//
+//   quarry_httpd [--port N]
+//   curl http://127.0.0.1:<port>/metrics
+//
+// It builds the retail demo warehouse (two requirements, DeployServing),
+// runs a few profiled cube queries so /requestz has records, prints
+// "LISTENING <port>" once the socket is up, and serves until stdin closes
+// (or forever when stdin is not readable).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/http_telemetry.h"
+#include "core/quarry.h"
+#include "datagen/retail.h"
+#include "obs/request_log.h"
+
+namespace {
+
+int Fail(const quarry::Status& status, const char* what) {
+  std::fprintf(stderr, "quarry_httpd: %s: %s\n", what,
+               status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  quarry::obs::HttpExporterOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: quarry_httpd [--port N]\n");
+      return 2;
+    }
+  }
+
+  quarry::storage::Database source;
+  quarry::datagen::RetailConfig config;
+  if (quarry::Status populated =
+          quarry::datagen::PopulateRetail(&source, config);
+      !populated.ok()) {
+    return Fail(populated, "populating retail source");
+  }
+  auto q = quarry::core::Quarry::Create(
+      quarry::datagen::BuildRetailOntology(),
+      quarry::datagen::BuildRetailMappings(), &source);
+  if (!q.ok()) return Fail(q.status(), "creating Quarry");
+
+  const char* requirements[] = {
+      "ANALYZE turnover ON Sale "
+      "MEASURE turnover = Sale.sl_amount * (1 - Sale.sl_discount) SUM "
+      "BY Product.pr_category, Store.st_city",
+      "ANALYZE units_by_region ON Sale "
+      "MEASURE units = Sale.sl_units SUM BY Region.rr_name",
+  };
+  for (const char* text : requirements) {
+    if (auto outcome = (*q)->SubmitRequirementFromQuery(text); !outcome.ok()) {
+      return Fail(outcome.status(), "adding requirement");
+    }
+  }
+  if (auto deployed = (*q)->DeployServing(); !deployed.ok()) {
+    return Fail(deployed.status(), "deploying serving warehouse");
+  }
+
+  // Promote every request's profile so /requestz demonstrably carries
+  // EXPLAIN ANALYZE trees, then serve a few queries to fill the log.
+  quarry::obs::RequestLog::Instance().set_slow_threshold_micros(0.0);
+  quarry::olap::CubeQuery query;
+  query.fact = "fact_table_turnover";
+  query.group_by = {"pr_category"};
+  query.measures.push_back({"turnover", quarry::md::AggFunc::kSum, "total"});
+  for (int i = 0; i < 3; ++i) {
+    if (auto served = (*q)->SubmitQuery(query); !served.ok()) {
+      return Fail(served.status(), "running warm-up query");
+    }
+  }
+
+  auto exporter = quarry::core::StartTelemetryServer(q->get(), options);
+  if (!exporter.ok()) return Fail(exporter.status(), "starting HTTP server");
+
+  std::printf("LISTENING %d\n", (*exporter)->port());
+  std::fflush(stdout);
+
+  // Serve until the driver closes our stdin (EOF) — the shape
+  // run_http_smoke.sh relies on for clean teardown.
+  char buf[64];
+  while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+  }
+  (*exporter)->Stop();
+  return 0;
+}

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the telemetry HTTP listener: starts quarry_httpd on an
+# ephemeral port, curls all five endpoints, validates every JSON body with
+# the in-tree parser (tools/json_check), and checks /metrics carries the
+# quarry_* families. Part of tools/run_all_checks.sh.
+#
+# Usage: tools/run_http_smoke.sh [build-dir]
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+httpd="${build_dir}/tools/quarry_httpd"
+json_check="${build_dir}/tools/json_check"
+
+for binary in "${httpd}" "${json_check}"; do
+  if [[ ! -x "${binary}" ]]; then
+    echo "run_http_smoke: missing ${binary} (build first)" >&2
+    exit 1
+  fi
+done
+
+workdir="$(mktemp -d)"
+httpd_pid=""
+cleanup() {
+  exec 3>&- 2>/dev/null || true
+  if [[ -n "${httpd_pid}" ]] && kill -0 "${httpd_pid}" 2>/dev/null; then
+    kill "${httpd_pid}" 2>/dev/null || true
+    wait "${httpd_pid}" 2>/dev/null || true
+  fi
+  rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+# The server runs until its stdin sees EOF, so feed it a fifo we hold open
+# on fd 3; closing fd 3 is the clean-shutdown signal.
+mkfifo "${workdir}/ctl"
+"${httpd}" <"${workdir}/ctl" >"${workdir}/httpd.log" 2>&1 &
+httpd_pid=$!
+exec 3>"${workdir}/ctl"
+
+port=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "${httpd_pid}" 2>/dev/null; then
+    echo "run_http_smoke: quarry_httpd exited early:" >&2
+    cat "${workdir}/httpd.log" >&2
+    exit 1
+  fi
+  port="$(awk '/^LISTENING /{print $2}' "${workdir}/httpd.log")"
+  [[ -n "${port}" ]] && break
+  sleep 0.1
+done
+if [[ -z "${port}" ]]; then
+  echo "run_http_smoke: server never printed LISTENING" >&2
+  cat "${workdir}/httpd.log" >&2
+  exit 1
+fi
+base="http://127.0.0.1:${port}"
+echo "run_http_smoke: serving on ${base}"
+
+failed=0
+fetch() {
+  local path="$1" out="$2"
+  if ! curl -fsS --max-time 10 "${base}${path}" -o "${out}"; then
+    echo "run_http_smoke: GET ${path} failed" >&2
+    failed=1
+    return 1
+  fi
+}
+
+# /metrics — Prometheus text; must expose the request + HTTP families.
+if fetch /metrics "${workdir}/metrics.prom"; then
+  for family in quarry_requests_total quarry_request_micros \
+    quarry_http_requests_total quarry_request_log_records_total; do
+    if ! grep -q "^${family}" "${workdir}/metrics.prom"; then
+      echo "run_http_smoke: /metrics missing family ${family}" >&2
+      failed=1
+    fi
+  done
+fi
+
+# The JSON endpoints — each body must satisfy the in-tree parser.
+for path in /metrics.json /healthz /statusz /requestz; do
+  out="${workdir}/${path//\//_}.json"
+  if fetch "${path}" "${out}"; then
+    if ! "${json_check}" "${out}"; then
+      echo "run_http_smoke: ${path} body is not valid JSON" >&2
+      failed=1
+    fi
+  fi
+done
+
+# /healthz must report serving (quarry_httpd deploys before listening), and
+# /requestz must carry the warm-up query records with profiles.
+if ! grep -q '"status":"ok"' "${workdir}/_healthz.json" 2>/dev/null; then
+  echo "run_http_smoke: /healthz does not report ok" >&2
+  failed=1
+fi
+if ! grep -q '"profile"' "${workdir}/_requestz.json" 2>/dev/null; then
+  echo "run_http_smoke: /requestz has no promoted profiles" >&2
+  failed=1
+fi
+
+# Clean shutdown: close the control fifo (stdin EOF) and wait.
+exec 3>&-
+for _ in $(seq 1 100); do
+  kill -0 "${httpd_pid}" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "${httpd_pid}" 2>/dev/null; then
+  echo "run_http_smoke: server did not stop on stdin EOF" >&2
+  kill "${httpd_pid}" 2>/dev/null || true
+  failed=1
+fi
+wait "${httpd_pid}" 2>/dev/null || true
+httpd_pid=""
+
+if [[ "${failed}" -ne 0 ]]; then
+  echo "run_http_smoke: FAILED" >&2
+  exit 1
+fi
+echo "run_http_smoke: all five endpoints OK"

@@ -3,15 +3,18 @@
 // table, and exports the run as Chrome trace JSON + Prometheus text
 // (docs/OBSERVABILITY.md).
 //
-// Usage: trace_report [output-dir]
-//   output-dir (default ".") receives trace.json, metrics.prom and
-//   metrics.json; a metadata/ subdirectory is created there to exercise the
-//   WAL-backed durable repository so its fsync histogram has data.
+// Usage: trace_report [output-dir] [--request <id>]
+//   output-dir (default ".") receives trace.json, metrics.prom, metrics.json
+//   and requests.jsonl; a metadata/ subdirectory is created there to exercise
+//   the WAL-backed durable repository so its fsync histogram has data.
+//   --request <id> narrows the per-stage table to spans attributed to that
+//   request id (see the per-request rollup the tool prints for valid ids).
 //
 // Load the trace in chrome://tracing or https://ui.perfetto.dev.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <string>
@@ -54,7 +57,20 @@ int Fail(const quarry::Status& status, const char* what) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  std::string out_dir = ".";
+  long long request_filter = -1;
+  bool out_dir_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--request") == 0 && i + 1 < argc) {
+      request_filter = std::atoll(argv[++i]);
+    } else if (!out_dir_set) {
+      out_dir = argv[i];
+      out_dir_set = true;
+    } else {
+      std::fprintf(stderr, "usage: trace_report [output-dir] [--request N]\n");
+      return 2;
+    }
+  }
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   const std::string meta_dir =
@@ -109,6 +125,21 @@ int main(int argc, char** argv) {
   auto refreshed = (*q)->Refresh(&warehouse);
   if (!refreshed.ok()) return Fail(refreshed.status(), "refreshing");
 
+  // Serving path: publish a generation and run profiled cube queries so the
+  // trace and the request log carry request-scoped serving spans too.
+  auto served = (*q)->DeployServing();
+  if (!served.ok()) return Fail(served.status(), "deploying serving");
+  quarry::olap::CubeQuery cube;
+  cube.fact = "fact_table_turnover";
+  cube.group_by = {"pr_category"};
+  cube.measures.push_back({"turnover", quarry::md::AggFunc::kSum, "total"});
+  quarry::core::QueryResult last_query;
+  for (int i = 0; i < 3; ++i) {
+    auto result = (*q)->SubmitQuery(cube);
+    if (!result.ok()) return Fail(result.status(), "serving query");
+    last_query = std::move(*result);
+  }
+
   Quarry::Telemetry().StopTracing();
 
   // ---- per-stage table ----------------------------------------------------
@@ -116,6 +147,11 @@ int main(int argc, char** argv) {
       Quarry::Telemetry().tracer.Snapshot();
   std::map<std::string, StageRow> stages;
   for (const auto& span : spans) {
+    if (request_filter >= 0 &&
+        (!HasAttr(span, "request_id") ||
+         AttrInt(span, "request_id") != request_filter)) {
+      continue;
+    }
     StageRow& row = stages[span.name];
     ++row.count;
     row.total_ms += span.dur_us / 1000.0;
@@ -124,6 +160,9 @@ int main(int argc, char** argv) {
       row.rows_in += AttrInt(span, "rows_in");
       row.rows_out += AttrInt(span, "rows_out");
     }
+  }
+  if (request_filter >= 0) {
+    std::printf("spans attributed to request %lld\n", request_filter);
   }
   std::printf("%-34s %6s %12s %10s %10s\n", "stage", "count", "total ms",
               "rows in", "rows out");
@@ -139,11 +178,45 @@ int main(int argc, char** argv) {
   std::printf("\n%zu spans recorded (%lld dropped)\n", spans.size(),
               static_cast<long long>(Quarry::Telemetry().tracer.dropped()));
 
+  // ---- per-request latency rollup ----------------------------------------
+  // Every Quarry entry point mints a request id and stamps it on its spans;
+  // grouping by that id gives wall time and span fan-out per request. Use
+  // --request <id> to re-run with the stage table narrowed to one of these.
+  struct RequestRollup {
+    int spans = 0;
+    double total_ms = 0;
+    std::string root;  // widest span = the entry-point stage
+    double root_ms = -1;
+  };
+  std::map<long long, RequestRollup> requests;
+  for (const auto& span : spans) {
+    if (!HasAttr(span, "request_id")) continue;
+    RequestRollup& row = requests[AttrInt(span, "request_id")];
+    ++row.spans;
+    row.total_ms += span.dur_us / 1000.0;
+    if (span.dur_us / 1000.0 > row.root_ms) {
+      row.root_ms = span.dur_us / 1000.0;
+      row.root = span.name;
+    }
+  }
+  std::printf("\n%-10s %-26s %6s %12s %12s\n", "request", "entry stage",
+              "spans", "span ms", "entry ms");
+  for (const auto& [id, row] : requests) {
+    std::printf("%-10lld %-26s %6d %12.3f %12.3f\n", id, row.root.c_str(),
+                row.spans, row.total_ms, row.root_ms);
+  }
+
+  if (!last_query.profile.roots.empty()) {
+    std::printf("\nEXPLAIN ANALYZE of the last serving query:\n%s",
+                last_query.profile.ToText().c_str());
+  }
+
   if (quarry::Status written = Quarry::Telemetry().WriteTo(out_dir);
       !written.ok()) {
     return Fail(written, "exporting telemetry");
   }
-  std::printf("wrote %s/trace.json, metrics.prom, metrics.json\n",
+  std::printf("wrote %s/trace.json, metrics.prom, metrics.json, "
+              "requests.jsonl\n",
               out_dir.c_str());
   return 0;
 }
