@@ -4,14 +4,38 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 
 namespace quarry {
+
+/// \brief Scheduling class of a request (docs/ROBUSTNESS.md §11).
+///
+/// Lower numeric value = more urgent. The admission controller prefers
+/// higher-priority waiters (with aging, so low priority is starvation-free),
+/// and the tenant registry stamps a tenant's configured class onto every
+/// context it admits.
+enum class Priority : uint8_t {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+
+inline const char* PriorityName(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "unknown";
+}
 
 /// \brief Cooperative cancellation handle (docs/ROBUSTNESS.md §7).
 ///
@@ -35,14 +59,59 @@ class CancellationToken {
   }
 
   /// Cancels this token (and, transitively, every descendant). Idempotent;
-  /// the first non-empty reason wins.
+  /// the first non-empty reason wins. The first Cancel() also fires every
+  /// callback registered via AddCancelCallback, synchronously, on the
+  /// cancelling thread.
   void Cancel(std::string reason = "cancelled") {
     State* s = state_.get();
     {
       std::lock_guard<std::mutex> lock(s->mu);
       if (s->reason.empty()) s->reason = std::move(reason);
     }
-    s->cancelled.store(true, std::memory_order_release);
+    if (s->cancelled.exchange(true, std::memory_order_acq_rel)) return;
+    // Invocation holds cb_mu, so RemoveCancelCallback doubles as a barrier:
+    // once it returns, no callback is (or will be) running. Callbacks must
+    // not touch this token's registration API re-entrantly.
+    std::lock_guard<std::mutex> lock(s->cb_mu);
+    for (auto& [id, fn] : s->callbacks) fn();
+  }
+
+  /// Registers `fn` to run when this token or any ancestor is cancelled;
+  /// returns a handle for RemoveCancelCallback. If the chain is already
+  /// cancelled, `fn` runs immediately on the calling thread. Callbacks must
+  /// be idempotent (a callback registered on a chain may observe the
+  /// already-cancelled fast path AND a concurrent Cancel()) and must not
+  /// register/remove callbacks or Cancel() from inside the callback.
+  uint64_t AddCancelCallback(std::function<void()> fn) const {
+    static std::atomic<uint64_t> next_id{0};
+    const uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fire_now = false;
+    for (State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->cancelled.load(std::memory_order_acquire)) {
+        fire_now = true;
+        break;
+      }
+      std::lock_guard<std::mutex> lock(s->cb_mu);
+      // Re-check under cb_mu: Cancel() flips the flag before draining
+      // callbacks, so either we see the flag here or Cancel() sees our entry.
+      if (s->cancelled.load(std::memory_order_acquire)) {
+        fire_now = true;
+        break;
+      }
+      s->callbacks.emplace(id, fn);
+    }
+    if (fire_now) fn();
+    return id;
+  }
+
+  /// Unregisters a callback. Blocks until any in-flight invocation (from a
+  /// concurrent Cancel) has finished, so the callback's captures may be
+  /// destroyed safely once this returns.
+  void RemoveCancelCallback(uint64_t id) const {
+    for (State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      std::lock_guard<std::mutex> lock(s->cb_mu);
+      s->callbacks.erase(id);
+    }
   }
 
   /// True once this token or any ancestor was cancelled.
@@ -71,6 +140,12 @@ class CancellationToken {
     mutable std::mutex mu;
     std::string reason;  ///< Guarded by mu; readable once cancelled is set.
     std::shared_ptr<State> parent;  ///< Immutable after construction.
+    // Cancel notification hooks. cb_mu is distinct from mu (and is never
+    // held while mu is taken) so a callback may block on an external lock —
+    // e.g. the admission controller's — without deadlocking readers that
+    // call cancelled()/reason() from under that same lock.
+    mutable std::mutex cb_mu;
+    std::map<uint64_t, std::function<void()>> callbacks;  ///< By cb_mu.
   };
   std::shared_ptr<State> state_;
 };
@@ -220,6 +295,23 @@ class ExecContext {
     return id;  // Lost the race; `id` holds the winner's value.
   }
 
+  /// The tenant this request runs on behalf of ("" = untenanted; the tenant
+  /// registry passes those through ungated). Set once, before the context is
+  /// handed to a Submit* entry point; not synchronized against concurrent
+  /// readers mid-request.
+  const std::string& tenant() const { return tenant_; }
+  void set_tenant(std::string tenant) { tenant_ = std::move(tenant); }
+
+  /// Scheduling class used by priority-aware admission. Defaults to
+  /// kNormal; the tenant registry stamps the tenant's configured class on
+  /// admit (hence the const setter, mirroring set_request_id).
+  Priority priority() const {
+    return static_cast<Priority>(priority_.load(std::memory_order_relaxed));
+  }
+  void set_priority(Priority p) const {
+    priority_.store(static_cast<uint8_t>(p), std::memory_order_relaxed);
+  }
+
   int64_t rows_materialized() const {
     return rows_materialized_.load(std::memory_order_relaxed);
   }
@@ -238,6 +330,9 @@ class ExecContext {
   CancellationToken token_;
   Deadline deadline_;
   ResourceBudget budget_;
+  std::string tenant_;
+  mutable std::atomic<uint8_t> priority_{
+      static_cast<uint8_t>(Priority::kNormal)};
   mutable std::atomic<int64_t> rows_materialized_{0};
   mutable std::atomic<int64_t> intermediate_bytes_{0};
   mutable std::atomic<uint64_t> request_id_{0};
@@ -260,6 +355,17 @@ inline Status CheckContext(const ExecContext* ctx, const std::string& where) {
 /// assigned) — the span-attribute convenience used across the pipeline.
 inline uint64_t RequestId(const ExecContext* ctx) {
   return ctx == nullptr ? 0 : ctx->request_id();
+}
+
+/// The tenant of a nullable context ("" when ctx is nullptr or untenanted).
+inline const std::string& TenantId(const ExecContext* ctx) {
+  static const std::string kEmpty;
+  return ctx == nullptr ? kEmpty : ctx->tenant();
+}
+
+/// The priority of a nullable context (kNormal when ctx is nullptr).
+inline Priority RequestPriority(const ExecContext* ctx) {
+  return ctx == nullptr ? Priority::kNormal : ctx->priority();
 }
 
 }  // namespace quarry

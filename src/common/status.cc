@@ -55,4 +55,35 @@ std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
 }
 
+namespace {
+constexpr const char kRetryAfterKey[] = "retry-after-ms=";
+}  // namespace
+
+Status WithRetryAfterMillis(Status status, double millis) {
+  if (status.ok()) return status;
+  if (status.message().find(kRetryAfterKey) != std::string::npos) {
+    return status;
+  }
+  int64_t ms = static_cast<int64_t>(millis);
+  if (static_cast<double>(ms) < millis) ++ms;  // Round up.
+  if (ms < 1) ms = 1;
+  return Status(status.code(), status.message() + " (" + kRetryAfterKey +
+                                   std::to_string(ms) + ")");
+}
+
+double RetryAfterMillis(const Status& status) {
+  const std::string& msg = status.message();
+  size_t pos = msg.find(kRetryAfterKey);
+  if (pos == std::string::npos) return -1.0;
+  pos += sizeof(kRetryAfterKey) - 1;
+  double value = 0.0;
+  bool any = false;
+  while (pos < msg.size() && msg[pos] >= '0' && msg[pos] <= '9') {
+    value = value * 10.0 + (msg[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  return any ? value : -1.0;
+}
+
 }  // namespace quarry

@@ -139,6 +139,15 @@ inline bool operator==(const Status& a, const Status& b) {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
+/// Appends a machine-parsable " (retry-after-ms=N)" hint to a non-OK
+/// status. N is `millis` rounded up to a whole millisecond, minimum 1, so
+/// shed responses always carry an actionable backoff (docs/ROBUSTNESS.md
+/// §11). OK statuses and already-hinted statuses pass through unchanged.
+Status WithRetryAfterMillis(Status status, double millis);
+
+/// Parses the retry-after hint out of a status message; -1 when absent.
+double RetryAfterMillis(const Status& status);
+
 /// Propagates a non-OK Status out of the calling function.
 #define QUARRY_RETURN_NOT_OK(expr)                   \
   do {                                               \

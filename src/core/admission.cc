@@ -1,7 +1,7 @@
 #include "core/admission.h"
 
 #include <algorithm>
-#include <chrono>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -12,9 +12,12 @@ namespace quarry::core {
 
 namespace {
 
-/// Queued waiters sleep in short slices so a cancellation or deadline from
-/// another thread is observed promptly even when no slot is released.
-constexpr auto kWaitSlice = std::chrono::milliseconds(1);
+/// Histogram samples below this are fast-path (never-queued) admissions;
+/// the expected-wait estimate is the mean of the genuinely-queued tail.
+constexpr double kQueuedSampleFloorMicros = 200.0;
+
+/// Retry-after hint when no wait estimate is available yet.
+constexpr double kDefaultRetryHintMillis = 10.0;
 
 }  // namespace
 
@@ -26,10 +29,14 @@ AdmissionController::AdmissionController(AdmissionOptions options)
   obs::Labels lane;
   obs::Labels shed_full{{"reason", "queue_full"}};
   obs::Labels shed_timeout{{"reason", "queue_timeout"}};
+  obs::Labels evict_deadline{{"reason", "deadline_unreachable"}};
+  obs::Labels evict_preempt{{"reason", "preempted"}};
   if (!options_.lane.empty()) {
     lane = {{"lane", options_.lane}};
     shed_full.insert(shed_full.begin(), {"lane", options_.lane});
     shed_timeout.insert(shed_timeout.begin(), {"lane", options_.lane});
+    evict_deadline.insert(evict_deadline.begin(), {"lane", options_.lane});
+    evict_preempt.insert(evict_preempt.begin(), {"lane", options_.lane});
   }
   requests_total_ =
       &reg.counter("quarry_admission_requests_total",
@@ -42,6 +49,13 @@ AdmissionController::AdmissionController(AdmissionOptions options)
       &reg.counter("quarry_admission_shed_total", shed_help, shed_full);
   shed_queue_timeout_ =
       &reg.counter("quarry_admission_shed_total", shed_help, shed_timeout);
+  const std::string evicted_help =
+      "Requests evicted by deadline-aware or priority-aware admission, "
+      "by reason";
+  evicted_deadline_ = &reg.counter("quarry_admission_evicted_total",
+                                   evicted_help, evict_deadline);
+  evicted_preempted_ = &reg.counter("quarry_admission_evicted_total",
+                                    evicted_help, evict_preempt);
   cancelled_total_ =
       &reg.counter("quarry_admission_cancelled_total",
                    "Requests cancelled while waiting in the admission queue",
@@ -69,16 +83,84 @@ int AdmissionController::in_flight() const {
 
 int AdmissionController::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int>(queue_.size());
+  return static_cast<int>(waiters_.size());
+}
+
+double AdmissionController::EstimatedQueueWaitMicrosLocked() const {
+  // Histogram reads are lock-free; "Locked" refers to callers already
+  // holding mu_ (public callers go through EstimatedQueueWaitMicros).
+  const std::vector<double>& bounds = queue_wait_micros_->bounds();
+  int64_t samples = 0;
+  double weighted = 0.0;
+  double prev = 0.0;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (bounds[i] >= kQueuedSampleFloorMicros) {
+      int64_t n = queue_wait_micros_->bucket_count(i);
+      samples += n;
+      weighted += static_cast<double>(n) * 0.5 * (prev + bounds[i]);
+    }
+    prev = bounds[i];
+  }
+  int64_t overflow = queue_wait_micros_->bucket_count(bounds.size());
+  samples += overflow;
+  weighted += static_cast<double>(overflow) *
+              (bounds.empty() ? kQueuedSampleFloorMicros : bounds.back() * 2);
+  if (samples < options_.eviction_min_samples || samples == 0) return -1.0;
+  return weighted / static_cast<double>(samples);
+}
+
+double AdmissionController::EstimatedQueueWaitMicros() const {
+  return EstimatedQueueWaitMicrosLocked();
+}
+
+std::list<AdmissionController::Waiter*>::iterator
+AdmissionController::SelectNextLocked(Clock::time_point now) {
+  // Weighted-fair score: one priority class equals priority_aging_millis of
+  // queue time. Iteration is arrival order and the comparison is strict, so
+  // equal scores (same class, same wait) resolve FIFO.
+  const double aging = options_.priority_aging_millis;
+  auto best = waiters_.end();
+  double best_score = std::numeric_limits<double>::infinity();
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    const Waiter& w = **it;
+    const double prio = static_cast<double>(w.priority);
+    double score;
+    if (aging > 0) {
+      const double waited_ms =
+          std::chrono::duration<double, std::milli>(now - w.enqueued).count();
+      score = prio * aging - waited_ms;
+    } else {
+      score = prio;  // Strict priority; FIFO within a class.
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = it;
+    }
+  }
+  return best;
+}
+
+void AdmissionController::WakeNextLocked(Clock::time_point now) {
+  // Grant-transfer: the releaser moves the slot to the selected waiter
+  // under mu_ (no barging window) and notifies exactly that waiter's cv.
+  while (in_flight_ < options_.max_in_flight && !waiters_.empty()) {
+    auto it = SelectNextLocked(now);
+    if (it == waiters_.end()) return;
+    Waiter* w = *it;
+    waiters_.erase(it);
+    queue_depth_gauge_->Set(static_cast<double>(waiters_.size()));
+    w->granted = true;
+    ++in_flight_;
+    in_flight_gauge_->Set(static_cast<double>(in_flight_));
+    w->cv.notify_one();
+  }
 }
 
 void AdmissionController::ReleaseSlot() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --in_flight_;
-    in_flight_gauge_->Set(static_cast<double>(in_flight_));
-  }
-  cv_.notify_all();
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  in_flight_gauge_->Set(static_cast<double>(in_flight_));
+  WakeNextLocked(Clock::now());
 }
 
 Result<AdmissionController::Ticket> AdmissionController::Admit(
@@ -88,82 +170,190 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   if (queue_wait_micros != nullptr) *queue_wait_micros = 0.0;
   std::unique_lock<std::mutex> lock(mu_);
 
-  // Fast path: a free slot and nobody queued ahead.
-  if (in_flight_ < options_.max_in_flight && queue_.empty()) {
-    ++in_flight_;
-    in_flight_gauge_->Set(static_cast<double>(in_flight_));
+  auto admit = [&]() -> Ticket {
     admitted_total_->Increment();
     double waited = queued.ElapsedMicros();
     queue_wait_micros_->Observe(waited);
     if (queue_wait_micros != nullptr) *queue_wait_micros = waited;
     return Ticket(this);
-  }
-
-  if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
-    shed_queue_full_->Increment();
-    return Status::Overloaded(
-        "admission queue full (" + std::to_string(queue_.size()) +
-        " waiting, " + std::to_string(in_flight_) + " in flight)");
-  }
-
-  const uint64_t seq = next_seq_++;
-  queue_.push_back(seq);
-  queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
-
-  // Drops this waiter out of the queue; later waiters may now be at the
-  // head, so wake them.
-  auto give_up = [&] {
-    queue_.erase(std::find(queue_.begin(), queue_.end(), seq));
-    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
-    lock.unlock();
-    cv_.notify_all();
   };
 
-  using Clock = std::chrono::steady_clock;
-  const bool has_timeout = options_.queue_timeout_millis >= 0;
-  const Clock::time_point shed_at =
-      has_timeout ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                       std::chrono::duration<double, std::milli>(
-                                           options_.queue_timeout_millis))
-                  : Clock::time_point::max();
+  // Fast path: a free slot and nobody queued ahead. (Waiters only exist
+  // while every slot is taken — WakeNextLocked drains them on release — so
+  // the two conditions are really one.)
+  if (in_flight_ < options_.max_in_flight && waiters_.empty()) {
+    ++in_flight_;
+    in_flight_gauge_->Set(static_cast<double>(in_flight_));
+    return admit();
+  }
 
+  // Deadline-aware eviction (docs/ROBUSTNESS.md §11): when the expected
+  // queue wait already exceeds the remaining deadline, queueing the request
+  // only converts a fast failure into a slow one and keeps the queue
+  // metastable. Shed it now with a concrete backoff.
+  const bool bounded_deadline =
+      ctx != nullptr && !ctx->deadline().unbounded();
+  double estimate_micros = -1.0;
+  if (options_.deadline_eviction) {
+    estimate_micros = EstimatedQueueWaitMicrosLocked();
+    if (bounded_deadline && estimate_micros >= 0 &&
+        ctx->deadline().remaining_millis() * 1000.0 < estimate_micros) {
+      evicted_deadline_->Increment();
+      return WithRetryAfterMillis(
+          Status::Overloaded(
+              "deadline cannot cover expected admission wait (~" +
+              std::to_string(static_cast<int64_t>(estimate_micros / 1000.0)) +
+              " ms queued ahead)"),
+          estimate_micros / 1000.0);
+    }
+  }
+
+  const Priority priority = RequestPriority(ctx);
+  if (static_cast<int>(waiters_.size()) >= options_.max_queue_depth) {
+    // Queue full: try to preempt the newest strictly-lower-priority waiter
+    // before shedding the arrival.
+    Waiter* victim = nullptr;
+    auto victim_it = waiters_.end();
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      Waiter* w = *it;
+      if (w->priority <= priority) continue;  // Not strictly lower.
+      if (victim == nullptr || w->priority > victim->priority ||
+          (w->priority == victim->priority && w->seq > victim->seq)) {
+        victim = w;
+        victim_it = it;
+      }
+    }
+    if (victim == nullptr) {
+      shed_queue_full_->Increment();
+      Status shed = Status::Overloaded(
+          "admission queue full (" + std::to_string(waiters_.size()) +
+          " waiting, " + std::to_string(in_flight_) + " in flight)");
+      if (estimate_micros < 0) {
+        estimate_micros = EstimatedQueueWaitMicrosLocked();
+      }
+      if (estimate_micros >= 0) {
+        shed = WithRetryAfterMillis(std::move(shed), estimate_micros / 1000.0);
+      }
+      return shed;
+    }
+    waiters_.erase(victim_it);
+    evicted_preempted_->Increment();
+    if (estimate_micros < 0) estimate_micros = EstimatedQueueWaitMicrosLocked();
+    victim->evicted = true;
+    victim->evicted_status = WithRetryAfterMillis(
+        Status::Overloaded(
+            "preempted from the admission queue by a higher-priority "
+            "arrival"),
+        estimate_micros >= 0 ? estimate_micros / 1000.0
+                             : kDefaultRetryHintMillis);
+    victim->cv.notify_one();
+    // Fall through: the freed queue slot goes to this (higher-priority)
+    // arrival.
+  }
+
+  Waiter waiter;
+  waiter.seq = next_seq_++;
+  waiter.priority = priority;
+  waiter.enqueued = Clock::now();
+  waiters_.push_back(&waiter);
+  queue_depth_gauge_->Set(static_cast<double>(waiters_.size()));
+
+  // Queue timeout: explicit, or derived from the request deadline so a
+  // request never burns its whole deadline parked in the queue.
+  double timeout_ms = options_.queue_timeout_millis;
+  if (timeout_ms < 0 && options_.derive_queue_timeout_from_deadline &&
+      bounded_deadline) {
+    timeout_ms =
+        ctx->deadline().remaining_millis() * options_.deadline_queue_fraction;
+  }
+  const bool has_timeout = timeout_ms >= 0;
+  const Clock::time_point shed_at =
+      has_timeout
+          ? waiter.enqueued +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(timeout_ms))
+          : Clock::time_point::max();
+
+  // Cross-thread cancellation unparks via a token callback — no polling.
+  // Registered without mu_ held (the callback takes mu_); the wait loop
+  // re-checks ctx before every park, so a cancel racing the registration
+  // cannot be lost.
+  uint64_t cb_id = 0;
+  bool cb_registered = false;
+  if (ctx != nullptr) {
+    const uint64_t seq = waiter.seq;
+    lock.unlock();
+    cb_id = ctx->token().AddCancelCallback([this, seq] {
+      std::lock_guard<std::mutex> cb_lock(mu_);
+      for (Waiter* w : waiters_) {
+        if (w->seq == seq) {
+          w->cv.notify_one();
+          break;
+        }
+      }
+    });
+    cb_registered = true;
+    lock.lock();
+  }
+
+  // Removes this waiter from the queue on a give-up path. The grant and
+  // eviction paths have already removed it (under mu_), so those skip this.
+  auto remove_self = [&] {
+    auto self = std::find(waiters_.begin(), waiters_.end(), &waiter);
+    if (self != waiters_.end()) {
+      waiters_.erase(self);
+      queue_depth_gauge_->Set(static_cast<double>(waiters_.size()));
+    }
+  };
+
+  Result<Ticket> outcome = Status::Internal("admission wait loop bug");
   while (true) {
-    if (!queue_.empty() && queue_.front() == seq &&
-        in_flight_ < options_.max_in_flight) {
-      queue_.pop_front();
-      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
-      ++in_flight_;
-      in_flight_gauge_->Set(static_cast<double>(in_flight_));
-      admitted_total_->Increment();
-      double waited = queued.ElapsedMicros();
-      queue_wait_micros_->Observe(waited);
-      if (queue_wait_micros != nullptr) *queue_wait_micros = waited;
-      return Ticket(this);
+    if (waiter.granted) {
+      // WakeNextLocked already moved the slot to us.
+      outcome = admit();
+      break;
+    }
+    if (waiter.evicted) {
+      outcome = waiter.evicted_status;
+      break;
     }
     if (ctx != nullptr) {
       if (Status live = ctx->Check("admission queue"); !live.ok()) {
         (live.IsCancelled() ? cancelled_total_ : deadline_total_)->Increment();
-        give_up();
-        return live;
+        remove_self();
+        outcome = live;
+        break;
       }
     }
     if (has_timeout && Clock::now() >= shed_at) {
       shed_queue_timeout_->Increment();
-      give_up();
-      return Status::Overloaded(
-          "shed after " + std::to_string(options_.queue_timeout_millis) +
-          " ms in the admission queue");
+      remove_self();
+      outcome = WithRetryAfterMillis(
+          Status::Overloaded("shed after " + std::to_string(timeout_ms) +
+                             " ms in the admission queue"),
+          estimate_micros >= 0 ? estimate_micros / 1000.0 : timeout_ms);
+      break;
     }
-    // Slot releases notify; context cancellation from another thread does
-    // not, hence the bounded slice when a context is attached.
-    Clock::time_point wake = has_timeout ? shed_at : Clock::time_point::max();
-    if (ctx != nullptr) wake = std::min(wake, Clock::now() + kWaitSlice);
+    // Targeted wakeups: a slot grant or eviction notifies this waiter's cv;
+    // cancellation notifies via the token callback; the only timers are the
+    // queue timeout and the request's own deadline — no polling slices.
+    Clock::time_point wake = shed_at;
+    if (bounded_deadline) wake = std::min(wake, ctx->deadline().when());
     if (wake == Clock::time_point::max()) {
-      cv_.wait(lock);
+      waiter.cv.wait(lock);
     } else {
-      cv_.wait_until(lock, wake);
+      waiter.cv.wait_until(lock, wake);
     }
   }
+
+  lock.unlock();
+  if (cb_registered) {
+    // Blocks until any in-flight callback invocation finishes, so the stack
+    // waiter node cannot be referenced after this frame unwinds (the
+    // callback only resolves the seq against the live waiter list anyway).
+    ctx->token().RemoveCancelCallback(cb_id);
+  }
+  return outcome;
 }
 
 }  // namespace quarry::core

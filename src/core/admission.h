@@ -1,9 +1,10 @@
 #ifndef QUARRY_CORE_ADMISSION_H_
 #define QUARRY_CORE_ADMISSION_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <mutex>
 #include <string>
 
@@ -19,16 +20,18 @@ class Histogram;
 namespace quarry::core {
 
 /// \brief Load-shedding knobs of the AdmissionController
-/// (docs/ROBUSTNESS.md §7).
+/// (docs/ROBUSTNESS.md §7, §11).
 struct AdmissionOptions {
   /// Requests allowed to run concurrently; further arrivals queue.
   int max_in_flight = 4;
   /// Waiting requests beyond the in-flight set; an arrival that finds the
-  /// queue full is shed immediately with kOverloaded. 0 disables queueing
+  /// queue full is shed immediately with kOverloaded (after trying to
+  /// preempt a strictly lower-priority waiter). 0 disables queueing
   /// entirely (admit-or-shed).
   int max_queue_depth = 16;
   /// How long one request may sit in the queue before it is shed with
-  /// kOverloaded. < 0 = wait indefinitely (its own deadline still applies).
+  /// kOverloaded. < 0 = wait indefinitely (its own deadline still applies,
+  /// and see derive_queue_timeout_from_deadline).
   double queue_timeout_millis = -1.0;
   /// Metric lane: when non-empty, every quarry_admission_* metric this
   /// controller registers carries a {lane="..."} label, so multiple gates
@@ -36,28 +39,64 @@ struct AdmissionOptions {
   /// docs/ROBUSTNESS.md §9) stay distinguishable on dashboards. Empty (the
   /// default) keeps the unlabeled pre-lane metric identities.
   std::string lane;
+  /// When queue_timeout_millis < 0 and the request carries a bounded
+  /// deadline, derive a finite queue timeout as
+  /// `remaining_deadline * deadline_queue_fraction` — a request should not
+  /// burn its whole deadline parked in the queue and then fail anyway.
+  /// Quarry enables this on the query lane.
+  bool derive_queue_timeout_from_deadline = false;
+  /// Fraction of the remaining deadline a request may spend queued when the
+  /// timeout is derived (see above).
+  double deadline_queue_fraction = 0.5;
+  /// Weighted-fairness aging: one priority class of head start equals this
+  /// many milliseconds of waiting. A lower-priority waiter that has waited
+  /// `priority_aging_millis` longer than a higher-priority one is selected
+  /// first, so low-priority traffic is starvation-free. <= 0 disables aging
+  /// (strict priority, FIFO within a class).
+  double priority_aging_millis = 100.0;
+  /// Deadline-aware eviction (metastable-overload avoidance,
+  /// docs/ROBUSTNESS.md §11): an arrival whose remaining deadline cannot
+  /// cover the expected queue wait — estimated from the
+  /// quarry_admission_queue_wait_micros histogram — is shed immediately
+  /// with kOverloaded + a retry-after hint instead of queueing doomed work.
+  bool deadline_eviction = false;
+  /// Minimum number of genuinely-queued histogram samples before the wait
+  /// estimate is trusted for eviction decisions.
+  int eviction_min_samples = 64;
 };
 
-/// \brief Bounded-concurrency gate in front of the design pipeline
-/// (docs/ROBUSTNESS.md §7).
+/// \brief Bounded-concurrency gate in front of the design pipeline and the
+/// serving lanes (docs/ROBUSTNESS.md §7, §11).
 ///
 /// Admit() either hands out an RAII Ticket (a held slot), parks the caller
-/// in a strict FIFO wait queue, or sheds the request with a structured
-/// lifecycle error: kOverloaded when the queue is full or the per-request
-/// queue timeout fires, kDeadlineExceeded / kCancelled when the request's
-/// own ExecContext gives up while queued. Queued waiters poll their context
-/// in short slices, so a cancellation from another thread unparks within
-/// ~1ms even though no slot was released.
+/// in a priority-aware wait queue, or sheds the request with a structured
+/// lifecycle error: kOverloaded when the queue is full, the per-request
+/// queue timeout fires, the waiter is preempted by a higher-priority
+/// arrival, or its deadline provably cannot cover the expected wait;
+/// kDeadlineExceeded / kCancelled when the request's own ExecContext gives
+/// up while queued.
 ///
-/// Fully instrumented: requests/admitted/shed/cancelled/deadline counters,
-/// in-flight + queue-depth gauges and a time-in-queue histogram, all
-/// registered eagerly at construction so dashboards see explicit zeros
+/// Waiter selection is weighted-fair: the next slot goes to the waiter with
+/// the best (priority, time-waited) score, where `priority_aging_millis` of
+/// queue time cancels out one priority class — high-priority requests jump
+/// the line, but low-priority ones age toward the front and never starve.
+/// Equal scores fall back to FIFO arrival order, so single-priority
+/// workloads keep the original strict-FIFO semantics.
+///
+/// Each waiter parks on its own condition variable and slot releases wake
+/// exactly the selected waiter (no thundering herd); cross-thread
+/// cancellation unparks promptly via a CancellationToken callback instead
+/// of the historical ~1ms polling slices.
+///
+/// Fully instrumented: requests/admitted/shed/evicted/cancelled/deadline
+/// counters, in-flight + queue-depth gauges and a time-in-queue histogram,
+/// all registered eagerly at construction so dashboards see explicit zeros
 /// (docs/OBSERVABILITY.md).
 class AdmissionController {
  public:
   /// \brief A held admission slot. Releasing (or destroying) it wakes the
-  /// head of the wait queue. Move-only; a moved-from or default ticket
-  /// holds nothing.
+  /// best-scored waiter. Move-only; a moved-from or default ticket holds
+  /// nothing.
   class Ticket {
    public:
     Ticket() = default;
@@ -95,10 +134,11 @@ class AdmissionController {
 
   explicit AdmissionController(AdmissionOptions options = {});
 
-  /// Blocks until a slot is free (FIFO among waiters) or the request is
-  /// shed. `ctx` is nullable; when given, its cancellation and deadline are
-  /// honoured while queued. `queue_wait_micros` (nullable) receives the
-  /// time this call spent waiting for its slot — the same value the
+  /// Blocks until a slot is free (weighted-fair among waiters, FIFO within
+  /// a priority class) or the request is shed. `ctx` is nullable; when
+  /// given, its cancellation, deadline and priority are honoured while
+  /// queued. `queue_wait_micros` (nullable) receives the time this call
+  /// spent waiting for its slot — the same value the
   /// quarry_admission_queue_wait_micros histogram observes — so request
   /// profiles can attribute admission wait per request.
   Result<Ticket> Admit(const ExecContext* ctx = nullptr,
@@ -108,22 +148,50 @@ class AdmissionController {
   int queue_depth() const;
   const AdmissionOptions& options() const { return options_; }
 
+  /// Expected queue wait in microseconds for a request arriving now,
+  /// estimated from the genuinely-queued tail of the wait histogram
+  /// (docs/ROBUSTNESS.md §11); < 0 when there are not yet
+  /// `eviction_min_samples` queued admissions to trust.
+  double EstimatedQueueWaitMicros() const;
+
  private:
   friend class Ticket;
+  using Clock = std::chrono::steady_clock;
+
+  /// One parked Admit() call. Stack-allocated by the waiting thread and
+  /// linked into waiters_; every field is guarded by mu_.
+  struct Waiter {
+    uint64_t seq = 0;
+    Priority priority = Priority::kNormal;
+    Clock::time_point enqueued;
+    std::condition_variable cv;  ///< Targeted wakeup for this waiter only.
+    bool granted = false;        ///< Slot handed over by the releaser.
+    bool evicted = false;        ///< Removed by a preempting arrival.
+    Status evicted_status;       ///< Valid when evicted.
+  };
+
   void ReleaseSlot();
+  /// Grants free slots to the best-scored waiters (removing them from
+  /// waiters_ and notifying their cvs). Caller holds mu_.
+  void WakeNextLocked(Clock::time_point now);
+  /// The waiter the next free slot should go to, nullptr when none.
+  /// Caller holds mu_.
+  std::list<Waiter*>::iterator SelectNextLocked(Clock::time_point now);
+  double EstimatedQueueWaitMicrosLocked() const;
 
   const AdmissionOptions options_;
   mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int in_flight_ = 0;           ///< Guarded by mu_.
-  uint64_t next_seq_ = 0;       ///< Guarded by mu_.
-  std::deque<uint64_t> queue_;  ///< Waiter seq ids, FIFO. Guarded by mu_.
+  int in_flight_ = 0;            ///< Guarded by mu_.
+  uint64_t next_seq_ = 0;        ///< Guarded by mu_.
+  std::list<Waiter*> waiters_;   ///< Arrival order. Guarded by mu_.
 
   // Cached metric instances (process-lifetime pointers, see obs/metrics.h).
   obs::Counter* requests_total_;
   obs::Counter* admitted_total_;
   obs::Counter* shed_queue_full_;
   obs::Counter* shed_queue_timeout_;
+  obs::Counter* evicted_deadline_;
+  obs::Counter* evicted_preempted_;
   obs::Counter* cancelled_total_;
   obs::Counter* deadline_total_;
   obs::Gauge* in_flight_gauge_;

@@ -67,10 +67,60 @@ Result<std::unique_ptr<obs::HttpExporter>> StartTelemetryServer(
     obj.emplace_back("recovery", quarry->recovery_report().ToString());
     obs::HttpExporter::Response resp;
     resp.code = serving ? 200 : 503;
+    if (!serving) resp.retry_after_seconds = 1;
     resp.content_type = "application/json";
     resp.body = json::Write(json::Value(std::move(obj)));
     return resp;
   });
+
+  // /tenantz — per-tenant quota / usage / shed / breaker state
+  // (docs/ROBUSTNESS.md §11): one row per registered tenant, straight from
+  // TenantRegistry::Snapshot().
+  exporter->AddHandler(
+      "/tenantz", [quarry](const obs::HttpExporter::Request&) {
+        json::Array tenants;
+        for (const TenantStatus& t : quarry->tenants().Snapshot()) {
+          json::Object quota;
+          quota.emplace_back("priority", PriorityName(t.quota.priority));
+          quota.emplace_back("rate_per_sec", t.quota.rate_per_sec);
+          quota.emplace_back("burst", t.quota.burst);
+          quota.emplace_back("max_in_flight",
+                             static_cast<int64_t>(t.quota.max_in_flight));
+
+          json::Object shed;
+          shed.emplace_back("rate", t.shed_rate_total);
+          shed.emplace_back("in_flight", t.shed_in_flight_total);
+          shed.emplace_back("breaker", t.shed_breaker_total);
+
+          json::Object breaker;
+          breaker.emplace_back("state", BreakerStateName(t.breaker));
+          breaker.emplace_back("failure_threshold",
+                               static_cast<int64_t>(
+                                   t.quota.breaker_failure_threshold));
+          breaker.emplace_back("consecutive_failures",
+                               static_cast<int64_t>(t.consecutive_failures));
+          breaker.emplace_back("open_remaining_millis",
+                               t.breaker_open_remaining_millis);
+          breaker.emplace_back("trips_total", t.breaker_trips_total);
+
+          json::Object row;
+          row.emplace_back("id", t.id);
+          row.emplace_back("quota", json::Value(std::move(quota)));
+          row.emplace_back("tokens", t.tokens);
+          row.emplace_back("in_flight", static_cast<int64_t>(t.in_flight));
+          row.emplace_back("requests_total", t.requests_total);
+          row.emplace_back("admitted_total", t.admitted_total);
+          row.emplace_back("shed_total", json::Value(std::move(shed)));
+          row.emplace_back("breaker", json::Value(std::move(breaker)));
+          tenants.push_back(json::Value(std::move(row)));
+        }
+        json::Object obj;
+        obj.emplace_back("tenants", json::Value(std::move(tenants)));
+        obs::HttpExporter::Response resp;
+        resp.content_type = "application/json";
+        resp.body = json::Write(json::Value(std::move(obj)));
+        return resp;
+      });
 
   // /statusz — one page of process vitals: build configuration, uptime,
   // admission-lane load, warehouse stats, request-log totals.

@@ -111,6 +111,7 @@ class RequestScope {
     }
     record_.kind = std::move(kind);
     record_.id = (*ctx)->EnsureRequestId();
+    record_.tenant = (*ctx)->tenant();
   }
 
   uint64_t id() const { return record_.id; }
@@ -155,6 +156,19 @@ class RequestScope {
       std::chrono::steady_clock::now();
 };
 
+/// The status a deployment effectively completed with: a Result that is
+/// "ok" but rolled back logically carries its DeploymentFailure cause. Both
+/// the request record and the tenant circuit breaker see this status.
+Status EffectiveDeploymentStatus(
+    const Result<deployer::DeploymentOutcome>& outcome) {
+  if (!outcome.ok()) return outcome.status();
+  const deployer::DeploymentOutcome& o = *outcome;
+  if (!o.success && !o.partial && o.failure.has_value()) {
+    return o.failure->cause;
+  }
+  return Status::OK();
+}
+
 /// Folds a deployment outcome into the scope's record — rows, generation,
 /// slowest operators, and the full ETL profile (kept by the event log only
 /// when the request crosses the slow threshold) — then finishes it. A
@@ -163,15 +177,12 @@ class RequestScope {
 void FinishDeploymentScope(RequestScope* scope,
                            const Result<deployer::DeploymentOutcome>& outcome,
                            const etl::Flow* flow) {
-  Status status = outcome.status();
+  Status status = EffectiveDeploymentStatus(outcome);
   if (outcome.ok()) {
     const deployer::DeploymentOutcome& o = *outcome;
     scope->record().rows = o.report.etl.rows_processed;
     scope->record().generation = o.published_generation;
     scope->record().slowest_ops = SlowestOpsFromReport(o.report.etl);
-    if (!o.success && !o.partial && o.failure.has_value()) {
-      status = o.failure->cause;
-    }
     if (flow != nullptr) {
       // Rendered only if Finish finds the deployment slow; `outcome` and
       // `flow` outlive the Finish call below.
@@ -227,6 +238,13 @@ Quarry::Quarry(ontology::Ontology onto, ontology::SourceMapping mapping,
   // unlabeled pre-lane identities).
   AdmissionOptions query_opts = config_.serving.query_admission;
   query_opts.lane = "query";
+  // Serving-lane defaults (§11): a query carrying a deadline should neither
+  // wait past the point where finishing on time is possible (derived queue
+  // timeout) nor enter a queue whose expected wait already exceeds its
+  // remaining deadline (eviction). Both only bite for bounded deadlines, so
+  // deadline-less callers keep the wait-forever semantics.
+  query_opts.derive_queue_timeout_from_deadline = true;
+  query_opts.deadline_eviction = true;
   query_admission_ = std::make_unique<AdmissionController>(query_opts);
   AdmissionOptions stale_opts = config_.serving.stale_admission;
   stale_opts.lane = "stale";
@@ -359,6 +377,9 @@ Result<integrator::IntegrationOutcome> Quarry::AddRequirement(
     QUARRY_SPAN_ATTR(span, "request_id",
                      static_cast<int64_t>(RequestId(ctx)));
   }
+  if (!TenantId(ctx).empty()) {
+    QUARRY_SPAN_ATTR(span, "tenant", TenantId(ctx));
+  }
   QUARRY_ASSIGN_OR_RETURN(interpreter::PartialDesign partial,
                           interpreter_->Interpret(ir, ctx));
   QUARRY_ASSIGN_OR_RETURN(integrator::IntegrationOutcome outcome,
@@ -413,6 +434,14 @@ Result<deployer::DeploymentOutcome> Quarry::DeployResilient(
   const ExecContext* ctx = options.context;
   RequestScope scope("deploy", &ctx);
   options.context = ctx;
+  // Tenant quota gate first (§11): a tenant over its rate / in-flight share
+  // or behind a tripped breaker is shed before it can touch the shared
+  // design lane.
+  Result<TenantRegistry::Lease> lease = tenants_.Admit(ctx);
+  if (!lease.ok()) {
+    scope.Finish(lease.status());
+    return lease.status();
+  }
   // Admission-gated like every other design-mutating entry point (§7): the
   // direct call and SubmitDeploy pass the same single gate. (Only the
   // legacy non-transactional Deploy() stays ungated.)
@@ -420,12 +449,14 @@ Result<deployer::DeploymentOutcome> Quarry::DeployResilient(
   Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
   scope.set_admission_wait(wait);
   if (!ticket.ok()) {
+    lease->Complete(ticket.status());
     scope.Finish(ticket.status());
     return ticket.status();
   }
   std::lock_guard<std::mutex> lock(submit_mu_);
   Result<deployer::DeploymentOutcome> outcome =
       DeployResilientInternal(target, std::move(options));
+  lease->Complete(EffectiveDeploymentStatus(outcome));
   FinishDeploymentScope(&scope, outcome, &design_->flow());
   return outcome;
 }
@@ -448,10 +479,16 @@ Result<deployer::DeploymentOutcome> Quarry::DeployResilientInternal(
 Result<etl::ExecutionReport> Quarry::Refresh(storage::Database* target,
                                              const ExecContext* ctx) {
   RequestScope scope("refresh", &ctx);
+  Result<TenantRegistry::Lease> lease = tenants_.Admit(ctx);
+  if (!lease.ok()) {
+    scope.Finish(lease.status());
+    return lease.status();
+  }
   double wait = 0.0;
   Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
   scope.set_admission_wait(wait);
   if (!ticket.ok()) {
+    lease->Complete(ticket.status());
     scope.Finish(ticket.status());
     return ticket.status();
   }
@@ -461,6 +498,7 @@ Result<etl::ExecutionReport> Quarry::Refresh(storage::Database* target,
     scope.record().rows = report->rows_processed;
     scope.record().slowest_ops = SlowestOpsFromReport(*report);
   }
+  lease->Complete(report.status());
   scope.Finish(report.status());
   return report;
 }
@@ -475,6 +513,9 @@ Result<etl::ExecutionReport> Quarry::RefreshInternal(storage::Database* target,
     QUARRY_SPAN_ATTR(span, "request_id",
                      static_cast<int64_t>(RequestId(ctx)));
   }
+  if (!TenantId(ctx).empty()) {
+    QUARRY_SPAN_ATTR(span, "tenant", TenantId(ctx));
+  }
   deployer::Deployer dep(source_, target);
   return dep.Refresh(design_->flow(), {}, ctx, config_.etl_exec);
 }
@@ -482,15 +523,22 @@ Result<etl::ExecutionReport> Quarry::RefreshInternal(storage::Database* target,
 Result<integrator::IntegrationOutcome> Quarry::SubmitRequirement(
     const req::InformationRequirement& ir, const ExecContext* ctx) {
   RequestScope scope("requirement", &ctx);
+  Result<TenantRegistry::Lease> lease = tenants_.Admit(ctx);
+  if (!lease.ok()) {
+    scope.Finish(lease.status());
+    return lease.status();
+  }
   double wait = 0.0;
   Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
   scope.set_admission_wait(wait);
   if (!ticket.ok()) {
+    lease->Complete(ticket.status());
     scope.Finish(ticket.status());
     return ticket.status();
   }
   std::lock_guard<std::mutex> lock(submit_mu_);
   Result<integrator::IntegrationOutcome> outcome = AddRequirement(ir, ctx);
+  lease->Complete(outcome.status());
   scope.Finish(outcome.status());
   return outcome;
 }
@@ -498,16 +546,23 @@ Result<integrator::IntegrationOutcome> Quarry::SubmitRequirement(
 Result<integrator::IntegrationOutcome> Quarry::SubmitRequirementFromQuery(
     std::string_view query_text, const ExecContext* ctx) {
   RequestScope scope("requirement", &ctx);
+  Result<TenantRegistry::Lease> lease = tenants_.Admit(ctx);
+  if (!lease.ok()) {
+    scope.Finish(lease.status());
+    return lease.status();
+  }
   double wait = 0.0;
   Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
   scope.set_admission_wait(wait);
   if (!ticket.ok()) {
+    lease->Complete(ticket.status());
     scope.Finish(ticket.status());
     return ticket.status();
   }
   std::lock_guard<std::mutex> lock(submit_mu_);
   Result<integrator::IntegrationOutcome> outcome =
       AddRequirementFromQuery(query_text, ctx);
+  lease->Complete(outcome.status());
   scope.Finish(outcome.status());
   return outcome;
 }
@@ -515,10 +570,16 @@ Result<integrator::IntegrationOutcome> Quarry::SubmitRequirementFromQuery(
 Status Quarry::SubmitRemoveRequirement(const std::string& ir_id,
                                        const ExecContext* ctx) {
   RequestScope scope("requirement_remove", &ctx);
+  Result<TenantRegistry::Lease> lease = tenants_.Admit(ctx);
+  if (!lease.ok()) {
+    scope.Finish(lease.status());
+    return lease.status();
+  }
   double wait = 0.0;
   Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
   scope.set_admission_wait(wait);
   if (!ticket.ok()) {
+    lease->Complete(ticket.status());
     scope.Finish(ticket.status());
     return ticket.status();
   }
@@ -527,6 +588,7 @@ Status Quarry::SubmitRemoveRequirement(const std::string& ir_id,
     QUARRY_RETURN_NOT_OK(CheckContext(ctx, "removal of '" + ir_id + "'"));
     return RemoveRequirement(ir_id);
   }();
+  lease->Complete(status);
   scope.Finish(status);
   return status;
 }
@@ -550,17 +612,24 @@ Result<deployer::DeploymentOutcome> Quarry::DeployServing(
   const ExecContext* attributed = options.context;
   RequestScope scope("deploy_serving", &attributed);
   options.context = attributed;
+  Result<TenantRegistry::Lease> lease = tenants_.Admit(options.context);
+  if (!lease.ok()) {
+    scope.Finish(lease.status());
+    return lease.status();
+  }
   double wait = 0.0;
   Result<AdmissionController::Ticket> ticket =
       admission_->Admit(options.context, &wait);
   scope.set_admission_wait(wait);
   if (!ticket.ok()) {
+    lease->Complete(ticket.status());
     scope.Finish(ticket.status());
     return ticket.status();
   }
   std::lock_guard<std::mutex> lock(submit_mu_);
   Result<deployer::DeploymentOutcome> outcome =
       DeployServingInternal(std::move(options));
+  lease->Complete(EffectiveDeploymentStatus(outcome));
   FinishDeploymentScope(&scope, outcome, &design_->flow());
   return outcome;
 }
@@ -571,6 +640,9 @@ Result<deployer::DeploymentOutcome> Quarry::DeployServingInternal(
   if (RequestId(options.context) != 0) {
     QUARRY_SPAN_ATTR(span, "request_id",
                      static_cast<int64_t>(RequestId(options.context)));
+  }
+  if (!TenantId(options.context).empty()) {
+    QUARRY_SPAN_ATTR(span, "tenant", TenantId(options.context));
   }
   BuildInFlight build(&serving_builds_in_flight_);
   std::unique_ptr<storage::Database> scratch = warehouse_.BeginEmptyBuild();
@@ -609,10 +681,16 @@ Result<deployer::DeploymentOutcome> Quarry::DeployServingInternal(
 
 Result<etl::ExecutionReport> Quarry::RefreshServing(const ExecContext* ctx) {
   RequestScope scope("refresh_serving", &ctx);
+  Result<TenantRegistry::Lease> lease = tenants_.Admit(ctx);
+  if (!lease.ok()) {
+    scope.Finish(lease.status());
+    return lease.status();
+  }
   double wait = 0.0;
   Result<AdmissionController::Ticket> ticket = admission_->Admit(ctx, &wait);
   scope.set_admission_wait(wait);
   if (!ticket.ok()) {
+    lease->Complete(ticket.status());
     scope.Finish(ticket.status());
     return ticket.status();
   }
@@ -625,6 +703,9 @@ Result<etl::ExecutionReport> Quarry::RefreshServing(const ExecContext* ctx) {
     }
     QUARRY_NAMED_SPAN(span, "quarry.refresh_serving");
     QUARRY_SPAN_ATTR(span, "request_id", static_cast<int64_t>(scope.id()));
+    if (!TenantId(ctx).empty()) {
+      QUARRY_SPAN_ATTR(span, "tenant", TenantId(ctx));
+    }
     BuildInFlight build(&serving_builds_in_flight_);
     // Clone-merge-publish: readers keep serving generation N from their
     // pins while the loaders merge the source delta into the clone.
@@ -645,6 +726,7 @@ Result<etl::ExecutionReport> Quarry::RefreshServing(const ExecContext* ctx) {
     scope.record().generation = warehouse_.current_generation();
     scope.record().slowest_ops = SlowestOpsFromReport(*report);
   }
+  lease->Complete(report.status());
   scope.Finish(report.status());
   return report;
 }
@@ -654,6 +736,14 @@ Result<QueryResult> Quarry::SubmitQuery(const olap::CubeQuery& query,
                                         const ExecContext* ctx) {
   RequestScope scope("query", &ctx);
   scope.record().lane = "query";
+  // Tenant quota gate before the query lane (§11): a flooding tenant burns
+  // its own token bucket / in-flight share and is shed with a retry-after
+  // hint here, so it never occupies shared queue slots.
+  Result<TenantRegistry::Lease> lease = tenants_.Admit(ctx);
+  if (!lease.ok()) {
+    scope.Finish(lease.status());
+    return lease.status();
+  }
   auto finish_query = [&scope](const Result<QueryResult>& result) {
     if (result.ok()) {
       scope.record().rows = static_cast<int64_t>(result->data.rows.size());
@@ -675,6 +765,7 @@ Result<QueryResult> Quarry::SubmitQuery(const olap::CubeQuery& query,
     scope.set_admission_wait(wait);
     Result<QueryResult> result = ExecutePinnedQuery(
         query, /*stale=*/false, ctx, opts.collect_profile, wait);
+    lease->Complete(result.status());
     finish_query(result);
     return result;
   }
@@ -693,12 +784,14 @@ Result<QueryResult> Quarry::SubmitQuery(const olap::CubeQuery& query,
       // Nothing to degrade onto (single published generation): surface the
       // original overload, not the fallback's NotFound.
       if (stale.ok() || !stale.status().IsNotFound()) {
+        lease->Complete(stale.status());
         finish_query(stale);
         return stale;
       }
       scope.record().lane = "query";
     }
   }
+  lease->Complete(ticket.status());
   scope.Finish(ticket.status());
   return ticket.status();
 }
@@ -712,6 +805,9 @@ Result<QueryResult> Quarry::ExecutePinnedQuery(const olap::CubeQuery& query,
   if (RequestId(ctx) != 0) {
     QUARRY_SPAN_ATTR(span, "request_id",
                      static_cast<int64_t>(RequestId(ctx)));
+  }
+  if (!TenantId(ctx).empty()) {
+    QUARRY_SPAN_ATTR(span, "tenant", TenantId(ctx));
   }
   const auto start = std::chrono::steady_clock::now();
   QUARRY_ASSIGN_OR_RETURN(

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "core/admission.h"
 #include "core/metadata_repository.h"
+#include "core/tenant.h"
 #include "core/telemetry.h"
 #include "deployer/deployer.h"
 #include "integrator/design_integrator.h"
@@ -33,7 +34,11 @@ namespace quarry::core {
 /// Knobs of the snapshot-isolated serving path (docs/ROBUSTNESS.md §9).
 struct ServingOptions {
   /// Query lane in front of SubmitQuery — its own quota, so OLAP reads are
-  /// never starved (or flooded) by the design/deploy lane.
+  /// never starved (or flooded) by the design/deploy lane. The Quarry
+  /// constructor additionally turns on derive_queue_timeout_from_deadline
+  /// and deadline_eviction for this lane (docs/ROBUSTNESS.md §11): a query
+  /// carrying a deadline never waits past the point where finishing on time
+  /// is possible.
   AdmissionOptions query_admission{/*max_in_flight=*/8,
                                    /*max_queue_depth=*/32,
                                    /*queue_timeout_millis=*/-1.0,
@@ -219,6 +224,18 @@ class Quarry {
   /// observe load (in_flight / queue_depth) or share it across instances.
   AdmissionController& admission() { return *admission_; }
 
+  /// Multi-tenant quota gate in front of every admission lane
+  /// (docs/ROBUSTNESS.md §11). Register tenants (RegisterTenant below) and
+  /// stamp ExecContext::set_tenant on requests; untenanted requests pass
+  /// through ungated.
+  TenantRegistry& tenants() { return tenants_; }
+  const TenantRegistry& tenants() const { return tenants_; }
+
+  /// Convenience forwarder for tenants().Register.
+  Status RegisterTenant(const std::string& id, const TenantQuota& quota) {
+    return tenants_.Register(id, quota);
+  }
+
   // --- admission-gated entry points (docs/ROBUSTNESS.md §7) ---------------
   //
   // Each Submit* first passes the admission controller — waiting FIFO for a
@@ -336,6 +353,8 @@ class Quarry {
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<AdmissionController> query_admission_;
   std::unique_ptr<AdmissionController> stale_admission_;
+  /// Per-tenant quotas/priorities/breakers checked before any lane (§11).
+  TenantRegistry tenants_;
   /// Serializes the design-mutating body of Submit* calls: the engine
   /// itself is single-writer, the admission gate only bounds how many
   /// requests wait for it.

@@ -1,0 +1,310 @@
+#include "core/tenant.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace quarry::core {
+
+namespace {
+
+/// Server-side failure classes the circuit breaker counts. Client mistakes
+/// (validation, parse, not-found), sheds and cancellations are neutral.
+bool IsBreakerFailure(const Status& status) {
+  return status.IsExecutionError() || status.IsInternal() ||
+         status.IsDeadlineExceeded() || status.IsResourceExhausted();
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kHalfOpen: return "half_open";
+    case BreakerState::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+/// All mutable fields are guarded by TenantRegistry::mu_.
+struct TenantRegistry::TenantState {
+  std::string id;
+  TenantQuota quota;
+
+  double tokens = 0.0;
+  Clock::time_point last_refill;
+
+  int in_flight = 0;
+
+  BreakerState breaker = BreakerState::kClosed;
+  Clock::time_point open_until;
+  int consecutive_failures = 0;
+  int half_open_probes_in_flight = 0;
+
+  // Cached metric instances (process-lifetime, see obs/metrics.h).
+  obs::Counter* requests_total;
+  obs::Counter* admitted_total;
+  obs::Counter* shed_rate;
+  obs::Counter* shed_in_flight;
+  obs::Counter* shed_breaker;
+  obs::Counter* breaker_trips;
+  obs::Gauge* in_flight_gauge;
+  obs::Gauge* tokens_gauge;
+  obs::Gauge* breaker_state_gauge;
+};
+
+TenantRegistry::TenantRegistry() = default;
+TenantRegistry::~TenantRegistry() = default;
+
+Status TenantRegistry::Register(const std::string& id,
+                                const TenantQuota& quota) {
+  if (id.empty()) {
+    return Status::InvalidArgument("tenant id must be non-empty");
+  }
+  if (quota.rate_per_sec < 0 || quota.max_in_flight < 0 ||
+      quota.breaker_failure_threshold < 0 ||
+      quota.breaker_cooldown_millis < 0) {
+    return Status::InvalidArgument("tenant quota knobs must be >= 0 (tenant " +
+                                   id + ")");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(id);
+  if (it != tenants_.end()) {
+    // Reconfigure in place: accounting and breaker state survive.
+    it->second->quota = quota;
+    it->second->tokens = std::min(
+        it->second->tokens,
+        quota.burst > 0 ? quota.burst : std::max(quota.rate_per_sec, 1.0));
+    return Status::OK();
+  }
+  auto state = std::make_unique<TenantState>();
+  state->id = id;
+  state->quota = quota;
+  state->tokens = quota.burst > 0 ? quota.burst
+                                  : std::max(quota.rate_per_sec, 1.0);
+  state->last_refill = Clock::now();
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  obs::Labels tenant{{"tenant", id}};
+  state->requests_total =
+      &reg.counter("quarry_tenant_requests_total",
+                   "Requests that reached the tenant registry, by tenant",
+                   tenant);
+  state->admitted_total =
+      &reg.counter("quarry_tenant_admitted_total",
+                   "Requests granted a tenant quota lease, by tenant", tenant);
+  const std::string shed_help =
+      "Requests shed by per-tenant quotas, by tenant and reason";
+  state->shed_rate = &reg.counter(
+      "quarry_tenant_shed_total", shed_help,
+      {{"reason", "rate"}, {"tenant", id}});
+  state->shed_in_flight = &reg.counter(
+      "quarry_tenant_shed_total", shed_help,
+      {{"reason", "in_flight"}, {"tenant", id}});
+  state->shed_breaker = &reg.counter(
+      "quarry_tenant_shed_total", shed_help,
+      {{"reason", "breaker"}, {"tenant", id}});
+  state->breaker_trips = &reg.counter(
+      "quarry_tenant_breaker_trips_total",
+      "Times a tenant's circuit breaker tripped open", tenant);
+  state->in_flight_gauge =
+      &reg.gauge("quarry_tenant_in_flight",
+                 "Quota leases currently held, by tenant", tenant);
+  state->tokens_gauge =
+      &reg.gauge("quarry_tenant_tokens",
+                 "Current token-bucket fill, by tenant", tenant);
+  state->breaker_state_gauge = &reg.gauge(
+      "quarry_tenant_breaker_state",
+      "Circuit-breaker state, by tenant (0=closed, 1=half-open, 2=open)",
+      tenant);
+  state->tokens_gauge->Set(state->tokens);
+
+  tenants_.emplace(id, std::move(state));
+  return Status::OK();
+}
+
+bool TenantRegistry::Has(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.count(id) > 0;
+}
+
+void TenantRegistry::RefillLocked(TenantState& s, Clock::time_point now) {
+  if (s.quota.rate_per_sec <= 0) return;
+  const double cap =
+      s.quota.burst > 0 ? s.quota.burst : std::max(s.quota.rate_per_sec, 1.0);
+  const double elapsed =
+      std::chrono::duration<double>(now - s.last_refill).count();
+  if (elapsed > 0) {
+    s.tokens = std::min(cap, s.tokens + elapsed * s.quota.rate_per_sec);
+    s.last_refill = now;
+  }
+}
+
+Result<TenantRegistry::Lease> TenantRegistry::Admit(const ExecContext* ctx) {
+  const std::string& tenant = TenantId(ctx);
+  if (tenant.empty()) return Lease();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Lease();  // Unregistered: ungated.
+  TenantState& s = *it->second;
+
+  // The tenant's scheduling class rides the context into the lanes.
+  if (ctx != nullptr) ctx->set_priority(s.quota.priority);
+
+  s.requests_total->Increment();
+  const Clock::time_point now = Clock::now();
+  RefillLocked(s, now);
+
+  // Circuit breaker first: while open, nothing else matters.
+  bool probe = false;
+  if (s.quota.breaker_failure_threshold > 0) {
+    if (s.breaker == BreakerState::kOpen) {
+      const double remaining =
+          std::chrono::duration<double, std::milli>(s.open_until - now)
+              .count();
+      if (remaining > 0) {
+        s.shed_breaker->Increment();
+        return WithRetryAfterMillis(
+            Status::Overloaded("circuit breaker open for tenant '" + tenant +
+                               "'"),
+            remaining);
+      }
+      s.breaker = BreakerState::kHalfOpen;
+      s.half_open_probes_in_flight = 0;
+      s.breaker_state_gauge->Set(
+          static_cast<double>(BreakerState::kHalfOpen));
+    }
+    if (s.breaker == BreakerState::kHalfOpen) {
+      if (s.half_open_probes_in_flight >= s.quota.breaker_half_open_probes) {
+        s.shed_breaker->Increment();
+        return WithRetryAfterMillis(
+            Status::Overloaded("circuit breaker half-open for tenant '" +
+                               tenant + "', probe quota in use"),
+            s.quota.breaker_cooldown_millis);
+      }
+      probe = true;
+    }
+  }
+
+  // In-flight share before the bucket, so a share shed never burns a token.
+  if (s.quota.max_in_flight > 0 && s.in_flight >= s.quota.max_in_flight) {
+    s.shed_in_flight->Increment();
+    return WithRetryAfterMillis(
+        Status::Overloaded("tenant '" + tenant + "' in-flight share (" +
+                           std::to_string(s.quota.max_in_flight) +
+                           ") exhausted"),
+        s.quota.rate_per_sec > 0 ? 1000.0 / s.quota.rate_per_sec : 10.0);
+  }
+
+  // Token bucket.
+  if (s.quota.rate_per_sec > 0) {
+    if (s.tokens < 1.0) {
+      const double wait_ms =
+          (1.0 - s.tokens) / s.quota.rate_per_sec * 1000.0;
+      s.shed_rate->Increment();
+      s.tokens_gauge->Set(s.tokens);
+      return WithRetryAfterMillis(
+          Status::Overloaded("tenant '" + tenant +
+                             "' rate quota exhausted (" +
+                             std::to_string(s.quota.rate_per_sec) +
+                             " req/s)"),
+          wait_ms);
+    }
+    s.tokens -= 1.0;
+    s.tokens_gauge->Set(s.tokens);
+  }
+
+  ++s.in_flight;
+  s.in_flight_gauge->Set(static_cast<double>(s.in_flight));
+  if (probe) ++s.half_open_probes_in_flight;
+  s.admitted_total->Increment();
+  Lease lease(this, &s);
+  lease.probe_ = probe;
+  return lease;
+}
+
+void TenantRegistry::CompleteLocked(TenantState& s, const Status* status) {
+  if (s.quota.breaker_failure_threshold <= 0 || status == nullptr) return;
+  if (status->ok()) {
+    s.consecutive_failures = 0;
+    if (s.breaker == BreakerState::kHalfOpen) {
+      s.breaker = BreakerState::kClosed;
+      s.breaker_state_gauge->Set(static_cast<double>(BreakerState::kClosed));
+    }
+    return;
+  }
+  if (!IsBreakerFailure(*status)) return;  // Sheds/cancels are neutral.
+  ++s.consecutive_failures;
+  if (s.breaker == BreakerState::kHalfOpen ||
+      (s.breaker == BreakerState::kClosed &&
+       s.consecutive_failures >= s.quota.breaker_failure_threshold)) {
+    s.breaker = BreakerState::kOpen;
+    s.open_until = Clock::now() +
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double, std::milli>(
+                           s.quota.breaker_cooldown_millis));
+    s.consecutive_failures = 0;
+    s.breaker_trips->Increment();
+    s.breaker_state_gauge->Set(static_cast<double>(BreakerState::kOpen));
+  }
+}
+
+void TenantRegistry::Lease::Finish(const Status* status) {
+  if (registry_ == nullptr) return;
+  TenantRegistry* registry = registry_;
+  TenantState* state = state_;
+  registry_ = nullptr;
+  state_ = nullptr;
+  std::lock_guard<std::mutex> lock(registry->mu_);
+  --state->in_flight;
+  state->in_flight_gauge->Set(static_cast<double>(state->in_flight));
+  if (probe_ && state->half_open_probes_in_flight > 0) {
+    --state->half_open_probes_in_flight;
+  }
+  registry->CompleteLocked(*state, status);
+}
+
+std::vector<TenantStatus> TenantRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Clock::time_point now = Clock::now();
+  std::vector<TenantStatus> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, state] : tenants_) {
+    const TenantState& s = *state;
+    TenantStatus row;
+    row.id = id;
+    row.quota = s.quota;
+    // Recompute the fill without mutating (Snapshot is const).
+    if (s.quota.rate_per_sec > 0) {
+      const double cap = s.quota.burst > 0
+                             ? s.quota.burst
+                             : std::max(s.quota.rate_per_sec, 1.0);
+      const double elapsed =
+          std::chrono::duration<double>(now - s.last_refill).count();
+      row.tokens = std::min(cap, s.tokens + elapsed * s.quota.rate_per_sec);
+    } else {
+      row.tokens = s.tokens;
+    }
+    row.in_flight = s.in_flight;
+    row.requests_total = s.requests_total->value();
+    row.admitted_total = s.admitted_total->value();
+    row.shed_rate_total = s.shed_rate->value();
+    row.shed_in_flight_total = s.shed_in_flight->value();
+    row.shed_breaker_total = s.shed_breaker->value();
+    row.breaker = s.breaker;
+    if (s.breaker == BreakerState::kOpen) {
+      row.breaker_open_remaining_millis = std::max(
+          0.0,
+          std::chrono::duration<double, std::milli>(s.open_until - now)
+              .count());
+    }
+    row.consecutive_failures = s.consecutive_failures;
+    row.breaker_trips_total = s.breaker_trips->value();
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace quarry::core

@@ -1,0 +1,170 @@
+#ifndef QUARRY_CORE_TENANT_H_
+#define QUARRY_CORE_TENANT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/result.h"
+
+namespace quarry::obs {
+class Counter;
+class Gauge;
+}  // namespace quarry::obs
+
+namespace quarry::core {
+
+/// \brief Per-tenant admission quota (docs/ROBUSTNESS.md §11).
+///
+/// Zero-valued knobs disable the corresponding limit, so a registered
+/// tenant with a default quota only gains a priority class and accounting.
+struct TenantQuota {
+  /// Scheduling class stamped onto every admitted request's ExecContext;
+  /// the admission lanes use it for weighted-fair ordering.
+  Priority priority = Priority::kNormal;
+  /// Token-bucket refill rate in requests/second. 0 = unlimited.
+  double rate_per_sec = 0.0;
+  /// Bucket capacity (burst allowance). <= 0 derives max(rate_per_sec, 1).
+  double burst = 0.0;
+  /// Concurrent requests this tenant may hold across all lanes. 0 =
+  /// unlimited.
+  int max_in_flight = 0;
+  /// Circuit breaker: consecutive server-side failures that trip the
+  /// breaker open. 0 disables the breaker.
+  int breaker_failure_threshold = 0;
+  /// How long a tripped breaker sheds this tenant before probing again.
+  double breaker_cooldown_millis = 1000.0;
+  /// Concurrent trial requests allowed through a half-open breaker.
+  int breaker_half_open_probes = 1;
+};
+
+/// Circuit-breaker state of one tenant (docs/ROBUSTNESS.md §11).
+enum class BreakerState : int {
+  kClosed = 0,    ///< Healthy; requests flow, failures are counted.
+  kHalfOpen = 1,  ///< Probing: a bounded number of trial requests pass.
+  kOpen = 2,      ///< Tripped: everything sheds until the cooldown elapses.
+};
+
+const char* BreakerStateName(BreakerState state);
+
+/// Point-in-time view of one tenant for /tenantz and tests.
+struct TenantStatus {
+  std::string id;
+  TenantQuota quota;
+  double tokens = 0.0;   ///< Current token-bucket fill.
+  int in_flight = 0;     ///< Leases currently held.
+  int64_t requests_total = 0;
+  int64_t admitted_total = 0;
+  int64_t shed_rate_total = 0;
+  int64_t shed_in_flight_total = 0;
+  int64_t shed_breaker_total = 0;
+  BreakerState breaker = BreakerState::kClosed;
+  double breaker_open_remaining_millis = 0.0;  ///< > 0 only while open.
+  int consecutive_failures = 0;
+  int64_t breaker_trips_total = 0;
+};
+
+/// \brief Multi-tenant admission gate: token-bucket rate limits, in-flight
+/// shares, priority classes and a per-tenant circuit breaker
+/// (docs/ROBUSTNESS.md §11).
+///
+/// Sits in front of the lane AdmissionControllers: every Quarry entry point
+/// asks the registry first, so one flooding tenant burns its own quota —
+/// shed with kOverloaded + a retry-after hint — before it can touch the
+/// shared lanes. Requests without a tenant id, or with an unregistered one,
+/// pass through ungated (single-tenant deployments pay nothing).
+///
+/// The breaker watches each tenant's own outcomes: server-side failures
+/// (execution/internal errors, deadline and budget blowups) trip it open
+/// after `breaker_failure_threshold` consecutive hits; after the cooldown
+/// it half-opens and lets `breaker_half_open_probes` trials through — one
+/// success closes it, one failure re-opens it. Sheds and cancellations are
+/// neutral: they neither trip nor heal the breaker.
+class TenantRegistry {
+ public:
+  struct TenantState;
+
+  /// \brief One admitted request's hold on its tenant's quota. Move-only.
+  ///
+  /// Complete(status) releases the in-flight share and feeds the breaker
+  /// with the request outcome; destroying an uncompleted lease releases
+  /// with a neutral outcome (no breaker effect).
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease() { Finish(nullptr); }
+    Lease(Lease&& other) noexcept
+        : registry_(other.registry_), state_(other.state_),
+          probe_(other.probe_) {
+      other.registry_ = nullptr;
+      other.state_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Finish(nullptr);
+        registry_ = other.registry_;
+        state_ = other.state_;
+        probe_ = other.probe_;
+        other.registry_ = nullptr;
+        other.state_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    /// True when this lease actually holds tenant quota (false for the
+    /// pass-through lease untenanted requests get).
+    bool held() const { return registry_ != nullptr; }
+
+    /// Reports the request outcome and releases the quota; idempotent.
+    void Complete(const Status& status) { Finish(&status); }
+
+   private:
+    friend class TenantRegistry;
+    Lease(TenantRegistry* registry, TenantState* state)
+        : registry_(registry), state_(state) {}
+    void Finish(const Status* status);
+    TenantRegistry* registry_ = nullptr;
+    TenantState* state_ = nullptr;
+    bool probe_ = false;  ///< This lease is a half-open breaker probe.
+  };
+
+  TenantRegistry();
+  ~TenantRegistry();
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  /// Registers (or reconfigures) a tenant. Reconfiguring keeps the tenant's
+  /// accounting and breaker state but applies the new limits.
+  Status Register(const std::string& id, const TenantQuota& quota);
+
+  bool Has(const std::string& id) const;
+
+  /// Admission check for `ctx`'s tenant. Grants a Lease, or sheds with
+  /// kOverloaded + a retry-after hint (rate quota, in-flight share, or open
+  /// breaker). Stamps the tenant's priority class onto `ctx`. Untenanted or
+  /// unregistered tenants pass through with an empty lease.
+  Result<Lease> Admit(const ExecContext* ctx);
+
+  /// Point-in-time view of every tenant, sorted by id (for /tenantz).
+  std::vector<TenantStatus> Snapshot() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void RefillLocked(TenantState& s, Clock::time_point now);
+  void CompleteLocked(TenantState& s, const Status* status);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+};
+
+}  // namespace quarry::core
+
+#endif  // QUARRY_CORE_TENANT_H_

@@ -69,20 +69,27 @@ void SendAll(int fd, const std::string& data) {
 }
 
 std::string RenderResponse(int code, const std::string& content_type,
-                           const std::string& body, bool include_body) {
+                           const std::string& body, bool include_body,
+                           int retry_after_seconds = 0) {
   std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
                     StatusText(code) + "\r\n";
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (retry_after_seconds > 0) {
+    // Backpressure surfaced end-to-end (docs/ROBUSTNESS.md §11): shed
+    // responses tell well-behaved clients when to come back.
+    out += "Retry-After: " + std::to_string(retry_after_seconds) + "\r\n";
+  }
   out += "Connection: close\r\n\r\n";
   if (include_body) out += body;
   return out;
 }
 
-void SendError(int fd, int code, const std::string& message) {
+void SendError(int fd, int code, const std::string& message,
+               int retry_after_seconds = 0) {
   ResponsesTotalFor(code).Increment();
   SendAll(fd, RenderResponse(code, "text/plain; charset=utf-8", message + "\n",
-                             /*include_body=*/true));
+                             /*include_body=*/true, retry_after_seconds));
 }
 
 }  // namespace
@@ -205,7 +212,7 @@ void HttpExporter::Stop() {
   // Anything still queued is turned away, not silently dropped.
   std::lock_guard<std::mutex> lock(queue_mu_);
   for (int fd : pending_) {
-    SendError(fd, 503, "shutting down");
+    SendError(fd, 503, "shutting down", /*retry_after_seconds=*/1);
     ::close(fd);
   }
   pending_.clear();
@@ -235,7 +242,7 @@ void HttpExporter::AcceptLoop() {
     }
     if (shed) {
       ShedTotal().Increment();
-      SendError(fd, 503, "overloaded");
+      SendError(fd, 503, "overloaded", /*retry_after_seconds=*/1);
       ::close(fd);
     } else {
       queue_cv_.notify_one();
@@ -361,7 +368,8 @@ void HttpExporter::ServeConnection(int fd) {
   ResponsesTotalFor(response.code).Increment();
   SendAll(fd, RenderResponse(response.code, response.content_type,
                              response.body,
-                             /*include_body=*/request.method != "HEAD"));
+                             /*include_body=*/request.method != "HEAD",
+                             response.retry_after_seconds));
   finish();
 }
 

@@ -56,6 +56,10 @@ class HttpExporter {
     int code = 200;
     std::string content_type = "text/plain; charset=utf-8";
     std::string body;
+    /// When > 0, a `Retry-After: N` header rides the response — handlers
+    /// that shed (503) tell clients when to come back
+    /// (docs/ROBUSTNESS.md §11).
+    int retry_after_seconds = 0;
   };
 
   using Handler = std::function<Response(const Request&)>;

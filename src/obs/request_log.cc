@@ -57,6 +57,8 @@ std::string RequestRecord::ToJson() const {
   JsonEscape(kind, &out);
   out += "\",\"lane\":\"";
   JsonEscape(lane, &out);
+  out += "\",\"tenant\":\"";
+  JsonEscape(tenant, &out);
   out += "\",\"status\":\"";
   JsonEscape(status, &out);
   out += "\",\"latency_micros\":" + FormatMicros(latency_micros);

@@ -22,6 +22,7 @@ struct RequestRecord {
   uint64_t id = 0;
   std::string kind;    ///< "query", "deploy", "refresh", ...
   std::string lane;    ///< Admission lane ("query", "stale", "" = design).
+  std::string tenant;  ///< Tenant the request ran for ("" = untenanted).
   std::string status = "ok";  ///< "ok" or the status code name.
   double latency_micros = 0.0;
   double admission_wait_micros = 0.0;

@@ -1,0 +1,850 @@
+// Multi-tenant overload protection (docs/ROBUSTNESS.md §11): the
+// TenantRegistry quota gate (token bucket, in-flight share, circuit
+// breaker), the priority-aware admission queue (weighted-fair selection,
+// aging, preemption, deadline-aware eviction, derived queue timeouts) and
+// a two-tenant chaos soak that pits a flooding low-priority tenant against
+// a well-behaved one across publish/retire faults, asserting zero quota
+// leaks and a full breaker trip / half-open / reset cycle.
+//
+// Metric instances are process-wide, so every admission-controller test
+// uses its own lane label and every tenant test its own tenant id — counter
+// deltas then belong to exactly one test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+#include "core/admission.h"
+#include "core/quarry.h"
+#include "core/tenant.h"
+#include "datagen/tpch.h"
+#include "obs/metrics.h"
+#include "ontology/tpch_ontology.h"
+
+namespace quarry::core {
+namespace {
+
+using req::InformationRequirement;
+using storage::Value;
+
+void SleepMillis(int millis) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+}
+
+int64_t CounterValue(const std::string& family, const obs::Labels& labels) {
+  return obs::MetricsRegistry::Instance().counter(family, "", labels).value();
+}
+
+TenantStatus StatusOf(const TenantRegistry& registry, const std::string& id) {
+  for (const TenantStatus& t : registry.Snapshot()) {
+    if (t.id == id) return t;
+  }
+  ADD_FAILURE() << "tenant " << id << " not in snapshot";
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// TenantRegistry: quota gate semantics.
+// ---------------------------------------------------------------------------
+
+TEST(TenantRegistryTest, UntenantedAndUnknownTenantsPassThrough) {
+  TenantRegistry registry;
+  ASSERT_TRUE(registry.Register("t_known", {}).ok());
+
+  // No context at all.
+  auto lease = registry.Admit(nullptr);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_FALSE(lease->held());
+
+  // A context without a tenant.
+  ExecContext anon;
+  lease = registry.Admit(&anon);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_FALSE(lease->held());
+
+  // A tenant nobody registered: pass through, nothing counted.
+  ExecContext ctx;
+  ctx.set_tenant("t_stranger");
+  lease = registry.Admit(&ctx);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_FALSE(lease->held());
+  EXPECT_FALSE(registry.Has("t_stranger"));
+}
+
+TEST(TenantRegistryTest, RegisterValidatesAndReconfiguresInPlace) {
+  TenantRegistry registry;
+  EXPECT_TRUE(registry.Register("", {}).IsInvalidArgument());
+  TenantQuota negative;
+  negative.rate_per_sec = -1;
+  EXPECT_TRUE(registry.Register("t_neg", negative).IsInvalidArgument());
+
+  TenantQuota quota;
+  quota.priority = Priority::kLow;
+  ASSERT_TRUE(registry.Register("t_reconf", quota).ok());
+  ExecContext ctx;
+  ctx.set_tenant("t_reconf");
+  auto lease = registry.Admit(&ctx);
+  ASSERT_TRUE(lease.ok());
+  lease->Complete(Status::OK());
+
+  // Reconfiguring keeps the accounting but applies the new limits.
+  quota.priority = Priority::kHigh;
+  quota.max_in_flight = 1;
+  ASSERT_TRUE(registry.Register("t_reconf", quota).ok());
+  TenantStatus status = StatusOf(registry, "t_reconf");
+  EXPECT_EQ(status.requests_total, 1);
+  EXPECT_EQ(status.admitted_total, 1);
+  EXPECT_EQ(status.quota.max_in_flight, 1);
+
+  lease = registry.Admit(&ctx);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(ctx.priority(), Priority::kHigh);
+}
+
+TEST(TenantRegistryTest, StampsPriorityOntoTheContext) {
+  TenantRegistry registry;
+  TenantQuota quota;
+  quota.priority = Priority::kLow;
+  ASSERT_TRUE(registry.Register("t_prio", quota).ok());
+  ExecContext ctx;
+  ctx.set_tenant("t_prio");
+  EXPECT_EQ(ctx.priority(), Priority::kNormal);
+  auto lease = registry.Admit(&ctx);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_TRUE(lease->held());
+  EXPECT_EQ(ctx.priority(), Priority::kLow);
+}
+
+TEST(TenantRegistryTest, TokenBucketShedsBurstAndRefills) {
+  TenantRegistry registry;
+  TenantQuota quota;
+  quota.rate_per_sec = 50.0;  // One token every 20ms.
+  quota.burst = 2.0;
+  ASSERT_TRUE(registry.Register("t_rate", quota).ok());
+  ExecContext ctx;
+  ctx.set_tenant("t_rate");
+
+  auto first = registry.Admit(&ctx);
+  auto second = registry.Admit(&ctx);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  auto third = registry.Admit(&ctx);
+  ASSERT_FALSE(third.ok());
+  EXPECT_TRUE(third.status().IsOverloaded()) << third.status();
+  // The shed carries a machine-readable retry hint derived from the refill
+  // rate (docs/ROBUSTNESS.md §11).
+  EXPECT_GT(RetryAfterMillis(third.status()), 0.0) << third.status();
+
+  TenantStatus status = StatusOf(registry, "t_rate");
+  EXPECT_EQ(status.requests_total, 3);
+  EXPECT_EQ(status.admitted_total, 2);
+  EXPECT_EQ(status.shed_rate_total, 1);
+
+  // ~5 refill periods later the bucket has tokens again.
+  SleepMillis(100);
+  auto fourth = registry.Admit(&ctx);
+  EXPECT_TRUE(fourth.ok()) << fourth.status();
+}
+
+TEST(TenantRegistryTest, InFlightShareShedsUntilALeaseCompletes) {
+  TenantRegistry registry;
+  TenantQuota quota;
+  quota.max_in_flight = 1;
+  ASSERT_TRUE(registry.Register("t_share", quota).ok());
+  ExecContext ctx;
+  ctx.set_tenant("t_share");
+
+  auto held = registry.Admit(&ctx);
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(StatusOf(registry, "t_share").in_flight, 1);
+
+  auto blocked = registry.Admit(&ctx);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.status().IsOverloaded()) << blocked.status();
+  EXPECT_GT(RetryAfterMillis(blocked.status()), 0.0);
+  EXPECT_EQ(StatusOf(registry, "t_share").shed_in_flight_total, 1);
+
+  held->Complete(Status::OK());
+  EXPECT_EQ(StatusOf(registry, "t_share").in_flight, 0);
+  auto after = registry.Admit(&ctx);
+  EXPECT_TRUE(after.ok()) << after.status();
+}
+
+TEST(TenantRegistryTest, DroppedLeaseReleasesTheShareNeutrally) {
+  TenantRegistry registry;
+  TenantQuota quota;
+  quota.max_in_flight = 1;
+  quota.breaker_failure_threshold = 1;
+  ASSERT_TRUE(registry.Register("t_drop", quota).ok());
+  ExecContext ctx;
+  ctx.set_tenant("t_drop");
+  {
+    auto lease = registry.Admit(&ctx);
+    ASSERT_TRUE(lease.ok());
+    // Destroyed without Complete(): quota released, breaker untouched.
+  }
+  TenantStatus status = StatusOf(registry, "t_drop");
+  EXPECT_EQ(status.in_flight, 0);
+  EXPECT_EQ(status.breaker, BreakerState::kClosed);
+  EXPECT_EQ(status.consecutive_failures, 0);
+}
+
+TEST(TenantRegistryTest, BreakerTripsHalfOpensAndRecovers) {
+  TenantRegistry registry;
+  TenantQuota quota;
+  quota.breaker_failure_threshold = 2;
+  quota.breaker_cooldown_millis = 80.0;
+  ASSERT_TRUE(registry.Register("t_brk", quota).ok());
+  ExecContext ctx;
+  ctx.set_tenant("t_brk");
+
+  // Two consecutive server-side failures trip the breaker open.
+  for (int i = 0; i < 2; ++i) {
+    auto lease = registry.Admit(&ctx);
+    ASSERT_TRUE(lease.ok()) << lease.status();
+    lease->Complete(Status::ExecutionError("backend down"));
+  }
+  TenantStatus status = StatusOf(registry, "t_brk");
+  EXPECT_EQ(status.breaker, BreakerState::kOpen);
+  EXPECT_EQ(status.breaker_trips_total, 1);
+  EXPECT_GT(status.breaker_open_remaining_millis, 0.0);
+
+  // While open: everything sheds, with the remaining cooldown as the hint.
+  auto shed = registry.Admit(&ctx);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsOverloaded()) << shed.status();
+  EXPECT_GT(RetryAfterMillis(shed.status()), 0.0);
+  EXPECT_EQ(StatusOf(registry, "t_brk").shed_breaker_total, 1);
+
+  // After the cooldown the breaker half-opens and admits a probe.
+  SleepMillis(120);
+  auto probe = registry.Admit(&ctx);
+  ASSERT_TRUE(probe.ok()) << probe.status();
+  EXPECT_EQ(StatusOf(registry, "t_brk").breaker, BreakerState::kHalfOpen);
+
+  // Only breaker_half_open_probes (default 1) trials pass while probing.
+  auto second_probe = registry.Admit(&ctx);
+  ASSERT_FALSE(second_probe.ok());
+  EXPECT_TRUE(second_probe.status().IsOverloaded());
+
+  // The probe succeeding closes the breaker and resets the streak.
+  probe->Complete(Status::OK());
+  status = StatusOf(registry, "t_brk");
+  EXPECT_EQ(status.breaker, BreakerState::kClosed);
+  EXPECT_EQ(status.consecutive_failures, 0);
+  auto healthy = registry.Admit(&ctx);
+  EXPECT_TRUE(healthy.ok()) << healthy.status();
+}
+
+TEST(TenantRegistryTest, BreakerReopensWhenTheProbeFails) {
+  TenantRegistry registry;
+  TenantQuota quota;
+  quota.breaker_failure_threshold = 1;
+  quota.breaker_cooldown_millis = 60.0;
+  ASSERT_TRUE(registry.Register("t_brk2", quota).ok());
+  ExecContext ctx;
+  ctx.set_tenant("t_brk2");
+
+  auto lease = registry.Admit(&ctx);
+  ASSERT_TRUE(lease.ok());
+  lease->Complete(Status::Internal("boom"));
+  EXPECT_EQ(StatusOf(registry, "t_brk2").breaker, BreakerState::kOpen);
+
+  SleepMillis(90);
+  auto probe = registry.Admit(&ctx);
+  ASSERT_TRUE(probe.ok()) << probe.status();
+  probe->Complete(Status::DeadlineExceeded("still down"));
+  TenantStatus status = StatusOf(registry, "t_brk2");
+  EXPECT_EQ(status.breaker, BreakerState::kOpen);
+  EXPECT_EQ(status.breaker_trips_total, 2);
+}
+
+TEST(TenantRegistryTest, ShedsAndClientErrorsAreNeutralToTheBreaker) {
+  TenantRegistry registry;
+  TenantQuota quota;
+  quota.breaker_failure_threshold = 1;
+  ASSERT_TRUE(registry.Register("t_neutral", quota).ok());
+  ExecContext ctx;
+  ctx.set_tenant("t_neutral");
+
+  for (const Status& outcome :
+       {Status::Overloaded("lane full"), Status::Cancelled("caller left"),
+        Status::NotFound("no such fact"),
+        Status::InvalidArgument("bad query")}) {
+    auto lease = registry.Admit(&ctx);
+    ASSERT_TRUE(lease.ok()) << lease.status();
+    lease->Complete(outcome);
+    EXPECT_EQ(StatusOf(registry, "t_neutral").breaker, BreakerState::kClosed)
+        << outcome;
+  }
+
+  // A real server-side failure still trips at threshold 1.
+  auto lease = registry.Admit(&ctx);
+  ASSERT_TRUE(lease.ok());
+  lease->Complete(Status::ResourceExhausted("budget blown"));
+  EXPECT_EQ(StatusOf(registry, "t_neutral").breaker, BreakerState::kOpen);
+}
+
+TEST(TenantRegistryTest, SnapshotAgreesWithTheMetricFamilies) {
+  TenantRegistry registry;
+  TenantQuota quota;
+  quota.rate_per_sec = 1000.0;
+  quota.burst = 2.0;
+  quota.max_in_flight = 1;
+  ASSERT_TRUE(registry.Register("t_metrics", quota).ok());
+  ExecContext ctx;
+  ctx.set_tenant("t_metrics");
+
+  const int64_t base_requests = CounterValue("quarry_tenant_requests_total",
+                                             {{"tenant", "t_metrics"}});
+  auto held = registry.Admit(&ctx);
+  ASSERT_TRUE(held.ok());
+  auto shed = registry.Admit(&ctx);  // In-flight share.
+  ASSERT_FALSE(shed.ok());
+  held->Complete(Status::OK());
+
+  TenantStatus status = StatusOf(registry, "t_metrics");
+  EXPECT_EQ(status.requests_total, 2);
+  EXPECT_EQ(CounterValue("quarry_tenant_requests_total",
+                         {{"tenant", "t_metrics"}}),
+            base_requests + 2);
+  EXPECT_EQ(CounterValue("quarry_tenant_admitted_total",
+                         {{"tenant", "t_metrics"}}),
+            status.admitted_total);
+  EXPECT_EQ(CounterValue("quarry_tenant_shed_total",
+                         {{"reason", "in_flight"}, {"tenant", "t_metrics"}}),
+            status.shed_in_flight_total);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController: priority scheduling, preemption, eviction.
+// ---------------------------------------------------------------------------
+
+/// Holds the controller's only slot, parks `waiters` in priority order and
+/// returns the order their Admits were granted in.
+std::vector<int> GrantOrder(AdmissionController* gate,
+                            const std::vector<Priority>& waiters) {
+  auto first = gate->Admit();
+  EXPECT_TRUE(first.ok());
+  std::atomic<int> order{0};
+  std::vector<int> granted(waiters.size(), -1);
+  std::vector<std::thread> threads;
+  threads.reserve(waiters.size());
+  for (size_t i = 0; i < waiters.size(); ++i) {
+    // Park the waiters one at a time so arrival order is deterministic.
+    const int before = gate->queue_depth();
+    threads.emplace_back([gate, &waiters, &order, &granted, i] {
+      ExecContext ctx;
+      ctx.set_priority(waiters[i]);
+      auto ticket = gate->Admit(&ctx);
+      EXPECT_TRUE(ticket.ok()) << ticket.status();
+      granted[i] = order.fetch_add(1);
+      // Hold briefly so the next grant is a distinct release.
+      SleepMillis(5);
+    });
+    while (gate->queue_depth() <= before) SleepMillis(1);
+  }
+  first->Release();
+  for (std::thread& t : threads) t.join();
+  return granted;
+}
+
+TEST(AdmissionPriorityTest, StrictPriorityWhenAgingIsDisabled) {
+  AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 8;
+  options.priority_aging_millis = 0.0;  // Strict priority.
+  options.lane = "test_strict_prio";
+  AdmissionController gate(options);
+
+  // Arrivals: low, normal, high — grants must run high, normal, low.
+  std::vector<int> granted =
+      GrantOrder(&gate, {Priority::kLow, Priority::kNormal, Priority::kHigh});
+  EXPECT_EQ(granted[2], 0);  // High first.
+  EXPECT_EQ(granted[1], 1);
+  EXPECT_EQ(granted[0], 2);  // Low last.
+  EXPECT_EQ(gate.in_flight(), 0);
+  EXPECT_EQ(gate.queue_depth(), 0);
+}
+
+TEST(AdmissionPriorityTest, EqualPrioritiesKeepFifoOrder) {
+  AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 8;
+  options.lane = "test_fifo";
+  AdmissionController gate(options);
+  std::vector<int> granted = GrantOrder(
+      &gate, {Priority::kNormal, Priority::kNormal, Priority::kNormal});
+  EXPECT_EQ(granted[0], 0);
+  EXPECT_EQ(granted[1], 1);
+  EXPECT_EQ(granted[2], 2);
+}
+
+TEST(AdmissionPriorityTest, AgedLowPriorityWaiterOvertakesAFreshHighOne) {
+  AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 8;
+  options.priority_aging_millis = 40.0;  // One class per 40ms waited.
+  options.lane = "test_aging";
+  AdmissionController gate(options);
+
+  auto held = gate.Admit();
+  ASSERT_TRUE(held.ok());
+  std::atomic<int> order{0};
+  int low_rank = -1, high_rank = -1;
+
+  ExecContext low_ctx;
+  low_ctx.set_priority(Priority::kLow);
+  std::thread low([&] {
+    auto ticket = gate.Admit(&low_ctx);
+    EXPECT_TRUE(ticket.ok());
+    low_rank = order.fetch_add(1);
+  });
+  while (gate.queue_depth() < 1) SleepMillis(1);
+  // Let the low waiter age past 2 classes * 40ms before high arrives.
+  SleepMillis(200);
+
+  ExecContext high_ctx;
+  high_ctx.set_priority(Priority::kHigh);
+  std::thread high([&] {
+    auto ticket = gate.Admit(&high_ctx);
+    EXPECT_TRUE(ticket.ok());
+    high_rank = order.fetch_add(1);
+    SleepMillis(5);
+  });
+  while (gate.queue_depth() < 2) SleepMillis(1);
+
+  held->Release();
+  low.join();
+  high.join();
+  EXPECT_EQ(low_rank, 0) << "aged low-priority waiter should win the slot";
+  EXPECT_EQ(high_rank, 1);
+}
+
+TEST(AdmissionPreemptTest, FullQueueArrivalEvictsTheNewestLowerPriority) {
+  AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 1;
+  options.priority_aging_millis = 0.0;
+  options.lane = "test_preempt";
+  AdmissionController gate(options);
+  const obs::Labels preempted = {{"lane", "test_preempt"},
+                                 {"reason", "preempted"}};
+  const int64_t evicted_before =
+      CounterValue("quarry_admission_evicted_total", preempted);
+
+  auto held = gate.Admit();
+  ASSERT_TRUE(held.ok());
+
+  Status low_outcome;
+  ExecContext low_ctx;
+  low_ctx.set_priority(Priority::kLow);
+  std::thread low([&] {
+    auto ticket = gate.Admit(&low_ctx);
+    low_outcome = ticket.status();
+  });
+  while (gate.queue_depth() < 1) SleepMillis(1);
+
+  // Queue full. A high-priority arrival evicts the parked low waiter and
+  // takes its queue spot instead of being shed.
+  ExecContext high_ctx;
+  high_ctx.set_priority(Priority::kHigh);
+  std::thread high([&] {
+    auto ticket = gate.Admit(&high_ctx);
+    EXPECT_TRUE(ticket.ok()) << ticket.status();
+  });
+  low.join();
+  EXPECT_TRUE(low_outcome.IsOverloaded()) << low_outcome;
+  EXPECT_GT(RetryAfterMillis(low_outcome), 0.0) << low_outcome;
+  EXPECT_EQ(CounterValue("quarry_admission_evicted_total", preempted),
+            evicted_before + 1);
+
+  held->Release();
+  high.join();
+
+  // The reverse never happens: a low arrival cannot evict a parked high
+  // waiter — with the queue full again it is shed as queue_full.
+  auto held2 = gate.Admit();
+  ASSERT_TRUE(held2.ok());
+  std::thread parked_high([&] {
+    ExecContext ctx;
+    ctx.set_priority(Priority::kHigh);
+    auto ticket = gate.Admit(&ctx);
+    EXPECT_TRUE(ticket.ok());
+  });
+  while (gate.queue_depth() < 1) SleepMillis(1);
+  ExecContext low2;
+  low2.set_priority(Priority::kLow);
+  auto shed = gate.Admit(&low2);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsOverloaded());
+  EXPECT_EQ(CounterValue("quarry_admission_evicted_total", preempted),
+            evicted_before + 1)
+      << "low arrival must not preempt a high waiter";
+  held2->Release();
+  parked_high.join();
+}
+
+TEST(AdmissionDeadlineTest, UnreachableDeadlineArrivalIsEvictedUpFront) {
+  AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 4;
+  options.deadline_eviction = true;
+  options.eviction_min_samples = 1;
+  options.lane = "test_evict";
+  AdmissionController gate(options);
+
+  // Seed the wait estimate with one genuinely-queued admission (~60ms).
+  {
+    auto held = gate.Admit();
+    ASSERT_TRUE(held.ok());
+    std::thread waiter([&] {
+      auto ticket = gate.Admit();
+      EXPECT_TRUE(ticket.ok());
+    });
+    while (gate.queue_depth() < 1) SleepMillis(1);
+    SleepMillis(60);
+    held->Release();
+    waiter.join();
+  }
+  EXPECT_GT(gate.EstimatedQueueWaitMicros(), 10000.0);
+
+  // A 2ms-deadline arrival cannot cover a ~60ms expected wait: evicted
+  // immediately with a retry hint, not parked to die in the queue.
+  auto held = gate.Admit();
+  ASSERT_TRUE(held.ok());
+  ExecContext doomed(Deadline::After(2.0));
+  auto evicted = gate.Admit(&doomed);
+  ASSERT_FALSE(evicted.ok());
+  EXPECT_TRUE(evicted.status().IsOverloaded()) << evicted.status();
+  EXPECT_GT(RetryAfterMillis(evicted.status()), 0.0);
+  EXPECT_EQ(CounterValue(
+                "quarry_admission_evicted_total",
+                {{"lane", "test_evict"}, {"reason", "deadline_unreachable"}}),
+            1);
+
+  // A bounded-deadline arrival that CAN cover the wait still queues fine.
+  ExecContext patient(Deadline::After(60000.0));
+  std::thread ok_waiter([&] {
+    auto ticket = gate.Admit(&patient);
+    EXPECT_TRUE(ticket.ok()) << ticket.status();
+  });
+  while (gate.queue_depth() < 1) SleepMillis(1);
+  held->Release();
+  ok_waiter.join();
+}
+
+TEST(AdmissionTimeoutTest, QueueTimeoutDerivesFromTheRequestDeadline) {
+  AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 4;
+  options.derive_queue_timeout_from_deadline = true;
+  options.deadline_queue_fraction = 0.25;
+  options.lane = "test_derived";
+  AdmissionController gate(options);
+
+  auto held = gate.Admit();
+  ASSERT_TRUE(held.ok());
+
+  // 400ms deadline, fraction 0.25 -> shed as kOverloaded after ~100ms of
+  // queueing, well before the deadline itself would have fired as
+  // kDeadlineExceeded. The error class is the proof the derived timeout
+  // fired first.
+  ExecContext ctx(Deadline::After(400.0));
+  const auto start = std::chrono::steady_clock::now();
+  auto shed = gate.Admit(&ctx);
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsOverloaded()) << shed.status();
+  EXPECT_GT(RetryAfterMillis(shed.status()), 0.0);
+  EXPECT_LT(waited_ms, 390.0) << "should shed before the deadline";
+  EXPECT_FALSE(ctx.Check("after shed").IsDeadlineExceeded());
+
+  // An unbounded request under the same options still waits indefinitely
+  // (no derived timeout without a deadline): it gets the slot on release.
+  std::thread waiter([&] {
+    auto ticket = gate.Admit();
+    EXPECT_TRUE(ticket.ok());
+  });
+  while (gate.queue_depth() < 1) SleepMillis(1);
+  held->Release();
+  waiter.join();
+}
+
+TEST(AdmissionWakeupTest, CancellationUnparksTheWaiterPromptly) {
+  AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 4;
+  options.lane = "test_wakeup";
+  AdmissionController gate(options);
+
+  auto held = gate.Admit();
+  ASSERT_TRUE(held.ok());
+
+  CancellationToken token;
+  ExecContext ctx(token, Deadline::Infinite());
+  Status outcome;
+  double waited_ms = 0;
+  std::thread waiter([&] {
+    const auto start = std::chrono::steady_clock::now();
+    auto ticket = gate.Admit(&ctx);
+    waited_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    outcome = ticket.status();
+  });
+  while (gate.queue_depth() < 1) SleepMillis(1);
+
+  const auto cancel_at = std::chrono::steady_clock::now();
+  token.Cancel("caller gave up");
+  waiter.join();
+  const double unpark_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - cancel_at)
+                               .count();
+  EXPECT_TRUE(outcome.IsCancelled()) << outcome;
+  // Targeted cv wakeup, not a polling slice: the waiter unparks as soon as
+  // the cancel callback fires (generous bound for loaded CI hosts).
+  EXPECT_LT(unpark_ms, 500.0);
+  EXPECT_EQ(gate.queue_depth(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Two-tenant chaos soak: flooder vs well-behaved across publish/retire
+// faults (the §11 counterpart of serving_soak_test).
+// ---------------------------------------------------------------------------
+
+class TenantChaosSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(datagen::PopulateTpch(&src_, {0.001, 43}).ok());
+    QuarryConfig config;
+    // A tight query lane so lane-level shedding happens alongside the
+    // tenant-level quota sheds.
+    config.serving.query_admission = {/*max_in_flight=*/2,
+                                      /*max_queue_depth=*/2,
+                                      /*queue_timeout_millis=*/-1.0,
+                                      /*lane=*/""};
+    auto quarry = Quarry::Create(ontology::BuildTpchOntology(),
+                                 ontology::BuildTpchMappings(), &src_,
+                                 std::move(config));
+    ASSERT_TRUE(quarry.ok()) << quarry.status();
+    quarry_ = std::move(*quarry);
+
+    InformationRequirement ir;
+    ir.id = "ir_revenue";
+    ir.name = "revenue";
+    ir.focus_concept = "Lineitem";
+    ir.measures.push_back(
+        {"revenue", "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+         md::AggFunc::kSum});
+    ir.dimensions.push_back({"Part.p_type"});
+    ASSERT_TRUE(quarry_->AddRequirement(ir).ok());
+
+    TenantQuota gold;
+    gold.priority = Priority::kHigh;
+    ASSERT_TRUE(quarry_->RegisterTenant("soak_gold", gold).ok());
+
+    TenantQuota bronze;
+    bronze.priority = Priority::kLow;
+    bronze.rate_per_sec = 50.0;
+    bronze.burst = 5.0;
+    bronze.max_in_flight = 1;
+    ASSERT_TRUE(quarry_->RegisterTenant("soak_bronze", bronze).ok());
+
+    TenantQuota mutator;
+    mutator.priority = Priority::kHigh;
+    ASSERT_TRUE(quarry_->RegisterTenant("soak_mutator", mutator).ok());
+  }
+
+  void TearDown() override {
+    fault::Injector::Instance().ClearConfigs();
+    fault::Injector::Instance().Disable();
+  }
+
+  static olap::CubeQuery RevenueByType() {
+    olap::CubeQuery query;
+    query.fact = "fact_table_revenue";
+    query.group_by = {"p_type"};
+    query.measures = {{"revenue", md::AggFunc::kSum, "total"}};
+    return query;
+  }
+
+  void GrowSource(int salt) {
+    storage::Table* lineitem = *src_.GetTable("lineitem");
+    ASSERT_TRUE(lineitem
+                    ->Insert({Value::Int(1), Value::Int(200000 + salt),
+                              Value::Int(1), Value::Int(1), Value::Int(3),
+                              Value::Double(100.0), Value::Double(0.0),
+                              Value::Double(0.0), Value::DateYmd(1995, 6, 1),
+                              Value::String("N")})
+                    .ok());
+  }
+
+  storage::Database src_;
+  std::unique_ptr<Quarry> quarry_;
+};
+
+TEST_F(TenantChaosSoakTest, FlooderCannotLeakQuotaAcrossFaults) {
+  auto deploy = quarry_->DeployServing();
+  ASSERT_TRUE(deploy.ok() && deploy->success) << deploy.status();
+
+  fault::Injector::Instance().Enable(131);
+  fault::Injector::Instance().Configure("storage.generation.publish",
+                                        {/*probability=*/0.2, 0, 0, -1});
+  fault::Injector::Instance().Configure("storage.generation.retire",
+                                        {/*probability=*/0.3, 0, 0, -1});
+
+  std::atomic<bool> done{false};
+  std::mutex errors_mu;
+  std::vector<std::string> unexpected;
+  std::atomic<int64_t> gold_ok{0}, bronze_ok{0}, sheds{0};
+  const olap::CubeQuery query = RevenueByType();
+
+  auto reader = [&](const std::string& tenant, std::atomic<int64_t>* ok) {
+    while (!done.load(std::memory_order_acquire)) {
+      ExecContext ctx;
+      ctx.set_tenant(tenant);
+      auto result = quarry_->SubmitQuery(query, {}, &ctx);
+      if (result.ok()) {
+        ok->fetch_add(1);
+      } else if (result.status().IsOverloaded()) {
+        sheds.fetch_add(1);
+      } else {
+        std::lock_guard<std::mutex> lock(errors_mu);
+        unexpected.push_back(tenant + ": " + result.status().ToString());
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(reader, "soak_gold", &gold_ok);
+  threads.emplace_back(reader, "soak_gold", &gold_ok);
+  // Closed-loop flooders: 4 threads against a 50/s, share-1 quota.
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back(reader, "soak_bronze", &bronze_ok);
+  }
+
+  // Mutator: churn + refresh under fault injection, tenant-attributed.
+  int refresh_failures = 0;
+  for (int cycle = 1; cycle <= 15; ++cycle) {
+    GrowSource(cycle);
+    ExecContext ctx;
+    ctx.set_tenant("soak_mutator");
+    auto refresh = quarry_->RefreshServing(&ctx);
+    if (!refresh.ok()) {
+      ++refresh_failures;
+      EXPECT_TRUE(refresh.status().IsExecutionError() ||
+                  refresh.status().IsOverloaded())
+          << refresh.status();
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  fault::Injector::Instance().ClearConfigs();
+  fault::Injector::Instance().Disable();
+
+  EXPECT_TRUE(unexpected.empty()) << unexpected.front();
+  EXPECT_GT(gold_ok.load(), 0);
+
+  // Zero quota leaks: every lease returned, every request accounted for.
+  for (const TenantStatus& t : quarry_->tenants().Snapshot()) {
+    EXPECT_EQ(t.in_flight, 0) << t.id << " leaked quota";
+    EXPECT_EQ(t.requests_total,
+              t.admitted_total + t.shed_rate_total + t.shed_in_flight_total +
+                  t.shed_breaker_total)
+        << t.id;
+    // The per-tenant metric families agree with the registry's own view.
+    EXPECT_EQ(CounterValue("quarry_tenant_requests_total",
+                           {{"tenant", t.id}}),
+              t.requests_total)
+        << t.id;
+    EXPECT_EQ(CounterValue("quarry_tenant_admitted_total",
+                           {{"tenant", t.id}}),
+              t.admitted_total)
+        << t.id;
+  }
+
+  // The flooder burned its own quota: 4 closed-loop threads against a
+  // 50/s, share-1 bucket must shed at the tenant gate. The well-behaved
+  // tenants never shed there.
+  TenantStatus bronze = StatusOf(quarry_->tenants(), "soak_bronze");
+  EXPECT_GT(bronze.shed_rate_total + bronze.shed_in_flight_total, 0);
+  TenantStatus gold = StatusOf(quarry_->tenants(), "soak_gold");
+  EXPECT_EQ(gold.shed_rate_total + gold.shed_in_flight_total +
+                gold.shed_breaker_total,
+            0);
+
+  // The warehouse survived the churn with nothing pinned or leaked.
+  quarry_->warehouse().DrainDeferredRetires();
+  storage::GenerationStoreStats stats = quarry_->warehouse().stats();
+  EXPECT_EQ(stats.active_pins, 0);
+  EXPECT_LE(stats.live_generations, 2);
+
+  // --- Deterministic breaker cycle on the mutator tenant -----------------
+  // Reconfigure keeps accounting; give the mutator a 2-failure breaker.
+  TenantQuota brittle;
+  brittle.priority = Priority::kHigh;
+  brittle.breaker_failure_threshold = 2;
+  brittle.breaker_cooldown_millis = 150.0;
+  ASSERT_TRUE(quarry_->RegisterTenant("soak_mutator", brittle).ok());
+
+  // Every publish now fails: two refreshes trip the breaker open.
+  fault::Injector::Instance().Enable(132);
+  fault::Injector::Instance().Configure("storage.generation.publish",
+                                        {0.0, 0, /*fail_from_hit=*/1, -1});
+  for (int i = 0; i < 2; ++i) {
+    GrowSource(1000 + i);
+    ExecContext ctx;
+    ctx.set_tenant("soak_mutator");
+    auto refresh = quarry_->RefreshServing(&ctx);
+    ASSERT_FALSE(refresh.ok());
+    EXPECT_TRUE(refresh.status().IsExecutionError()) << refresh.status();
+  }
+  TenantStatus mutator = StatusOf(quarry_->tenants(), "soak_mutator");
+  EXPECT_EQ(mutator.breaker, BreakerState::kOpen);
+  EXPECT_GE(mutator.breaker_trips_total, 1);
+
+  // Open breaker sheds the next refresh before it does any work.
+  {
+    ExecContext ctx;
+    ctx.set_tenant("soak_mutator");
+    auto refresh = quarry_->RefreshServing(&ctx);
+    ASSERT_FALSE(refresh.ok());
+    EXPECT_TRUE(refresh.status().IsOverloaded()) << refresh.status();
+    EXPECT_GT(RetryAfterMillis(refresh.status()), 0.0);
+  }
+
+  // Cooldown elapses, the faults are gone: the half-open probe succeeds
+  // and the breaker resets to closed.
+  fault::Injector::Instance().ClearConfigs();
+  fault::Injector::Instance().Disable();
+  SleepMillis(200);
+  {
+    ExecContext ctx;
+    ctx.set_tenant("soak_mutator");
+    auto refresh = quarry_->RefreshServing(&ctx);
+    ASSERT_TRUE(refresh.ok()) << refresh.status();
+  }
+  mutator = StatusOf(quarry_->tenants(), "soak_mutator");
+  EXPECT_EQ(mutator.breaker, BreakerState::kClosed);
+  EXPECT_EQ(mutator.consecutive_failures, 0);
+
+  // Queries still flow end to end after the whole ordeal.
+  ExecContext ctx;
+  ctx.set_tenant("soak_gold");
+  auto result = quarry_->SubmitQuery(RevenueByType(), {}, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status();
+}
+
+}  // namespace
+}  // namespace quarry::core

@@ -70,6 +70,23 @@ int main(int argc, char** argv) {
     return Fail(deployed.status(), "deploying serving warehouse");
   }
 
+  // Demo tenants so /tenantz has quota/breaker rows and the warm-up
+  // queries carry tenant attribution (docs/ROBUSTNESS.md §11).
+  quarry::core::TenantQuota analytics;
+  analytics.priority = quarry::Priority::kHigh;
+  analytics.breaker_failure_threshold = 5;
+  quarry::core::TenantQuota batch;
+  batch.priority = quarry::Priority::kLow;
+  batch.rate_per_sec = 50.0;
+  batch.max_in_flight = 2;
+  if (quarry::Status s = (*q)->RegisterTenant("analytics", analytics);
+      !s.ok()) {
+    return Fail(s, "registering tenant");
+  }
+  if (quarry::Status s = (*q)->RegisterTenant("batch", batch); !s.ok()) {
+    return Fail(s, "registering tenant");
+  }
+
   // Promote every request's profile so /requestz demonstrably carries
   // EXPLAIN ANALYZE trees, then serve a few queries to fill the log.
   quarry::obs::RequestLog::Instance().set_slow_threshold_micros(0.0);
@@ -77,8 +94,11 @@ int main(int argc, char** argv) {
   query.fact = "fact_table_turnover";
   query.group_by = {"pr_category"};
   query.measures.push_back({"turnover", quarry::md::AggFunc::kSum, "total"});
-  for (int i = 0; i < 3; ++i) {
-    if (auto served = (*q)->SubmitQuery(query); !served.ok()) {
+  const char* tenants[] = {"analytics", "batch", "analytics"};
+  for (const char* tenant : tenants) {
+    quarry::ExecContext ctx;
+    ctx.set_tenant(tenant);
+    if (auto served = (*q)->SubmitQuery(query, {}, &ctx); !served.ok()) {
       return Fail(served.status(), "running warm-up query");
     }
   }

@@ -7,8 +7,12 @@
 #                  re-run of the §10 crash surface outside the ASan gate)
 #   5. metrics   — two-way metric/doc lint (tools/check_metrics_doc.sh)
 #   6. http      — telemetry-endpoint smoke: start quarry_httpd, curl all
-#                  five endpoints, validate JSON with the in-tree parser
+#                  six endpoints, validate JSON with the in-tree parser
 #                  (tools/run_http_smoke.sh)
+#   7. load      — deterministic two-tenant sustained-load smoke: a
+#                  closed-loop flooder vs a high-priority tenant, asserting
+#                  the §11 priority-isolation invariants
+#                  (tools/run_load_smoke.sh)
 #
 # Every step runs even after an earlier one fails, so one broken gate cannot
 # mask another; the script prints a per-step PASS/FAIL summary at the end and
@@ -63,6 +67,7 @@ run_step "crash matrix (asan)" "${repo_root}/tools/run_crash_matrix.sh"
 run_step "warehouse recovery" warehouse_recovery
 run_step "metrics doc lint" "${repo_root}/tools/check_metrics_doc.sh"
 run_step "http smoke" "${repo_root}/tools/run_http_smoke.sh" "${build_dir}"
+run_step "load smoke" "${repo_root}/tools/run_load_smoke.sh" "${build_dir}"
 if [[ "${RUN_ALL_CHECKS_SOAK:-0}" == "1" ]]; then
   run_step "serving soak (asan)" "${repo_root}/tools/run_soak.sh"
 fi

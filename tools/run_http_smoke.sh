@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the telemetry HTTP listener: starts quarry_httpd on an
-# ephemeral port, curls all five endpoints, validates every JSON body with
+# ephemeral port, curls all six endpoints, validates every JSON body with
 # the in-tree parser (tools/json_check), and checks /metrics carries the
 # quarry_* families. Part of tools/run_all_checks.sh.
 #
@@ -79,7 +79,7 @@ if fetch /metrics "${workdir}/metrics.prom"; then
 fi
 
 # The JSON endpoints — each body must satisfy the in-tree parser.
-for path in /metrics.json /healthz /statusz /requestz; do
+for path in /metrics.json /healthz /statusz /requestz /tenantz; do
   out="${workdir}/${path//\//_}.json"
   if fetch "${path}" "${out}"; then
     if ! "${json_check}" "${out}"; then
@@ -99,6 +99,14 @@ if ! grep -q '"profile"' "${workdir}/_requestz.json" 2>/dev/null; then
   echo "run_http_smoke: /requestz has no promoted profiles" >&2
   failed=1
 fi
+# /tenantz must carry the demo tenants quarry_httpd registers, with their
+# quota and breaker blocks (docs/ROBUSTNESS.md §11).
+for needle in '"id":"analytics"' '"id":"batch"' '"breaker"'; do
+  if ! grep -q "${needle}" "${workdir}/_tenantz.json" 2>/dev/null; then
+    echo "run_http_smoke: /tenantz missing ${needle}" >&2
+    failed=1
+  fi
+done
 
 # Clean shutdown: close the control fifo (stdin EOF) and wait.
 exec 3>&-
@@ -118,4 +126,4 @@ if [[ "${failed}" -ne 0 ]]; then
   echo "run_http_smoke: FAILED" >&2
   exit 1
 fi
-echo "run_http_smoke: all five endpoints OK"
+echo "run_http_smoke: all six endpoints OK"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Deterministic sustained-load smoke for multi-tenant overload protection
+# (docs/ROBUSTNESS.md §11): runs bench/bench_load with a fixed seed and a
+# fixed two-tenant phase plan — a high-priority "gold" tenant plus
+# closed-loop low-priority "bronze" flooders offering >= 5x their quota —
+# and lets the bench hard-assert the priority-isolation invariants:
+#
+#   - the flooder sheds at its own tenant gate (shed rate >= 0.5), every
+#     shed carrying a machine-readable retry-after hint;
+#   - gold never sheds at the tenant gate and keeps making progress, its
+#     p99 bounded relative to the quiesced phase;
+#   - every tenant's in-flight count returns to zero (no quota leaks) and
+#     requests == admitted + shed.
+#
+# Part of tools/run_all_checks.sh. Full-length numbers for
+# BENCH_serving.json come from running bench_load without --smoke.
+#
+# Usage: tools/run_load_smoke.sh [build-dir]
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+bench="${build_dir}/bench/bench_load"
+
+if [[ ! -x "${bench}" ]]; then
+  echo "run_load_smoke: missing ${bench} (build first)" >&2
+  exit 1
+fi
+
+out="$(mktemp)"
+trap 'rm -f "${out}"' EXIT
+
+if ! "${bench}" --smoke --seed=77 --flooders=2 >"${out}"; then
+  echo "run_load_smoke: FAILED" >&2
+  cat "${out}" >&2
+  exit 1
+fi
+
+# The bench already asserted the invariants; surface the headline numbers.
+grep -E '"(bronze_offered_rps|bronze_shed_rate|gold_p99_isolation_factor)"' \
+  "${out}" || cat "${out}"
+echo "run_load_smoke: priority-isolation invariants held"

@@ -43,6 +43,14 @@ int64_t AttrInt(const quarry::obs::SpanRecord& span, const std::string& key) {
   return 0;
 }
 
+std::string AttrStr(const quarry::obs::SpanRecord& span,
+                    const std::string& key) {
+  for (const auto& attr : span.attrs) {
+    if (attr.key == key) return attr.value;
+  }
+  return "";
+}
+
 bool HasAttr(const quarry::obs::SpanRecord& span, const std::string& key) {
   return std::any_of(span.attrs.begin(), span.attrs.end(),
                      [&](const auto& attr) { return attr.key == key; });
@@ -129,13 +137,32 @@ int main(int argc, char** argv) {
   // trace and the request log carry request-scoped serving spans too.
   auto served = (*q)->DeployServing();
   if (!served.ok()) return Fail(served.status(), "deploying serving");
+
+  // Two demo tenants so the serving spans carry tenant attribution and the
+  // per-tenant rollup below has rows (docs/ROBUSTNESS.md §11).
+  quarry::core::TenantQuota analytics;
+  analytics.priority = quarry::Priority::kHigh;
+  quarry::core::TenantQuota batch;
+  batch.priority = quarry::Priority::kLow;
+  batch.rate_per_sec = 100.0;
+  if (quarry::Status s = (*q)->RegisterTenant("analytics", analytics);
+      !s.ok()) {
+    return Fail(s, "registering tenant");
+  }
+  if (quarry::Status s = (*q)->RegisterTenant("batch", batch); !s.ok()) {
+    return Fail(s, "registering tenant");
+  }
+
   quarry::olap::CubeQuery cube;
   cube.fact = "fact_table_turnover";
   cube.group_by = {"pr_category"};
   cube.measures.push_back({"turnover", quarry::md::AggFunc::kSum, "total"});
   quarry::core::QueryResult last_query;
-  for (int i = 0; i < 3; ++i) {
-    auto result = (*q)->SubmitQuery(cube);
+  const char* tenants[] = {"analytics", "batch", "analytics"};
+  for (const char* tenant : tenants) {
+    quarry::ExecContext ctx;
+    ctx.set_tenant(tenant);
+    auto result = (*q)->SubmitQuery(cube, {}, &ctx);
     if (!result.ok()) return Fail(result.status(), "serving query");
     last_query = std::move(*result);
   }
@@ -204,6 +231,33 @@ int main(int argc, char** argv) {
   for (const auto& [id, row] : requests) {
     std::printf("%-10lld %-26s %6d %12.3f %12.3f\n", id, row.root.c_str(),
                 row.spans, row.total_ms, row.root_ms);
+  }
+
+  // ---- per-tenant rollup --------------------------------------------------
+  // Tenant-attributed entry points stamp a "tenant" attr on their spans;
+  // grouping by it shows each tenant's request count and span wall time —
+  // the trace-side view of /tenantz (docs/ROBUSTNESS.md §11).
+  struct TenantRollup {
+    int spans = 0;
+    double total_ms = 0;
+    std::map<long long, int> request_ids;
+  };
+  std::map<std::string, TenantRollup> tenants_seen;
+  for (const auto& span : spans) {
+    const std::string tenant = AttrStr(span, "tenant");
+    if (tenant.empty()) continue;
+    TenantRollup& row = tenants_seen[tenant];
+    ++row.spans;
+    row.total_ms += span.dur_us / 1000.0;
+    if (HasAttr(span, "request_id")) {
+      ++row.request_ids[AttrInt(span, "request_id")];
+    }
+  }
+  std::printf("\n%-14s %9s %6s %12s\n", "tenant", "requests", "spans",
+              "span ms");
+  for (const auto& [tenant, row] : tenants_seen) {
+    std::printf("%-14s %9zu %6d %12.3f\n", tenant.c_str(),
+                row.request_ids.size(), row.spans, row.total_ms);
   }
 
   if (!last_query.profile.roots.empty()) {
