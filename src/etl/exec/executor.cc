@@ -12,6 +12,7 @@
 #include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "etl/exec/kernel_util.h"
 #include "etl/exec/scheduler.h"
 #include "etl/expr.h"
 #include "etl/schema_inference.h"
@@ -23,6 +24,13 @@ namespace quarry::etl {
 using storage::DataType;
 using storage::Row;
 using storage::Value;
+using kernel::AggState;
+using kernel::ColumnPositions;
+using kernel::ExtractKey;
+using kernel::Param;
+using kernel::RowKeyEq;
+using kernel::RowKeyHash;
+using kernel::SplitNonEmpty;
 
 namespace {
 
@@ -120,9 +128,7 @@ class BatchChecker {
 /// the intermediate-bytes budget. Deliberately ignores string payloads so
 /// the charge costs O(1) per node, not O(rows).
 int64_t ApproxDatasetBytes(const Dataset& data) {
-  return static_cast<int64_t>(data.rows.size()) *
-         static_cast<int64_t>(sizeof(storage::Row) +
-                              data.columns.size() * sizeof(storage::Value));
+  return ApproxRowsBytes(data.row_count(), data.columns.size());
 }
 
 void CountNodeDone(const Node& node, int64_t rows_out, double micros) {
@@ -138,67 +144,8 @@ void CountNodeDone(const Node& node, int64_t rows_out, double micros) {
   RowsOutCounter().Increment(rows_out);
 }
 
-std::vector<std::string> SplitNonEmpty(const std::string& text) {
-  std::vector<std::string> out;
-  for (const std::string& part : Split(text, ',')) {
-    std::string trimmed(Trim(part));
-    if (!trimmed.empty()) out.push_back(std::move(trimmed));
-  }
-  return out;
-}
-
-Result<std::vector<size_t>> ColumnPositions(
-    const std::vector<std::string>& columns,
-    const std::vector<std::string>& wanted, const std::string& node_id) {
-  std::vector<size_t> out;
-  out.reserve(wanted.size());
-  for (const std::string& name : wanted) {
-    auto it = std::find(columns.begin(), columns.end(), name);
-    if (it == columns.end()) {
-      return Status::ExecutionError("node '" + node_id +
-                                    "': unknown column '" + name + "'");
-    }
-    out.push_back(static_cast<size_t>(it - columns.begin()));
-  }
-  return out;
-}
-
-struct RowKeyHash {
-  size_t operator()(const Row& r) const { return storage::HashRow(r); }
-};
-struct RowKeyEq {
-  bool operator()(const Row& a, const Row& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (!a[i].SameAs(b[i])) return false;
-    }
-    return true;
-  }
-};
-
-Row ExtractKey(const Row& row, const std::vector<size_t>& positions) {
-  Row key;
-  key.reserve(positions.size());
-  for (size_t p : positions) key.push_back(row[p]);
-  return key;
-}
-
-std::string Param(const Node& node, const std::string& key) {
-  auto it = node.params.find(key);
-  return it == node.params.end() ? "" : it->second;
-}
-
-// Running state of one aggregate.
-struct AggState {
-  double sum = 0;
-  int64_t int_sum = 0;
-  bool all_int = true;
-  bool any = false;
-  int64_t count = 0;
-  Value min, max;
-};
-
 Result<Dataset> RunAggregation(const Node& node, const Dataset& input,
+                               const std::vector<Row>& input_rows,
                                const ExecContext* ctx) {
   BatchChecker batch(ctx, node.id);
   std::vector<std::string> group = SplitNonEmpty(Param(node, "group"));
@@ -215,7 +162,7 @@ Result<Dataset> RunAggregation(const Node& node, const Dataset& input,
 
   std::unordered_map<Row, std::vector<AggState>, RowKeyHash, RowKeyEq> groups;
   std::vector<Row> group_order;  // deterministic output order
-  for (const Row& row : input.rows) {
+  for (const Row& row : input_rows) {
     QUARRY_RETURN_NOT_OK(batch.Tick());
     Row key = ExtractKey(row, group_pos);
     auto [it, inserted] =
@@ -223,26 +170,12 @@ Result<Dataset> RunAggregation(const Node& node, const Dataset& input,
     if (inserted) group_order.push_back(key);
     std::vector<AggState>& states = it->second;
     for (size_t i = 0; i < specs.size(); ++i) {
-      AggState& st = states[i];
       if (specs[i].input == "*") {
-        ++st.count;
-        st.any = true;
+        kernel::AccumulateAggStar(&states[i]);
         continue;
       }
-      const Value& v = row[static_cast<size_t>(agg_pos[i])];
-      if (v.is_null()) continue;
-      ++st.count;
-      if (v.is_numeric()) {
-        st.sum += v.as_double();
-        if (v.is_int()) {
-          st.int_sum += v.as_int();
-        } else {
-          st.all_int = false;
-        }
-      }
-      if (!st.any || v.Compare(st.min) < 0) st.min = v;
-      if (!st.any || v.Compare(st.max) > 0) st.max = v;
-      st.any = true;
+      kernel::AccumulateAgg(&states[i],
+                            row[static_cast<size_t>(agg_pos[i])]);
     }
   }
 
@@ -254,22 +187,7 @@ Result<Dataset> RunAggregation(const Node& node, const Dataset& input,
     const std::vector<AggState>& states = groups.at(key);
     Row row = key;
     for (size_t i = 0; i < specs.size(); ++i) {
-      const AggState& st = states[i];
-      const std::string& fn = specs[i].function;
-      if (fn == "COUNT") {
-        row.push_back(Value::Int(st.count));
-      } else if (!st.any) {
-        row.push_back(Value::Null());
-      } else if (fn == "SUM") {
-        row.push_back(st.all_int ? Value::Int(st.int_sum)
-                                 : Value::Double(st.sum));
-      } else if (fn == "AVG") {
-        row.push_back(Value::Double(st.sum / static_cast<double>(st.count)));
-      } else if (fn == "MIN") {
-        row.push_back(st.min);
-      } else {
-        row.push_back(st.max);
-      }
+      row.push_back(kernel::FinalizeAgg(specs[i].function, states[i]));
     }
     out.rows.push_back(std::move(row));
   }
@@ -277,7 +195,10 @@ Result<Dataset> RunAggregation(const Node& node, const Dataset& input,
 }
 
 Result<Dataset> RunJoin(const Node& node, const Dataset& left,
-                        const Dataset& right, const ExecContext* ctx) {
+                        const std::vector<Row>& left_rows,
+                        const Dataset& right,
+                        const std::vector<Row>& right_rows,
+                        const ExecContext* ctx) {
   BatchChecker batch(ctx, node.id);
   std::vector<std::string> left_keys = SplitNonEmpty(Param(node, "left"));
   std::vector<std::string> right_keys = SplitNonEmpty(Param(node, "right"));
@@ -298,9 +219,9 @@ Result<Dataset> RunJoin(const Node& node, const Dataset& left,
 
   // Build on the right input.
   std::unordered_map<Row, std::vector<size_t>, RowKeyHash, RowKeyEq> build;
-  build.reserve(right.rows.size());
-  for (size_t i = 0; i < right.rows.size(); ++i) {
-    Row key = ExtractKey(right.rows[i], right_pos);
+  build.reserve(right_rows.size());
+  for (size_t i = 0; i < right_rows.size(); ++i) {
+    Row key = ExtractKey(right_rows[i], right_pos);
     bool has_null = std::any_of(key.begin(), key.end(),
                                 [](const Value& v) { return v.is_null(); });
     if (has_null) continue;  // SQL: NULL keys never match.
@@ -311,7 +232,7 @@ Result<Dataset> RunJoin(const Node& node, const Dataset& left,
   out.columns = left.columns;
   out.columns.insert(out.columns.end(), right.columns.begin(),
                      right.columns.end());
-  for (const Row& lrow : left.rows) {
+  for (const Row& lrow : left_rows) {
     QUARRY_RETURN_NOT_OK(batch.Tick());
     Row key = ExtractKey(lrow, left_pos);
     bool has_null = std::any_of(key.begin(), key.end(),
@@ -327,7 +248,7 @@ Result<Dataset> RunJoin(const Node& node, const Dataset& left,
     }
     for (size_t ridx : it->second) {
       Row row = lrow;
-      const Row& rrow = right.rows[ridx];
+      const Row& rrow = right_rows[ridx];
       row.insert(row.end(), rrow.begin(), rrow.end());
       out.rows.push_back(std::move(row));
     }
@@ -335,14 +256,68 @@ Result<Dataset> RunJoin(const Node& node, const Dataset& left,
   return out;
 }
 
-Result<DataType> InferColumnType(const Dataset& data, size_t column) {
-  for (const Row& row : data.rows) {
+Result<DataType> InferColumnType(const std::vector<Row>& rows,
+                                 size_t column) {
+  for (const Row& row : rows) {
     if (!row[column].is_null()) return row[column].type();
   }
   return DataType::kString;  // All-NULL column: arbitrary but stable.
 }
 
+/// Whether this node dispatches to the chunk kernels. Beyond the per-type
+/// check, zero-column inputs that still carry rows (e.g. a projection onto
+/// an empty column list) stay on the row path — a chunk has no way to
+/// represent rows without segments. RunNode and ExecuteNode must agree on
+/// this (the budget is charged by whichever side runs), so both call here.
+bool UsesVectorizedKernel(const ExecOptions& options, const Node& node,
+                          const std::vector<const Dataset*>& inputs) {
+  if (!options.vectorized || !HasVectorizedKernel(node.type)) return false;
+  for (const Dataset* d : inputs) {
+    if (d->columns.empty() && d->row_count() > 0) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+bool HasVectorizedKernel(OpType type) {
+  switch (type) {
+    case OpType::kDatastore:
+    case OpType::kExtraction:
+    case OpType::kSelection:
+    case OpType::kProjection:
+    case OpType::kFunction:
+    case OpType::kJoin:
+    case OpType::kAggregation:
+    case OpType::kLoader:
+      return true;
+    case OpType::kSort:
+    case OpType::kUnion:
+    case OpType::kSurrogateKey:
+      return false;
+  }
+  return false;
+}
+
+const std::vector<Row>& DatasetRows(const Dataset& data,
+                                    std::vector<Row>* scratch) {
+  if (!data.columnar) return data.rows;
+  *scratch = data.MaterializeRows();
+  return *scratch;
+}
+
+const std::vector<storage::Chunk>& DatasetChunks(
+    const Dataset& data, int64_t chunk_size,
+    std::vector<storage::Chunk>* scratch) {
+  if (data.columnar) return data.chunks;
+  *scratch = storage::ChunkRows(data.rows, data.columns.size(), chunk_size);
+  return *scratch;
+}
+
+int64_t ApproxRowsBytes(int64_t rows, size_t columns) {
+  return rows * static_cast<int64_t>(sizeof(storage::Row) +
+                                     columns * sizeof(storage::Value));
+}
 
 double RetryBackoffMillis(const RetryPolicy& policy, int failed_attempts,
                           Prng* prng) {
@@ -372,9 +347,22 @@ double BoundedBackoffMillis(const RetryPolicy& policy, int failed_attempts,
 
 Result<Dataset> Executor::RunNode(const Node& node,
                                   const std::vector<const Dataset*>& inputs,
-                                  LoaderEffect* loader,
-                                  const ExecContext* ctx) {
+                                  LoaderEffect* loader, const ExecContext* ctx,
+                                  const ExecOptions& options) {
+  // The per-operator fault site fires before kernel dispatch so fault
+  // matrices hit both executor modes at the same place.
   QUARRY_FAULT_POINT(std::string("etl.exec.") + OpTypeToString(node.type));
+  if (options.vectorized) {
+    if (UsesVectorizedKernel(options, node, inputs)) {
+      return RunNodeVectorized(node, inputs, loader, ctx, options);
+    }
+    obs::MetricsRegistry::Instance()
+        .counter("quarry_etl_chunk_fallback_total",
+                 "Operators that ran their row kernel in vectorized mode "
+                 "(no chunk kernel for the op type)",
+                 {{"op", OpTypeToString(node.type)}})
+        .Increment();
+  }
   BatchChecker batch(ctx, node.id);
   auto input = [&](size_t i) -> const Dataset& { return *inputs[i]; };
   switch (node.type) {
@@ -395,7 +383,8 @@ Result<Dataset> Executor::RunNode(const Node& node,
                               ParseExpr(Param(node, "predicate")));
       Dataset out;
       out.columns = input(0).columns;
-      for (const Row& row : input(0).rows) {
+      std::vector<Row> scratch;
+      for (const Row& row : DatasetRows(input(0), &scratch)) {
         QUARRY_RETURN_NOT_OK(batch.Tick());
         RowView view{&out.columns, &row};
         QUARRY_ASSIGN_OR_RETURN(Value v, pred->Eval(view));
@@ -412,8 +401,10 @@ Result<Dataset> Executor::RunNode(const Node& node,
                                               node.id));
       Dataset out;
       out.columns = keep;
-      out.rows.reserve(input(0).rows.size());
-      for (const Row& row : input(0).rows) {
+      std::vector<Row> scratch;
+      const std::vector<Row>& in_rows = DatasetRows(input(0), &scratch);
+      out.rows.reserve(in_rows.size());
+      for (const Row& row : in_rows) {
         QUARRY_RETURN_NOT_OK(batch.Tick());
         out.rows.push_back(ExtractKey(row, positions));
       }
@@ -424,10 +415,15 @@ Result<Dataset> Executor::RunNode(const Node& node,
         return Status::ExecutionError("join '" + node.id +
                                       "' needs exactly 2 inputs");
       }
-      return RunJoin(node, input(0), input(1), ctx);
+      std::vector<Row> left_scratch, right_scratch;
+      return RunJoin(node, input(0), DatasetRows(input(0), &left_scratch),
+                     input(1), DatasetRows(input(1), &right_scratch), ctx);
     }
-    case OpType::kAggregation:
-      return RunAggregation(node, input(0), ctx);
+    case OpType::kAggregation: {
+      std::vector<Row> scratch;
+      return RunAggregation(node, input(0), DatasetRows(input(0), &scratch),
+                            ctx);
+    }
     case OpType::kFunction: {
       QUARRY_ASSIGN_OR_RETURN(Expr::Ptr expr, ParseExpr(Param(node, "expr")));
       std::string column = Param(node, "column");
@@ -438,8 +434,10 @@ Result<Dataset> Executor::RunNode(const Node& node,
       Dataset out;
       out.columns = input(0).columns;
       out.columns.push_back(column);
-      out.rows.reserve(input(0).rows.size());
-      for (const Row& row : input(0).rows) {
+      std::vector<Row> scratch;
+      const std::vector<Row>& in_rows = DatasetRows(input(0), &scratch);
+      out.rows.reserve(in_rows.size());
+      for (const Row& row : in_rows) {
         QUARRY_RETURN_NOT_OK(batch.Tick());
         RowView view{&input(0).columns, &row};
         QUARRY_ASSIGN_OR_RETURN(Value v, expr->Eval(view));
@@ -454,7 +452,9 @@ Result<Dataset> Executor::RunNode(const Node& node,
       QUARRY_ASSIGN_OR_RETURN(auto positions,
                               ColumnPositions(input(0).columns, by, node.id));
       bool desc = Param(node, "desc") == "true";
-      Dataset out = input(0);
+      Dataset out;
+      out.columns = input(0).columns;
+      out.rows = input(0).MaterializeRows();
       std::stable_sort(out.rows.begin(), out.rows.end(),
                        [&](const Row& a, const Row& b) {
                          for (size_t p : positions) {
@@ -477,8 +477,9 @@ Result<Dataset> Executor::RunNode(const Node& node,
           return Status::ExecutionError("union '" + node.id +
                                         "' inputs have different schemas");
         }
-        out.rows.insert(out.rows.end(), input(i).rows.begin(),
-                        input(i).rows.end());
+        std::vector<Row> scratch;
+        const std::vector<Row>& in_rows = DatasetRows(input(i), &scratch);
+        out.rows.insert(out.rows.end(), in_rows.begin(), in_rows.end());
       }
       return out;
     }
@@ -495,8 +496,10 @@ Result<Dataset> Executor::RunNode(const Node& node,
       Dataset out;
       out.columns = input(0).columns;
       out.columns.push_back(column);
-      out.rows.reserve(input(0).rows.size());
-      for (const Row& row : input(0).rows) {
+      std::vector<Row> scratch;
+      const std::vector<Row>& in_rows = DatasetRows(input(0), &scratch);
+      out.rows.reserve(in_rows.size());
+      for (const Row& row : in_rows) {
         QUARRY_RETURN_NOT_OK(batch.Tick());
         Row key = ExtractKey(row, positions);
         auto [it, inserted] =
@@ -510,13 +513,15 @@ Result<Dataset> Executor::RunNode(const Node& node,
     }
     case OpType::kLoader: {
       const Dataset& data = input(0);
+      std::vector<Row> scratch;
+      const std::vector<Row>& data_rows = DatasetRows(data, &scratch);
       std::string table_name = Param(node, "table");
       if (table_name.empty()) {
         return Status::ExecutionError("loader '" + node.id +
                                       "' lacks a table param");
       }
       std::vector<std::string> keys = SplitNonEmpty(Param(node, "keys"));
-      if (!target_->HasTable(table_name) && data.rows.empty()) {
+      if (!target_->HasTable(table_name) && data_rows.empty()) {
         // No rows and no pre-created table: defer creation (column types
         // cannot be inferred from an empty dataset; guessing would poison
         // later loads into the same table). Deployed designs always
@@ -531,7 +536,8 @@ Result<Dataset> Executor::RunNode(const Node& node,
       if (!target_->HasTable(table_name)) {
         storage::TableSchema schema(table_name);
         for (size_t c = 0; c < data.columns.size(); ++c) {
-          QUARRY_ASSIGN_OR_RETURN(DataType type, InferColumnType(data, c));
+          QUARRY_ASSIGN_OR_RETURN(DataType type,
+                                  InferColumnType(data_rows, c));
           QUARRY_RETURN_NOT_OK(
               schema.AddColumn({data.columns[c], type, true}));
         }
@@ -548,7 +554,7 @@ Result<Dataset> Executor::RunNode(const Node& node,
         if (table->schema().ColumnIndex(data.columns[c]).has_value()) {
           continue;
         }
-        QUARRY_ASSIGN_OR_RETURN(DataType type, InferColumnType(data, c));
+        QUARRY_ASSIGN_OR_RETURN(DataType type, InferColumnType(data_rows, c));
         QUARRY_RETURN_NOT_OK(
             table->AddColumn({data.columns[c], type, true}));
       }
@@ -581,7 +587,7 @@ Result<Dataset> Executor::RunNode(const Node& node,
           existing_rows.emplace(ExtractKey(table->rows()[r], tk), r);
         }
       }
-      for (const Row& row : data.rows) {
+      for (const Row& row : data_rows) {
         QUARRY_RETURN_NOT_OK(batch.Tick());
         if (!key_positions.empty()) {
           Row key = ExtractKey(row, key_positions);
@@ -635,8 +641,13 @@ Result<Dataset> Executor::RunNode(const Node& node,
 Executor::NodeAttempt Executor::ExecuteNode(
     const Node& node, const std::vector<const Dataset*>& inputs,
     int64_t rows_in, const RetryPolicy& retry, const ExecContext* ctx,
-    bool protect_loader_always, Prng* backoff_prng, BackoffBudget* backoff) {
+    bool protect_loader_always, Prng* backoff_prng, BackoffBudget* backoff,
+    const ExecOptions& options) {
   const int max_attempts = std::max(1, retry.max_attempts);
+  // Vectorized kernels charge the budgets chunk by chunk inside RunNode
+  // (so a budget can trip mid-node); charging again here would double-bill.
+  // The totals match exactly because ApproxRowsBytes is linear in rows.
+  const bool kernel_charges = UsesVectorizedKernel(options, node, inputs);
   // Loader attempts mutate the target; snapshot the table so a failed
   // attempt rolls back before the retry (or a later Resume). Skipped on
   // the plain fail-fast path, which stays zero-overhead. A context makes
@@ -668,16 +679,14 @@ Executor::NodeAttempt Executor::ExecuteNode(
       loader_existed = true;
     }
     LoaderEffect effect;
-    out.result = RunNode(node, inputs, &effect, ctx);
-    if (out.result.ok() && ctx != nullptr) {
+    out.result = RunNode(node, inputs, &effect, ctx, options);
+    if (out.result.ok() && ctx != nullptr && !kernel_charges) {
       // Budget charges ride inside the attempt so an over-budget node is
       // rolled back (loaders included) like any other failed attempt.
       // Loaders emit an empty dataset (they are sinks), so they charge
       // their input instead — the rows materialized into the target.
       int64_t charged_rows =
-          node.type == OpType::kLoader
-              ? rows_in
-              : static_cast<int64_t>(out.result->rows.size());
+          node.type == OpType::kLoader ? rows_in : out.result->row_count();
       Status charge =
           ctx->ChargeRows(charged_rows, "node '" + node.id + "'");
       if (charge.ok()) {
@@ -859,14 +868,14 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
     for (const std::string& pred : flow.Predecessors(id)) {
       const Dataset& dataset = done.at(pred);
       inputs.push_back(&dataset);
-      rows_in += static_cast<int64_t>(dataset.rows.size());
+      rows_in += dataset.row_count();
     }
     RowsInCounter().Increment(rows_in);
 
     NodeAttempt outcome =
         ExecuteNode(node, inputs, rows_in, retry, ctx,
                     /*protect_loader_always=*/checkpoint != nullptr,
-                    &backoff_prng, &backoff);
+                    &backoff_prng, &backoff, options);
     Result<Dataset>& result = outcome.result;
     const int attempts_used = outcome.attempts;
     if (attempts_used > 1) RetryCounter().Increment(attempts_used - 1);
@@ -895,7 +904,7 @@ Result<ExecutionReport> Executor::RunInternal(const Flow& flow,
     stats.node_id = id;
     stats.type = node.type;
     stats.rows_in = rows_in;
-    stats.rows_out = static_cast<int64_t>(result->rows.size());
+    stats.rows_out = result->row_count();
     stats.millis = node_timer.ElapsedMillis();
     stats.attempts = attempts_used;
     CountNodeDone(node, stats.rows_out, node_timer.ElapsedMicros());

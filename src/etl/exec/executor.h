@@ -12,14 +12,45 @@
 #include "common/result.h"
 #include "etl/flow.h"
 #include "obs/profile.h"
+#include "storage/chunk.h"
 #include "storage/database.h"
 
 namespace quarry::etl {
 
-/// An intermediate operator result: named columns over rows.
+/// \brief An intermediate operator result: named columns over rows.
+///
+/// Two interchangeable payloads (DESIGN.md §8):
+///   - row form: `rows` holds materialized storage::Rows (the classic
+///     representation; `columnar` is false).
+///   - columnar form: `chunks` holds typed storage::Chunks and `rows` is
+///     empty (`columnar` is true). Produced only by the vectorized kernels.
+/// Consumers that need rows call MaterializeRows() (or the free helper
+/// DatasetRows); both forms describe the same logical relation, and the
+/// round-trip is value-exact, so fingerprints and per-node row counts never
+/// depend on which form a node happened to produce.
 struct Dataset {
   std::vector<std::string> columns;
   std::vector<storage::Row> rows;
+  bool columnar = false;
+  std::vector<storage::Chunk> chunks;
+
+  /// Logical row count regardless of payload form.
+  int64_t row_count() const {
+    if (!columnar) return static_cast<int64_t>(rows.size());
+    int64_t n = 0;
+    for (const storage::Chunk& c : chunks) n += c.num_rows();
+    return n;
+  }
+
+  /// The relation as materialized rows (selection vectors applied), in
+  /// chunk order. For a row-form dataset this copies `rows`.
+  std::vector<storage::Row> MaterializeRows() const {
+    if (!columnar) return rows;
+    std::vector<storage::Row> out;
+    out.reserve(static_cast<size_t>(row_count()));
+    for (const storage::Chunk& c : chunks) c.AppendRowsTo(&out);
+    return out;
+  }
 };
 
 /// \brief How the executor retries a failed operator (docs/ROBUSTNESS.md).
@@ -90,7 +121,41 @@ struct ExecOptions {
   /// sequenced in topological order (tests/etl_parallel_test.cc proves it
   /// differentially). Values above the node count just idle extra workers.
   int max_workers = 1;
+  /// Run operators through the vectorized chunk kernels (DESIGN.md §8)
+  /// where one exists (HasVectorizedKernel); other operators silently fall
+  /// back to the row kernels. Off by default: results are byte-identical
+  /// either way (tests/etl_parallel_test.cc proves it differentially), so
+  /// vectorization is purely a throughput knob. Composes with max_workers —
+  /// the scheduler runs whichever kernel the options select.
+  bool vectorized = false;
+  /// Rows per chunk in vectorized mode. Values < 1 behave like 1.
+  int64_t chunk_size = 1024;
 };
+
+/// True when the vectorized runtime has a chunk kernel for this operator
+/// type. Operators without one (Sort, Union, SurrogateKey) run their row
+/// kernel even in vectorized mode.
+bool HasVectorizedKernel(OpType type);
+
+/// The dataset's rows. Row-form datasets are returned directly (no copy);
+/// columnar datasets are materialized into `*scratch`, which must outlive
+/// the returned reference. Lets row kernels consume either payload form.
+const std::vector<storage::Row>& DatasetRows(
+    const Dataset& data, std::vector<storage::Row>* scratch);
+
+/// The dataset as chunks of at most `chunk_size` rows. Columnar datasets
+/// are returned directly (their existing chunk boundaries are kept — they
+/// already bound per-chunk work); row-form datasets are transposed into
+/// `*scratch`, which must outlive the returned reference.
+const std::vector<storage::Chunk>& DatasetChunks(
+    const Dataset& data, int64_t chunk_size,
+    std::vector<storage::Chunk>* scratch);
+
+/// Lower-bound memory estimate for `rows` rows of `columns` columns — the
+/// unit of the intermediate-bytes budget. Deliberately linear in rows so
+/// per-chunk charges in vectorized mode sum to exactly the node-level
+/// charge of the row path (a budget still trips at the same node).
+int64_t ApproxRowsBytes(int64_t rows, size_t columns);
 
 /// Per-node execution statistics.
 struct NodeStats {
@@ -256,10 +321,24 @@ class Executor {
 
   /// Runs one operator once. `inputs` are the predecessor datasets in edge
   /// order (resolved by the caller, so concurrent workers never look up the
-  /// shared dataset map while another thread mutates it).
+  /// shared dataset map while another thread mutates it). With
+  /// `options.vectorized` set, operators that have a chunk kernel dispatch
+  /// to RunNodeVectorized after the shared per-node fault point.
   Result<Dataset> RunNode(const Node& node,
                           const std::vector<const Dataset*>& inputs,
-                          LoaderEffect* loader, const ExecContext* ctx);
+                          LoaderEffect* loader, const ExecContext* ctx,
+                          const ExecOptions& options);
+
+  /// The vectorized chunk kernels (etl/exec/vectorized.cc). Processes the
+  /// inputs chunk by chunk with a per-chunk lifecycle check, fault point
+  /// ("etl.exec.vec.chunk") and budget charge; produces a columnar Dataset
+  /// (except Loader, which stays a sink). Must agree byte-for-byte with the
+  /// row kernels — the three-way differential harness enforces it.
+  Result<Dataset> RunNodeVectorized(const Node& node,
+                                    const std::vector<const Dataset*>& inputs,
+                                    LoaderEffect* loader,
+                                    const ExecContext* ctx,
+                                    const ExecOptions& options);
 
   /// The per-node attempt loop shared by the serial path and the scheduler:
   /// context pre-check, loader table snapshot, RunNode, budget charges
@@ -272,7 +351,8 @@ class Executor {
                           const std::vector<const Dataset*>& inputs,
                           int64_t rows_in, const RetryPolicy& retry,
                           const ExecContext* ctx, bool protect_loader_always,
-                          Prng* backoff_prng, BackoffBudget* backoff);
+                          Prng* backoff_prng, BackoffBudget* backoff,
+                          const ExecOptions& options);
 
   const storage::Database* source_;
   storage::Database* target_;

@@ -1,0 +1,126 @@
+#ifndef QUARRY_ETL_EXEC_KERNEL_UTIL_H_
+#define QUARRY_ETL_EXEC_KERNEL_UTIL_H_
+
+// Internal helpers shared by the row-at-a-time operator kernels
+// (executor.cc) and the vectorized chunk kernels (vectorized.cc). Both
+// modes must agree exactly — the aggregation accumulate/finalize logic in
+// particular lives here so SUM's int/double widening, first-seen group
+// order and NULL handling cannot drift apart between them.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/str_util.h"
+#include "etl/flow.h"
+#include "storage/value.h"
+
+namespace quarry::etl::kernel {
+
+inline std::vector<std::string> SplitNonEmpty(const std::string& text) {
+  std::vector<std::string> out;
+  for (const std::string& part : Split(text, ',')) {
+    std::string trimmed(Trim(part));
+    if (!trimmed.empty()) out.push_back(std::move(trimmed));
+  }
+  return out;
+}
+
+inline Result<std::vector<size_t>> ColumnPositions(
+    const std::vector<std::string>& columns,
+    const std::vector<std::string>& wanted, const std::string& node_id) {
+  std::vector<size_t> out;
+  out.reserve(wanted.size());
+  for (const std::string& name : wanted) {
+    auto it = std::find(columns.begin(), columns.end(), name);
+    if (it == columns.end()) {
+      return Status::ExecutionError("node '" + node_id +
+                                    "': unknown column '" + name + "'");
+    }
+    out.push_back(static_cast<size_t>(it - columns.begin()));
+  }
+  return out;
+}
+
+struct RowKeyHash {
+  size_t operator()(const storage::Row& r) const {
+    return storage::HashRow(r);
+  }
+};
+struct RowKeyEq {
+  bool operator()(const storage::Row& a, const storage::Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].SameAs(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+inline storage::Row ExtractKey(const storage::Row& row,
+                               const std::vector<size_t>& positions) {
+  storage::Row key;
+  key.reserve(positions.size());
+  for (size_t p : positions) key.push_back(row[p]);
+  return key;
+}
+
+inline std::string Param(const Node& node, const std::string& key) {
+  auto it = node.params.find(key);
+  return it == node.params.end() ? "" : it->second;
+}
+
+/// Running state of one aggregate.
+struct AggState {
+  double sum = 0;
+  int64_t int_sum = 0;
+  bool all_int = true;
+  bool any = false;
+  int64_t count = 0;
+  storage::Value min, max;
+};
+
+/// Folds one COUNT(*) observation.
+inline void AccumulateAggStar(AggState* st) {
+  ++st->count;
+  st->any = true;
+}
+
+/// Folds one column value; NULLs are skipped per SQL aggregate semantics.
+inline void AccumulateAgg(AggState* st, const storage::Value& v) {
+  if (v.is_null()) return;
+  ++st->count;
+  if (v.is_numeric()) {
+    st->sum += v.as_double();
+    if (v.is_int()) {
+      st->int_sum += v.as_int();
+    } else {
+      st->all_int = false;
+    }
+  }
+  if (!st->any || v.Compare(st->min) < 0) st->min = v;
+  if (!st->any || v.Compare(st->max) > 0) st->max = v;
+  st->any = true;
+}
+
+/// The aggregate's output value: COUNT of an empty group is 0, every other
+/// function NULLs out; SUM stays INT while every input was INT.
+inline storage::Value FinalizeAgg(const std::string& function,
+                                  const AggState& st) {
+  using storage::Value;
+  if (function == "COUNT") return Value::Int(st.count);
+  if (!st.any) return Value::Null();
+  if (function == "SUM") {
+    return st.all_int ? Value::Int(st.int_sum) : Value::Double(st.sum);
+  }
+  if (function == "AVG") {
+    return Value::Double(st.sum / static_cast<double>(st.count));
+  }
+  if (function == "MIN") return st.min;
+  return st.max;
+}
+
+}  // namespace quarry::etl::kernel
+
+#endif  // QUARRY_ETL_EXEC_KERNEL_UTIL_H_

@@ -223,7 +223,7 @@ void Scheduler::Worker(int worker_index) {
     for (const std::string& pred : preds_.at(id)) {
       const Dataset& dataset = done_.at(pred);
       inputs.push_back(&dataset);
-      rows_in += static_cast<int64_t>(dataset.rows.size());
+      rows_in += dataset.row_count();
     }
     ++in_flight_;
     lock.unlock();
@@ -245,11 +245,10 @@ void Scheduler::Worker(int worker_index) {
                         static_cast<uint64_t>(std::hash<std::string>{}(id)));
       outcome = executor_->ExecuteNode(node, inputs, rows_in, retry_, ctx_,
                                        /*protect_loader_always=*/true,
-                                       &backoff_prng, &backoff_);
+                                       &backoff_prng, &backoff_, options_);
       if (outcome.result.ok()) {
         QUARRY_SPAN_ATTR(node_span, "rows_in", rows_in);
-        QUARRY_SPAN_ATTR(node_span, "rows_out",
-                         static_cast<int64_t>(outcome.result->rows.size()));
+        QUARRY_SPAN_ATTR(node_span, "rows_out", outcome.result->row_count());
         QUARRY_SPAN_ATTR(node_span, "attempts", outcome.attempts);
       } else {
         QUARRY_SPAN_ATTR(node_span, "error",
@@ -291,7 +290,7 @@ void Scheduler::CompleteNode(const std::string& id, const Node& node,
   stats.node_id = id;
   stats.type = node.type;
   stats.rows_in = rows_in;
-  stats.rows_out = static_cast<int64_t>(outcome->result->rows.size());
+  stats.rows_out = outcome->result->row_count();
   stats.millis = node_millis;
   stats.attempts = outcome->attempts;
   CountNodeDone(node, stats.rows_out, node_millis * 1000.0);

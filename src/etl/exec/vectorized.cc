@@ -1,0 +1,824 @@
+// Vectorized chunk kernels for the ETL executor (DESIGN.md §8).
+//
+// Each kernel processes its input as storage::Chunks: a lifecycle check, a
+// fault point ("etl.exec.vec.chunk") and a budget charge run once per chunk
+// instead of once per node, so cancellation/deadline/budget trips land at
+// chunk granularity while totals stay exactly equal to the row path
+// (ApproxRowsBytes is linear in rows). Every kernel must produce output
+// byte-identical to its row counterpart in executor.cc — identical row
+// order, identical Values, identical error statuses. The three-way
+// differential harness (tests/etl_parallel_test.cc) enforces this.
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "etl/exec/executor.h"
+#include "etl/exec/kernel_util.h"
+#include "etl/expr.h"
+#include "etl/schema_inference.h"
+#include "obs/metrics.h"
+
+namespace quarry::etl {
+
+using storage::Chunk;
+using storage::DataType;
+using storage::Row;
+using storage::Value;
+using storage::ValueSegment;
+using kernel::AggState;
+using kernel::ColumnPositions;
+using kernel::ExtractKey;
+using kernel::Param;
+using kernel::RowKeyEq;
+using kernel::RowKeyHash;
+using kernel::SplitNonEmpty;
+
+namespace {
+
+obs::Counter& ChunkRowsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Instance().counter(
+      "quarry_etl_chunk_rows_total",
+      "Rows processed by vectorized chunk kernels");
+  return c;
+}
+
+void CountChunk(const Node& node, int64_t rows) {
+  obs::MetricsRegistry::Instance()
+      .counter("quarry_etl_chunk_batches_total",
+               "Chunks processed by vectorized kernels, by operator type",
+               {{"op", OpTypeToString(node.type)}})
+      .Increment();
+  ChunkRowsCounter().Increment(rows);
+}
+
+/// Per-chunk lifecycle gate: the context check uses the same message as the
+/// row path's BatchChecker so lifecycle errors read identically, and the
+/// fault site lets the fault matrix kill a node mid-stream.
+Status ChunkGate(const ExecContext* ctx, const std::string& node_id) {
+  if (ctx != nullptr) {
+    QUARRY_RETURN_NOT_OK(ctx->Check("node '" + node_id + "'"));
+  }
+  QUARRY_FAULT_POINT("etl.exec.vec.chunk");
+  return Status::OK();
+}
+
+/// Budget charges for the rows a kernel emits, chunk by chunk. Finish()
+/// keeps row-path parity for nodes that emitted no chunks: the row path
+/// always charges once per node, even for zero rows.
+class OutputCharger {
+ public:
+  OutputCharger(const ExecContext* ctx, const std::string& node_id,
+                size_t columns)
+      : ctx_(ctx), node_id_(node_id), columns_(columns) {}
+
+  Status Charge(int64_t rows) {
+    charged_ = true;
+    if (ctx_ == nullptr) return Status::OK();
+    QUARRY_RETURN_NOT_OK(ctx_->ChargeRows(rows, "node '" + node_id_ + "'"));
+    return ctx_->ChargeBytes(
+        ApproxRowsBytes(rows, columns_),
+        "node '" + node_id_ + "'");
+  }
+
+  Status Finish() { return charged_ ? Status::OK() : Charge(0); }
+
+ private:
+  const ExecContext* ctx_;
+  const std::string& node_id_;
+  size_t columns_;
+  bool charged_ = false;
+};
+
+/// Expression evaluation against a chunk row. A hash map replaces RowView's
+/// linear name scan (first occurrence wins, like RowView::Get), values come
+/// straight from the segments, and the tree walk mirrors Expr::Eval
+/// case-for-case — including AND/OR short-circuiting, so an unknown column
+/// in a short-circuited branch stays unnoticed exactly like the row path.
+class ChunkEval {
+ public:
+  explicit ChunkEval(const std::vector<std::string>& columns) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      index_.emplace(columns[i], i);  // Keeps the first duplicate, as Get().
+    }
+  }
+
+  Result<Value> Eval(const Expr& e, const Chunk& chunk, uint32_t phys) const {
+    switch (e.kind()) {
+      case Expr::Kind::kLiteral:
+        return e.literal();
+      case Expr::Kind::kColumn: {
+        auto it = index_.find(e.column());
+        if (it == index_.end()) {
+          return Status::NotFound("column '" + e.column() + "' in row");
+        }
+        return chunk.segment(it->second).At(phys);
+      }
+      case Expr::Kind::kUnary: {
+        QUARRY_ASSIGN_OR_RETURN(Value v, Eval(*e.args()[0], chunk, phys));
+        if (e.op() == "-") {
+          if (v.is_null()) return Value::Null();
+          if (v.is_int()) return Value::Int(-v.as_int());
+          if (v.is_double()) return Value::Double(-v.as_double());
+          return Status::InvalidArgument("negation of non-numeric value");
+        }
+        if (e.op() == "NOT") return Value::Bool(!ExprTruthy(v));
+        return Status::Internal("unknown unary op '" + e.op() + "'");
+      }
+      case Expr::Kind::kBinary: {
+        if (e.op() == "AND") {
+          QUARRY_ASSIGN_OR_RETURN(Value a, Eval(*e.args()[0], chunk, phys));
+          if (!ExprTruthy(a)) return Value::Bool(false);
+          QUARRY_ASSIGN_OR_RETURN(Value b, Eval(*e.args()[1], chunk, phys));
+          return Value::Bool(ExprTruthy(b));
+        }
+        if (e.op() == "OR") {
+          QUARRY_ASSIGN_OR_RETURN(Value a, Eval(*e.args()[0], chunk, phys));
+          if (ExprTruthy(a)) return Value::Bool(true);
+          QUARRY_ASSIGN_OR_RETURN(Value b, Eval(*e.args()[1], chunk, phys));
+          return Value::Bool(ExprTruthy(b));
+        }
+        QUARRY_ASSIGN_OR_RETURN(Value a, Eval(*e.args()[0], chunk, phys));
+        QUARRY_ASSIGN_OR_RETURN(Value b, Eval(*e.args()[1], chunk, phys));
+        if (e.op() == "+" || e.op() == "-" || e.op() == "*" ||
+            e.op() == "/") {
+          return EvalArithmetic(e.op(), a, b);
+        }
+        return EvalComparison(e.op(), a, b);
+      }
+    }
+    return Status::Internal("corrupt expression");
+  }
+
+ private:
+  std::unordered_map<std::string, size_t> index_;
+};
+
+// ---------------------------------------------------------------------------
+// Fast filter path: `col cmp literal` / `col cmp col` predicates over
+// numeric or date segments compare on the typed payloads directly. The
+// comparison must agree with Value::Compare: exact int64 when both sides
+// are INT, sign-of-difference through double otherwise, raw day counts for
+// dates. Anything the fast path cannot prove equivalent falls back to
+// ChunkEval for that chunk (segment reps can differ chunk to chunk).
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::optional<CmpOp> ParseCmpOp(const std::string& op) {
+  if (op == "=") return CmpOp::kEq;
+  if (op == "<>") return CmpOp::kNe;
+  if (op == "<") return CmpOp::kLt;
+  if (op == "<=") return CmpOp::kLe;
+  if (op == ">") return CmpOp::kGt;
+  if (op == ">=") return CmpOp::kGe;
+  return std::nullopt;
+}
+
+CmpOp MirrorCmpOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;
+  }
+}
+
+bool CmpKeep(CmpOp op, int cmp) {
+  switch (op) {
+    case CmpOp::kEq: return cmp == 0;
+    case CmpOp::kNe: return cmp != 0;
+    case CmpOp::kLt: return cmp < 0;
+    case CmpOp::kLe: return cmp <= 0;
+    case CmpOp::kGt: return cmp > 0;
+    case CmpOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+struct FastCompare {
+  CmpOp op = CmpOp::kEq;
+  size_t lhs_col = 0;
+  bool rhs_is_col = false;
+  size_t rhs_col = 0;
+  Value literal;  // When !rhs_is_col; always non-NULL numeric or date.
+};
+
+std::optional<size_t> FirstIndexOf(const std::vector<std::string>& columns,
+                                   const std::string& name) {
+  auto it = std::find(columns.begin(), columns.end(), name);
+  if (it == columns.end()) return std::nullopt;
+  return static_cast<size_t>(it - columns.begin());
+}
+
+std::optional<FastCompare> TryFastCompare(
+    const Expr& pred, const std::vector<std::string>& columns) {
+  if (pred.kind() != Expr::Kind::kBinary) return std::nullopt;
+  std::optional<CmpOp> op = ParseCmpOp(pred.op());
+  if (!op.has_value()) return std::nullopt;
+  const Expr& lhs = *pred.args()[0];
+  const Expr& rhs = *pred.args()[1];
+
+  auto build = [&](const Expr& col_side, const Expr& other,
+                   CmpOp cmp) -> std::optional<FastCompare> {
+    std::optional<size_t> ci = FirstIndexOf(columns, col_side.column());
+    if (!ci.has_value()) return std::nullopt;  // Generic path errors as Get.
+    FastCompare f;
+    f.op = cmp;
+    f.lhs_col = *ci;
+    if (other.kind() == Expr::Kind::kColumn) {
+      std::optional<size_t> ri = FirstIndexOf(columns, other.column());
+      if (!ri.has_value()) return std::nullopt;
+      f.rhs_is_col = true;
+      f.rhs_col = *ri;
+      return f;
+    }
+    if (other.kind() != Expr::Kind::kLiteral) return std::nullopt;
+    const Value& lit = other.literal();
+    if (!lit.is_numeric() && !lit.is_date()) return std::nullopt;
+    f.literal = lit;
+    return f;
+  };
+
+  if (lhs.kind() == Expr::Kind::kColumn) return build(lhs, rhs, *op);
+  if (rhs.kind() == Expr::Kind::kColumn &&
+      lhs.kind() == Expr::Kind::kLiteral) {
+    return build(rhs, lhs, MirrorCmpOp(*op));
+  }
+  return std::nullopt;
+}
+
+bool NumericRep(ValueSegment::Rep rep) {
+  return rep == ValueSegment::Rep::kInt64 ||
+         rep == ValueSegment::Rep::kDouble;
+}
+
+/// True when the fast comparison is provably Value::Compare-equivalent for
+/// this chunk's segment representations.
+bool FastCompareEligible(const FastCompare& f, const Chunk& chunk) {
+  const ValueSegment& ls = chunk.segment(f.lhs_col);
+  if (f.rhs_is_col) {
+    const ValueSegment& rs = chunk.segment(f.rhs_col);
+    return (NumericRep(ls.rep()) && NumericRep(rs.rep())) ||
+           (ls.rep() == ValueSegment::Rep::kDate &&
+            rs.rep() == ValueSegment::Rep::kDate);
+  }
+  return (NumericRep(ls.rep()) && f.literal.is_numeric()) ||
+         (ls.rep() == ValueSegment::Rep::kDate && f.literal.is_date());
+}
+
+double SegDouble(const ValueSegment& s, uint32_t phys) {
+  return s.rep() == ValueSegment::Rep::kInt64
+             ? static_cast<double>(s.ints()[phys])
+             : s.doubles()[phys];
+}
+
+/// Fills `sel` with the physical rows of `chunk` passing the fast
+/// comparison. NULL on either side never passes (EvalComparison → NULL).
+void RunFastCompare(const FastCompare& f, const Chunk& chunk,
+                    std::vector<uint32_t>* sel) {
+  const ValueSegment& ls = chunk.segment(f.lhs_col);
+  const ValueSegment* rs = f.rhs_is_col ? &chunk.segment(f.rhs_col) : nullptr;
+  const size_t n = chunk.num_rows();
+  const bool date_cmp = ls.rep() == ValueSegment::Rep::kDate;
+  const bool int_cmp =
+      !date_cmp && ls.rep() == ValueSegment::Rep::kInt64 &&
+      (f.rhs_is_col ? rs->rep() == ValueSegment::Rep::kInt64
+                    : f.literal.is_int());
+  const int64_t lit_int = !f.rhs_is_col && f.literal.is_int()
+                              ? f.literal.as_int()
+                              : 0;
+  const double lit_dbl =
+      !f.rhs_is_col && f.literal.is_numeric() ? f.literal.as_double() : 0.0;
+  const int32_t lit_date =
+      !f.rhs_is_col && f.literal.is_date() ? f.literal.as_date_days() : 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t phys = chunk.PhysicalRow(i);
+    if (ls.IsNull(phys) || (rs != nullptr && rs->IsNull(phys))) continue;
+    int cmp;
+    if (date_cmp) {
+      int32_t a = ls.dates()[phys];
+      int32_t b = rs != nullptr ? rs->dates()[phys] : lit_date;
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else if (int_cmp) {
+      int64_t a = ls.ints()[phys];
+      int64_t b = rs != nullptr ? rs->ints()[phys] : lit_int;
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else {
+      double a = SegDouble(ls, phys);
+      double b = rs != nullptr ? SegDouble(*rs, phys) : lit_dbl;
+      cmp = Sign(a - b);
+    }
+    if (CmpKeep(f.op, cmp)) sel->push_back(phys);
+  }
+}
+
+/// Group key of `chunk`'s physical row at `positions`.
+Row ChunkKey(const Chunk& chunk, const std::vector<size_t>& positions,
+             uint32_t phys) {
+  Row key;
+  key.reserve(positions.size());
+  for (size_t p : positions) key.push_back(chunk.segment(p).At(phys));
+  return key;
+}
+
+/// First non-NULL value's type across the chunks' live rows, in row order —
+/// the chunked twin of the row path's InferColumnType.
+Result<DataType> InferColumnTypeChunks(const std::vector<Chunk>& chunks,
+                                       size_t column) {
+  for (const Chunk& chunk : chunks) {
+    const ValueSegment& seg = chunk.segment(column);
+    for (size_t i = 0; i < chunk.num_rows(); ++i) {
+      Value v = seg.At(chunk.PhysicalRow(i));
+      if (!v.is_null()) return v.type();
+    }
+  }
+  return DataType::kString;  // All-NULL column: arbitrary but stable.
+}
+
+}  // namespace
+
+Result<Dataset> Executor::RunNodeVectorized(
+    const Node& node, const std::vector<const Dataset*>& inputs,
+    LoaderEffect* loader, const ExecContext* ctx, const ExecOptions& options) {
+  auto input = [&](size_t i) -> const Dataset& { return *inputs[i]; };
+  switch (node.type) {
+    case OpType::kDatastore: {
+      QUARRY_ASSIGN_OR_RETURN(const storage::Table* table,
+                              source_->GetTable(Param(node, "table")));
+      Dataset out;
+      out.columnar = true;
+      for (const storage::Column& c : table->schema().columns()) {
+        out.columns.push_back(c.name);
+      }
+      OutputCharger charge(ctx, node.id, out.columns.size());
+      for (Chunk& chunk : table->ScanChunks(options.chunk_size)) {
+        QUARRY_RETURN_NOT_OK(ChunkGate(ctx, node.id));
+        CountChunk(node, static_cast<int64_t>(chunk.num_rows()));
+        QUARRY_RETURN_NOT_OK(
+            charge.Charge(static_cast<int64_t>(chunk.num_rows())));
+        out.chunks.push_back(std::move(chunk));
+      }
+      QUARRY_RETURN_NOT_OK(charge.Finish());
+      return out;
+    }
+    case OpType::kExtraction: {
+      const Dataset& in = input(0);
+      Dataset out;
+      out.columnar = true;
+      out.columns = in.columns;
+      std::vector<Chunk> scratch;
+      OutputCharger charge(ctx, node.id, out.columns.size());
+      for (const Chunk& chunk :
+           DatasetChunks(in, options.chunk_size, &scratch)) {
+        QUARRY_RETURN_NOT_OK(ChunkGate(ctx, node.id));
+        CountChunk(node, static_cast<int64_t>(chunk.num_rows()));
+        QUARRY_RETURN_NOT_OK(
+            charge.Charge(static_cast<int64_t>(chunk.num_rows())));
+        out.chunks.push_back(chunk);  // Shares the immutable segments.
+      }
+      QUARRY_RETURN_NOT_OK(charge.Finish());
+      return out;
+    }
+    case OpType::kSelection: {
+      QUARRY_ASSIGN_OR_RETURN(Expr::Ptr pred,
+                              ParseExpr(Param(node, "predicate")));
+      const Dataset& in = input(0);
+      Dataset out;
+      out.columnar = true;
+      out.columns = in.columns;
+      ChunkEval eval(in.columns);
+      std::optional<FastCompare> fast = TryFastCompare(*pred, in.columns);
+      std::vector<Chunk> scratch;
+      OutputCharger charge(ctx, node.id, out.columns.size());
+      for (const Chunk& chunk :
+           DatasetChunks(in, options.chunk_size, &scratch)) {
+        QUARRY_RETURN_NOT_OK(ChunkGate(ctx, node.id));
+        CountChunk(node, static_cast<int64_t>(chunk.num_rows()));
+        std::vector<uint32_t> sel;
+        if (fast.has_value() && FastCompareEligible(*fast, chunk)) {
+          RunFastCompare(*fast, chunk, &sel);
+        } else {
+          for (size_t i = 0; i < chunk.num_rows(); ++i) {
+            const uint32_t phys = chunk.PhysicalRow(i);
+            QUARRY_ASSIGN_OR_RETURN(Value v, eval.Eval(*pred, chunk, phys));
+            if (ExprTruthy(v)) sel.push_back(phys);
+          }
+        }
+        if (sel.empty()) continue;  // Fully filtered chunks are dropped.
+        QUARRY_RETURN_NOT_OK(
+            charge.Charge(static_cast<int64_t>(sel.size())));
+        if (sel.size() == chunk.num_rows()) {
+          out.chunks.push_back(chunk);  // Nothing filtered: reuse as-is.
+        } else {
+          out.chunks.emplace_back(
+              chunk.segments(),
+              std::make_shared<const std::vector<uint32_t>>(std::move(sel)));
+        }
+      }
+      QUARRY_RETURN_NOT_OK(charge.Finish());
+      return out;
+    }
+    case OpType::kProjection: {
+      std::vector<std::string> keep = SplitNonEmpty(Param(node, "columns"));
+      const Dataset& in = input(0);
+      QUARRY_ASSIGN_OR_RETURN(auto positions,
+                              ColumnPositions(in.columns, keep, node.id));
+      Dataset out;
+      out.columns = keep;
+      out.columnar = !positions.empty();
+      std::vector<Chunk> scratch;
+      OutputCharger charge(ctx, node.id, out.columns.size());
+      for (const Chunk& chunk :
+           DatasetChunks(in, options.chunk_size, &scratch)) {
+        QUARRY_RETURN_NOT_OK(ChunkGate(ctx, node.id));
+        CountChunk(node, static_cast<int64_t>(chunk.num_rows()));
+        QUARRY_RETURN_NOT_OK(
+            charge.Charge(static_cast<int64_t>(chunk.num_rows())));
+        if (positions.empty()) {
+          // Zero-column projection: a chunk cannot carry rows without
+          // segments, so emit empty Rows like the row path does.
+          out.rows.resize(out.rows.size() + chunk.num_rows());
+          continue;
+        }
+        std::vector<Chunk::SegmentPtr> segments;
+        segments.reserve(positions.size());
+        for (size_t p : positions) segments.push_back(chunk.segment_ptr(p));
+        out.chunks.emplace_back(std::move(segments), chunk.selection());
+      }
+      QUARRY_RETURN_NOT_OK(charge.Finish());
+      return out;
+    }
+    case OpType::kFunction: {
+      QUARRY_ASSIGN_OR_RETURN(Expr::Ptr expr, ParseExpr(Param(node, "expr")));
+      std::string column = Param(node, "column");
+      if (column.empty()) {
+        return Status::ExecutionError("function '" + node.id +
+                                      "' lacks a column param");
+      }
+      const Dataset& in = input(0);
+      Dataset out;
+      out.columnar = true;
+      out.columns = in.columns;
+      out.columns.push_back(column);
+      ChunkEval eval(in.columns);
+      std::vector<Chunk> scratch;
+      OutputCharger charge(ctx, node.id, out.columns.size());
+      for (const Chunk& chunk :
+           DatasetChunks(in, options.chunk_size, &scratch)) {
+        QUARRY_RETURN_NOT_OK(ChunkGate(ctx, node.id));
+        CountChunk(node, static_cast<int64_t>(chunk.num_rows()));
+        // Dead (filtered-out) slots stay NULL and are never evaluated, so
+        // an expression that would error on a filtered row doesn't — same
+        // as the row path, which never sees that row at all.
+        std::vector<Value> values(chunk.capacity());
+        for (size_t i = 0; i < chunk.num_rows(); ++i) {
+          const uint32_t phys = chunk.PhysicalRow(i);
+          QUARRY_ASSIGN_OR_RETURN(Value v, eval.Eval(*expr, chunk, phys));
+          values[phys] = std::move(v);
+        }
+        std::vector<Chunk::SegmentPtr> segments = chunk.segments();
+        segments.push_back(std::make_shared<const ValueSegment>(
+            ValueSegment::FromValues(std::move(values))));
+        QUARRY_RETURN_NOT_OK(
+            charge.Charge(static_cast<int64_t>(chunk.num_rows())));
+        out.chunks.emplace_back(std::move(segments), chunk.selection());
+      }
+      QUARRY_RETURN_NOT_OK(charge.Finish());
+      return out;
+    }
+    case OpType::kJoin: {
+      if (inputs.size() != 2) {
+        return Status::ExecutionError("join '" + node.id +
+                                      "' needs exactly 2 inputs");
+      }
+      const Dataset& left = input(0);
+      const Dataset& right = input(1);
+      std::vector<std::string> left_keys = SplitNonEmpty(Param(node, "left"));
+      std::vector<std::string> right_keys =
+          SplitNonEmpty(Param(node, "right"));
+      if (left_keys.empty() || left_keys.size() != right_keys.size()) {
+        return Status::ExecutionError("join '" + node.id +
+                                      "' has mismatched key lists");
+      }
+      std::string join_type = Param(node, "type");
+      if (join_type.empty()) join_type = "inner";
+      if (join_type != "inner" && join_type != "left") {
+        return Status::ExecutionError(
+            "join '" + node.id + "': unsupported type '" + join_type + "'");
+      }
+      QUARRY_ASSIGN_OR_RETURN(
+          auto left_pos, ColumnPositions(left.columns, left_keys, node.id));
+      QUARRY_ASSIGN_OR_RETURN(
+          auto right_pos,
+          ColumnPositions(right.columns, right_keys, node.id));
+
+      // Build on the right input, identically to the row path: the build
+      // side is materialized once (row access by index is what probing
+      // needs), NULL keys never enter the table.
+      std::vector<Row> right_scratch;
+      const std::vector<Row>& right_rows = DatasetRows(right, &right_scratch);
+      std::unordered_map<Row, std::vector<size_t>, RowKeyHash, RowKeyEq>
+          build;
+      build.reserve(right_rows.size());
+      for (size_t i = 0; i < right_rows.size(); ++i) {
+        Row key = ExtractKey(right_rows[i], right_pos);
+        bool has_null =
+            std::any_of(key.begin(), key.end(),
+                        [](const Value& v) { return v.is_null(); });
+        if (has_null) continue;  // SQL: NULL keys never match.
+        build[std::move(key)].push_back(i);
+      }
+
+      Dataset out;
+      out.columnar = true;
+      out.columns = left.columns;
+      out.columns.insert(out.columns.end(), right.columns.begin(),
+                         right.columns.end());
+      const bool left_join = join_type == "left";
+      std::vector<Chunk> scratch;
+      OutputCharger charge(ctx, node.id, out.columns.size());
+      for (const Chunk& chunk :
+           DatasetChunks(left, options.chunk_size, &scratch)) {
+        QUARRY_RETURN_NOT_OK(ChunkGate(ctx, node.id));
+        CountChunk(node, static_cast<int64_t>(chunk.num_rows()));
+        // Probe: one (left physical row, right row index) pair per output
+        // row, in probe order — identical to the row path's output order.
+        std::vector<uint32_t> left_phys;
+        std::vector<int64_t> right_idx;  // -1 = NULL-padded (left join).
+        for (size_t i = 0; i < chunk.num_rows(); ++i) {
+          const uint32_t phys = chunk.PhysicalRow(i);
+          Row key = ChunkKey(chunk, left_pos, phys);
+          bool has_null =
+              std::any_of(key.begin(), key.end(),
+                          [](const Value& v) { return v.is_null(); });
+          auto it = has_null ? build.end() : build.find(key);
+          if (it == build.end()) {
+            if (left_join) {
+              left_phys.push_back(phys);
+              right_idx.push_back(-1);
+            }
+            continue;
+          }
+          for (size_t ridx : it->second) {
+            left_phys.push_back(phys);
+            right_idx.push_back(static_cast<int64_t>(ridx));
+          }
+        }
+        if (left_phys.empty()) continue;
+        std::vector<Chunk::SegmentPtr> segments;
+        segments.reserve(out.columns.size());
+        for (size_t c = 0; c < left.columns.size(); ++c) {
+          segments.push_back(std::make_shared<const ValueSegment>(
+              chunk.segment(c).Gather(left_phys)));
+        }
+        for (size_t c = 0; c < right.columns.size(); ++c) {
+          std::vector<Value> col;
+          col.reserve(right_idx.size());
+          for (int64_t ridx : right_idx) {
+            col.push_back(ridx < 0
+                              ? Value::Null()
+                              : right_rows[static_cast<size_t>(ridx)][c]);
+          }
+          segments.push_back(std::make_shared<const ValueSegment>(
+              ValueSegment::FromValues(std::move(col))));
+        }
+        QUARRY_RETURN_NOT_OK(
+            charge.Charge(static_cast<int64_t>(left_phys.size())));
+        out.chunks.emplace_back(std::move(segments));
+      }
+      QUARRY_RETURN_NOT_OK(charge.Finish());
+      return out;
+    }
+    case OpType::kAggregation: {
+      const Dataset& in = input(0);
+      std::vector<std::string> group = SplitNonEmpty(Param(node, "group"));
+      QUARRY_ASSIGN_OR_RETURN(auto specs, ParseAggSpecs(Param(node, "aggs")));
+      QUARRY_ASSIGN_OR_RETURN(auto group_pos,
+                              ColumnPositions(in.columns, group, node.id));
+      std::vector<int> agg_pos(specs.size(), -1);
+      for (size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].input == "*") continue;
+        QUARRY_ASSIGN_OR_RETURN(
+            auto pos, ColumnPositions(in.columns, {specs[i].input}, node.id));
+        agg_pos[i] = static_cast<int>(pos[0]);
+      }
+
+      std::unordered_map<Row, std::vector<AggState>, RowKeyHash, RowKeyEq>
+          groups;
+      std::vector<Row> group_order;  // First-seen order, like the row path.
+      std::vector<Chunk> scratch;
+      for (const Chunk& chunk :
+           DatasetChunks(in, options.chunk_size, &scratch)) {
+        QUARRY_RETURN_NOT_OK(ChunkGate(ctx, node.id));
+        CountChunk(node, static_cast<int64_t>(chunk.num_rows()));
+        for (size_t i = 0; i < chunk.num_rows(); ++i) {
+          const uint32_t phys = chunk.PhysicalRow(i);
+          Row key = ChunkKey(chunk, group_pos, phys);
+          auto [it, inserted] =
+              groups.try_emplace(key, std::vector<AggState>(specs.size()));
+          if (inserted) group_order.push_back(key);
+          std::vector<AggState>& states = it->second;
+          for (size_t s = 0; s < specs.size(); ++s) {
+            if (specs[s].input == "*") {
+              kernel::AccumulateAggStar(&states[s]);
+              continue;
+            }
+            Value v = chunk.segment(static_cast<size_t>(agg_pos[s]))
+                          .At(phys);
+            kernel::AccumulateAgg(&states[s], v);
+          }
+        }
+      }
+
+      Dataset out;
+      out.columns = group;
+      for (const AggSpec& s : specs) out.columns.push_back(s.output);
+      OutputCharger charge(ctx, node.id, out.columns.size());
+      if (out.columns.empty()) {
+        // Degenerate no-group no-agg shape: rows without segments cannot
+        // live in a chunk, so fall back to (empty) Rows.
+        out.rows.resize(group_order.size());
+      } else if (!group_order.empty()) {
+        std::vector<std::vector<Value>> cols(out.columns.size());
+        for (auto& col : cols) col.reserve(group_order.size());
+        for (const Row& key : group_order) {
+          const std::vector<AggState>& states = groups.at(key);
+          for (size_t g = 0; g < group_pos.size(); ++g) {
+            cols[g].push_back(key[g]);
+          }
+          for (size_t s = 0; s < specs.size(); ++s) {
+            cols[group_pos.size() + s].push_back(
+                kernel::FinalizeAgg(specs[s].function, states[s]));
+          }
+        }
+        std::vector<Chunk::SegmentPtr> segments;
+        segments.reserve(cols.size());
+        for (auto& col : cols) {
+          segments.push_back(std::make_shared<const ValueSegment>(
+              ValueSegment::FromValues(std::move(col))));
+        }
+        out.columnar = true;
+        out.chunks.emplace_back(std::move(segments));
+      } else {
+        out.columnar = true;
+      }
+      QUARRY_RETURN_NOT_OK(
+          charge.Charge(static_cast<int64_t>(group_order.size())));
+      return out;
+    }
+    case OpType::kLoader: {
+      const Dataset& data = input(0);
+      std::string table_name = Param(node, "table");
+      if (table_name.empty()) {
+        return Status::ExecutionError("loader '" + node.id +
+                                      "' lacks a table param");
+      }
+      std::vector<std::string> keys = SplitNonEmpty(Param(node, "keys"));
+      std::vector<Chunk> scratch;
+      const std::vector<Chunk>& chunks =
+          DatasetChunks(data, options.chunk_size, &scratch);
+      int64_t total_rows = 0;
+      for (const Chunk& c : chunks) {
+        total_rows += static_cast<int64_t>(c.num_rows());
+      }
+      auto charge_rows = [&](int64_t rows) -> Status {
+        if (ctx == nullptr) return Status::OK();
+        return ctx->ChargeRows(rows, "node '" + node.id + "'");
+      };
+      if (!target_->HasTable(table_name) && total_rows == 0) {
+        // No rows and no pre-created table: defer creation, exactly like
+        // the row kernel (see executor.cc for the rationale).
+        QUARRY_RETURN_NOT_OK(charge_rows(0));
+        loader->table = table_name;
+        loader->fired = true;  // rows stays 0
+        Dataset out;
+        out.columns = data.columns;
+        return out;
+      }
+      if (!target_->HasTable(table_name)) {
+        storage::TableSchema schema(table_name);
+        for (size_t c = 0; c < data.columns.size(); ++c) {
+          QUARRY_ASSIGN_OR_RETURN(DataType type,
+                                  InferColumnTypeChunks(chunks, c));
+          QUARRY_RETURN_NOT_OK(
+              schema.AddColumn({data.columns[c], type, true}));
+        }
+        if (!keys.empty()) QUARRY_RETURN_NOT_OK(schema.SetPrimaryKey(keys));
+        QUARRY_RETURN_NOT_OK(
+            target_->CreateTable(std::move(schema)).status());
+      }
+      QUARRY_ASSIGN_OR_RETURN(storage::Table * table,
+                              target_->GetTable(table_name));
+      for (size_t c = 0; c < data.columns.size(); ++c) {
+        if (table->schema().ColumnIndex(data.columns[c]).has_value()) {
+          continue;
+        }
+        QUARRY_ASSIGN_OR_RETURN(DataType type,
+                                InferColumnTypeChunks(chunks, c));
+        QUARRY_RETURN_NOT_OK(
+            table->AddColumn({data.columns[c], type, true}));
+      }
+      std::vector<int> positions;  // per target column; -1 = NULL
+      for (const storage::Column& c : table->schema().columns()) {
+        auto it =
+            std::find(data.columns.begin(), data.columns.end(), c.name);
+        positions.push_back(
+            it == data.columns.end()
+                ? -1
+                : static_cast<int>(it - data.columns.begin()));
+      }
+      std::vector<size_t> key_positions;
+      if (!keys.empty()) {
+        QUARRY_ASSIGN_OR_RETURN(
+            auto kp, ColumnPositions(data.columns, keys, node.id));
+        key_positions = kp;
+      }
+      int64_t written = 0;
+      std::unordered_map<Row, size_t, RowKeyHash, RowKeyEq> existing_rows;
+      if (!key_positions.empty()) {
+        std::vector<size_t> tk;
+        for (const std::string& k : keys) {
+          tk.push_back(*table->schema().ColumnIndex(k));
+        }
+        for (size_t r = 0; r < table->num_rows(); ++r) {
+          existing_rows.emplace(ExtractKey(table->rows()[r], tk), r);
+        }
+      }
+      for (const Chunk& chunk : chunks) {
+        QUARRY_RETURN_NOT_OK(ChunkGate(ctx, node.id));
+        CountChunk(node, static_cast<int64_t>(chunk.num_rows()));
+        for (size_t i = 0; i < chunk.num_rows(); ++i) {
+          const uint32_t phys = chunk.PhysicalRow(i);
+          Row row;
+          row.reserve(data.columns.size());
+          for (size_t c = 0; c < data.columns.size(); ++c) {
+            row.push_back(chunk.segment(c).At(phys));
+          }
+          if (!key_positions.empty()) {
+            Row key = ExtractKey(row, key_positions);
+            auto it = existing_rows.find(key);
+            if (it != existing_rows.end()) {
+              // Merge: fill NULL cells the dataset can provide.
+              size_t target_row = it->second;
+              for (size_t c = 0; c < positions.size(); ++c) {
+                if (positions[c] < 0) continue;
+                const Value& incoming =
+                    row[static_cast<size_t>(positions[c])];
+                if (incoming.is_null()) continue;
+                if (!table->rows()[target_row][c].is_null()) continue;
+                QUARRY_RETURN_NOT_OK(
+                    table->SetCell(target_row, c, incoming));
+              }
+              continue;
+            }
+            Row out;
+            out.reserve(positions.size());
+            for (int p : positions) {
+              out.push_back(p < 0 ? Value::Null()
+                                  : row[static_cast<size_t>(p)]);
+            }
+            QUARRY_RETURN_NOT_OK(table->Insert(std::move(out)));
+            existing_rows.emplace(std::move(key), table->num_rows() - 1);
+            ++written;
+            continue;
+          }
+          Row out;
+          out.reserve(positions.size());
+          for (int p : positions) {
+            out.push_back(p < 0 ? Value::Null()
+                                : row[static_cast<size_t>(p)]);
+          }
+          QUARRY_RETURN_NOT_OK(table->Insert(std::move(out)));
+          ++written;
+        }
+        // Loaders charge their input (they are sinks): one charge per
+        // chunk written, summing to the row path's rows_in charge.
+        QUARRY_RETURN_NOT_OK(
+            charge_rows(static_cast<int64_t>(chunk.num_rows())));
+      }
+      if (chunks.empty()) QUARRY_RETURN_NOT_OK(charge_rows(0));
+      // Same mid-write fault site and cadence as the row kernel: fires
+      // after all rows landed, before the effect is reported.
+      QUARRY_FAULT_POINT("etl.exec.Loader.write");
+      loader->table = table_name;
+      loader->rows = written;
+      loader->fired = true;
+      Dataset out;
+      out.columns = data.columns;
+      return out;  // Loaders are sinks; emit an empty dataset.
+    }
+    case OpType::kSort:
+    case OpType::kUnion:
+    case OpType::kSurrogateKey:
+      break;  // No chunk kernel; the dispatcher never sends these here.
+  }
+  return Status::Internal("operator type has no vectorized kernel");
+}
+
+}  // namespace quarry::etl

@@ -46,9 +46,7 @@ Expr::Ptr Expr::Binary(std::string op, Ptr lhs, Ptr rhs) {
   return e;
 }
 
-namespace {
-
-bool IsTruthy(const Value& v) {
+bool ExprTruthy(const Value& v) {
   return !v.is_null() && v.is_bool() && v.as_bool();
 }
 
@@ -95,8 +93,6 @@ Result<Value> EvalComparison(const std::string& op, const Value& a,
   return Status::Internal("unknown comparison op '" + op + "'");
 }
 
-}  // namespace
-
 Result<Value> Expr::Eval(const RowView& row) const {
   switch (kind_) {
     case Kind::kLiteral:
@@ -111,21 +107,21 @@ Result<Value> Expr::Eval(const RowView& row) const {
         if (v.is_double()) return Value::Double(-v.as_double());
         return Status::InvalidArgument("negation of non-numeric value");
       }
-      if (op_ == "NOT") return Value::Bool(!IsTruthy(v));
+      if (op_ == "NOT") return Value::Bool(!ExprTruthy(v));
       return Status::Internal("unknown unary op '" + op_ + "'");
     }
     case Kind::kBinary: {
       if (op_ == "AND") {
         QUARRY_ASSIGN_OR_RETURN(Value a, args_[0]->Eval(row));
-        if (!IsTruthy(a)) return Value::Bool(false);
+        if (!ExprTruthy(a)) return Value::Bool(false);
         QUARRY_ASSIGN_OR_RETURN(Value b, args_[1]->Eval(row));
-        return Value::Bool(IsTruthy(b));
+        return Value::Bool(ExprTruthy(b));
       }
       if (op_ == "OR") {
         QUARRY_ASSIGN_OR_RETURN(Value a, args_[0]->Eval(row));
-        if (IsTruthy(a)) return Value::Bool(true);
+        if (ExprTruthy(a)) return Value::Bool(true);
         QUARRY_ASSIGN_OR_RETURN(Value b, args_[1]->Eval(row));
-        return Value::Bool(IsTruthy(b));
+        return Value::Bool(ExprTruthy(b));
       }
       QUARRY_ASSIGN_OR_RETURN(Value a, args_[0]->Eval(row));
       QUARRY_ASSIGN_OR_RETURN(Value b, args_[1]->Eval(row));

@@ -86,6 +86,27 @@ class Expr {
 /// Parses the grammar above.
 Result<Expr::Ptr> ParseExpr(std::string_view text);
 
+/// Scalar evaluation primitives shared by Expr::Eval and the vectorized
+/// chunk kernels (etl/exec/vectorized.cc) — both modes must agree
+/// bit-for-bit for the differential harness to hold.
+
+/// Two-valued truthiness used by AND/OR/NOT and Selection predicates:
+/// only a non-NULL boolean TRUE counts.
+bool ExprTruthy(const storage::Value& v);
+
+/// +, -, *, / with the executor's SQL-ish semantics: NULL propagates,
+/// int⊕int stays int (except /, which always yields DOUBLE and NULLs out a
+/// zero divisor), mixed numerics widen to double, string + string
+/// concatenates.
+Result<storage::Value> EvalArithmetic(const std::string& op,
+                                      const storage::Value& a,
+                                      const storage::Value& b);
+
+/// =, <>, <, <=, >, >= via Value::Compare; NULL on either side yields NULL.
+Result<storage::Value> EvalComparison(const std::string& op,
+                                      const storage::Value& a,
+                                      const storage::Value& b);
+
 }  // namespace quarry::etl
 
 #endif  // QUARRY_ETL_EXPR_H_

@@ -1,0 +1,132 @@
+#ifndef QUARRY_STORAGE_CHUNK_H_
+#define QUARRY_STORAGE_CHUNK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace quarry::storage {
+
+/// \brief A typed, immutable column slice: the unit of vectorized execution
+/// (DESIGN.md §8).
+///
+/// A segment stores one column's values for a contiguous run of rows. When
+/// every non-NULL value shares one runtime type the payload is a plain
+/// typed vector (tight loops, no variant dispatch) plus an optional null
+/// mask; columns that genuinely mix types — e.g. a SUM output whose groups
+/// split between INT and DOUBLE — fall back to a `std::vector<Value>`
+/// (Rep::kMixed). Either way `At(i)` reconstructs the original Value
+/// exactly, including NULLs, so row-at-a-time and chunked execution produce
+/// byte-identical tables (the three-way differential harness depends on
+/// this round-trip).
+class ValueSegment {
+ public:
+  enum class Rep { kBool, kInt64, kDouble, kString, kDate, kMixed };
+
+  ValueSegment() = default;
+
+  /// Segment over column `column` of rows [begin, end).
+  static ValueSegment FromRows(const std::vector<Row>& rows, size_t column,
+                               size_t begin, size_t end);
+
+  /// Segment over a freshly computed value vector (takes ownership).
+  static ValueSegment FromValues(std::vector<Value> values);
+
+  size_t size() const { return size_; }
+  Rep rep() const { return rep_; }
+  bool has_nulls() const { return !nulls_.empty(); }
+  bool IsNull(size_t i) const { return !nulls_.empty() && nulls_[i] != 0; }
+
+  /// Exact reconstruction of the value at physical row `i`.
+  Value At(size_t i) const;
+
+  /// Typed payloads; valid only for the matching rep. NULL slots hold
+  /// zero values — readers must consult IsNull first.
+  const std::vector<uint8_t>& bools() const { return bools_; }
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<int32_t>& dates() const { return dates_; }
+  /// Rep::kMixed payload.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// New segment holding this segment's values at `positions`, in order.
+  ValueSegment Gather(const std::vector<uint32_t>& positions) const;
+
+ private:
+  Rep rep_ = Rep::kInt64;  ///< An all-NULL segment stays kInt64 (arbitrary).
+  size_t size_ = 0;
+  std::vector<uint8_t> nulls_;  ///< Empty = no NULLs in this segment.
+  std::vector<uint8_t> bools_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<int32_t> dates_;
+  std::vector<Value> values_;
+};
+
+/// \brief A horizontal partition: aligned segments (one per column) over the
+/// same physical rows, plus an optional selection vector.
+///
+/// Segments are shared immutably, so projection is a pointer copy and a
+/// selection just attaches a position list — neither touches the data.
+/// `num_rows()` counts *live* rows (selection applied); `capacity()` is the
+/// physical segment length. Live row `i` maps to physical row
+/// `PhysicalRow(i)`; with no selection the mapping is the identity.
+class Chunk {
+ public:
+  using SegmentPtr = std::shared_ptr<const ValueSegment>;
+  using SelectionPtr = std::shared_ptr<const std::vector<uint32_t>>;
+
+  Chunk() = default;
+  explicit Chunk(std::vector<SegmentPtr> segments,
+                 SelectionPtr selection = nullptr)
+      : segments_(std::move(segments)), selection_(std::move(selection)) {}
+
+  size_t num_columns() const { return segments_.size(); }
+  size_t capacity() const {
+    return segments_.empty() ? 0 : segments_[0]->size();
+  }
+  size_t num_rows() const {
+    return selection_ != nullptr ? selection_->size() : capacity();
+  }
+  bool has_selection() const { return selection_ != nullptr; }
+  const SelectionPtr& selection() const { return selection_; }
+
+  const std::vector<SegmentPtr>& segments() const { return segments_; }
+  const SegmentPtr& segment_ptr(size_t c) const { return segments_[c]; }
+  const ValueSegment& segment(size_t c) const { return *segments_[c]; }
+
+  uint32_t PhysicalRow(size_t live) const {
+    return selection_ != nullptr ? (*selection_)[live]
+                                 : static_cast<uint32_t>(live);
+  }
+
+  /// Value of column `c` at *live* row `live`.
+  Value ValueAt(size_t c, size_t live) const {
+    return segments_[c]->At(PhysicalRow(live));
+  }
+
+  /// Appends the live rows, in order, as materialized Rows.
+  void AppendRowsTo(std::vector<Row>* out) const;
+
+ private:
+  std::vector<SegmentPtr> segments_;
+  SelectionPtr selection_;
+};
+
+/// One chunk over columns [0, num_columns) of rows [begin, end).
+Chunk MakeChunk(const std::vector<Row>& rows, size_t num_columns,
+                size_t begin, size_t end);
+
+/// Splits `rows` into ceil(n / chunk_size) chunks of at most `chunk_size`
+/// rows each (the last one may be partial). `chunk_size` must be >= 1.
+std::vector<Chunk> ChunkRows(const std::vector<Row>& rows,
+                             size_t num_columns, int64_t chunk_size);
+
+}  // namespace quarry::storage
+
+#endif  // QUARRY_STORAGE_CHUNK_H_

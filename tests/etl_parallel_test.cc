@@ -27,40 +27,55 @@ namespace {
 
 using testutil::BuildRandomFlow;
 using testutil::BuildRandomSource;
+using testutil::DifferentialModes;
+using testutil::ExecMode;
 using testutil::MakeNode;
 using testutil::RunFlow;
+using testutil::RunFlowOpts;
 using testutil::RunOutcome;
 using testutil::StatsById;
+using testutil::ToOptions;
 
 const int kWorkerCounts[] = {2, 4, 8};
 
-/// Serial vs. parallel equivalence: byte-identical target fingerprint and
-/// order-free identical report (row counts per node, loaded tables, total
-/// attempts). Also asserts exactly-once execution: one NodeStats entry per
-/// flow node.
+/// Differential equivalence against the serial row reference: byte-identical
+/// target fingerprint and order-free identical report (row counts per node,
+/// loaded tables, total attempts). Also asserts exactly-once execution: one
+/// NodeStats entry per flow node. `label` names the non-reference arm
+/// (worker count, vectorized mode, ...) in failure messages.
+void ExpectEquivalent(const Flow& flow, const RunOutcome& serial,
+                      const RunOutcome& other, const std::string& label) {
+  ASSERT_TRUE(serial.status.ok()) << serial.status;
+  ASSERT_TRUE(other.status.ok()) << label << ": " << other.status;
+  EXPECT_EQ(other.fingerprint, serial.fingerprint)
+      << "flow '" << flow.name() << "' diverged at " << label;
+  EXPECT_EQ(other.report.rows_processed, serial.report.rows_processed)
+      << label;
+  EXPECT_EQ(other.report.attempts, serial.report.attempts) << label;
+  EXPECT_EQ(other.report.loaded, serial.report.loaded) << label;
+  EXPECT_EQ(other.report.recovered, serial.report.recovered) << label;
+  auto serial_stats = StatsById(serial.report);
+  auto other_stats = StatsById(other.report);
+  ASSERT_EQ(serial_stats.size(), flow.num_nodes());
+  ASSERT_EQ(other_stats.size(), flow.num_nodes());  // exactly once
+  EXPECT_EQ(other.report.nodes.size(), flow.num_nodes());
+  for (const auto& [id, want] : serial_stats) {
+    auto it = other_stats.find(id);
+    ASSERT_NE(it, other_stats.end())
+        << "node " << id << " never ran (" << label << ")";
+    EXPECT_EQ(it->second.rows_in, want.rows_in)
+        << "node " << id << " (" << label << ")";
+    EXPECT_EQ(it->second.rows_out, want.rows_out)
+        << "node " << id << " (" << label << ")";
+    EXPECT_EQ(it->second.attempts, want.attempts)
+        << "node " << id << " (" << label << ")";
+  }
+}
+
 void ExpectEquivalent(const Flow& flow, const RunOutcome& serial,
                       const RunOutcome& parallel, int workers) {
-  ASSERT_TRUE(serial.status.ok()) << serial.status;
-  ASSERT_TRUE(parallel.status.ok())
-      << "workers=" << workers << ": " << parallel.status;
-  EXPECT_EQ(parallel.fingerprint, serial.fingerprint)
-      << "flow '" << flow.name() << "' diverged at workers=" << workers;
-  EXPECT_EQ(parallel.report.rows_processed, serial.report.rows_processed);
-  EXPECT_EQ(parallel.report.attempts, serial.report.attempts);
-  EXPECT_EQ(parallel.report.loaded, serial.report.loaded);
-  EXPECT_EQ(parallel.report.recovered, serial.report.recovered);
-  auto serial_stats = StatsById(serial.report);
-  auto parallel_stats = StatsById(parallel.report);
-  ASSERT_EQ(serial_stats.size(), flow.num_nodes());
-  ASSERT_EQ(parallel_stats.size(), flow.num_nodes());  // exactly once
-  EXPECT_EQ(parallel.report.nodes.size(), flow.num_nodes());
-  for (const auto& [id, want] : serial_stats) {
-    auto it = parallel_stats.find(id);
-    ASSERT_NE(it, parallel_stats.end()) << "node " << id << " never ran";
-    EXPECT_EQ(it->second.rows_in, want.rows_in) << "node " << id;
-    EXPECT_EQ(it->second.rows_out, want.rows_out) << "node " << id;
-    EXPECT_EQ(it->second.attempts, want.attempts) << "node " << id;
-  }
+  ExpectEquivalent(flow, serial, parallel,
+                   "workers=" + std::to_string(workers));
 }
 
 TEST(EtlParallelTest, RandomizedFlowsMatchSerialAtEveryWorkerCount) {
@@ -384,6 +399,240 @@ TEST(EtlParallelTest, SchedulerMetricsAreRecorded) {
             .value();
   }
   EXPECT_GE(worker_nodes, static_cast<int64_t>(flow.num_nodes()));
+}
+
+// ---------------------------------------------------------------------------
+// Three-way differential harness (DESIGN.md §8): the serial row executor is
+// the reference; the parallel scheduler, the vectorized chunk runtime, and
+// vectorized-under-the-scheduler must all produce byte-identical target
+// fingerprints and order-free identical reports (per-node rows_in/rows_out,
+// attempts, loaded tables).
+
+TEST(EtlVectorizedTest, ThreeWayRandomizedFlowsAgree) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    auto source = BuildRandomSource(seed);
+    Flow flow = BuildRandomFlow(seed);
+    ASSERT_TRUE(flow.Validate().ok()) << "seed " << seed;
+    RunOutcome serial = RunFlow(*source, flow, 1);
+    ASSERT_TRUE(serial.status.ok()) << "seed " << seed << ": "
+                                    << serial.status;
+    for (const ExecMode& mode : DifferentialModes()) {
+      RunOutcome outcome = RunFlowOpts(*source, flow, ToOptions(mode));
+      ExpectEquivalent(flow, serial, outcome,
+                       std::string("seed ") + std::to_string(seed) + " " +
+                           mode.name);
+    }
+  }
+}
+
+TEST(EtlVectorizedTest, ThreeWayTpchRevenueFlowAgrees) {
+  storage::Database src;
+  ASSERT_TRUE(datagen::PopulateTpch(&src, {0.005, 23}).ok());
+  ontology::Ontology onto = ontology::BuildTpchOntology();
+  ontology::SourceMapping mapping = ontology::BuildTpchMappings();
+  interpreter::Interpreter interp(&onto, &mapping);
+  req::InformationRequirement ir;
+  ir.id = "ir_revenue";
+  ir.name = "revenue";
+  ir.focus_concept = "Lineitem";
+  ir.measures.push_back(
+      {"revenue", "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+       md::AggFunc::kSum});
+  ir.dimensions.push_back({"Part.p_name"});
+  ir.dimensions.push_back({"Supplier.s_name"});
+  auto design = interp.Interpret(ir);
+  ASSERT_TRUE(design.ok()) << design.status();
+
+  RunOutcome serial = RunFlow(src, design->flow, 1);
+  ASSERT_TRUE(serial.status.ok()) << serial.status;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  const int64_t chunks_before =
+      reg.counter("quarry_etl_chunk_rows_total").value();
+  for (const ExecMode& mode : DifferentialModes()) {
+    RunOutcome outcome = RunFlowOpts(src, design->flow, ToOptions(mode));
+    ExpectEquivalent(design->flow, serial, outcome, mode.name);
+  }
+  // The vectorized arms actually went through the chunk kernels.
+  EXPECT_GT(reg.counter("quarry_etl_chunk_rows_total").value(),
+            chunks_before);
+}
+
+TEST(EtlVectorizedTest, ChainedSelectionsCarrySelectionVectors) {
+  // Selection-on-selection composes a selection vector with an already
+  // filtered chunk — the carry-over path chunk sizes can't hide: at
+  // chunk_size 1 every chunk is a singleton, at 7 the last chunk of each
+  // run is partial, at 4096 one chunk covers the whole table.
+  auto source = BuildRandomSource(/*seed=*/37);
+  Flow flow("chained_sel");
+  (void)flow.AddNode(
+      MakeNode("ds", OpType::kDatastore, {{"table", "src0"}}));
+  (void)flow.AddNode(
+      MakeNode("ex", OpType::kExtraction, {{"table", "src0"}}));
+  (void)flow.AddNode(
+      MakeNode("s1", OpType::kSelection, {{"predicate", "v >= 10"}}));
+  (void)flow.AddNode(
+      MakeNode("s2", OpType::kSelection, {{"predicate", "v < 40"}}));
+  (void)flow.AddNode(
+      MakeNode("s3", OpType::kSelection, {{"predicate", "id >= 2"}}));
+  (void)flow.AddNode(MakeNode(
+      "fn", OpType::kFunction, {{"column", "f"}, {"expr", "v * 2 + 1"}}));
+  (void)flow.AddNode(
+      MakeNode("proj", OpType::kProjection, {{"columns", "id,f,s"}}));
+  (void)flow.AddNode(
+      MakeNode("load", OpType::kLoader, {{"table", "out"}}));
+  (void)flow.AddEdge("ds", "ex");
+  (void)flow.AddEdge("ex", "s1");
+  (void)flow.AddEdge("s1", "s2");
+  (void)flow.AddEdge("s2", "s3");
+  (void)flow.AddEdge("s3", "fn");
+  (void)flow.AddEdge("fn", "proj");
+  (void)flow.AddEdge("proj", "load");
+  ASSERT_TRUE(flow.Validate().ok());
+
+  RunOutcome serial = RunFlow(*source, flow, 1);
+  for (int64_t chunk_size : {1, 7, 1024, 4096}) {
+    ExecMode mode{"vectorized", 1, true, chunk_size};
+    RunOutcome outcome = RunFlowOpts(*source, flow, ToOptions(mode));
+    ExpectEquivalent(flow, serial, outcome,
+                     "vectorized chunk_size=" +
+                         std::to_string(chunk_size));
+  }
+}
+
+TEST(EtlVectorizedTest, EmptyStreamsMatchRowPath) {
+  // A selection that drops every row empties the whole downstream —
+  // aggregation over nothing, a loader that must defer table creation
+  // exactly like the row path does.
+  auto source = BuildRandomSource(/*seed=*/41);
+  Flow flow("empty_stream");
+  (void)flow.AddNode(
+      MakeNode("ds", OpType::kDatastore, {{"table", "src0"}}));
+  (void)flow.AddNode(
+      MakeNode("ex", OpType::kExtraction, {{"table", "src0"}}));
+  (void)flow.AddNode(
+      MakeNode("sel", OpType::kSelection, {{"predicate", "v < -1"}}));
+  (void)flow.AddNode(MakeNode(
+      "agg", OpType::kAggregation,
+      {{"group", "id"}, {"aggs", "SUM(v) AS total"}}));
+  (void)flow.AddNode(
+      MakeNode("load_rows", OpType::kLoader, {{"table", "out_rows"}}));
+  (void)flow.AddNode(
+      MakeNode("load_agg", OpType::kLoader, {{"table", "out_agg"}}));
+  (void)flow.AddEdge("ds", "ex");
+  (void)flow.AddEdge("ex", "sel");
+  (void)flow.AddEdge("sel", "agg");
+  (void)flow.AddEdge("sel", "load_rows");
+  (void)flow.AddEdge("agg", "load_agg");
+  ASSERT_TRUE(flow.Validate().ok());
+
+  RunOutcome serial = RunFlow(*source, flow, 1);
+  ASSERT_TRUE(serial.status.ok()) << serial.status;
+  for (const ExecMode& mode : DifferentialModes()) {
+    RunOutcome outcome = RunFlowOpts(*source, flow, ToOptions(mode));
+    ExpectEquivalent(flow, serial, outcome, mode.name);
+  }
+}
+
+TEST(EtlVectorizedTest, VectorizedBudgetTripChargesAtChunkGranularity) {
+  // The chunk kernels charge the budget per chunk, so a row allowance trips
+  // mid-node instead of after a whole materialization; the checkpoint is
+  // still a resumable node-boundary antichain.
+  auto source = BuildRandomSource(/*seed=*/43);
+  Flow flow = BuildWideFlow(6);
+  RunOutcome serial = RunFlow(*source, flow, 1);
+  ASSERT_TRUE(serial.status.ok()) << serial.status;
+
+  ResourceBudget budget;
+  budget.max_rows_materialized = 10;
+  ExecContext ctx(CancellationToken{}, Deadline::Infinite(), budget);
+  Checkpoint checkpoint;
+  storage::Database target("dw");
+  Executor executor(&(*source), &target);
+  ExecOptions options;
+  options.vectorized = true;
+  options.chunk_size = 4;  // several chunks per node at 10-row allowance
+  auto report = executor.Run(flow, options, RetryPolicy{}, &checkpoint, &ctx);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsResourceExhausted()) << report.status();
+  ASSERT_TRUE(checkpoint.valid);
+
+  ctx.ResetCharges();
+  auto resumed = executor.Resume(flow, options, &checkpoint, RetryPolicy{});
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(target.Fingerprint(), serial.fingerprint);
+}
+
+TEST(EtlVectorizedTest, RowModeResumesVectorizedCheckpoint) {
+  // Cross-mode resume, vectorized -> row: a budget-killed vectorized run
+  // checkpoints columnar datasets; the row executor must consume them.
+  auto source = BuildRandomSource(/*seed=*/47);
+  Flow flow = BuildWideFlow(5);
+  RunOutcome serial = RunFlow(*source, flow, 1);
+  ASSERT_TRUE(serial.status.ok()) << serial.status;
+
+  ResourceBudget budget;
+  budget.max_rows_materialized = 10;
+  ExecContext ctx(CancellationToken{}, Deadline::Infinite(), budget);
+  Checkpoint checkpoint;
+  storage::Database target("dw");
+  Executor executor(&(*source), &target);
+  ExecOptions vec_options;
+  vec_options.vectorized = true;
+  vec_options.chunk_size = 8;
+  auto killed =
+      executor.Run(flow, vec_options, RetryPolicy{}, &checkpoint, &ctx);
+  ASSERT_FALSE(killed.ok());
+  ASSERT_TRUE(checkpoint.valid);
+
+  ExecOptions row_options;  // vectorized off: plain serial row executor
+  auto resumed =
+      executor.Resume(flow, row_options, &checkpoint, RetryPolicy{});
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(target.Fingerprint(), serial.fingerprint);
+}
+
+TEST(EtlVectorizedTest, VectorizedModeResumesRowCheckpoint) {
+  // Cross-mode resume, row -> vectorized: the chunk kernels must accept
+  // row-form checkpointed datasets (DatasetChunks re-chunks them).
+  auto source = BuildRandomSource(/*seed=*/53);
+  Flow flow = BuildWideFlow(5);
+  RunOutcome serial = RunFlow(*source, flow, 1);
+  ASSERT_TRUE(serial.status.ok()) << serial.status;
+
+  ResourceBudget budget;
+  budget.max_rows_materialized = 10;
+  ExecContext ctx(CancellationToken{}, Deadline::Infinite(), budget);
+  Checkpoint checkpoint;
+  storage::Database target("dw");
+  Executor executor(&(*source), &target);
+  auto killed =
+      executor.Run(flow, ExecOptions{}, RetryPolicy{}, &checkpoint, &ctx);
+  ASSERT_FALSE(killed.ok());
+  ASSERT_TRUE(checkpoint.valid);
+
+  ExecOptions vec_options;
+  vec_options.vectorized = true;
+  vec_options.chunk_size = 16;
+  auto resumed =
+      executor.Resume(flow, vec_options, &checkpoint, RetryPolicy{});
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(target.Fingerprint(), serial.fingerprint);
+}
+
+TEST(EtlVectorizedTest, VectorizedLifecycleErrorsMatchRowPath) {
+  // Deadline/cancellation surface with the same node-tagged messages in
+  // both modes: the chunk gate reuses the row path's context-check wording.
+  auto source = BuildRandomSource(/*seed=*/59);
+  Flow flow = BuildWideFlow(4);
+  ExecContext ctx(Deadline::After(0.0));
+  ExecOptions options;
+  options.vectorized = true;
+  RunOutcome outcome =
+      RunFlowOpts(*source, flow, options, RetryPolicy{}, nullptr, &ctx);
+  ASSERT_FALSE(outcome.status.ok());
+  EXPECT_TRUE(outcome.status.IsDeadlineExceeded()) << outcome.status;
+  EXPECT_NE(outcome.status.ToString().find("node '"), std::string::npos)
+      << outcome.status;
 }
 
 }  // namespace

@@ -265,16 +265,17 @@ struct RunOutcome {
   ExecutionReport report;
 };
 
-/// Runs `flow` against a fresh target with the given worker count. The
-/// retry/checkpoint/ctx knobs mirror Executor::Run's.
-inline RunOutcome RunFlow(const storage::Database& source, const Flow& flow,
-                          int workers, const RetryPolicy& retry = {},
-                          Checkpoint* checkpoint = nullptr,
-                          const ExecContext* ctx = nullptr) {
+/// Runs `flow` against a fresh target with full control over ExecOptions —
+/// the three-way differential harness drives worker count AND the
+/// vectorized chunk runtime through this. The retry/checkpoint/ctx knobs
+/// mirror Executor::Run's.
+inline RunOutcome RunFlowOpts(const storage::Database& source,
+                              const Flow& flow, const ExecOptions& options,
+                              const RetryPolicy& retry = {},
+                              Checkpoint* checkpoint = nullptr,
+                              const ExecContext* ctx = nullptr) {
   storage::Database target("dw");
   Executor executor(&source, &target);
-  ExecOptions options;
-  options.max_workers = workers;
   RunOutcome outcome;
   Result<ExecutionReport> report =
       executor.Run(flow, options, retry, checkpoint, ctx);
@@ -282,6 +283,41 @@ inline RunOutcome RunFlow(const storage::Database& source, const Flow& flow,
   if (report.ok()) outcome.report = std::move(*report);
   outcome.fingerprint = target.Fingerprint();
   return outcome;
+}
+
+/// Runs `flow` against a fresh target with the given worker count.
+inline RunOutcome RunFlow(const storage::Database& source, const Flow& flow,
+                          int workers, const RetryPolicy& retry = {},
+                          Checkpoint* checkpoint = nullptr,
+                          const ExecContext* ctx = nullptr) {
+  ExecOptions options;
+  options.max_workers = workers;
+  return RunFlowOpts(source, flow, options, retry, checkpoint, ctx);
+}
+
+/// One executor configuration in the three-way differential matrix.
+struct ExecMode {
+  const char* name;
+  int workers;
+  bool vectorized;
+  int64_t chunk_size = 1024;
+};
+
+inline ExecOptions ToOptions(const ExecMode& mode) {
+  ExecOptions options;
+  options.max_workers = mode.workers;
+  options.vectorized = mode.vectorized;
+  options.chunk_size = mode.chunk_size;
+  return options;
+}
+
+/// The non-serial arms of the three-way harness (DESIGN.md §8): the serial
+/// row executor is the reference; parallel, vectorized, and
+/// vectorized-under-the-scheduler must all land on its exact bytes.
+inline std::vector<ExecMode> DifferentialModes() {
+  return {{"parallel4", 4, false},
+          {"vectorized", 1, true},
+          {"vectorized_parallel4", 4, true}};
 }
 
 /// Node stats keyed by id — completion order differs between serial and

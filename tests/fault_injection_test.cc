@@ -565,5 +565,182 @@ TEST_F(FaultInjectionTest, ParallelKillAndResumeWithConcurrentSiblings) {
   EXPECT_EQ(target.Fingerprint(), reference.Fingerprint());
 }
 
+// ---------------------------------------------------------------------------
+// The fault matrix under the vectorized chunk runtime (DESIGN.md §8): the
+// chunked kernels keep the row path's per-operator fault sites and add a
+// per-chunk one (`etl.exec.vec.chunk`), so the same transient/unrecoverable
+// contracts must hold with ExecOptions::vectorized set — including a fault
+// that fires mid-stream, after some chunks of a node already processed.
+
+class VectorizedFaultTest : public FaultInjectionTest {
+ protected:
+  static deployer::DeployOptions VectorizedOptions() {
+    deployer::DeployOptions options;
+    options.exec.vectorized = true;
+    options.exec.chunk_size = 32;  // many chunks per node at sf 0.005
+    return options;
+  }
+
+  /// Fault surface of a vectorized deployment: the per-operator sites plus
+  /// the per-chunk gate the row path does not have.
+  std::vector<std::string> DiscoverVectorizedSites() {
+    Injector::Instance().Disable();
+    storage::Database target;
+    SeedTarget(&target);
+    docstore::DocumentStore meta = SeededMetadata();
+    Injector::Instance().ClearConfigs();
+    Injector::Instance().Enable(/*seed=*/7);
+    DeploymentOutcome outcome = Deploy(&target, &meta, VectorizedOptions());
+    EXPECT_TRUE(outcome.success);
+    return Injector::Instance().HitSites();
+  }
+};
+
+TEST_F(VectorizedFaultTest, ChunkGateIsPartOfTheFaultSurface) {
+  std::vector<std::string> sites = DiscoverVectorizedSites();
+  std::set<std::string> surface(sites.begin(), sites.end());
+  EXPECT_TRUE(surface.count("etl.exec.vec.chunk"));
+  EXPECT_TRUE(surface.count("etl.exec.Loader.write"));
+  // Many chunks flowed through the gate, not one per node.
+  EXPECT_GT(Injector::Instance().HitCount("etl.exec.vec.chunk"),
+            static_cast<int64_t>(design_.flow.num_nodes()));
+}
+
+TEST_F(VectorizedFaultTest, EverySiteRecoversFromOneTransientFault) {
+  std::vector<std::string> sites = ExecutorSites(DiscoverVectorizedSites());
+  ASSERT_GT(sites.size(), 0u);
+
+  for (const std::string& site : sites) {
+    Injector::Instance().Disable();
+    storage::Database target;
+    SeedTarget(&target);
+    docstore::DocumentStore meta = SeededMetadata();
+
+    Injector::Instance().ClearConfigs();
+    Injector::Instance().Configure(site,
+                                   {.trigger_on_hit = 1, .max_failures = 1});
+    Injector::Instance().Enable(7);
+
+    deployer::DeployOptions options = VectorizedOptions();
+    options.retry.max_attempts = 4;
+    DeploymentOutcome outcome = Deploy(&target, &meta, options);
+    EXPECT_TRUE(outcome.success) << "site " << site << ": "
+                                 << (outcome.failure
+                                         ? outcome.failure->cause.ToString()
+                                         : "no failure");
+    EXPECT_EQ(Injector::Instance().FailureCount(site), 1)
+        << "fault at " << site << " never fired";
+    EXPECT_TRUE(target.CheckReferentialIntegrity().ok()) << "site " << site;
+  }
+}
+
+TEST_F(VectorizedFaultTest, UnrecoverableFaultRollsBackByteIdentically) {
+  std::vector<std::string> sites = ExecutorSites(DiscoverVectorizedSites());
+  ASSERT_GT(sites.size(), 0u);
+
+  for (const std::string& site : sites) {
+    Injector::Instance().Disable();
+    storage::Database target;
+    SeedTarget(&target);
+    docstore::DocumentStore meta = SeededMetadata();
+    const uint64_t db_before = target.Fingerprint();
+    const uint64_t meta_before = meta.Fingerprint();
+
+    Injector::Instance().ClearConfigs();
+    Injector::Instance().Configure(site, {.fail_from_hit = 1});
+    Injector::Instance().Enable(7);
+
+    deployer::DeployOptions options = VectorizedOptions();
+    options.retry.max_attempts = 2;
+    DeploymentOutcome outcome = Deploy(&target, &meta, options);
+    ASSERT_FALSE(outcome.success) << "site " << site;
+    ASSERT_TRUE(outcome.failure.has_value()) << "site " << site;
+    EXPECT_TRUE(outcome.failure->rolled_back) << "site " << site;
+    EXPECT_EQ(target.Fingerprint(), db_before)
+        << "site " << site << " left the target modified (stage "
+        << outcome.failure->stage << ")";
+    EXPECT_EQ(meta.Fingerprint(), meta_before)
+        << "site " << site << " left the metadata store modified";
+  }
+}
+
+TEST_F(VectorizedFaultTest, MidChunkTransientFaultRetriesTheWholeNode) {
+  // The 3rd chunk-gate hit fails once: the node dies mid-stream with some
+  // chunks already processed, rolls back to its input boundary, and the
+  // retry replays it from the first chunk — absorbed, not surfaced.
+  Injector::Instance().ClearConfigs();
+  Injector::Instance().Configure("etl.exec.vec.chunk",
+                                 {.trigger_on_hit = 3, .max_failures = 1});
+  Injector::Instance().Enable(11);
+
+  storage::Database target;
+  SeedTarget(&target);
+  docstore::DocumentStore meta = SeededMetadata();
+  deployer::DeployOptions options = VectorizedOptions();
+  options.retry.max_attempts = 3;
+  DeploymentOutcome outcome = Deploy(&target, &meta, options);
+  ASSERT_TRUE(outcome.success)
+      << (outcome.failure ? outcome.failure->cause.ToString() : "");
+  EXPECT_TRUE(outcome.report.etl.recovered);
+  EXPECT_EQ(outcome.report.etl.retried_nodes.size(), 1u);
+  EXPECT_EQ(Injector::Instance().FailureCount("etl.exec.vec.chunk"), 1);
+}
+
+TEST_F(VectorizedFaultTest, MidChunkFaultResumesFromChunkBoundaryCheckpoint) {
+  // A permanent mid-stream chunk fault kills the run after upstream nodes
+  // completed. Checkpoints are cut at chunk boundaries (the gate runs
+  // between chunks), so the checkpoint holds every node that finished all
+  // its chunks; the half-done node rolled back to its input boundary and
+  // re-runs in full on resume — converging on the clean run's bytes.
+  storage::Database target;
+  auto sql = deployer::GenerateSql(design_.schema, mapping_, src_);
+  ASSERT_TRUE(sql.ok());
+  ASSERT_TRUE(storage::ExecuteSql(&target, *sql).ok());
+
+  etl::ExecOptions exec;
+  exec.vectorized = true;
+  exec.chunk_size = 32;
+
+  // Clean vectorized reference run with the injector armed but unconfigured:
+  // its chunk-gate hit count tells us where the stream ends, so the fault
+  // below can be pinned to the LAST gate hit — guaranteed mid-run (upstream
+  // nodes complete) and guaranteed mid-stream of whatever node draws it.
+  storage::Database reference;
+  ASSERT_TRUE(storage::ExecuteSql(&reference, *sql).ok());
+  etl::Executor ref_exec(&src_, &reference);
+  Injector::Instance().ClearConfigs();
+  Injector::Instance().Enable(13);
+  auto clean = ref_exec.Run(design_.flow, exec, etl::RetryPolicy{}, nullptr);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  const int64_t gate_hits =
+      Injector::Instance().HitCount("etl.exec.vec.chunk");
+  ASSERT_GT(gate_hits, static_cast<int64_t>(design_.flow.num_nodes()));
+
+  Injector::Instance().Configure("etl.exec.vec.chunk",
+                                 {.fail_from_hit = gate_hits});
+  Injector::Instance().Enable(13);  // reset counters, keep the config
+
+  etl::Executor executor(&src_, &target);
+  etl::Checkpoint checkpoint;
+  auto failed =
+      executor.Run(design_.flow, exec, etl::RetryPolicy{}, &checkpoint);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().ToString().find("etl.exec.vec.chunk"),
+            std::string::npos)
+      << failed.status();
+  ASSERT_TRUE(checkpoint.valid);
+  EXPECT_FALSE(checkpoint.failed_node.empty());
+  EXPECT_GT(checkpoint.completed.size(), 0u);
+
+  Injector::Instance().Disable();
+  auto resumed =
+      executor.Resume(design_.flow, exec, &checkpoint, etl::RetryPolicy{});
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_TRUE(resumed->recovered);
+  EXPECT_LT(resumed->nodes.size(), clean->nodes.size());
+  EXPECT_EQ(resumed->loaded, clean->loaded);
+  EXPECT_EQ(target.Fingerprint(), reference.Fingerprint());
+}
+
 }  // namespace
 }  // namespace quarry

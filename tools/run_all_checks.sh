@@ -5,11 +5,16 @@
 #   3. crash     — fault + crash matrices under ASan (tools/run_crash_matrix.sh)
 #   4. recovery  — warehouse kill-and-recover matrix, plain build (fast
 #                  re-run of the §10 crash surface outside the ASan gate)
-#   5. metrics   — two-way metric/doc lint (tools/check_metrics_doc.sh)
-#   6. http      — telemetry-endpoint smoke: start quarry_httpd, curl all
+#   5. vectorized — three-way differential harness (serial vs parallel vs
+#                  vectorized chunk runtime, byte-identical targets) plus
+#                  the bench's --smoke mode, which re-proves fingerprint
+#                  equality on real TPC-H data and that the chunk kernels
+#                  actually ran (DESIGN.md §8)
+#   6. metrics   — two-way metric/doc lint (tools/check_metrics_doc.sh)
+#   7. http      — telemetry-endpoint smoke: start quarry_httpd, curl all
 #                  six endpoints, validate JSON with the in-tree parser
 #                  (tools/run_http_smoke.sh)
-#   7. load      — deterministic two-tenant sustained-load smoke: a
+#   8. load      — deterministic two-tenant sustained-load smoke: a
 #                  closed-loop flooder vs a high-priority tenant, asserting
 #                  the §11 priority-isolation invariants
 #                  (tools/run_load_smoke.sh)
@@ -61,10 +66,28 @@ warehouse_recovery() {
     --output-on-failure
 }
 
+# Three-way differential harness + bench smoke (DESIGN.md §8): the filter
+# pins the vectorized equivalence suite so a rename that silently empties it
+# shows up as a 0-test run in this step's output, and the bench smoke proves
+# fingerprint equality on TPC-H data with the chunk kernels verifiably
+# engaged (it exits non-zero when they never ran).
+vectorized_differential() {
+  "${build_dir}/tests/etl_parallel_test" \
+    --gtest_filter='EtlVectorizedTest.*' &&
+    "${build_dir}/tests/property_test" \
+      --gtest_filter='*VectorizedProperty*'
+}
+
+vectorized_bench_smoke() {
+  "${build_dir}/bench/bench_etl_vectorized" --smoke
+}
+
 run_step "tier-1 build+ctest" tier1
 run_step "tsan slice" "${repo_root}/tools/run_tsan.sh"
 run_step "crash matrix (asan)" "${repo_root}/tools/run_crash_matrix.sh"
 run_step "warehouse recovery" warehouse_recovery
+run_step "vectorized differential" vectorized_differential
+run_step "vectorized bench smoke" vectorized_bench_smoke
 run_step "metrics doc lint" "${repo_root}/tools/check_metrics_doc.sh"
 run_step "http smoke" "${repo_root}/tools/run_http_smoke.sh" "${build_dir}"
 run_step "load smoke" "${repo_root}/tools/run_load_smoke.sh" "${build_dir}"
